@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: table printing and shape
+ * checking (every bench prints the paper-style table, then a list of
+ * PASS/FAIL assertions about the *shape* of the result — see
+ * EXPERIMENTS.md for what "reproduced" means on this substrate).
+ */
+
+#ifndef SIMDRAM_BENCH_BENCH_COMMON_H
+#define SIMDRAM_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace simdram
+{
+namespace bench
+{
+
+/** Collects shape-check results and renders the final verdict. */
+class ShapeChecks
+{
+  public:
+    /** Records one named check. */
+    void
+    expect(bool ok, const std::string &what)
+    {
+        results_.push_back({ok, what});
+        if (!ok)
+            ++failures_;
+    }
+
+    /** Prints all checks; @return process exit code. */
+    int
+    finish() const
+    {
+        std::printf("\nShape checks:\n");
+        for (const auto &[ok, what] : results_)
+            std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL",
+                        what.c_str());
+        std::printf("%zu/%zu shape checks passed\n",
+                    results_.size() - failures_, results_.size());
+        return failures_ == 0 ? 0 : 1;
+    }
+
+  private:
+    std::vector<std::pair<bool, std::string>> results_;
+    size_t failures_ = 0;
+};
+
+/** Prints a rule line matching the given width. */
+inline void
+rule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace simdram
+
+#endif // SIMDRAM_BENCH_BENCH_COMMON_H

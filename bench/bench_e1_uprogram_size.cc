@@ -1,0 +1,112 @@
+/**
+ * @file
+ * E1 — circuit and μProgram sizes (paper Fig. 1 motivation + the
+ * per-operation command-count comparison underlying every
+ * throughput result).
+ *
+ * Prints, for each of the 16 operations at widths 8/16/32/64:
+ * AND/OR/NOT gate count, MAJ/NOT gate count, and the number of DRAM
+ * command macro-ops (AAP+AP) for the Ambit baseline and for SIMDRAM
+ * with naive and greedy allocation.
+ */
+
+#include <cstdio>
+
+#include "ambit/ambit_synth.h"
+#include "bench_common.h"
+#include "ops/library.h"
+#include "uprog/allocator.h"
+
+using namespace simdram;
+
+int
+main()
+{
+    OperationLibrary lib;
+    bench::ShapeChecks checks;
+
+    std::printf("E1: circuit and microprogram sizes "
+                "(gates / DRAM command macro-ops)\n\n");
+
+    // --- Fig. 1 motivation: the full adder ----------------------------
+    {
+        Circuit aoig;
+        WordGates ga(aoig, GateStyle::Aoig);
+        const Lit a = aoig.addInput("a");
+        const Lit b = aoig.addInput("b");
+        const Lit cin = aoig.addInput("cin");
+        const auto fa_a = ga.fullAdder(a, b, cin);
+        aoig.addOutput("s", fa_a.sum[0]);
+        aoig.addOutput("c", fa_a.carry);
+
+        Circuit mig;
+        WordGates gm(mig, GateStyle::Mig);
+        const Lit a2 = mig.addInput("a");
+        const Lit b2 = mig.addInput("b");
+        const Lit c2 = mig.addInput("cin");
+        const auto fa_m = gm.fullAdder(a2, b2, c2);
+        mig.addOutput("s", fa_m.sum[0]);
+        mig.addOutput("c", fa_m.carry);
+
+        std::printf("Full adder (paper Fig. 1): AND/OR/NOT = %zu "
+                    "gates, MAJ/NOT = %zu gates\n\n",
+                    aoig.topoOrder().size(), mig.topoOrder().size());
+        checks.expect(mig.topoOrder().size() == 3,
+                      "MAJ/NOT full adder uses exactly 3 gates");
+        checks.expect(mig.topoOrder().size() <
+                          aoig.topoOrder().size(),
+                      "MAJ/NOT full adder smaller than AND/OR/NOT");
+    }
+
+    std::printf("%-9s %4s | %6s %6s | %8s %8s %8s | %6s\n", "op",
+                "w", "AOIG", "MIG", "Ambit", "naive", "greedy",
+                "ratio");
+    bench::rule(76);
+
+    double worst_ratio = 0, best_ratio = 1e9, ratio_sum = 0;
+    int ratio_count = 0;
+    bool simdram_always_fewer = true;
+
+    for (OpKind op : kAllOps) {
+        for (size_t w : {8u, 16u, 32u, 64u}) {
+            const auto &aoig = lib.aoig(op, w);
+            const auto &mig = lib.mig(op, w);
+            const auto ambit = compileAmbit(aoig);
+            CompileOptions naive_opts;
+            naive_opts.greedy = false;
+            const auto naive = compileMig(mig, naive_opts);
+            const auto greedy = compileMig(mig);
+
+            const size_t ambit_cmds = ambit.ops.size();
+            const size_t greedy_cmds = greedy.ops.size();
+            const double ratio =
+                static_cast<double>(ambit_cmds) / greedy_cmds;
+            std::printf(
+                "%-9s %4zu | %6zu %6zu | %8zu %8zu %8zu | %5.2fx\n",
+                toString(op).c_str(), w, aoig.topoOrder().size(),
+                mig.topoOrder().size(), ambit_cmds,
+                naive.ops.size(), greedy_cmds, ratio);
+
+            if (greedy_cmds >= ambit_cmds)
+                simdram_always_fewer = false;
+            worst_ratio = std::max(worst_ratio, ratio);
+            best_ratio = std::min(best_ratio, ratio);
+            ratio_sum += ratio;
+            ++ratio_count;
+        }
+    }
+
+    std::printf("\nAmbit/SIMDRAM command ratio: min %.2fx, "
+                "mean %.2fx, max %.2fx\n",
+                best_ratio, ratio_sum / ratio_count, worst_ratio);
+
+    checks.expect(simdram_always_fewer,
+                  "SIMDRAM needs fewer DRAM commands than Ambit for "
+                  "every operation and width");
+    checks.expect(worst_ratio >= 2.0 && worst_ratio <= 6.5,
+                  "maximum command-count advantage in the paper's "
+                  "band (paper: up to 5.1x throughput)");
+    checks.expect(ratio_sum / ratio_count >= 1.5,
+                  "mean command-count advantage >= 1.5x");
+    return checks.finish();
+}

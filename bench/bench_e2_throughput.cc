@@ -1,0 +1,90 @@
+/**
+ * @file
+ * E2 — throughput of the 16 operations on every platform (paper
+ * Fig. 9 analogue: SIMDRAM:1/4/16 vs CPU, GPU, and Ambit; the paper
+ * headline is up to 5.1x Ambit and large average factors over the
+ * CPU).
+ *
+ * 16 Mi elements per operation; throughput in GOps/s, plus the
+ * normalized-to-CPU view the paper plots.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/engine.h"
+#include "bench_common.h"
+
+using namespace simdram;
+
+int
+main()
+{
+    constexpr size_t kElements = size_t{1} << 24;
+    auto engines = standardEngines();
+    bench::ShapeChecks checks;
+
+    std::printf("E2: throughput, %zu Mi elements (GOps/s)\n\n",
+                kElements >> 20);
+    std::printf("%-9s %3s |", "op", "w");
+    for (auto &e : engines)
+        std::printf(" %10s", e->name().c_str());
+    std::printf("\n");
+    bench::rule(14 + 11 * static_cast<int>(engines.size()));
+
+    // Geometric-mean accumulator of per-engine throughput normalized
+    // to the CPU (engine 0).
+    std::vector<double> log_norm(engines.size(), 0.0);
+    int cases = 0;
+    bool simdram16_beats_ambit = true;
+    double best_vs_ambit = 0;
+
+    for (OpKind op : kAllOps) {
+        for (size_t w : {8u, 16u, 32u}) {
+            std::vector<double> gops;
+            for (auto &e : engines)
+                gops.push_back(
+                    e->opCost(op, w, kElements).throughputGops());
+            std::printf("%-9s %3zu |", toString(op).c_str(), w);
+            for (double g : gops)
+                std::printf(" %10.2f", g);
+            std::printf("\n");
+
+            for (size_t i = 0; i < engines.size(); ++i)
+                log_norm[i] += std::log(gops[i] / gops[0]);
+            ++cases;
+
+            const double ambit = gops[2];
+            const double s1 = gops[3], s16 = gops[5];
+            if (s16 < ambit)
+                simdram16_beats_ambit = false;
+            best_vs_ambit = std::max(best_vs_ambit, s1 / ambit);
+        }
+    }
+
+    std::printf("\nGeometric-mean throughput normalized to CPU:\n");
+    std::vector<double> gmean(engines.size());
+    for (size_t i = 0; i < engines.size(); ++i) {
+        gmean[i] = std::exp(log_norm[i] / cases);
+        std::printf("  %-10s %8.2fx\n", engines[i]->name().c_str(),
+                    gmean[i]);
+    }
+
+    // Engine order: CPU, GPU, Ambit, SIMDRAM:1, :4, :16.
+    checks.expect(gmean[5] > gmean[0] * 10,
+                  "SIMDRAM:16 mean throughput >10x the CPU");
+    checks.expect(gmean[5] > gmean[1],
+                  "SIMDRAM:16 mean throughput beats the GPU");
+    checks.expect(gmean[1] > gmean[0],
+                  "GPU sits between CPU and SIMDRAM:16");
+    checks.expect(gmean[3] > gmean[2],
+                  "SIMDRAM:1 mean throughput beats Ambit");
+    checks.expect(simdram16_beats_ambit,
+                  "SIMDRAM:16 beats Ambit on every operation");
+    checks.expect(best_vs_ambit >= 2.0 && best_vs_ambit <= 6.5,
+                  "peak SIMDRAM:1 advantage over Ambit in the "
+                  "paper's band (paper: up to 5.1x)");
+    checks.expect(gmean[5] / gmean[3] > 8,
+                  "16 banks scale throughput close to linearly");
+    return checks.finish();
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * E3 — energy efficiency of the 16 operations on every platform
+ * (paper Fig. 10 analogue; headlines: 257x/31x the energy
+ * efficiency of CPU/GPU, up to 2.5x Ambit).
+ *
+ * 16 Mi elements; efficiency in GOps/J plus the normalized view.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/engine.h"
+#include "bench_common.h"
+
+using namespace simdram;
+
+int
+main()
+{
+    constexpr size_t kElements = size_t{1} << 24;
+    auto engines = standardEngines();
+    bench::ShapeChecks checks;
+
+    std::printf("E3: energy efficiency, %zu Mi elements (GOps/J)\n\n",
+                kElements >> 20);
+    std::printf("%-9s %3s |", "op", "w");
+    for (auto &e : engines)
+        std::printf(" %10s", e->name().c_str());
+    std::printf("\n");
+    bench::rule(14 + 11 * static_cast<int>(engines.size()));
+
+    std::vector<double> log_norm(engines.size(), 0.0);
+    int cases = 0;
+    double best_vs_ambit = 0;
+    bool simdram_beats_ambit_everywhere = true;
+
+    for (OpKind op : kAllOps) {
+        for (size_t w : {8u, 16u, 32u}) {
+            std::vector<double> eff;
+            for (auto &e : engines)
+                eff.push_back(e->opCost(op, w, kElements)
+                                  .efficiencyGopsPerJoule());
+            std::printf("%-9s %3zu |", toString(op).c_str(), w);
+            for (double v : eff)
+                std::printf(" %10.1f", v);
+            std::printf("\n");
+
+            for (size_t i = 0; i < engines.size(); ++i)
+                log_norm[i] += std::log(eff[i] / eff[0]);
+            ++cases;
+
+            // SIMDRAM energy is bank-count independent; compare :1.
+            if (eff[3] < eff[2])
+                simdram_beats_ambit_everywhere = false;
+            best_vs_ambit = std::max(best_vs_ambit, eff[3] / eff[2]);
+        }
+    }
+
+    std::printf("\nGeometric-mean efficiency normalized to CPU:\n");
+    std::vector<double> gmean(engines.size());
+    for (size_t i = 0; i < engines.size(); ++i) {
+        gmean[i] = std::exp(log_norm[i] / cases);
+        std::printf("  %-10s %8.1fx\n", engines[i]->name().c_str(),
+                    gmean[i]);
+    }
+
+    checks.expect(gmean[3] > 50,
+                  "SIMDRAM mean efficiency >50x the CPU (paper: "
+                  "257x)");
+    checks.expect(gmean[3] > gmean[1] * 3,
+                  "SIMDRAM mean efficiency >3x the GPU (paper: 31x)");
+    checks.expect(gmean[1] > gmean[0],
+                  "GPU more efficient than CPU");
+    checks.expect(simdram_beats_ambit_everywhere,
+                  "SIMDRAM more energy-efficient than Ambit on "
+                  "every operation");
+    checks.expect(best_vs_ambit >= 1.8 && best_vs_ambit <= 6.0,
+                  "peak advantage over Ambit in the paper's band "
+                  "(paper: up to 2.5x)");
+    const double e1 =
+        engines[3]->opCost(OpKind::Add, 32, kElements).energyPj;
+    const double e16 =
+        engines[5]->opCost(OpKind::Add, 32, kElements).energyPj;
+    checks.expect(std::abs(e1 - e16) < 1e-6,
+                  "bank parallelism changes latency, not energy");
+    return checks.finish();
+}

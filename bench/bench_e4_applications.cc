@@ -1,0 +1,131 @@
+/**
+ * @file
+ * E4 — the seven application kernels on every platform (paper
+ * Fig. 11/12 analogue: speedups over the CPU for SIMDRAM:1/4/16 and
+ * the comparison against Ambit; headline: up to 2.5x over Ambit).
+ */
+
+#include <cstdio>
+
+#include "apps/bitweaving.h"
+#include "apps/brightness.h"
+#include "apps/knn.h"
+#include "apps/nn.h"
+#include "apps/tpch.h"
+#include "bench_common.h"
+
+using namespace simdram;
+
+int
+main()
+{
+    auto engines = standardEngines();
+    bench::ShapeChecks checks;
+
+    struct AppRow
+    {
+        std::string name;
+        std::vector<double> latency_ms;
+        std::vector<double> energy_mj;
+    };
+    std::vector<AppRow> rows;
+
+    auto price = [&](const std::string &name, auto costFn) {
+        AppRow row;
+        row.name = name;
+        for (auto &e : engines) {
+            const KernelCost c = costFn(*e);
+            row.latency_ms.push_back(c.latencyNs() * 1e-6);
+            row.energy_mj.push_back(c.energyPj() * 1e-9);
+        }
+        rows.push_back(std::move(row));
+    };
+
+    const size_t n = size_t{1} << 22;
+    price("vgg13",
+          [&](BulkEngine &e) { return nnCost(e, vgg13()); });
+    price("vgg16",
+          [&](BulkEngine &e) { return nnCost(e, vgg16()); });
+    price("lenet",
+          [&](BulkEngine &e) { return nnCost(e, lenet()); });
+    price("knn", [&](BulkEngine &e) {
+        return knnCost(e, {n, 64, 16});
+    });
+    price("tpch", [&](BulkEngine &e) { return tpchCost(e, n); });
+    price("bitweaving", [&](BulkEngine &e) {
+        return bitweavingCost(e, {n, 12});
+    });
+    price("brightness", [&](BulkEngine &e) {
+        return brightnessCost(e, {n, 16});
+    });
+
+    std::printf("E4: application kernels — latency (ms)\n\n");
+    std::printf("%-11s |", "kernel");
+    for (auto &e : engines)
+        std::printf(" %10s", e->name().c_str());
+    std::printf("\n");
+    bench::rule(13 + 11 * static_cast<int>(engines.size()));
+    for (const auto &r : rows) {
+        std::printf("%-11s |", r.name.c_str());
+        for (double v : r.latency_ms)
+            std::printf(" %10.3f", v);
+        std::printf("\n");
+    }
+
+    std::printf("\nSpeedup over CPU / over Ambit "
+                "(SIMDRAM:1, :4, :16):\n");
+    std::printf("%-11s | %23s | %23s\n", "kernel", "vs CPU",
+                "vs Ambit");
+    bench::rule(65);
+    bool always_beats_ambit = true;
+    double best_ambit_speedup = 0;
+    for (const auto &r : rows) {
+        std::printf("%-11s |", r.name.c_str());
+        for (int cfg = 3; cfg <= 5; ++cfg)
+            std::printf(" %6.1fx", r.latency_ms[0] /
+                                       r.latency_ms[cfg]);
+        std::printf("   |");
+        for (int cfg = 3; cfg <= 5; ++cfg) {
+            const double s = r.latency_ms[2] / r.latency_ms[cfg];
+            std::printf(" %6.1fx", s);
+        }
+        std::printf("\n");
+        const double s1 = r.latency_ms[2] / r.latency_ms[3];
+        if (s1 <= 1.0)
+            always_beats_ambit = false;
+        best_ambit_speedup = std::max(best_ambit_speedup, s1);
+    }
+
+    std::printf("\nEnergy (mJ):\n%-11s |", "kernel");
+    for (auto &e : engines)
+        std::printf(" %10s", e->name().c_str());
+    std::printf("\n");
+    bench::rule(13 + 11 * static_cast<int>(engines.size()));
+    bool energy_beats_cpu = true;
+    for (const auto &r : rows) {
+        std::printf("%-11s |", r.name.c_str());
+        for (double v : r.energy_mj)
+            std::printf(" %10.3f", v);
+        std::printf("\n");
+        if (r.energy_mj[3] >= r.energy_mj[0])
+            energy_beats_cpu = false;
+    }
+
+    bool simdram16_beats_cpu = true;
+    for (const auto &r : rows)
+        if (r.latency_ms[5] >= r.latency_ms[0])
+            simdram16_beats_cpu = false;
+
+    checks.expect(always_beats_ambit,
+                  "SIMDRAM:1 beats Ambit on every kernel");
+    checks.expect(best_ambit_speedup >= 1.5 &&
+                      best_ambit_speedup <= 6.0,
+                  "peak kernel speedup over Ambit in the paper's "
+                  "band (paper: up to 2.5x)");
+    checks.expect(simdram16_beats_cpu,
+                  "SIMDRAM:16 beats the CPU on every kernel");
+    checks.expect(energy_beats_cpu,
+                  "SIMDRAM uses less energy than the CPU on every "
+                  "kernel");
+    return checks.finish();
+}

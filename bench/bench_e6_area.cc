@@ -1,0 +1,48 @@
+/**
+ * @file
+ * E6 — area overhead (paper section 5: "incurring less than 1% DRAM
+ * area overhead").
+ */
+
+#include <cstdio>
+
+#include "area/area_model.h"
+#include "bench_common.h"
+
+using namespace simdram;
+
+int
+main()
+{
+    const DramConfig cfg = DramConfig::simdramConfig(16);
+    const auto items = areaReport(cfg);
+    bench::ShapeChecks checks;
+
+    std::printf("E6: area overhead (analytic model, 22nm-class "
+                "densities)\n\n");
+    std::printf("%-32s %-17s %10s %9s\n", "component", "where",
+                "area (mm^2)", "% of die");
+    bench::rule(72);
+    for (const auto &it : items)
+        std::printf("%-32s %-17s %10.4f %8.3f%%\n",
+                    it.component.c_str(), it.where.c_str(),
+                    it.areaMm2, it.percent);
+
+    double dram_pct = 0, mc_pct = 0;
+    for (const auto &it : items) {
+        if (it.component == "TOTAL in-DRAM")
+            dram_pct = it.percent;
+        if (it.component == "TOTAL controller-side")
+            mc_pct = it.percent;
+    }
+
+    checks.expect(dram_pct < 1.0,
+                  "in-DRAM overhead below 1% of the DRAM chip "
+                  "(the paper's headline)");
+    checks.expect(dram_pct > 0.1,
+                  "in-DRAM overhead is not understated (>0.1%)");
+    checks.expect(mc_pct < 0.1,
+                  "controller-side units are a negligible fraction "
+                  "of a CPU die");
+    return checks.finish();
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * E7 — ablation of the framework's design choices (DESIGN.md): how
+ * much of SIMDRAM's advantage comes from (a) the MAJ/NOT node set,
+ * (b) step-1 MIG optimization, and (c) step-2 greedy allocation.
+ *
+ * Variants, per operation at width 32 (DRAM command macro-ops):
+ *   ambit        — AND/OR/NOT gates, fixed per-gate recipes
+ *   naive+naive  — mechanical MIG lowering, naive allocation
+ *   naive+greedy — mechanical MIG lowering, greedy allocation
+ *   synth+greedy — optimizer-cleaned lowering, greedy allocation
+ *   expert+greedy— production SIMDRAM (expert MIG + optimizer)
+ */
+
+#include <cstdio>
+
+#include "ambit/ambit_synth.h"
+#include "bench_common.h"
+#include "ops/library.h"
+#include "uprog/allocator.h"
+
+using namespace simdram;
+
+int
+main()
+{
+    OperationLibrary lib;
+    bench::ShapeChecks checks;
+    constexpr size_t kWidth = 32;
+
+    std::printf("E7: ablation at width %zu (command macro-ops)\n\n",
+                kWidth);
+    std::printf("%-9s | %8s %12s %13s %13s %14s\n", "op", "ambit",
+                "naive+naive", "naive+greedy", "synth+greedy",
+                "expert+greedy");
+    bench::rule(78);
+
+    bool greedy_never_worse = true;
+    bool expert_best = true;
+    bool majority_wins = true;
+
+    for (OpKind op :
+         {OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Gt,
+          OpKind::Bitcount, OpKind::IfElse, OpKind::Relu}) {
+        const auto ambit = compileAmbit(lib.aoig(op, kWidth));
+        CompileOptions naive_opts;
+        naive_opts.greedy = false;
+        const auto nn =
+            compileMig(lib.migNaive(op, kWidth), naive_opts);
+        const auto ng = compileMig(lib.migNaive(op, kWidth));
+        const auto sg = compileMig(lib.migSynth(op, kWidth));
+        const auto eg = compileMig(lib.mig(op, kWidth));
+
+        std::printf("%-9s | %8zu %12zu %13zu %13zu %14zu\n",
+                    toString(op).c_str(), ambit.ops.size(),
+                    nn.ops.size(), ng.ops.size(), sg.ops.size(),
+                    eg.ops.size());
+
+        if (ng.ops.size() > nn.ops.size())
+            greedy_never_worse = false;
+        if (eg.ops.size() > sg.ops.size())
+            expert_best = false;
+        if (eg.ops.size() >= ambit.ops.size())
+            majority_wins = false;
+    }
+
+    checks.expect(greedy_never_worse,
+                  "greedy allocation never issues more commands "
+                  "than naive allocation");
+    checks.expect(expert_best,
+                  "expert MIG construction never loses to the "
+                  "synthesized lowering");
+    checks.expect(majority_wins,
+                  "full SIMDRAM pipeline beats Ambit on every "
+                  "ablated operation");
+    return checks.finish();
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * E8 — transposition (system-integration) overhead: the cost of
+ * moving operands between the CPU's horizontal layout and SIMDRAM's
+ * vertical layout, relative to the computation performed on them
+ * (paper section 4: the transposition unit lets both layouts
+ * coexist; only data that participates in in-DRAM computation pays
+ * the conversion, and it pays it once per residence, not per
+ * operation).
+ *
+ * For each operation: the one-off transposition cost (store two
+ * operands + load one result) against K in-DRAM operations executed
+ * while the data is resident, K in {1, 4, 16, 64} — the reuse
+ * pattern of every real kernel (NN layers, scans, image pipelines
+ * chain many bbops between transpositions).
+ */
+
+#include <cstdio>
+
+#include "apps/engine.h"
+#include "bench_common.h"
+
+using namespace simdram;
+
+namespace
+{
+
+/** Analytic transposition cost mirroring TranspositionUnit. */
+double
+transferNs(const DramConfig &cfg, size_t elements, size_t bits)
+{
+    const size_t lanes = cfg.rowBits;
+    const size_t segments = (elements + lanes - 1) / lanes;
+    const size_t per_bank =
+        (segments + cfg.computeBanks - 1) / cfg.computeBanks;
+    const size_t bursts = (lanes + 511) / 512;
+    const double per_row = cfg.timing.tRcd +
+                           static_cast<double>(bursts) *
+                               cfg.timing.tBurst +
+                           cfg.timing.tRp;
+    return static_cast<double>(per_bank) *
+           static_cast<double>(bits) * per_row;
+}
+
+} // namespace
+
+int
+main()
+{
+    const DramConfig cfg = DramConfig::simdramConfig(16);
+    InDramEngine engine(cfg, Backend::Simdram, "SIMDRAM:16");
+    bench::ShapeChecks checks;
+    constexpr size_t kElements = size_t{1} << 24;
+
+    std::printf("E8: transposition overhead on SIMDRAM:16, "
+                "%zu Mi elements\n\n",
+                kElements >> 20);
+    std::printf("%-9s %4s | %11s %11s | %8s %8s %8s %8s\n", "op",
+                "w", "compute(us)", "io(us)", "K=1", "K=4", "K=16",
+                "K=64");
+    bench::rule(78);
+
+    struct Case
+    {
+        OpKind op;
+        size_t w;
+    };
+    const Case cases[] = {{OpKind::Add, 8},
+                          {OpKind::Add, 32},
+                          {OpKind::Gt, 32},
+                          {OpKind::Mul, 32}};
+
+    double add8_k16 = 0, mul32_k1 = 0, add8_k1 = 0;
+    for (const auto &c : cases) {
+        const double compute =
+            engine.opCost(c.op, c.w, kElements).latencyNs;
+        const auto sig = signatureOf(c.op, c.w);
+        const double io = 2.0 * transferNs(cfg, kElements, c.w) +
+                          transferNs(cfg, kElements, sig.outWidth);
+        std::printf("%-9s %4zu | %11.1f %11.1f |", toString(c.op).c_str(),
+                    c.w, compute * 1e-3, io * 1e-3);
+        for (int k : {1, 4, 16, 64}) {
+            const double overhead = io / (k * compute);
+            std::printf(" %7.1f%%", overhead * 100);
+            if (c.op == OpKind::Add && c.w == 8 && k == 16)
+                add8_k16 = overhead;
+            if (c.op == OpKind::Add && c.w == 8 && k == 1)
+                add8_k1 = overhead;
+            if (c.op == OpKind::Mul && c.w == 32 && k == 1)
+                mul32_k1 = overhead;
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n(io = store two operands + load one result, "
+                "paid once per residence;\n K = in-DRAM operations "
+                "executed while the data is resident)\n");
+
+    checks.expect(mul32_k1 < 0.10,
+                  "transposition is minor even for a single complex "
+                  "operation (mul32 < 10%)");
+    checks.expect(add8_k16 < 0.15,
+                  "a short 16-op pipeline amortizes transposition "
+                  "below 15% for the cheapest operation");
+    checks.expect(add8_k1 > mul32_k1,
+                  "relative overhead shrinks as compute grows");
+    return checks.finish();
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: throughput of the simulator's
+ * hot kernels (bitwise majority, transposition, subarray commands,
+ * μProgram compilation) and a measured host add that sanity-checks
+ * the CPU roofline model's order of magnitude on this machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/cpu_model.h"
+#include "baseline/host_kernels.h"
+#include "common/rng.h"
+#include "dram/subarray.h"
+#include "layout/transpose.h"
+#include "ops/library.h"
+#include "uprog/allocator.h"
+
+namespace
+{
+
+using namespace simdram;
+
+void
+BM_BitRowMajority(benchmark::State &state)
+{
+    const size_t bits = static_cast<size_t>(state.range(0));
+    BitRow a(bits), b(bits), c(bits);
+    Rng rng(1);
+    for (size_t w = 0; w < a.wordCount(); ++w) {
+        a.word(w) = rng.next();
+        b.word(w) = rng.next();
+        c.word(w) = rng.next();
+    }
+    for (auto _ : state) {
+        auto m = BitRow::majority3(a, b, c);
+        benchmark::DoNotOptimize(m);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * bits / 8);
+}
+BENCHMARK(BM_BitRowMajority)->Arg(65536)->Arg(1 << 20);
+
+void
+BM_Transpose64(benchmark::State &state)
+{
+    uint64_t m[64];
+    Rng rng(2);
+    for (auto &w : m)
+        w = rng.next();
+    for (auto _ : state) {
+        transpose64(m);
+        benchmark::DoNotOptimize(m[0]);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_Transpose64);
+
+void
+BM_SubarrayAap(benchmark::State &state)
+{
+    DramConfig cfg = DramConfig::forTesting(65536, 64);
+    Subarray sub(cfg);
+    for (auto _ : state) {
+        sub.aap(RowAddr::data(0), RowAddr::data(1));
+        benchmark::DoNotOptimize(sub.stats().aaps);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SubarrayAap);
+
+void
+BM_CompileAdd(benchmark::State &state)
+{
+    OperationLibrary lib;
+    const Circuit &mig = lib.mig(OpKind::Add,
+                                 static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto prog = compileMig(mig);
+        benchmark::DoNotOptimize(prog.ops.size());
+    }
+}
+BENCHMARK(BM_CompileAdd)->Arg(8)->Arg(32);
+
+void
+BM_HostAdd32Measured(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    std::vector<uint32_t> a(n), b(n), out(n);
+    Rng rng(3);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<uint32_t>(rng.next());
+        b[i] = static_cast<uint32_t>(rng.next());
+    }
+    for (auto _ : state) {
+        hostAdd32(a.data(), b.data(), out.data(), n);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    // 12 bytes move per element: compare GB/s against
+    // cpuParams().memBwGBs to sanity-check the roofline's order of
+    // magnitude on this machine.
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * n * 12);
+}
+BENCHMARK(BM_HostAdd32Measured)->Arg(1 << 20)->Arg(1 << 24);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,204 @@
+#include "ambit/ambit_synth.h"
+
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+namespace
+{
+
+/** Per-gate recipe emitter with scratch-row recycling. */
+class AmbitCompiler
+{
+  public:
+    explicit AmbitCompiler(const Circuit &aoig) : c_(aoig) {}
+
+    MicroProgram run(CompileReport *report);
+
+  private:
+    /**
+     * Emits the loads placing literal @p l into T row @p t.
+     * Complemented literals pass through the dual-contact cell
+     * (Ambit's NOT), costing one extra AAP.
+     */
+    void loadOperand(Lit l, SpecialRow t);
+
+    /** @return The data row holding the (uncomplemented) node. */
+    uint32_t rowOfNode(uint32_t node) const;
+
+    uint32_t allocScratch();
+    void freeDeadScratch(uint32_t node);
+
+    const Circuit &c_;
+    MicroProgram prog_;
+    std::unordered_map<uint32_t, uint32_t> row_of_node_;
+    std::vector<uint32_t> remaining_uses_;
+    std::vector<uint32_t> free_scratch_;
+    size_t scratch_high_water_ = 0;
+    uint32_t scratch_base_ = 0;
+};
+
+void
+AmbitCompiler::loadOperand(Lit l, SpecialRow t)
+{
+    const uint32_t node = Circuit::litNode(l);
+    RowAddr src;
+    if (node == 0) {
+        // Constant literal: read the matching constant row directly.
+        src = RowAddr::row(Circuit::litCompl(l) ? SpecialRow::C1
+                                                : SpecialRow::C0);
+        prog_.ops.push_back(MicroOp::aap(src, RowAddr::row(t)));
+        return;
+    }
+    src = RowAddr::data(rowOfNode(node));
+    if (Circuit::litCompl(l)) {
+        // Ambit NOT: copy into the DCC, read back the negated port.
+        prog_.ops.push_back(
+            MicroOp::aap(src, RowAddr::row(SpecialRow::DCC0P)));
+        prog_.ops.push_back(MicroOp::aap(
+            RowAddr::row(SpecialRow::DCC0N), RowAddr::row(t)));
+    } else {
+        prog_.ops.push_back(MicroOp::aap(src, RowAddr::row(t)));
+    }
+}
+
+uint32_t
+AmbitCompiler::rowOfNode(uint32_t node) const
+{
+    auto it = row_of_node_.find(node);
+    if (it == row_of_node_.end())
+        panic("compileAmbit: node value not materialized");
+    return it->second;
+}
+
+uint32_t
+AmbitCompiler::allocScratch()
+{
+    if (!free_scratch_.empty()) {
+        const uint32_t row = free_scratch_.back();
+        free_scratch_.pop_back();
+        return row;
+    }
+    const uint32_t row =
+        scratch_base_ + static_cast<uint32_t>(scratch_high_water_);
+    ++scratch_high_water_;
+    return row;
+}
+
+void
+AmbitCompiler::freeDeadScratch(uint32_t node)
+{
+    if (remaining_uses_[node] != 0)
+        return;
+    auto it = row_of_node_.find(node);
+    if (it == row_of_node_.end() || it->second < scratch_base_)
+        return; // inputs/outputs are not recycled
+    free_scratch_.push_back(it->second);
+    row_of_node_.erase(it);
+}
+
+MicroProgram
+AmbitCompiler::run(CompileReport *report)
+{
+    if (!c_.isAoig())
+        fatal("compileAmbit: circuit contains majority gates");
+
+    // Virtual row layout mirrors compileMig's.
+    uint32_t next_row = 0;
+    for (const std::string &name : c_.inputBusNames()) {
+        const auto *bus = c_.inputBus(name);
+        prog_.inputRegions.push_back({name, bus->size()});
+        for (Lit l : *bus) {
+            if (Circuit::litCompl(l))
+                fatal("compileAmbit: complemented input-bus literal");
+            row_of_node_[Circuit::litNode(l)] = next_row++;
+        }
+    }
+    std::vector<std::pair<uint32_t, Lit>> output_rows;
+    for (const std::string &name : c_.outputBusNames()) {
+        const auto *bus = c_.outputBus(name);
+        prog_.outputRegions.push_back({name, bus->size()});
+        for (Lit l : *bus)
+            output_rows.emplace_back(next_row++, l);
+    }
+    scratch_base_ = next_row;
+
+    const auto order = c_.topoOrder();
+    remaining_uses_.assign(c_.nodeCount(), 0);
+    for (uint32_t id : order)
+        for (int i = 0; i < 2; ++i)
+            ++remaining_uses_[Circuit::litNode(c_.node(id).fanin[i])];
+    for (Lit o : c_.outputs())
+        ++remaining_uses_[Circuit::litNode(o)];
+
+    for (uint32_t id : order) {
+        const Node &nd = c_.node(id);
+        loadOperand(nd.fanin[0], SpecialRow::T0);
+        loadOperand(nd.fanin[1], SpecialRow::T1);
+        const SpecialRow ctrl = nd.kind == NodeKind::And2
+                                    ? SpecialRow::C0
+                                    : SpecialRow::C1;
+        prog_.ops.push_back(MicroOp::aap(
+            RowAddr::row(ctrl), RowAddr::row(SpecialRow::T2)));
+
+        const uint32_t dst = allocScratch();
+        prog_.ops.push_back(
+            MicroOp::aap(RowAddr::row(TripleAddr::T0T1T2),
+                         RowAddr::data(dst)));
+        row_of_node_[id] = dst;
+
+        for (int i = 0; i < 2; ++i) {
+            const uint32_t n = Circuit::litNode(nd.fanin[i]);
+            if (n != 0) {
+                --remaining_uses_[n];
+                freeDeadScratch(n);
+            }
+        }
+    }
+
+    // Copy node values into the output rows.
+    for (const auto &[row, l] : output_rows) {
+        const uint32_t node = Circuit::litNode(l);
+        RowAddr src;
+        if (node == 0) {
+            src = RowAddr::row(Circuit::litCompl(l) ? SpecialRow::C1
+                                                    : SpecialRow::C0);
+            prog_.ops.push_back(
+                MicroOp::aap(src, RowAddr::data(row)));
+            continue;
+        }
+        src = RowAddr::data(rowOfNode(node));
+        if (Circuit::litCompl(l)) {
+            prog_.ops.push_back(MicroOp::aap(
+                src, RowAddr::row(SpecialRow::DCC0P)));
+            prog_.ops.push_back(
+                MicroOp::aap(RowAddr::row(SpecialRow::DCC0N),
+                             RowAddr::data(row)));
+        } else {
+            prog_.ops.push_back(MicroOp::aap(src, RowAddr::data(row)));
+        }
+    }
+
+    prog_.scratchRows = scratch_high_water_;
+    if (report) {
+        report->migGates = order.size();
+        report->aaps = prog_.aapCount();
+        report->aps = prog_.apCount();
+        report->scratchRows = scratch_high_water_;
+    }
+    return std::move(prog_);
+}
+
+} // namespace
+
+MicroProgram
+compileAmbit(const Circuit &aoig, CompileReport *report)
+{
+    AmbitCompiler c(aoig);
+    return c.run(report);
+}
+
+} // namespace simdram

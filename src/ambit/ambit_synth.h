@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The Ambit baseline: compiling AND/OR/NOT circuits with Ambit's
+ * fixed per-gate command recipes.
+ *
+ * Ambit (Seshadri et al., MICRO 2017) executes bulk bitwise AND, OR,
+ * and NOT with fixed command sequences:
+ *
+ *   AND(a,b) -> r : AAP(a,T0)  AAP(b,T1)  AAP(C0,T2)  AAP(TRA,r)
+ *   OR(a,b)  -> r : AAP(a,T0)  AAP(b,T1)  AAP(C1,T2)  AAP(TRA,r)
+ *   NOT(a)   -> r : AAP(a,DCC0P)  AAP(DCC0N,r)
+ *
+ * Complex operations are realized gate by gate over these recipes,
+ * with every intermediate value living in a data (scratch) row. This
+ * mirrors how prior work built operations from Ambit's primitives and
+ * is the baseline the SIMDRAM paper compares against: no cross-gate
+ * operand reuse in the compute rows, and one TRA per 2-input gate
+ * instead of one per 3-input majority.
+ */
+
+#ifndef SIMDRAM_AMBIT_AMBIT_SYNTH_H
+#define SIMDRAM_AMBIT_AMBIT_SYNTH_H
+
+#include "logic/circuit.h"
+#include "uprog/allocator.h"
+#include "uprog/program.h"
+
+namespace simdram
+{
+
+/**
+ * Compiles an AND/OR/NOT circuit into a μProgram using Ambit's fixed
+ * per-gate recipes.
+ *
+ * @param aoig A circuit satisfying isAoig().
+ * @param report Optional out-parameter.
+ * @return The compiled μProgram.
+ */
+MicroProgram compileAmbit(const Circuit &aoig,
+                          CompileReport *report = nullptr);
+
+} // namespace simdram
+
+#endif // SIMDRAM_AMBIT_AMBIT_SYNTH_H

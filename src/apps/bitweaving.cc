@@ -1,0 +1,53 @@
+#include "apps/bitweaving.h"
+
+#include "common/rng.h"
+
+namespace simdram
+{
+
+KernelCost
+bitweavingCost(BulkEngine &engine, const BitweavingSpec &spec)
+{
+    KernelCost cost;
+    cost.add(engine.opCost(OpKind::Ge, spec.bits, spec.rows));
+    cost.add(engine.opCost(OpKind::Gt, spec.bits, spec.rows));
+    cost.add(engine.opCost(OpKind::BitAnd, 1, spec.rows));
+    return cost;
+}
+
+bool
+bitweavingVerify(Processor &proc, uint64_t seed)
+{
+    constexpr size_t rows = 400, bits = 12;
+    const uint64_t lo = 500, hi = 3000;
+
+    Rng rng(seed);
+    std::vector<uint64_t> col(rows);
+    for (auto &v : col)
+        v = rng.below(1 << bits);
+
+    auto vcol = proc.alloc(rows, bits);
+    auto vconst = proc.alloc(rows, bits);
+    auto m1 = proc.alloc(rows, 1);
+    auto m2 = proc.alloc(rows, 1);
+    auto mout = proc.alloc(rows, 1);
+
+    proc.store(vcol, col);
+
+    // Predicate constants come from in-DRAM initialization.
+    proc.fillConstant(vconst, lo);
+    proc.run(OpKind::Ge, m1, vcol, vconst);
+    proc.fillConstant(vconst, hi);
+    proc.run(OpKind::Gt, m2, vconst, vcol);
+    proc.run(OpKind::BitAnd, mout, m1, m2);
+
+    const auto match = proc.load(mout);
+    for (size_t i = 0; i < rows; ++i) {
+        const bool expect = col[i] >= lo && col[i] < hi;
+        if ((match[i] & 1) != (expect ? 1u : 0u))
+            return false;
+    }
+    return true;
+}
+
+} // namespace simdram

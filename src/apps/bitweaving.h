@@ -1,0 +1,39 @@
+/**
+ * @file
+ * BitWeaving-style column scan (paper application #6).
+ *
+ * BitWeaving/V stores column codes bit-sliced — exactly SIMDRAM's
+ * vertical layout — and evaluates range predicates bit-serially.
+ * The kernel here scans a w-bit column for lo <= v < hi, producing a
+ * per-row match bitmap in DRAM.
+ */
+
+#ifndef SIMDRAM_APPS_BITWEAVING_H
+#define SIMDRAM_APPS_BITWEAVING_H
+
+#include "apps/engine.h"
+#include "exec/processor.h"
+
+namespace simdram
+{
+
+/** Workload shape for the BitWeaving scan. */
+struct BitweavingSpec
+{
+    size_t rows = 1 << 22; ///< Column length.
+    size_t bits = 12;      ///< Code width.
+};
+
+/** Prices the range scan on @p engine. */
+KernelCost bitweavingCost(BulkEngine &engine,
+                          const BitweavingSpec &spec);
+
+/**
+ * Functionally verifies the scan on a small column: compares the
+ * in-DRAM match bitmap to a host evaluation.
+ */
+bool bitweavingVerify(Processor &proc, uint64_t seed = 11);
+
+} // namespace simdram
+
+#endif // SIMDRAM_APPS_BITWEAVING_H

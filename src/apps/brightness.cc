@@ -1,0 +1,54 @@
+#include "apps/brightness.h"
+
+#include "common/rng.h"
+
+namespace simdram
+{
+
+KernelCost
+brightnessCost(BulkEngine &engine, const BrightnessSpec &spec)
+{
+    KernelCost cost;
+    cost.add(engine.opCost(OpKind::Add, spec.bits, spec.pixels));
+    cost.add(engine.opCost(OpKind::Gt, spec.bits, spec.pixels));
+    cost.add(engine.opCost(OpKind::IfElse, spec.bits, spec.pixels));
+    return cost;
+}
+
+bool
+brightnessVerify(Processor &proc, uint64_t seed)
+{
+    constexpr size_t pixels = 600, bits = 16;
+    constexpr uint64_t delta = 70, cap = 255;
+
+    Rng rng(seed);
+    std::vector<uint64_t> img(pixels);
+    for (auto &v : img)
+        v = rng.below(256);
+
+    auto vimg = proc.alloc(pixels, bits);
+    auto vdelta = proc.alloc(pixels, bits);
+    auto vsum = proc.alloc(pixels, bits);
+    auto vcap = proc.alloc(pixels, bits);
+    auto movf = proc.alloc(pixels, 1);
+    auto vout = proc.alloc(pixels, bits);
+
+    proc.store(vimg, img);
+    proc.store(vdelta, std::vector<uint64_t>(pixels, delta));
+    proc.store(vcap, std::vector<uint64_t>(pixels, cap));
+
+    proc.run(OpKind::Add, vsum, vimg, vdelta);
+    proc.run(OpKind::Gt, movf, vsum, vcap);
+    proc.run(OpKind::IfElse, vout, vcap, vsum, movf);
+
+    const auto out = proc.load(vout);
+    for (size_t i = 0; i < pixels; ++i) {
+        const uint64_t expect = std::min<uint64_t>(img[i] + delta,
+                                                   cap);
+        if (out[i] != expect)
+            return false;
+    }
+    return true;
+}
+
+} // namespace simdram

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Image brightness adjustment (paper application #7).
+ *
+ * Adds a brightness delta to every pixel with saturation at the
+ * channel maximum: one add, one compare against the clamp threshold,
+ * and one predicated select per pixel — the paper's example of a
+ * simple streaming image kernel.
+ */
+
+#ifndef SIMDRAM_APPS_BRIGHTNESS_H
+#define SIMDRAM_APPS_BRIGHTNESS_H
+
+#include "apps/engine.h"
+#include "exec/processor.h"
+
+namespace simdram
+{
+
+/** Workload shape for the brightness kernel. */
+struct BrightnessSpec
+{
+    size_t pixels = 1 << 22; ///< Pixels (e.g. a 4 MP frame).
+    size_t bits = 16;        ///< Working width (8-bit pixels widened).
+};
+
+/** Prices the brightness kernel on @p engine. */
+KernelCost brightnessCost(BulkEngine &engine,
+                          const BrightnessSpec &spec);
+
+/**
+ * Functionally verifies saturation behaviour on a small image
+ * against a host reference.
+ */
+bool brightnessVerify(Processor &proc, uint64_t seed = 5);
+
+} // namespace simdram
+
+#endif // SIMDRAM_APPS_BRIGHTNESS_H

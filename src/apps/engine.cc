@@ -1,0 +1,101 @@
+#include "apps/engine.h"
+
+#include "ambit/ambit_synth.h"
+#include "common/error.h"
+#include "uprog/allocator.h"
+
+namespace simdram
+{
+
+InDramEngine::InDramEngine(DramConfig cfg, Backend backend,
+                           std::string name)
+    : cfg_(cfg), backend_(backend), name_(std::move(name))
+{
+    cfg_.validate();
+}
+
+const MicroProgram &
+InDramEngine::program(OpKind op, size_t width)
+{
+    const auto key = std::make_pair(op, width);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return *it->second;
+
+    MicroProgram prog;
+    switch (backend_) {
+      case Backend::Simdram:
+        prog = compileMig(lib_.mig(op, width));
+        break;
+      case Backend::SimdramNaive: {
+        CompileOptions opts;
+        opts.greedy = false;
+        prog = compileMig(lib_.mig(op, width), opts);
+        break;
+      }
+      case Backend::Ambit:
+        prog = compileAmbit(lib_.aoig(op, width));
+        break;
+    }
+    auto owned = std::make_unique<MicroProgram>(std::move(prog));
+    const MicroProgram &ref = *owned;
+    cache_.emplace(key, std::move(owned));
+    return ref;
+}
+
+RunResult
+InDramEngine::opCost(OpKind op, size_t width, size_t elements)
+{
+    const MicroProgram &prog = program(op, width);
+    const DramStats s = estimateCompute(prog, elements, cfg_);
+    RunResult r;
+    r.engine = name_;
+    r.elements = elements;
+    r.latencyNs = s.latencyNs;
+    r.energyPj = s.energyPj;
+    return r;
+}
+
+RunResult
+HostEngine::opCost(OpKind op, size_t width, size_t elements)
+{
+    return modelRun(params_, op, width, elements);
+}
+
+void
+KernelCost::add(const RunResult &r)
+{
+    latency_ns_ += r.latencyNs;
+    energy_pj_ += r.energyPj;
+}
+
+void
+KernelCost::add(const RunResult &r, double count)
+{
+    latency_ns_ += r.latencyNs * count;
+    energy_pj_ += r.energyPj * count;
+}
+
+std::vector<std::unique_ptr<BulkEngine>>
+standardEngines()
+{
+    std::vector<std::unique_ptr<BulkEngine>> engines;
+    engines.push_back(
+        std::make_unique<HostEngine>(cpuParams()));
+    engines.push_back(
+        std::make_unique<HostEngine>(gpuParams()));
+    engines.push_back(std::make_unique<InDramEngine>(
+        DramConfig::simdramConfig(1), Backend::Ambit, "Ambit"));
+    engines.push_back(std::make_unique<InDramEngine>(
+        DramConfig::simdramConfig(1), Backend::Simdram,
+        "SIMDRAM:1"));
+    engines.push_back(std::make_unique<InDramEngine>(
+        DramConfig::simdramConfig(4), Backend::Simdram,
+        "SIMDRAM:4"));
+    engines.push_back(std::make_unique<InDramEngine>(
+        DramConfig::simdramConfig(16), Backend::Simdram,
+        "SIMDRAM:16"));
+    return engines;
+}
+
+} // namespace simdram

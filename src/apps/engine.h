@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Bulk-operation cost engines for the application studies.
+ *
+ * Every application kernel is a sequence of bulk element-wise
+ * operations. A BulkEngine prices one bulk operation on a target
+ * platform; kernels accumulate those costs, so the same kernel code
+ * is evaluated on SIMDRAM (1/4/16 banks), Ambit, the CPU roofline,
+ * and the GPU roofline — the comparison of paper section 5.
+ *
+ * In-DRAM engines price operations from their compiled μPrograms via
+ * estimateCompute(); tests verify that this analytic estimate matches
+ * the functional simulator's accounting exactly, so application
+ * numbers inherit the simulator's fidelity without simulating
+ * millions of lanes.
+ */
+
+#ifndef SIMDRAM_APPS_ENGINE_H
+#define SIMDRAM_APPS_ENGINE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/cpu_model.h"
+#include "common/stats.h"
+#include "dram/config.h"
+#include "exec/processor.h"
+#include "ops/library.h"
+
+namespace simdram
+{
+
+/** Prices bulk element-wise operations on one platform. */
+class BulkEngine
+{
+  public:
+    virtual ~BulkEngine() = default;
+
+    /** @return Engine name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Prices one bulk operation.
+     *
+     * @param op Operation.
+     * @param width Element width in bits.
+     * @param elements Number of elements.
+     * @return Latency (ns) and energy (pJ) of the operation.
+     */
+    virtual RunResult opCost(OpKind op, size_t width,
+                             size_t elements) = 0;
+};
+
+/** SIMDRAM / Ambit engine backed by compiled μPrograms. */
+class InDramEngine : public BulkEngine
+{
+  public:
+    /**
+     * @param cfg Device configuration (bank count = parallelism).
+     * @param backend Compiler backend (Simdram or Ambit).
+     * @param name Report name (e.g. "SIMDRAM:16").
+     */
+    InDramEngine(DramConfig cfg, Backend backend, std::string name);
+
+    std::string name() const override { return name_; }
+
+    RunResult opCost(OpKind op, size_t width,
+                     size_t elements) override;
+
+    /** @return The compiled μProgram (cached). */
+    const MicroProgram &program(OpKind op, size_t width);
+
+  private:
+    DramConfig cfg_;
+    Backend backend_;
+    std::string name_;
+    OperationLibrary lib_;
+    std::map<std::pair<OpKind, size_t>,
+             std::unique_ptr<MicroProgram>>
+        cache_;
+};
+
+/** CPU/GPU roofline engine. */
+class HostEngine : public BulkEngine
+{
+  public:
+    explicit HostEngine(BaselineParams params) : params_(params) {}
+
+    std::string name() const override { return params_.name; }
+
+    RunResult opCost(OpKind op, size_t width,
+                     size_t elements) override;
+
+  private:
+    BaselineParams params_;
+};
+
+/** Accumulates the cost of a kernel across its bulk operations. */
+class KernelCost
+{
+  public:
+    /** Adds one bulk operation's cost. */
+    void add(const RunResult &r);
+
+    /** Adds @p count invocations of one bulk operation's cost. */
+    void add(const RunResult &r, double count);
+
+    /** @return Total latency in ns. */
+    double latencyNs() const { return latency_ns_; }
+
+    /** @return Total energy in pJ. */
+    double energyPj() const { return energy_pj_; }
+
+  private:
+    double latency_ns_ = 0;
+    double energy_pj_ = 0;
+};
+
+/**
+ * @return The standard engine set for the application benches:
+ *         CPU, GPU, Ambit (1 bank), SIMDRAM:1, SIMDRAM:4, SIMDRAM:16.
+ */
+std::vector<std::unique_ptr<BulkEngine>> standardEngines();
+
+} // namespace simdram
+
+#endif // SIMDRAM_APPS_ENGINE_H

@@ -1,0 +1,82 @@
+#include "apps/knn.h"
+
+#include "common/rng.h"
+
+namespace simdram
+{
+
+KernelCost
+knnCost(BulkEngine &engine, const KnnSpec &spec)
+{
+    KernelCost cost;
+    const double d = static_cast<double>(spec.dims);
+    cost.add(engine.opCost(OpKind::Sub, spec.bits, spec.refs), d);
+    cost.add(engine.opCost(OpKind::Abs, spec.bits, spec.refs), d);
+    cost.add(engine.opCost(OpKind::Add, spec.bits, spec.refs), d);
+    return cost;
+}
+
+bool
+knnVerify(Processor &proc, uint64_t seed)
+{
+    constexpr size_t refs = 200, dims = 8, bits = 16;
+    constexpr uint64_t mask = (1ULL << bits) - 1;
+
+    Rng rng(seed);
+    std::vector<std::vector<uint64_t>> ref(dims,
+                                           std::vector<uint64_t>(refs));
+    std::vector<uint64_t> query(dims);
+    for (auto &col : ref)
+        for (auto &v : col)
+            v = rng.below(200);
+    for (auto &v : query)
+        v = rng.below(200);
+
+    auto vref = proc.alloc(refs, bits);
+    auto vq = proc.alloc(refs, bits);
+    auto vdiff = proc.alloc(refs, bits);
+    auto vabs = proc.alloc(refs, bits);
+    auto va = proc.alloc(refs, bits);
+    auto vb = proc.alloc(refs, bits);
+
+    proc.fillConstant(va, 0);
+    bool into_b = true;
+    for (size_t d = 0; d < dims; ++d) {
+        proc.store(vref, ref[d]);
+        proc.fillConstant(vq, query[d]); // broadcast via bbop_init
+        proc.run(OpKind::Sub, vdiff, vref, vq);
+        proc.run(OpKind::Abs, vabs, vdiff);
+        if (into_b)
+            proc.run(OpKind::Add, vb, va, vabs);
+        else
+            proc.run(OpKind::Add, va, vb, vabs);
+        into_b = !into_b;
+    }
+    const auto dist = proc.load(into_b ? va : vb);
+
+    // Host reference + argmin comparison.
+    size_t best_sim = 0, best_host = 0;
+    uint64_t best_sim_d = ~0ULL, best_host_d = ~0ULL;
+    for (size_t i = 0; i < refs; ++i) {
+        uint64_t d_host = 0;
+        for (size_t d = 0; d < dims; ++d) {
+            const int64_t diff = static_cast<int64_t>(ref[d][i]) -
+                                 static_cast<int64_t>(query[d]);
+            d_host += static_cast<uint64_t>(diff < 0 ? -diff : diff);
+        }
+        d_host &= mask;
+        if (dist[i] != d_host)
+            return false;
+        if (dist[i] < best_sim_d) {
+            best_sim_d = dist[i];
+            best_sim = i;
+        }
+        if (d_host < best_host_d) {
+            best_host_d = d_host;
+            best_host = i;
+        }
+    }
+    return best_sim == best_host;
+}
+
+} // namespace simdram

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * k-nearest-neighbor distance kernel (paper application #4).
+ *
+ * The SIMDRAM-accelerated portion is the bulk distance computation:
+ * the L1 distance between one query and every reference point,
+ * lane-per-reference (subtract, absolute value, accumulate per
+ * dimension). The final top-k selection stays on the host, as in the
+ * paper's partitioning.
+ */
+
+#ifndef SIMDRAM_APPS_KNN_H
+#define SIMDRAM_APPS_KNN_H
+
+#include "apps/engine.h"
+#include "exec/processor.h"
+
+namespace simdram
+{
+
+/** Workload shape for the kNN kernel. */
+struct KnnSpec
+{
+    size_t refs = 1 << 20; ///< Reference points.
+    size_t dims = 64;      ///< Dimensions per point.
+    size_t bits = 16;      ///< Coordinate/accumulator width.
+};
+
+/** Prices the distance computation of @p spec on @p engine. */
+KernelCost knnCost(BulkEngine &engine, const KnnSpec &spec);
+
+/**
+ * Functionally verifies the kNN mapping on a small instance: runs
+ * the L1-distance pipeline through @p proc, picks the nearest
+ * neighbor, and compares against a host computation.
+ */
+bool knnVerify(Processor &proc, uint64_t seed = 321);
+
+} // namespace simdram
+
+#endif // SIMDRAM_APPS_KNN_H

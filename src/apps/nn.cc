@@ -1,0 +1,195 @@
+#include "apps/nn.h"
+
+#include "baseline/host_kernels.h"
+#include "common/rng.h"
+
+namespace simdram
+{
+
+double
+NnModel::macs() const
+{
+    double total = 0;
+    for (const auto &c : convs)
+        total += static_cast<double>(c.outC) * c.inC * c.k * c.k *
+                 c.outH * c.outW;
+    for (const auto &f : fcs)
+        total += static_cast<double>(f.in) * f.out;
+    return total;
+}
+
+NnModel
+lenet()
+{
+    NnModel m;
+    m.name = "LeNet";
+    m.convs = {
+        {1, 6, 24, 24, 5, true},
+        {6, 16, 8, 8, 5, true},
+    };
+    m.fcs = {{256, 120}, {120, 84}, {84, 10}};
+    return m;
+}
+
+NnModel
+vgg13()
+{
+    NnModel m;
+    m.name = "VGG-13";
+    m.convs = {
+        {3, 64, 224, 224, 3, false},   {64, 64, 224, 224, 3, true},
+        {64, 128, 112, 112, 3, false}, {128, 128, 112, 112, 3, true},
+        {128, 256, 56, 56, 3, false},  {256, 256, 56, 56, 3, true},
+        {256, 512, 28, 28, 3, false},  {512, 512, 28, 28, 3, true},
+        {512, 512, 14, 14, 3, false},  {512, 512, 14, 14, 3, true},
+    };
+    m.fcs = {{25088, 4096}, {4096, 4096}, {4096, 1000}};
+    return m;
+}
+
+NnModel
+vgg16()
+{
+    NnModel m;
+    m.name = "VGG-16";
+    m.convs = {
+        {3, 64, 224, 224, 3, false},   {64, 64, 224, 224, 3, true},
+        {64, 128, 112, 112, 3, false}, {128, 128, 112, 112, 3, true},
+        {128, 256, 56, 56, 3, false},  {256, 256, 56, 56, 3, false},
+        {256, 256, 56, 56, 3, true},   {256, 512, 28, 28, 3, false},
+        {512, 512, 28, 28, 3, false},  {512, 512, 28, 28, 3, true},
+        {512, 512, 14, 14, 3, false},  {512, 512, 14, 14, 3, false},
+        {512, 512, 14, 14, 3, true},
+    };
+    m.fcs = {{25088, 4096}, {4096, 4096}, {4096, 1000}};
+    return m;
+}
+
+KernelCost
+nnCost(BulkEngine &engine, const NnModel &model)
+{
+    // Batched inference with the standard bit-serial SIMD mapping:
+    // one lane per (image, output position, output filter) with a large
+    // throughput-oriented batch, so every
+    // (input-channel, kernel-tap) pair is one bulk multiply plus one
+    // bulk accumulate over all lanes at once. Costs are reported per
+    // image (divide the per-batch totals by the batch size).
+    KernelCost cost;
+    constexpr size_t kAccBits = 16;
+    constexpr double kBatch = 1024.0;
+
+    for (const auto &c : model.convs) {
+        const size_t lanes = static_cast<size_t>(
+            kBatch * static_cast<double>(c.outH * c.outW * c.outC));
+        const double taps =
+            static_cast<double>(c.inC) * c.k * c.k / kBatch;
+        cost.add(engine.opCost(OpKind::Mul, kAccBits, lanes), taps);
+        cost.add(engine.opCost(OpKind::Add, kAccBits, lanes), taps);
+        cost.add(engine.opCost(OpKind::Relu, kAccBits, lanes),
+                 1.0 / kBatch);
+        if (c.pool)
+            cost.add(engine.opCost(OpKind::Max, kAccBits, lanes / 4),
+                     3.0 / kBatch);
+    }
+    for (size_t i = 0; i < model.fcs.size(); ++i) {
+        const auto &f = model.fcs[i];
+        const size_t lanes = static_cast<size_t>(
+            kBatch * static_cast<double>(f.out));
+        cost.add(engine.opCost(OpKind::Mul, kAccBits, lanes),
+                 static_cast<double>(f.in) / kBatch);
+        cost.add(engine.opCost(OpKind::Add, kAccBits, lanes),
+                 static_cast<double>(f.in) / kBatch);
+        if (i + 1 < model.fcs.size())
+            cost.add(engine.opCost(OpKind::Relu, kAccBits, lanes),
+                     1.0 / kBatch);
+    }
+    return cost;
+}
+
+bool
+nnVerifyConvTile(Processor &proc, uint64_t seed)
+{
+    // A 2-in-channel, 2-filter, 4x4-output, 3x3 convolution with
+    // ReLU, executed on the SIMDRAM substrate lane-per-output-pixel.
+    constexpr size_t in_c = 2, out_c = 2, out_h = 4, out_w = 4, k = 3;
+    constexpr size_t in_h = out_h + k - 1, in_w = out_w + k - 1;
+    constexpr size_t lanes = out_h * out_w;
+    constexpr size_t w_bits = 16;
+    constexpr uint64_t mask = (1ULL << w_bits) - 1;
+
+    Rng rng(seed);
+    // Small magnitudes keep the int16 accumulator exact.
+    std::vector<int64_t> input(in_c * in_h * in_w);
+    for (auto &v : input)
+        v = static_cast<int64_t>(rng.below(8));
+    std::vector<int64_t> weight(out_c * in_c * k * k);
+    for (auto &v : weight)
+        v = static_cast<int64_t>(rng.below(8)) - 4;
+
+    auto in_at = [&](size_t c, size_t y, size_t x) {
+        return input[(c * in_h + y) * in_w + x];
+    };
+    auto w_at = [&](size_t f, size_t c, size_t ky, size_t kx) {
+        return weight[((f * in_c + c) * k + ky) * k + kx];
+    };
+
+    // Vectors: activation gather, broadcast weight, product, two
+    // ping-pong accumulators, and the result.
+    auto vx = proc.alloc(lanes, w_bits);
+    auto vw = proc.alloc(lanes, w_bits);
+    auto vp = proc.alloc(lanes, w_bits);
+    auto va = proc.alloc(lanes, w_bits);
+    auto vb = proc.alloc(lanes, w_bits);
+    auto vy = proc.alloc(lanes, w_bits);
+
+    for (size_t f = 0; f < out_c; ++f) {
+        proc.fillConstant(va, 0);
+        bool into_b = true;
+        for (size_t c = 0; c < in_c; ++c) {
+            for (size_t ky = 0; ky < k; ++ky) {
+                for (size_t kx = 0; kx < k; ++kx) {
+                    std::vector<uint64_t> xs(lanes);
+                    for (size_t oy = 0; oy < out_h; ++oy)
+                        for (size_t ox = 0; ox < out_w; ++ox)
+                            xs[oy * out_w + ox] = static_cast<uint64_t>(
+                                in_at(c, oy + ky, ox + kx)) & mask;
+                    const uint64_t wv =
+                        static_cast<uint64_t>(w_at(f, c, ky, kx)) &
+                        mask;
+                    proc.store(vx, xs);
+                    // Broadcast the scalar weight without touching
+                    // the channel (bbop_init path).
+                    proc.fillConstant(vw, wv);
+                    proc.run(OpKind::Mul, vp, vx, vw);
+                    if (into_b)
+                        proc.run(OpKind::Add, vb, va, vp);
+                    else
+                        proc.run(OpKind::Add, va, vb, vp);
+                    into_b = !into_b;
+                }
+            }
+        }
+        const auto &acc = into_b ? va : vb;
+        proc.run(OpKind::Relu, vy, acc);
+        const auto got = proc.load(vy);
+
+        // Host reference.
+        for (size_t oy = 0; oy < out_h; ++oy) {
+            for (size_t ox = 0; ox < out_w; ++ox) {
+                int64_t sum = 0;
+                for (size_t c = 0; c < in_c; ++c)
+                    for (size_t ky = 0; ky < k; ++ky)
+                        for (size_t kx = 0; kx < k; ++kx)
+                            sum += in_at(c, oy + ky, ox + kx) *
+                                   w_at(f, c, ky, kx);
+                const uint64_t expect =
+                    sum < 0 ? 0 : (static_cast<uint64_t>(sum) & mask);
+                if (got[oy * out_w + ox] != expect)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace simdram

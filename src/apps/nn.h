@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Quantized neural-network inference kernels: VGG-13, VGG-16, and
+ * LeNet-5 (three of the paper's seven application kernels).
+ *
+ * Networks run with int8 activations/weights and int16 accumulation,
+ * the quantization the paper's ML kernels use. SIMDRAM maps each
+ * (output-filter, input-channel, kernel-tap) partial product to one
+ * bulk multiply + one bulk accumulate over a vector whose lanes are
+ * the layer's output positions; ReLU is one bulk op per filter.
+ *
+ * Substitution note (DESIGN.md): pretrained weights are replaced by
+ * seeded random weights — bit-serial cost depends only on layer
+ * geometry, and functional correctness is still verified against a
+ * host reference on the same data.
+ */
+
+#ifndef SIMDRAM_APPS_NN_H
+#define SIMDRAM_APPS_NN_H
+
+#include <string>
+#include <vector>
+
+#include "apps/engine.h"
+#include "exec/processor.h"
+
+namespace simdram
+{
+
+/** One convolutional layer (square kernels, stride 1). */
+struct ConvLayer
+{
+    size_t inC = 0;   ///< Input channels.
+    size_t outC = 0;  ///< Output channels (filters).
+    size_t outH = 0;  ///< Output height (after padding).
+    size_t outW = 0;  ///< Output width.
+    size_t k = 3;     ///< Kernel size.
+    bool pool = false;///< Followed by 2x2 max-pool.
+};
+
+/** One fully connected layer. */
+struct FcLayer
+{
+    size_t in = 0;  ///< Input neurons.
+    size_t out = 0; ///< Output neurons.
+};
+
+/** A network description. */
+struct NnModel
+{
+    std::string name;
+    std::vector<ConvLayer> convs;
+    std::vector<FcLayer> fcs;
+
+    /** @return Total multiply-accumulate count. */
+    double macs() const;
+};
+
+/** @return The LeNet-5 geometry (28x28 input). */
+NnModel lenet();
+
+/** @return The VGG-13 geometry (224x224x3 input). */
+NnModel vgg13();
+
+/** @return The VGG-16 geometry (224x224x3 input). */
+NnModel vgg16();
+
+/**
+ * Prices full inference of @p model on @p engine.
+ *
+ * @param engine Cost engine.
+ * @param model Network geometry.
+ * @return Accumulated latency/energy.
+ */
+KernelCost nnCost(BulkEngine &engine, const NnModel &model);
+
+/**
+ * Functionally verifies the SIMDRAM conv mapping: runs one small
+ * int8 convolution tile through @p proc and compares every output
+ * against a host reference.
+ *
+ * @param proc Processor to execute on.
+ * @param seed Workload seed.
+ * @return True on exact match.
+ */
+bool nnVerifyConvTile(Processor &proc, uint64_t seed = 123);
+
+} // namespace simdram
+
+#endif // SIMDRAM_APPS_NN_H

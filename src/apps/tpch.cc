@@ -1,0 +1,112 @@
+#include "apps/tpch.h"
+
+#include "common/rng.h"
+
+namespace simdram
+{
+
+LineitemTable
+makeLineitem(size_t rows, uint64_t seed)
+{
+    Rng rng(seed);
+    LineitemTable t;
+    t.quantity.resize(rows);
+    t.discount.resize(rows);
+    t.shipdate.resize(rows);
+    t.price.resize(rows);
+    for (size_t i = 0; i < rows; ++i) {
+        t.quantity[i] = 1 + rng.below(50);
+        t.discount[i] = rng.below(11);
+        t.shipdate[i] = rng.below(2557); // ~7 years of days
+        t.price[i] = 100 + rng.below(5900);
+    }
+    return t;
+}
+
+KernelCost
+tpchCost(BulkEngine &engine, size_t rows)
+{
+    KernelCost cost;
+    // Five 16-bit comparisons produce the predicate masks.
+    cost.add(engine.opCost(OpKind::Ge, 16, rows), 2.0);
+    cost.add(engine.opCost(OpKind::Gt, 16, rows), 3.0);
+    // Four 1-bit mask combines (bulk bitwise AND, extension op).
+    cost.add(engine.opCost(OpKind::BitAnd, 1, rows), 4.0);
+    // Selected revenue: multiply then predicate-select.
+    cost.add(engine.opCost(OpKind::Mul, 16, rows));
+    cost.add(engine.opCost(OpKind::IfElse, 16, rows));
+    return cost;
+}
+
+bool
+tpchVerify(Processor &proc, uint64_t seed)
+{
+    constexpr size_t rows = 300;
+    const LineitemTable t = makeLineitem(rows, seed);
+    const Q6Params q;
+
+    auto vcol = proc.alloc(rows, 16);
+    auto vconst = proc.alloc(rows, 16);
+    auto m1 = proc.alloc(rows, 1);
+    auto m2 = proc.alloc(rows, 1);
+    auto macc = proc.alloc(rows, 1);
+    auto vprice = proc.alloc(rows, 16);
+    auto vdisc = proc.alloc(rows, 16);
+    auto vrev = proc.alloc(rows, 16);
+    auto vsel = proc.alloc(rows, 16);
+    auto zero16 = proc.alloc(rows, 16);
+
+    // Constants are materialized by in-DRAM row initialization
+    // (bbop_init): no data crosses the memory channel.
+    proc.fillConstant(zero16, 0);
+
+    auto fill_const = [&](uint64_t v) { proc.fillConstant(vconst, v); };
+
+    // shipdate >= d1
+    proc.store(vcol, t.shipdate);
+    fill_const(q.d1);
+    proc.run(OpKind::Ge, macc, vcol, vconst);
+    // shipdate < d2  (d2 > shipdate)
+    fill_const(q.d2);
+    proc.run(OpKind::Gt, m1, vconst, vcol);
+    proc.run(OpKind::BitAnd, m2, m1, macc);
+    // discount >= lo
+    proc.store(vcol, t.discount);
+    fill_const(q.lo);
+    proc.run(OpKind::Ge, m1, vcol, vconst);
+    proc.run(OpKind::BitAnd, macc, m1, m2);
+    // discount <= hi  (hi >= discount)
+    fill_const(q.hi);
+    proc.run(OpKind::Ge, m1, vconst, vcol);
+    proc.run(OpKind::BitAnd, m2, m1, macc);
+    // quantity < qty  (qty > quantity)
+    proc.store(vcol, t.quantity);
+    fill_const(q.qty);
+    proc.run(OpKind::Gt, m1, vconst, vcol);
+    proc.run(OpKind::BitAnd, macc, m1, m2);
+
+    // revenue = price * discount where selected
+    proc.store(vprice, t.price);
+    proc.store(vdisc, t.discount);
+    proc.run(OpKind::Mul, vrev, vprice, vdisc);
+    proc.run(OpKind::IfElse, vsel, vrev, zero16, macc);
+
+    const auto rev = proc.load(vsel);
+    uint64_t sum_sim = 0;
+    for (uint64_t v : rev)
+        sum_sim += v;
+
+    uint64_t sum_host = 0;
+    for (size_t i = 0; i < rows; ++i) {
+        const bool hit = t.shipdate[i] >= q.d1 &&
+                         t.shipdate[i] < q.d2 &&
+                         t.discount[i] >= q.lo &&
+                         t.discount[i] <= q.hi &&
+                         t.quantity[i] < q.qty;
+        if (hit)
+            sum_host += t.price[i] * t.discount[i];
+    }
+    return sum_sim == sum_host;
+}
+
+} // namespace simdram

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * TPC-H-style selection/aggregation scan (paper application #5).
+ *
+ * A Q6-like query over a synthetic lineitem table:
+ *
+ *   SELECT SUM(price * discount) FROM lineitem
+ *   WHERE shipdate >= :d1 AND shipdate < :d2
+ *     AND discount BETWEEN :lo AND :hi AND quantity < :q
+ *
+ * The predicates and the selected-revenue computation run in DRAM
+ * (comparisons, 1-bit mask combining via predication, multiply,
+ * select); the final sum reduces on the host.
+ *
+ * Substitution note (DESIGN.md): dbgen data is replaced by a seeded
+ * synthetic table with Q6-like value distributions.
+ */
+
+#ifndef SIMDRAM_APPS_TPCH_H
+#define SIMDRAM_APPS_TPCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/engine.h"
+#include "exec/processor.h"
+
+namespace simdram
+{
+
+/** Synthetic lineitem columns. */
+struct LineitemTable
+{
+    std::vector<uint64_t> quantity; ///< 8-bit, 1..50.
+    std::vector<uint64_t> discount; ///< 8-bit, cents 0..10.
+    std::vector<uint64_t> shipdate; ///< 16-bit day number.
+    std::vector<uint64_t> price;    ///< 16-bit price.
+
+    /** @return Number of rows. */
+    size_t rows() const { return quantity.size(); }
+};
+
+/** @return A deterministic synthetic table with @p rows rows. */
+LineitemTable makeLineitem(size_t rows, uint64_t seed = 7);
+
+/** Query parameters. */
+struct Q6Params
+{
+    uint64_t d1 = 200, d2 = 565; ///< Shipdate window.
+    uint64_t lo = 5, hi = 7;     ///< Discount band.
+    uint64_t qty = 24;           ///< Quantity upper bound.
+};
+
+/** Prices the in-DRAM part of the query on @p engine. */
+KernelCost tpchCost(BulkEngine &engine, size_t rows);
+
+/**
+ * Functionally runs the query on @p proc over a small table and
+ * compares the aggregated revenue against a host evaluation.
+ */
+bool tpchVerify(Processor &proc, uint64_t seed = 99);
+
+} // namespace simdram
+
+#endif // SIMDRAM_APPS_TPCH_H

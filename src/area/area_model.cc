@@ -1,0 +1,70 @@
+#include "area/area_model.h"
+
+namespace simdram
+{
+
+std::vector<AreaItem>
+areaReport(const DramConfig &cfg, const AreaParams &p)
+{
+    std::vector<AreaItem> items;
+
+    // --- In-DRAM overhead ------------------------------------------------
+    // Special rows displace regular rows inside every subarray: 4 T
+    // rows + 2 DCC pairs (2 physical rows with double contacts,
+    // costed as 4) + 2 constant rows = 10 row-equivalents.
+    const double special_rows = 10.0;
+    const double row_fraction =
+        special_rows / static_cast<double>(cfg.rowsPerSubarray);
+    const double cell_overhead_mm2 =
+        p.dramChipMm2 * p.cellArrayFraction * row_fraction;
+    items.push_back({"compute/DCC/constant rows", "DRAM chip",
+                     cell_overhead_mm2,
+                     100.0 * cell_overhead_mm2 / p.dramChipMm2});
+
+    // Widened row decoder: dual/triple address groups add ~5% to the
+    // subarray row decoder, which is ~4% of the die.
+    const double decoder_mm2 = p.dramChipMm2 * 0.04 * 0.05;
+    items.push_back({"row decoder extensions", "DRAM chip",
+                     decoder_mm2,
+                     100.0 * decoder_mm2 / p.dramChipMm2});
+
+    // --- Memory-controller overhead ---------------------------------------
+    const double uprog_mm2 =
+        static_cast<double>(p.uprogMemoryKb) * p.sramMm2PerKb;
+    items.push_back({"control unit: μProgram memory",
+                     "Memory controller", uprog_mm2,
+                     100.0 * uprog_mm2 / p.cpuDieMm2});
+
+    const double fsm_mm2 =
+        static_cast<double>(p.controlFsmKgates) * p.logicMm2PerKgate;
+    items.push_back({"control unit: sequencer FSM",
+                     "Memory controller", fsm_mm2,
+                     100.0 * fsm_mm2 / p.cpuDieMm2});
+
+    const double trsp_mm2 =
+        static_cast<double>(p.trspBufferKb) * p.sramMm2PerKb +
+        static_cast<double>(p.trspLogicKgates) * p.logicMm2PerKgate;
+    items.push_back({"transposition unit", "Memory controller",
+                     trsp_mm2, 100.0 * trsp_mm2 / p.cpuDieMm2});
+
+    // --- Totals ------------------------------------------------------------
+    double dram_total = cell_overhead_mm2 + decoder_mm2;
+    double mc_total = uprog_mm2 + fsm_mm2 + trsp_mm2;
+    items.push_back({"TOTAL in-DRAM", "DRAM chip", dram_total,
+                     100.0 * dram_total / p.dramChipMm2});
+    items.push_back({"TOTAL controller-side", "Memory controller",
+                     mc_total, 100.0 * mc_total / p.cpuDieMm2});
+    return items;
+}
+
+double
+dramOverheadPercent(const DramConfig &cfg, const AreaParams &params)
+{
+    const auto items = areaReport(cfg, params);
+    for (const auto &it : items)
+        if (it.component == "TOTAL in-DRAM")
+            return it.percent;
+    return 0.0;
+}
+
+} // namespace simdram

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Analytic area model for SIMDRAM's hardware additions (paper
+ * section 5: "less than 1% DRAM area overhead").
+ *
+ * Three additions are accounted for:
+ *  1. In-DRAM: the designated compute rows (T0..T3), the DCC pairs,
+ *     the constant rows, and the widened row decoder supporting
+ *     dual/triple addresses, per subarray.
+ *  2. Memory controller: the SIMDRAM control unit (μProgram memory +
+ *     sequencing FSM).
+ *  3. Memory controller: the transposition unit (two 64x64 bit tile
+ *     buffers + swap network + object CAM).
+ *
+ * Logic and SRAM densities use published 22nm-class figures; the
+ * model reports both absolute mm^2 and percentages of a DRAM chip /
+ * CPU die, which is what the paper's claim is about.
+ */
+
+#ifndef SIMDRAM_AREA_AREA_MODEL_H
+#define SIMDRAM_AREA_AREA_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "dram/config.h"
+
+namespace simdram
+{
+
+/** One line of the area report. */
+struct AreaItem
+{
+    std::string component; ///< Component name.
+    std::string where;     ///< "DRAM chip" or "Memory controller".
+    double areaMm2 = 0;    ///< Absolute area.
+    double percent = 0;    ///< Relative to its host die.
+};
+
+/** Area-model inputs with documented defaults. */
+struct AreaParams
+{
+    double dramChipMm2 = 60.0;   ///< 8 Gb DDR4 die.
+    double cpuDieMm2 = 180.0;    ///< Desktop-class CPU die.
+    double sramMm2PerKb = 0.0008;///< 22nm SRAM macro density.
+    double logicMm2PerKgate = 0.0004; ///< 22nm std-cell density.
+    double cellArrayFraction = 0.55;  ///< DRAM die that is cells.
+    size_t uprogMemoryKb = 32;   ///< μProgram memory capacity.
+    size_t controlFsmKgates = 12;///< Sequencer + bank tracking.
+    size_t trspBufferKb = 8;     ///< Two 64x64-bit tile buffers.
+    size_t trspLogicKgates = 20; ///< Swap network + object CAM.
+};
+
+/**
+ * @return The itemized area report for @p cfg under @p params,
+ *         ending with DRAM-side and controller-side totals.
+ */
+std::vector<AreaItem> areaReport(const DramConfig &cfg,
+                                 const AreaParams &params = {});
+
+/** @return Total DRAM-chip overhead as a percentage of the die. */
+double dramOverheadPercent(const DramConfig &cfg,
+                           const AreaParams &params = {});
+
+} // namespace simdram
+
+#endif // SIMDRAM_AREA_AREA_MODEL_H

@@ -1,0 +1,87 @@
+#include "baseline/cpu_model.h"
+
+#include <algorithm>
+
+namespace simdram
+{
+
+BaselineParams
+cpuParams()
+{
+    BaselineParams p;
+    p.name = "CPU";
+    // One DDR4-2400 channel: 19.2 GB/s peak, ~80% sustained on a
+    // read/write-mixed stream.
+    p.memBwGBs = 15.4;
+    // End-to-end memory-system energy (DRAM + channel + cache
+    // hierarchy) per bit for a streaming access.
+    p.pjPerBit = 22.0;
+    // Core pipeline energy per element operation (amortized over
+    // SIMD lanes).
+    p.pjPerOp = 180.0;
+    // 8 cores x AVX2: cheap ops are never the bottleneck.
+    p.aluGopsSimple = 150.0;
+    p.aluGopsMul = 60.0;
+    // Integer division does not vectorize; ~20-cycle scalar latency
+    // across 8 cores.
+    p.aluGopsDiv = 1.2;
+    return p;
+}
+
+BaselineParams
+gpuParams()
+{
+    BaselineParams p;
+    p.name = "GPU";
+    // High-end HBM2 GPU: 900 GB/s peak; short bulk kernels sustain a
+    // fraction of it once launch and DRAM inefficiencies are paid.
+    p.memBwGBs = 220.0;
+    // HBM2 + on-package interconnect energy per bit.
+    p.pjPerBit = 7.0;
+    p.pjPerOp = 25.0;
+    p.aluGopsSimple = 4000.0;
+    p.aluGopsMul = 2000.0;
+    p.aluGopsDiv = 300.0;
+    return p;
+}
+
+double
+bytesPerElement(OpKind op, size_t width)
+{
+    const auto sig = signatureOf(op, width);
+    double bits = static_cast<double>(sig.numInputs) *
+                  static_cast<double>(width);
+    if (sig.hasSel)
+        bits += 1.0;
+    bits += static_cast<double>(sig.outWidth);
+    return bits / 8.0;
+}
+
+RunResult
+modelRun(const BaselineParams &p, OpKind op, size_t width,
+         size_t elements)
+{
+    const double bytes =
+        bytesPerElement(op, width) * static_cast<double>(elements);
+
+    double alu_gops = p.aluGopsSimple;
+    if (op == OpKind::Mul)
+        alu_gops = p.aluGopsMul;
+    else if (op == OpKind::Div)
+        alu_gops = p.aluGopsDiv;
+    // Wider elements occupy proportionally more SIMD lanes.
+    alu_gops *= 32.0 / static_cast<double>(std::max<size_t>(width, 8));
+
+    const double mem_ns = bytes / p.memBwGBs;
+    const double alu_ns = static_cast<double>(elements) / alu_gops;
+
+    RunResult r;
+    r.engine = p.name;
+    r.elements = elements;
+    r.latencyNs = std::max(mem_ns, alu_ns);
+    r.energyPj = bytes * 8.0 * p.pjPerBit +
+                 static_cast<double>(elements) * p.pjPerOp;
+    return r;
+}
+
+} // namespace simdram

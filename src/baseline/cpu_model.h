@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Roofline performance/energy models for the CPU and GPU baselines.
+ *
+ * The paper evaluates SIMDRAM against a real multicore CPU and a
+ * high-end GPU. Neither is available here, so (per DESIGN.md) both
+ * are modeled with a roofline: bulk element-wise kernels stream their
+ * operands once, so
+ *
+ *   time   = max(bytes_moved / mem_bw, elements / alu_ceiling)
+ *   energy = bits_moved * pJ/bit + elements * pJ/op
+ *
+ * Constants below are documented, deliberately favorable-to-baseline
+ * round numbers for the class of system the paper used; the benches
+ * compare shapes (who wins, roughly by how much), not absolute
+ * reproductions of the authors' testbed.
+ */
+
+#ifndef SIMDRAM_BASELINE_CPU_MODEL_H
+#define SIMDRAM_BASELINE_CPU_MODEL_H
+
+#include <string>
+
+#include "common/stats.h"
+#include "ops/op_kind.h"
+
+namespace simdram
+{
+
+/** Roofline parameters for a host baseline. */
+struct BaselineParams
+{
+    std::string name;        ///< Engine name for reports.
+    double memBwGBs = 0;     ///< Sustained memory bandwidth.
+    double pjPerBit = 0;     ///< Memory-system energy per bit moved.
+    double pjPerOp = 0;      ///< Core/ALU energy per element op.
+    double aluGopsSimple = 0;///< ALU ceiling, cheap ops (32-bit).
+    double aluGopsMul = 0;   ///< ALU ceiling, multiply (32-bit).
+    double aluGopsDiv = 0;   ///< ALU ceiling, divide (32-bit).
+};
+
+/**
+ * @return Parameters for the multicore CPU baseline: a desktop-class
+ *         part on one DDR4-2400 channel (the same memory system
+ *         SIMDRAM computes inside, which is the comparison the paper
+ *         makes).
+ */
+BaselineParams cpuParams();
+
+/**
+ * @return Parameters for the GPU baseline: a high-end HBM2 part,
+ *         modeled with the effective bandwidth short bulk kernels
+ *         sustain (launch/ecc/replay overheads included).
+ */
+BaselineParams gpuParams();
+
+/** @return Bytes moved per element for @p op at @p width. */
+double bytesPerElement(OpKind op, size_t width);
+
+/**
+ * Runs the roofline for one bulk operation.
+ *
+ * @param p Baseline parameters.
+ * @param op Operation.
+ * @param width Element width in bits.
+ * @param elements Number of elements.
+ * @return Latency/energy/throughput of the modeled execution.
+ */
+RunResult modelRun(const BaselineParams &p, OpKind op, size_t width,
+                   size_t elements);
+
+} // namespace simdram
+
+#endif // SIMDRAM_BASELINE_CPU_MODEL_H

@@ -1,0 +1,36 @@
+#include "baseline/host_kernels.h"
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+std::vector<uint64_t>
+hostBulkOp(OpKind op, size_t width, const std::vector<uint64_t> &a,
+           const std::vector<uint64_t> &b,
+           const std::vector<uint64_t> &sel)
+{
+    const auto sig = signatureOf(op, width);
+    if (sig.numInputs == 2 && b.size() != a.size())
+        fatal("hostBulkOp: operand size mismatch");
+    if (sig.hasSel && sel.size() != a.size())
+        fatal("hostBulkOp: predicate size mismatch");
+
+    std::vector<uint64_t> out(a.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        const uint64_t bi = sig.numInputs == 2 ? b[i] : 0;
+        const bool si = sig.hasSel ? (sel[i] & 1) != 0 : false;
+        out[i] = referenceOp(op, width, a[i], bi, si);
+    }
+    return out;
+}
+
+void
+hostAdd32(const uint32_t *a, const uint32_t *b, uint32_t *out,
+          size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = a[i] + b[i];
+}
+
+} // namespace simdram

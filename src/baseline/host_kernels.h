@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Host (scalar/auto-vectorized) implementations of the operation set.
+ *
+ * Used as the golden reference for functional verification of every
+ * engine, and by the measured-CPU sanity benchmark that checks the
+ * roofline model's order of magnitude on this machine.
+ */
+
+#ifndef SIMDRAM_BASELINE_HOST_KERNELS_H
+#define SIMDRAM_BASELINE_HOST_KERNELS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ops/op_kind.h"
+
+namespace simdram
+{
+
+/**
+ * Applies @p op element-wise.
+ *
+ * @param op Operation.
+ * @param width Element width; inputs are masked.
+ * @param a First operand vector.
+ * @param b Second operand (ignored for unary ops; may be empty).
+ * @param sel Predicate bits (if_else only; may be empty otherwise).
+ * @return Per-element results per referenceOp() semantics.
+ */
+std::vector<uint64_t> hostBulkOp(OpKind op, size_t width,
+                                 const std::vector<uint64_t> &a,
+                                 const std::vector<uint64_t> &b,
+                                 const std::vector<uint64_t> &sel = {});
+
+/**
+ * Tight 32-bit add loop used by the measured-CPU sanity bench
+ * (written so the compiler auto-vectorizes it).
+ */
+void hostAdd32(const uint32_t *a, const uint32_t *b, uint32_t *out,
+               size_t n);
+
+} // namespace simdram
+
+#endif // SIMDRAM_BASELINE_HOST_KERNELS_H

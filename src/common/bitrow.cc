@@ -1,0 +1,153 @@
+#include "common/bitrow.h"
+
+#include <bit>
+#include <cassert>
+
+namespace simdram
+{
+
+BitRow::BitRow(size_t width, bool value)
+    : width_(width), words_((width + 63) / 64, value ? ~0ULL : 0ULL)
+{
+    trim();
+}
+
+bool
+BitRow::get(size_t i) const
+{
+    assert(i < width_);
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void
+BitRow::set(size_t i, bool value)
+{
+    assert(i < width_);
+    const uint64_t mask = 1ULL << (i % 64);
+    if (value)
+        words_[i / 64] |= mask;
+    else
+        words_[i / 64] &= ~mask;
+}
+
+void
+BitRow::fill(bool value)
+{
+    for (auto &w : words_)
+        w = value ? ~0ULL : 0ULL;
+    trim();
+}
+
+size_t
+BitRow::popcount() const
+{
+    size_t n = 0;
+    for (uint64_t w : words_)
+        n += static_cast<size_t>(std::popcount(w));
+    return n;
+}
+
+bool
+BitRow::allZero() const
+{
+    for (uint64_t w : words_)
+        if (w != 0)
+            return false;
+    return true;
+}
+
+bool
+BitRow::allOne() const
+{
+    return popcount() == width_;
+}
+
+void
+BitRow::invert()
+{
+    for (auto &w : words_)
+        w = ~w;
+    trim();
+}
+
+BitRow
+BitRow::operator~() const
+{
+    BitRow r = *this;
+    r.invert();
+    return r;
+}
+
+BitRow &
+BitRow::operator&=(const BitRow &other)
+{
+    assert(width_ == other.width_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= other.words_[i];
+    return *this;
+}
+
+BitRow &
+BitRow::operator|=(const BitRow &other)
+{
+    assert(width_ == other.width_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= other.words_[i];
+    return *this;
+}
+
+BitRow &
+BitRow::operator^=(const BitRow &other)
+{
+    assert(width_ == other.width_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= other.words_[i];
+    return *this;
+}
+
+BitRow
+BitRow::majority3(const BitRow &a, const BitRow &b, const BitRow &c)
+{
+    assert(a.width_ == b.width_ && b.width_ == c.width_);
+    BitRow r(a.width_);
+    for (size_t i = 0; i < r.words_.size(); ++i) {
+        const uint64_t x = a.words_[i], y = b.words_[i], z = c.words_[i];
+        r.words_[i] = (x & y) | (y & z) | (x & z);
+    }
+    return r;
+}
+
+BitRow
+BitRow::select(const BitRow &sel, const BitRow &t, const BitRow &f)
+{
+    assert(sel.width_ == t.width_ && t.width_ == f.width_);
+    BitRow r(sel.width_);
+    for (size_t i = 0; i < r.words_.size(); ++i) {
+        const uint64_t s = sel.words_[i];
+        r.words_[i] = (s & t.words_[i]) | (~s & f.words_[i]);
+    }
+    return r;
+}
+
+std::string
+BitRow::toString(size_t max_bits) const
+{
+    const size_t n = std::min(max_bits, width_);
+    std::string s;
+    s.reserve(n + 3);
+    for (size_t i = 0; i < n; ++i)
+        s.push_back(get(i) ? '1' : '0');
+    if (n < width_)
+        s += "...";
+    return s;
+}
+
+void
+BitRow::trim()
+{
+    const size_t rem = width_ % 64;
+    if (rem != 0 && !words_.empty())
+        words_.back() &= (1ULL << rem) - 1;
+}
+
+} // namespace simdram

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Packed bit-vector used to model one DRAM row (one bit per bitline).
+ *
+ * A BitRow is the functional unit of the whole simulator: DRAM rows,
+ * sense-amplifier row buffers, and logic-simulation signal values are all
+ * BitRows. Bit i of the row corresponds to DRAM column i, i.e. SIMD
+ * lane i. All bulk operations are word-parallel over 64-bit words.
+ */
+
+#ifndef SIMDRAM_COMMON_BITROW_H
+#define SIMDRAM_COMMON_BITROW_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simdram
+{
+
+/**
+ * A fixed-width packed vector of bits with word-parallel bulk logic.
+ *
+ * Width is set at construction and never changes. Unused bits in the
+ * final word are kept at zero as a class invariant so that whole-word
+ * comparisons and population counts are exact.
+ */
+class BitRow
+{
+  public:
+    /** Creates an empty (zero-width) row. */
+    BitRow() = default;
+
+    /**
+     * Creates a row of @p width bits, all initialized to @p value.
+     *
+     * @param width Number of bits (DRAM columns).
+     * @param value Initial value replicated into every bit.
+     */
+    explicit BitRow(size_t width, bool value = false);
+
+    /** @return The number of bits in the row. */
+    size_t width() const { return width_; }
+
+    /** @return The number of 64-bit backing words. */
+    size_t wordCount() const { return words_.size(); }
+
+    /** Direct word access (for high-throughput kernels). */
+    uint64_t word(size_t i) const { return words_[i]; }
+    /** Mutable word access; caller must not set padding bits. */
+    uint64_t &word(size_t i) { return words_[i]; }
+
+    /** @return Bit @p i (lane i). */
+    bool get(size_t i) const;
+
+    /** Sets bit @p i (lane i) to @p value. */
+    void set(size_t i, bool value);
+
+    /** Sets every bit to @p value. */
+    void fill(bool value);
+
+    /** @return The number of set bits. */
+    size_t popcount() const;
+
+    /** @return True if all bits are zero. */
+    bool allZero() const;
+
+    /** @return True if all bits are one. */
+    bool allOne() const;
+
+    /** In-place bitwise NOT (respects padding invariant). */
+    void invert();
+
+    /** @return Bitwise NOT of this row. */
+    BitRow operator~() const;
+
+    BitRow &operator&=(const BitRow &other);
+    BitRow &operator|=(const BitRow &other);
+    BitRow &operator^=(const BitRow &other);
+
+    friend BitRow operator&(BitRow a, const BitRow &b) { return a &= b; }
+    friend BitRow operator|(BitRow a, const BitRow &b) { return a |= b; }
+    friend BitRow operator^(BitRow a, const BitRow &b) { return a ^= b; }
+
+    bool operator==(const BitRow &other) const = default;
+
+    /**
+     * Bitwise 3-input majority: out[i] = MAJ(a[i], b[i], c[i]).
+     *
+     * This is exactly what a DRAM triple-row activation computes via
+     * charge sharing on each bitline.
+     */
+    static BitRow majority3(const BitRow &a, const BitRow &b,
+                            const BitRow &c);
+
+    /**
+     * Bitwise multiplexer: out[i] = sel[i] ? t[i] : f[i].
+     */
+    static BitRow select(const BitRow &sel, const BitRow &t,
+                         const BitRow &f);
+
+    /**
+     * @return A human-readable string of the first @p max_bits bits
+     *         (LSB / lane 0 first), e.g. "0110...".
+     */
+    std::string toString(size_t max_bits = 64) const;
+
+  private:
+    /** Clears the padding bits above width_ in the last word. */
+    void trim();
+
+    size_t width_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_COMMON_BITROW_H

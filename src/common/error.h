@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Error-reporting helpers.
+ *
+ * Following the gem5 convention: fatal() is for user/configuration
+ * errors the simulation cannot recover from; panic() is for internal
+ * invariant violations (simulator bugs). Both throw so that tests can
+ * assert on misuse, rather than aborting the process.
+ */
+
+#ifndef SIMDRAM_COMMON_ERROR_H
+#define SIMDRAM_COMMON_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace simdram
+{
+
+/** Error caused by invalid user input or configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error("fatal: " + what)
+    {}
+};
+
+/** Error caused by a violated internal invariant (a simulator bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error("panic: " + what)
+    {}
+};
+
+/** Reports an unrecoverable user/configuration error. */
+[[noreturn]] inline void
+fatal(const std::string &what)
+{
+    throw FatalError(what);
+}
+
+/** Reports a violated internal invariant. */
+[[noreturn]] inline void
+panic(const std::string &what)
+{
+    throw PanicError(what);
+}
+
+} // namespace simdram
+
+#endif // SIMDRAM_COMMON_ERROR_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the whole project.
+ *
+ * Everything in SIMDRAM that needs randomness (test vectors, synthetic
+ * workloads, Monte-Carlo sampling) goes through Rng so that every run of
+ * every binary is reproducible from a seed.
+ */
+
+#ifndef SIMDRAM_COMMON_RNG_H
+#define SIMDRAM_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace simdram
+{
+
+/**
+ * SplitMix64-seeded xoshiro256** generator.
+ *
+ * Small, fast, and good enough statistically for workload generation and
+ * Monte-Carlo experiments; not for cryptography.
+ */
+class Rng
+{
+  public:
+    /** Creates a generator from a 64-bit seed. */
+    explicit Rng(uint64_t seed = 0x5eed5eed5eedULL)
+    {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        uint64_t x = seed;
+        for (auto &si : s_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            si = z ^ (z >> 31);
+        }
+    }
+
+    /** @return The next 64 uniformly random bits. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** @return A uniform integer in [0, bound). @p bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Rejection-free Lemire reduction is overkill here; a simple
+        // 128-bit multiply keeps bias negligible for simulation use.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** @return A uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return A sample from N(mean, sigma^2) via Box-Muller. */
+    double
+    gaussian(double mean, double sigma)
+    {
+        if (have_cached_) {
+            have_cached_ = false;
+            return mean + sigma * cached_;
+        }
+        double u1 = uniform();
+        double u2 = uniform();
+        while (u1 <= 1e-300) // avoid log(0)
+            u1 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * 3.14159265358979323846 * u2;
+        cached_ = r * std::sin(theta);
+        have_cached_ = true;
+        return mean + sigma * r * std::cos(theta);
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t s_[4];
+    double cached_ = 0.0;
+    bool have_cached_ = false;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_COMMON_RNG_H

@@ -1,0 +1,70 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace simdram
+{
+
+DramStats &
+DramStats::operator+=(const DramStats &other)
+{
+    activates += other.activates;
+    multiActivates += other.multiActivates;
+    precharges += other.precharges;
+    aaps += other.aaps;
+    aps += other.aps;
+    reads += other.reads;
+    writes += other.writes;
+    latencyNs += other.latencyNs;
+    energyPj += other.energyPj;
+    return *this;
+}
+
+void
+DramStats::mergeParallel(const DramStats &other)
+{
+    activates += other.activates;
+    multiActivates += other.multiActivates;
+    precharges += other.precharges;
+    aaps += other.aaps;
+    aps += other.aps;
+    reads += other.reads;
+    writes += other.writes;
+    latencyNs = std::max(latencyNs, other.latencyNs);
+    energyPj += other.energyPj;
+}
+
+void
+DramStats::reset()
+{
+    *this = DramStats{};
+}
+
+std::string
+DramStats::summary() const
+{
+    std::ostringstream os;
+    os << "AAP=" << aaps << " AP=" << aps << " ACT=" << activates
+       << " TRA=" << multiActivates << " lat=" << latencyNs
+       << "ns energy=" << energyPj << "pJ";
+    return os.str();
+}
+
+double
+RunResult::throughputGops() const
+{
+    if (latencyNs <= 0.0)
+        return 0.0;
+    return static_cast<double>(elements) / latencyNs;
+}
+
+double
+RunResult::efficiencyGopsPerJoule() const
+{
+    if (energyPj <= 0.0)
+        return 0.0;
+    return static_cast<double>(elements) / (energyPj * 1e-3);
+}
+
+} // namespace simdram

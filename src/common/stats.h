@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Execution statistics shared by every engine in the project.
+ *
+ * All performance and energy results in the benches are derived from the
+ * counters defined here, accumulated during (functional) execution.
+ */
+
+#ifndef SIMDRAM_COMMON_STATS_H
+#define SIMDRAM_COMMON_STATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace simdram
+{
+
+/**
+ * Command-level DRAM statistics for one execution.
+ *
+ * Latency is tracked in nanoseconds and energy in picojoules; both are
+ * doubles because DDR timing parameters are sub-nanosecond multiples of
+ * the clock.
+ */
+struct DramStats
+{
+    uint64_t activates = 0;   ///< Single-row ACTIVATEs issued.
+    uint64_t multiActivates = 0; ///< Dual/triple-row (TRA) ACTIVATEs.
+    uint64_t precharges = 0;  ///< PRECHARGE commands issued.
+    uint64_t aaps = 0;        ///< ACTIVATE-ACTIVATE-PRECHARGE macro-ops.
+    uint64_t aps = 0;         ///< ACTIVATE-PRECHARGE macro-ops.
+    uint64_t reads = 0;       ///< Column READ bursts (64B).
+    uint64_t writes = 0;      ///< Column WRITE bursts (64B).
+
+    double latencyNs = 0.0;   ///< Serialized latency contribution.
+    double energyPj = 0.0;    ///< Total energy.
+
+    /** Accumulates @p other into this object (energy adds; see below). */
+    DramStats &operator+=(const DramStats &other);
+
+    /**
+     * Merges stats from a parallel execution: counters and energy add,
+     * latency takes the maximum (banks operate concurrently).
+     */
+    void mergeParallel(const DramStats &other);
+
+    /** Resets every counter to zero. */
+    void reset();
+
+    /** @return A compact single-line summary for logs. */
+    std::string summary() const;
+};
+
+/**
+ * Result of running a workload on any engine (SIMDRAM, Ambit, CPU
+ * model, GPU model): enough to compute throughput and efficiency.
+ */
+struct RunResult
+{
+    std::string engine;      ///< Engine name (e.g. "SIMDRAM:16").
+    double latencyNs = 0.0;  ///< End-to-end latency.
+    double energyPj = 0.0;   ///< End-to-end energy.
+    uint64_t elements = 0;   ///< Number of SIMD elements processed.
+
+    /** @return Throughput in giga-operations per second. */
+    double throughputGops() const;
+
+    /** @return Energy efficiency in giga-operations per joule. */
+    double efficiencyGopsPerJoule() const;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_COMMON_STATS_H

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Row addressing inside a SIMDRAM compute subarray.
+ *
+ * Following Ambit's B-group row-decoder design, a subarray exposes,
+ * besides its regular data rows:
+ *
+ *  - two constant rows C0 (all zeros) and C1 (all ones);
+ *  - four designated compute rows T0..T3 whose only purpose is to be
+ *    simultaneously activated for majority computation;
+ *  - two dual-contact cell (DCC) pairs. A DCC is a single storage cell
+ *    with two access ports: the positive port (DCC0P/DCC1P) reads and
+ *    writes the stored value directly, while the negative port
+ *    (DCC0N/DCC1N) reads the complement and stores the complement of
+ *    the written value. This is how in-DRAM NOT is implemented;
+ *  - reserved *dual* row addresses that connect two compute rows to the
+ *    bitlines at once (used as the destination of a copy to initialize
+ *    two rows with one AAP);
+ *  - reserved *triple* row addresses (TRA) that connect three rows to
+ *    the bitlines at once; activating one from the precharged state
+ *    computes the bitwise majority of the three rows via charge
+ *    sharing, leaving the result in all three rows and the row buffer.
+ *
+ * The exact dual/triple groups below mirror Ambit's B-group address
+ * table (B8..B15).
+ */
+
+#ifndef SIMDRAM_DRAM_ADDRESS_H
+#define SIMDRAM_DRAM_ADDRESS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace simdram
+{
+
+/** Physical special rows of a compute subarray. */
+enum class SpecialRow : uint8_t
+{
+    C0,    ///< Constant all-zeros row.
+    C1,    ///< Constant all-ones row.
+    T0,    ///< Compute row 0.
+    T1,    ///< Compute row 1.
+    T2,    ///< Compute row 2.
+    T3,    ///< Compute row 3.
+    DCC0P, ///< Dual-contact cell 0, positive port.
+    DCC0N, ///< Dual-contact cell 0, negative port.
+    DCC1P, ///< Dual-contact cell 1, positive port.
+    DCC1N, ///< Dual-contact cell 1, negative port.
+};
+
+/** Number of distinct SpecialRow values. */
+constexpr size_t kNumSpecialRows = 10;
+
+/** Reserved dual-row decoder addresses (Ambit B8..B11 analogues). */
+enum class DualAddr : uint8_t
+{
+    T0T1, ///< Rows T0 and T1.
+    T1T2, ///< Rows T1 and T2.
+    T2T3, ///< Rows T2 and T3.
+    T0T3, ///< Rows T0 and T3.
+};
+
+/** Reserved triple-row (TRA) decoder addresses (Ambit B12..B15). */
+enum class TripleAddr : uint8_t
+{
+    T0T1T2,   ///< MAJ(T0, T1, T2).
+    T1T2T3,   ///< MAJ(T1, T2, T3).
+    DCC0T1T2, ///< MAJ(DCC0, T1, T2) via the positive port.
+    DCC1T0T3, ///< MAJ(DCC1, T0, T3) via the positive port.
+};
+
+/** @return The two physical rows selected by a dual address. */
+constexpr std::array<SpecialRow, 2>
+dualRows(DualAddr a)
+{
+    switch (a) {
+      case DualAddr::T0T1:
+        return {SpecialRow::T0, SpecialRow::T1};
+      case DualAddr::T1T2:
+        return {SpecialRow::T1, SpecialRow::T2};
+      case DualAddr::T2T3:
+        return {SpecialRow::T2, SpecialRow::T3};
+      case DualAddr::T0T3:
+      default:
+        return {SpecialRow::T0, SpecialRow::T3};
+    }
+}
+
+/** @return The three physical rows selected by a triple address. */
+constexpr std::array<SpecialRow, 3>
+tripleRows(TripleAddr a)
+{
+    switch (a) {
+      case TripleAddr::T0T1T2:
+        return {SpecialRow::T0, SpecialRow::T1, SpecialRow::T2};
+      case TripleAddr::T1T2T3:
+        return {SpecialRow::T1, SpecialRow::T2, SpecialRow::T3};
+      case TripleAddr::DCC0T1T2:
+        return {SpecialRow::DCC0P, SpecialRow::T1, SpecialRow::T2};
+      case TripleAddr::DCC1T0T3:
+      default:
+        return {SpecialRow::DCC1P, SpecialRow::T0, SpecialRow::T3};
+    }
+}
+
+/**
+ * A row address as seen by the in-subarray row decoder: either a
+ * regular data row, a special row, or a reserved dual/triple address.
+ */
+struct RowAddr
+{
+    /** Address category. */
+    enum class Kind : uint8_t { Data, Special, Dual, Triple };
+
+    Kind kind = Kind::Data;
+    uint32_t dataRow = 0;                  ///< Valid when kind==Data.
+    SpecialRow special = SpecialRow::C0;   ///< Valid when kind==Special.
+    DualAddr dual = DualAddr::T0T1;        ///< Valid when kind==Dual.
+    TripleAddr triple = TripleAddr::T0T1T2;///< Valid when kind==Triple.
+
+    /** @return A data-row address. */
+    static RowAddr data(uint32_t row)
+    {
+        RowAddr a;
+        a.kind = Kind::Data;
+        a.dataRow = row;
+        return a;
+    }
+
+    /** @return A special-row address. */
+    static RowAddr row(SpecialRow s)
+    {
+        RowAddr a;
+        a.kind = Kind::Special;
+        a.special = s;
+        return a;
+    }
+
+    /** @return A dual-row address. */
+    static RowAddr row(DualAddr d)
+    {
+        RowAddr a;
+        a.kind = Kind::Dual;
+        a.dual = d;
+        return a;
+    }
+
+    /** @return A triple-row (TRA) address. */
+    static RowAddr row(TripleAddr t)
+    {
+        RowAddr a;
+        a.kind = Kind::Triple;
+        a.triple = t;
+        return a;
+    }
+
+    /** @return The number of physical rows this address raises. */
+    int
+    rowsRaised() const
+    {
+        switch (kind) {
+          case Kind::Dual:
+            return 2;
+          case Kind::Triple:
+            return 3;
+          default:
+            return 1;
+        }
+    }
+
+    bool operator==(const RowAddr &o) const
+    {
+        if (kind != o.kind)
+            return false;
+        switch (kind) {
+          case Kind::Data:
+            return dataRow == o.dataRow;
+          case Kind::Special:
+            return special == o.special;
+          case Kind::Dual:
+            return dual == o.dual;
+          case Kind::Triple:
+            return triple == o.triple;
+        }
+        return false;
+    }
+};
+
+/** @return A short printable name, e.g. "D17", "T2", "TRA(T0,T1,T2)". */
+std::string toString(const RowAddr &a);
+
+/** @return The printable name of a special row, e.g. "DCC0N". */
+std::string toString(SpecialRow s);
+
+} // namespace simdram
+
+#endif // SIMDRAM_DRAM_ADDRESS_H

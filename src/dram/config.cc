@@ -1,0 +1,80 @@
+#include "dram/config.h"
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+// Tests default to 256-lane rows and 256 rows per subarray, enough
+// for every operation at widths up to 16 plus a handful of vectors.
+DramConfig
+DramConfig::forTesting(size_t row_bits, size_t rows)
+{
+    DramConfig cfg;
+    cfg.banks = 2;
+    cfg.subarraysPerBank = 8;
+    cfg.rowsPerSubarray = rows;
+    cfg.rowBits = row_bits;
+    cfg.computeBanks = 1;
+    cfg.scratchRows = rows >= 384 ? 160 : (rows >= 192 ? 64 : 16);
+    cfg.validate();
+    return cfg;
+}
+
+DramConfig
+DramConfig::simdramConfig(size_t compute_banks)
+{
+    DramConfig cfg;
+    cfg.computeBanks = compute_banks;
+    cfg.validate();
+    return cfg;
+}
+
+double
+DramConfig::rowEnergyScale() const
+{
+    return static_cast<double>(rowBits) /
+           static_cast<double>(DramEnergy::referenceRowBits);
+}
+
+double
+DramConfig::actEnergyPj(int rows_raised) const
+{
+    double nj = 0.0;
+    switch (rows_raised) {
+      case 1:
+        nj = energy.eActNj;
+        break;
+      case 2:
+        nj = energy.eActDualNj;
+        break;
+      case 3:
+        nj = energy.eActTripleNj;
+        break;
+      default:
+        panic("actEnergyPj: unsupported simultaneous row count");
+    }
+    return nj * 1e3 * rowEnergyScale();
+}
+
+double
+DramConfig::preEnergyPj() const
+{
+    return energy.ePreNj * 1e3 * rowEnergyScale();
+}
+
+void
+DramConfig::validate() const
+{
+    if (banks == 0 || subarraysPerBank == 0 || rowsPerSubarray == 0 ||
+        rowBits == 0)
+        fatal("DramConfig: geometry fields must be non-zero");
+    if (computeBanks == 0 || computeBanks > banks)
+        fatal("DramConfig: computeBanks must be in [1, banks]");
+    if (rowsPerSubarray < scratchRows + 16)
+        fatal("DramConfig: rowsPerSubarray too small for scratch + data");
+    if (rowBits % 64 != 0)
+        fatal("DramConfig: rowBits must be a multiple of 64");
+}
+
+} // namespace simdram

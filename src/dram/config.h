@@ -1,0 +1,114 @@
+/**
+ * @file
+ * DRAM geometry, timing, and energy configuration.
+ *
+ * Defaults model a DDR4-2400 chip organized as in the SIMDRAM paper:
+ * 16 banks, 8 KiB rows (65,536 bitlines = 65,536 SIMD lanes per
+ * subarray), and an Ambit-style compute subarray with designated
+ * compute rows (T0..T3), two dual-contact cell pairs, and two constant
+ * rows. Every latency/energy number produced by the simulator is
+ * derived from the constants here, so substituting a different device
+ * is a one-struct change.
+ */
+
+#ifndef SIMDRAM_DRAM_CONFIG_H
+#define SIMDRAM_DRAM_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace simdram
+{
+
+/**
+ * DDR timing parameters in nanoseconds.
+ *
+ * AAP (ACTIVATE-ACTIVATE-PRECHARGE) and AP (ACTIVATE-PRECHARGE) are the
+ * two command macros processing-using-DRAM is built from (Ambit /
+ * SIMDRAM). Their latencies follow the standard decomposition:
+ * AP = tRAS + tRP (one full row cycle) and AAP = 2*tRAS + tRP (the
+ * second ACTIVATE is issued back-to-back to the already-open bank,
+ * before the single trailing PRECHARGE).
+ */
+struct DramTiming
+{
+    double tCk = 0.833;   ///< Clock period (DDR4-2400).
+    double tRcd = 13.5;   ///< ACTIVATE to column command.
+    double tRas = 32.0;   ///< ACTIVATE to PRECHARGE (same row).
+    double tRp = 13.5;    ///< PRECHARGE to next ACTIVATE.
+    double tCcd = 3.33;   ///< Column-to-column delay (burst gap).
+    double tBurst = 3.33; ///< One BL8 data burst on the bus.
+
+    /** @return Latency of an AP macro-op (one row cycle, tRC). */
+    double apNs() const { return tRas + tRp; }
+
+    /** @return Latency of an AAP macro-op. */
+    double aapNs() const { return 2.0 * tRas + tRp; }
+};
+
+/**
+ * Per-command energies for a full 8 KiB row, in nanojoules.
+ *
+ * Constants are derived from Micron-style DDR4 IDD current numbers
+ * (IDD0/IDD2N/IDD3N at VDD=1.2V) for the activate/restore path plus
+ * published Ambit estimates for multi-row activation: activating more
+ * rows costs more restore energy but the bitline swing (the dominant
+ * term) is paid once. I/O energy covers moving one bit across the
+ * channel including termination, used for host<->DRAM transfers.
+ * Energies scale linearly with the configured row width.
+ */
+struct DramEnergy
+{
+    double eActNj = 1.2;       ///< Single-row ACTIVATE incl. restore.
+    double eActDualNj = 1.6;   ///< Dual-row ACTIVATE (RowClone init).
+    double eActTripleNj = 2.0; ///< Triple-row ACTIVATE (TRA/MAJ).
+    double ePreNj = 0.5;       ///< PRECHARGE.
+    double eIoPjPerBit = 8.0;  ///< Channel transfer energy per bit.
+
+    /** Reference row width the nJ constants are specified for. */
+    static constexpr size_t referenceRowBits = 65536;
+};
+
+/**
+ * Full device configuration: geometry + timing + energy.
+ *
+ * `computeBanks` is the number of banks SIMDRAM uses concurrently
+ * (the paper's SIMDRAM:1/4/16 configurations). `scratchRows` is the
+ * number of data rows per subarray the microprogram compiler may use
+ * for intermediate values.
+ */
+struct DramConfig
+{
+    size_t banks = 16;            ///< Banks per device.
+    size_t subarraysPerBank = 64; ///< Subarrays per bank.
+    size_t rowsPerSubarray = 1024;///< Data + reserved rows.
+    size_t rowBits = 65536;       ///< Bitlines per subarray (lanes).
+    size_t computeBanks = 1;      ///< Banks computing concurrently.
+    size_t scratchRows = 288;     ///< Rows reserved for temporaries.
+
+    DramTiming timing;            ///< Timing parameters.
+    DramEnergy energy;            ///< Energy parameters.
+
+    /** @return A small configuration suitable for unit tests. */
+    static DramConfig forTesting(size_t row_bits = 256,
+                                 size_t rows = 256);
+
+    /** @return The paper's SIMDRAM:N configuration (N compute banks). */
+    static DramConfig simdramConfig(size_t compute_banks);
+
+    /** Scale factor applied to per-row energies for this row width. */
+    double rowEnergyScale() const;
+
+    /** Energy of one ACTIVATE touching @p rows_raised rows, in pJ. */
+    double actEnergyPj(int rows_raised) const;
+
+    /** Energy of one PRECHARGE, in pJ. */
+    double preEnergyPj() const;
+
+    /** Validates invariants; calls fatal() on bad configurations. */
+    void validate() const;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_DRAM_CONFIG_H

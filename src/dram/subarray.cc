@@ -1,0 +1,288 @@
+#include "dram/subarray.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+std::string
+toString(SpecialRow s)
+{
+    switch (s) {
+      case SpecialRow::C0: return "C0";
+      case SpecialRow::C1: return "C1";
+      case SpecialRow::T0: return "T0";
+      case SpecialRow::T1: return "T1";
+      case SpecialRow::T2: return "T2";
+      case SpecialRow::T3: return "T3";
+      case SpecialRow::DCC0P: return "DCC0P";
+      case SpecialRow::DCC0N: return "DCC0N";
+      case SpecialRow::DCC1P: return "DCC1P";
+      case SpecialRow::DCC1N: return "DCC1N";
+    }
+    return "?";
+}
+
+std::string
+toString(const RowAddr &a)
+{
+    std::ostringstream os;
+    switch (a.kind) {
+      case RowAddr::Kind::Data:
+        os << "D" << a.dataRow;
+        break;
+      case RowAddr::Kind::Special:
+        os << toString(a.special);
+        break;
+      case RowAddr::Kind::Dual: {
+        const auto rows = dualRows(a.dual);
+        os << "DUAL(" << toString(rows[0]) << "," << toString(rows[1])
+           << ")";
+        break;
+      }
+      case RowAddr::Kind::Triple: {
+        const auto rows = tripleRows(a.triple);
+        os << "TRA(" << toString(rows[0]) << "," << toString(rows[1])
+           << "," << toString(rows[2]) << ")";
+        break;
+      }
+    }
+    return os.str();
+}
+
+Subarray::Subarray(const DramConfig &cfg)
+    : cfg_(cfg),
+      data_(cfg.rowsPerSubarray, BitRow(cfg.rowBits)),
+      c0_(cfg.rowBits, false),
+      c1_(cfg.rowBits, true),
+      buffer_(cfg.rowBits)
+{
+    for (auto &t : t_)
+        t = BitRow(cfg.rowBits);
+    for (auto &d : dcc_)
+        d = BitRow(cfg.rowBits);
+}
+
+void
+Subarray::activate(const RowAddr &addr)
+{
+    if (!buffer_open_) {
+        // First activation: charge sharing resolves the bitlines, then
+        // the sense amplifiers restore the resolved value into every
+        // activated cell.
+        if (addr.kind == RowAddr::Kind::Dual)
+            panic("activating a dual address from precharged state has "
+                  "undefined charge-sharing semantics");
+        buffer_ = readValue(addr);
+        // Restore is value-preserving for a single row; only a triple
+        // activation destroys cell contents (all three rows end up
+        // holding the majority value). Injected faults model a
+        // charge-sharing failure: the sense amplifiers resolve some
+        // bitlines to the wrong value and restore that wrong value.
+        if (addr.kind == RowAddr::Kind::Triple) {
+            if (tra_flip_p_ > 0.0) {
+                for (size_t i = 0; i < buffer_.width(); ++i) {
+                    if (fault_rng_.uniform() < tra_flip_p_) {
+                        buffer_.set(i, !buffer_.get(i));
+                        ++injected_faults_;
+                    }
+                }
+            }
+            writeValue(addr, buffer_);
+        }
+        buffer_open_ = true;
+    } else {
+        // Row buffer is open: the sense amplifiers drive the bitlines
+        // and overwrite the newly connected cells (RowClone copy).
+        writeValue(addr, buffer_);
+    }
+
+    if (addr.rowsRaised() > 1)
+        ++stats_.multiActivates;
+    else
+        ++stats_.activates;
+    stats_.energyPj += cfg_.actEnergyPj(addr.rowsRaised());
+}
+
+void
+Subarray::enableTraFaults(double flip_probability, uint64_t seed)
+{
+    tra_flip_p_ = flip_probability;
+    fault_rng_ = Rng(seed);
+    injected_faults_ = 0;
+}
+
+void
+Subarray::precharge()
+{
+    buffer_open_ = false;
+    ++stats_.precharges;
+    stats_.energyPj += cfg_.preEnergyPj();
+}
+
+void
+Subarray::aap(const RowAddr &src, const RowAddr &dst)
+{
+    activate(src);
+    activate(dst);
+    precharge();
+    ++stats_.aaps;
+    stats_.latencyNs += cfg_.timing.aapNs();
+}
+
+void
+Subarray::ap(const RowAddr &addr)
+{
+    activate(addr);
+    precharge();
+    ++stats_.aps;
+    stats_.latencyNs += cfg_.timing.apNs();
+}
+
+const BitRow &
+Subarray::peekData(size_t row) const
+{
+    if (row >= data_.size())
+        panic("peekData: row out of range");
+    return data_[row];
+}
+
+void
+Subarray::pokeData(size_t row, const BitRow &value)
+{
+    if (row >= data_.size())
+        panic("pokeData: row out of range");
+    if (value.width() != cfg_.rowBits)
+        panic("pokeData: width mismatch");
+    data_[row] = value;
+}
+
+BitRow
+Subarray::peek(SpecialRow s) const
+{
+    return readSpecial(s);
+}
+
+void
+Subarray::poke(SpecialRow s, const BitRow &value)
+{
+    writeSpecial(s, value);
+}
+
+BitRow
+Subarray::readValue(const RowAddr &addr) const
+{
+    switch (addr.kind) {
+      case RowAddr::Kind::Data:
+        if (addr.dataRow >= data_.size())
+            panic("activate: data row out of range");
+        return data_[addr.dataRow];
+      case RowAddr::Kind::Special:
+        return readSpecial(addr.special);
+      case RowAddr::Kind::Triple: {
+        const auto rows = tripleRows(addr.triple);
+        return BitRow::majority3(readSpecial(rows[0]),
+                                 readSpecial(rows[1]),
+                                 readSpecial(rows[2]));
+      }
+      case RowAddr::Kind::Dual:
+      default:
+        panic("readValue: unsupported address kind");
+    }
+}
+
+void
+Subarray::writeValue(const RowAddr &addr, const BitRow &v)
+{
+    switch (addr.kind) {
+      case RowAddr::Kind::Data:
+        if (addr.dataRow >= data_.size())
+            panic("activate: data row out of range");
+        data_[addr.dataRow] = v;
+        break;
+      case RowAddr::Kind::Special:
+        writeSpecial(addr.special, v);
+        break;
+      case RowAddr::Kind::Dual: {
+        const auto rows = dualRows(addr.dual);
+        for (SpecialRow s : rows)
+            writeSpecial(s, v);
+        break;
+      }
+      case RowAddr::Kind::Triple: {
+        const auto rows = tripleRows(addr.triple);
+        for (SpecialRow s : rows)
+            writeSpecial(s, v);
+        break;
+      }
+    }
+}
+
+BitRow
+Subarray::readSpecial(SpecialRow s) const
+{
+    switch (s) {
+      case SpecialRow::C0:
+        return c0_;
+      case SpecialRow::C1:
+        return c1_;
+      case SpecialRow::T0:
+        return t_[0];
+      case SpecialRow::T1:
+        return t_[1];
+      case SpecialRow::T2:
+        return t_[2];
+      case SpecialRow::T3:
+        return t_[3];
+      case SpecialRow::DCC0P:
+        return dcc_[0];
+      case SpecialRow::DCC0N:
+        return ~dcc_[0];
+      case SpecialRow::DCC1P:
+        return dcc_[1];
+      case SpecialRow::DCC1N:
+        return ~dcc_[1];
+    }
+    panic("readSpecial: bad row");
+}
+
+void
+Subarray::writeSpecial(SpecialRow s, const BitRow &v)
+{
+    switch (s) {
+      case SpecialRow::C0:
+      case SpecialRow::C1:
+        // The row decoder never drives the constant rows from the
+        // sense amplifiers; a write here is a compiler bug.
+        panic("writeSpecial: constant rows are read-only");
+      case SpecialRow::T0:
+        t_[0] = v;
+        return;
+      case SpecialRow::T1:
+        t_[1] = v;
+        return;
+      case SpecialRow::T2:
+        t_[2] = v;
+        return;
+      case SpecialRow::T3:
+        t_[3] = v;
+        return;
+      case SpecialRow::DCC0P:
+        dcc_[0] = v;
+        return;
+      case SpecialRow::DCC0N:
+        dcc_[0] = ~v;
+        return;
+      case SpecialRow::DCC1P:
+        dcc_[1] = v;
+        return;
+      case SpecialRow::DCC1N:
+        dcc_[1] = ~v;
+        return;
+    }
+    panic("writeSpecial: bad row");
+}
+
+} // namespace simdram

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Functional + cost model of one SIMDRAM compute subarray.
+ *
+ * The subarray holds regular data rows plus the special rows described
+ * in address.h. It models the analog behaviour of processing-using-DRAM
+ * at the bit level:
+ *
+ *  - Activating a single row from the precharged state latches the row
+ *    value into the row buffer (sense amplifiers) and restores it into
+ *    the cells.
+ *  - Activating a *triple* address from the precharged state performs
+ *    charge sharing between three cells per bitline; the sense
+ *    amplifier resolves to the majority value, which is then restored
+ *    into *all three* rows (their previous contents are destroyed) and
+ *    remains in the row buffer. This is the MAJ primitive.
+ *  - Activating any address while the row buffer is already open makes
+ *    the sense amplifiers drive the bitlines, overwriting the addressed
+ *    cells with the buffer contents (the RowClone FPM copy mechanism).
+ *  - Dual-contact cells expose a negative port that reads/writes the
+ *    complement (in-DRAM NOT).
+ *
+ * Command-count, latency, and energy statistics accumulate into an
+ * internal DramStats; latency accumulates serially, which is correct
+ * within a subarray (and within a bank, which serializes subarrays).
+ */
+
+#ifndef SIMDRAM_DRAM_SUBARRAY_H
+#define SIMDRAM_DRAM_SUBARRAY_H
+
+#include <vector>
+
+#include "common/bitrow.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "dram/address.h"
+#include "dram/config.h"
+
+namespace simdram
+{
+
+/** One compute-capable DRAM subarray. */
+class Subarray
+{
+  public:
+    /**
+     * Creates a subarray per @p cfg geometry.
+     *
+     * All data and compute rows start zeroed; C0/C1 hold their
+     * constants.
+     */
+    explicit Subarray(const DramConfig &cfg);
+
+    /** @return Number of regular data rows. */
+    size_t dataRowCount() const { return data_.size(); }
+
+    /** @return Bits per row (SIMD lanes). */
+    size_t rowBits() const { return cfg_.rowBits; }
+
+    // ---- Command interface -------------------------------------------
+
+    /**
+     * Issues a bare ACTIVATE.
+     *
+     * Functional semantics as described in the file comment. Counts the
+     * command and its energy; latency is accounted at the AAP/AP macro
+     * level (see aap()/ap()), matching how the SIMDRAM control unit
+     * issues commands.
+     */
+    void activate(const RowAddr &addr);
+
+    /** Issues a PRECHARGE, closing the row buffer. */
+    void precharge();
+
+    /**
+     * ACTIVATE-ACTIVATE-PRECHARGE: copies @p src into @p dst.
+     *
+     * If @p src is a triple address this first computes the majority
+     * (the standard Ambit "compute and copy out" idiom). @p dst may be
+     * a dual address to initialize two compute rows at once.
+     */
+    void aap(const RowAddr &src, const RowAddr &dst);
+
+    /**
+     * ACTIVATE-PRECHARGE on @p addr.
+     *
+     * With a triple address this computes MAJ in place, leaving the
+     * result in the three activated rows.
+     */
+    void ap(const RowAddr &addr);
+
+    // ---- Backdoor access (no cost; for host modeling and tests) ------
+
+    /** @return The stored value of data row @p row. */
+    const BitRow &peekData(size_t row) const;
+
+    /** Overwrites data row @p row (host store backdoor). */
+    void pokeData(size_t row, const BitRow &value);
+
+    /** @return The value visible through special-row port @p s. */
+    BitRow peek(SpecialRow s) const;
+
+    /** Overwrites the cell behind port @p s (testing backdoor). */
+    void poke(SpecialRow s, const BitRow &value);
+
+    /** @return True if the row buffer is open. */
+    bool bufferOpen() const { return buffer_open_; }
+
+    /** @return The current row-buffer contents. */
+    const BitRow &peekBuffer() const { return buffer_; }
+
+    // ---- Statistics ---------------------------------------------------
+
+    /** @return Accumulated command statistics. */
+    const DramStats &stats() const { return stats_; }
+
+    /** Clears accumulated statistics (contents are kept). */
+    void resetStats() { stats_.reset(); }
+
+    // ---- Fault injection ------------------------------------------------
+
+    /**
+     * Enables TRA fault injection: after every triple-row
+     * activation, each bit of the majority result flips
+     * independently with probability @p flip_probability. This is
+     * the functional-path counterpart of the charge-sharing failure
+     * model in reliability/ — a failing TRA resolves to the wrong
+     * value and that wrong value is restored into all three rows.
+     */
+    void enableTraFaults(double flip_probability, uint64_t seed);
+
+    /** Disables TRA fault injection. */
+    void disableTraFaults() { tra_flip_p_ = 0.0; }
+
+    /** @return Number of bits flipped by fault injection so far. */
+    uint64_t injectedFaults() const { return injected_faults_; }
+
+  private:
+    /** @return The value read through @p addr (with port negation). */
+    BitRow readValue(const RowAddr &addr) const;
+
+    /** Writes @p v through @p addr into all selected cells. */
+    void writeValue(const RowAddr &addr, const BitRow &v);
+
+    /** Reads one physical special row through its port. */
+    BitRow readSpecial(SpecialRow s) const;
+
+    /** Writes one physical special row through its port. */
+    void writeSpecial(SpecialRow s, const BitRow &v);
+
+    DramConfig cfg_; ///< Copied: subarrays outlive caller configs.
+    std::vector<BitRow> data_;  ///< Regular data rows.
+    BitRow c0_, c1_;            ///< Constant rows.
+    BitRow t_[4];               ///< Compute rows T0..T3.
+    BitRow dcc_[2];             ///< DCC cells (true stored value).
+    BitRow buffer_;             ///< Sense-amplifier row buffer.
+    bool buffer_open_ = false;
+    DramStats stats_;
+    double tra_flip_p_ = 0.0;   ///< Per-bit TRA flip probability.
+    Rng fault_rng_;             ///< Fault-injection randomness.
+    uint64_t injected_faults_ = 0;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_DRAM_SUBARRAY_H

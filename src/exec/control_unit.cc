@@ -1,0 +1,47 @@
+#include "exec/control_unit.h"
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+void
+ControlUnit::execute(Subarray &sub, const MicroProgram &prog,
+                     const std::vector<uint32_t> &input_bases,
+                     const std::vector<uint32_t> &output_bases,
+                     uint32_t scratch_base) const
+{
+    if (input_bases.size() != prog.inputRegions.size())
+        fatal("ControlUnit: wrong number of input bases");
+    if (output_bases.size() != prog.outputRegions.size())
+        fatal("ControlUnit: wrong number of output bases");
+
+    // Virtual -> physical row table.
+    std::vector<uint32_t> phys(prog.virtualRowCount());
+    size_t v = 0;
+    for (size_t r = 0; r < prog.inputRegions.size(); ++r)
+        for (size_t j = 0; j < prog.inputRegions[r].rows; ++j)
+            phys[v++] = input_bases[r] + static_cast<uint32_t>(j);
+    for (size_t r = 0; r < prog.outputRegions.size(); ++r)
+        for (size_t j = 0; j < prog.outputRegions[r].rows; ++j)
+            phys[v++] = output_bases[r] + static_cast<uint32_t>(j);
+    for (size_t j = 0; j < prog.scratchRows; ++j)
+        phys[v++] = scratch_base + static_cast<uint32_t>(j);
+
+    auto bind = [&](const RowAddr &a) {
+        if (a.kind != RowAddr::Kind::Data)
+            return a;
+        if (a.dataRow >= phys.size())
+            panic("ControlUnit: virtual row out of range");
+        return RowAddr::data(phys[a.dataRow]);
+    };
+
+    for (const MicroOp &op : prog.ops) {
+        if (op.kind == MicroOp::Kind::Aap)
+            sub.aap(bind(op.src), bind(op.dst));
+        else
+            sub.ap(bind(op.src));
+    }
+}
+
+} // namespace simdram

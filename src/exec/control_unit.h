@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The SIMDRAM control unit (framework step 3).
+ *
+ * The control unit lives in the memory controller. Given a μProgram
+ * (fetched from the controller's μProgram memory by a bbop
+ * instruction) and the physical locations of the operands, it binds
+ * the program's virtual rows to physical rows and issues the AAP/AP
+ * sequence to the target subarray.
+ */
+
+#ifndef SIMDRAM_EXEC_CONTROL_UNIT_H
+#define SIMDRAM_EXEC_CONTROL_UNIT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/subarray.h"
+#include "uprog/program.h"
+
+namespace simdram
+{
+
+/** Binds virtual μProgram rows to physical rows and executes. */
+class ControlUnit
+{
+  public:
+    /**
+     * Executes @p prog on @p sub.
+     *
+     * @param sub Target subarray.
+     * @param prog The μProgram.
+     * @param input_bases Physical base row of each input region,
+     *        in region order.
+     * @param output_bases Physical base row of each output region.
+     * @param scratch_base Physical base row of the scratch region.
+     */
+    void execute(Subarray &sub, const MicroProgram &prog,
+                 const std::vector<uint32_t> &input_bases,
+                 const std::vector<uint32_t> &output_bases,
+                 uint32_t scratch_base) const;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_EXEC_CONTROL_UNIT_H

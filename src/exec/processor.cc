@@ -1,0 +1,363 @@
+#include "exec/processor.h"
+
+#include "ambit/ambit_synth.h"
+#include "common/error.h"
+#include "uprog/allocator.h"
+
+namespace simdram
+{
+
+const char *
+toString(Backend b)
+{
+    switch (b) {
+      case Backend::Simdram:
+        return "SIMDRAM";
+      case Backend::SimdramNaive:
+        return "SIMDRAM-naive";
+      case Backend::Ambit:
+        return "Ambit";
+    }
+    return "?";
+}
+
+Processor::Processor(DramConfig cfg, Backend backend)
+    : device_(cfg),
+      tunit_(device_.config()),
+      backend_(backend),
+      cur_sub_(device_.config().banks, 0),
+      next_row_(device_.config().banks, 0)
+{
+}
+
+Processor::VecHandle
+Processor::alloc(size_t elements, size_t bits)
+{
+    if (elements == 0 || bits == 0)
+        fatal("Processor::alloc: empty vector");
+    const DramConfig &cfg = device_.config();
+
+    VecInfo vi;
+    vi.elements = elements;
+    vi.bits = bits;
+    const size_t lanes_per_seg = cfg.rowBits;
+    const size_t n_segs =
+        (elements + lanes_per_seg - 1) / lanes_per_seg;
+    for (size_t s = 0; s < n_segs; ++s) {
+        const size_t lanes =
+            std::min(lanes_per_seg, elements - s * lanes_per_seg);
+        vi.segments.push_back(reserveSegment(s, bits, lanes));
+    }
+
+    vectors_.push_back(std::move(vi));
+    VecHandle h;
+    h.id = static_cast<uint32_t>(vectors_.size() - 1);
+    h.elements = elements;
+    h.bits = bits;
+    return h;
+}
+
+Processor::Segment
+Processor::reserveSegment(size_t seg_idx, size_t rows, size_t lanes)
+{
+    const DramConfig &cfg = device_.config();
+    const size_t bank = seg_idx % cfg.computeBanks;
+    const uint32_t data_limit = static_cast<uint32_t>(
+        cfg.rowsPerSubarray - cfg.scratchRows);
+
+    if (rows > data_limit)
+        fatal("Processor: vector wider than a subarray data region");
+
+    if (next_row_[bank] + rows > data_limit) {
+        ++cur_sub_[bank];
+        next_row_[bank] = 0;
+        if (cur_sub_[bank] >= cfg.subarraysPerBank)
+            fatal("Processor: out of subarrays in bank " +
+                  std::to_string(bank));
+    }
+
+    Segment seg;
+    seg.bank = bank;
+    seg.sub = cur_sub_[bank];
+    seg.baseRow = next_row_[bank];
+    seg.lanes = lanes;
+    next_row_[bank] += static_cast<uint32_t>(rows);
+    return seg;
+}
+
+const Processor::VecInfo &
+Processor::info(const VecHandle &v) const
+{
+    if (!v.valid() || v.id >= vectors_.size())
+        fatal("Processor: invalid vector handle");
+    return vectors_[v.id];
+}
+
+void
+Processor::store(const VecHandle &v, const std::vector<uint64_t> &data)
+{
+    const VecInfo &vi = info(v);
+    if (data.size() != vi.elements)
+        fatal("Processor::store: element count mismatch");
+    size_t off = 0;
+    for (const Segment &seg : vi.segments) {
+        Subarray &sub = device_.bank(seg.bank).subarray(seg.sub);
+        tunit_.storeVertical(sub, seg.baseRow, vi.bits,
+                             data.data() + off, seg.lanes);
+        off += seg.lanes;
+    }
+}
+
+void
+Processor::fillConstant(const VecHandle &v, uint64_t value)
+{
+    const VecInfo &vi = info(v);
+    if (vi.bits < 64 && (value >> vi.bits) != 0)
+        fatal("Processor::fillConstant: value wider than the vector");
+    for (const Segment &seg : vi.segments) {
+        Subarray &sub = device_.bank(seg.bank).subarray(seg.sub);
+        for (size_t j = 0; j < vi.bits; ++j) {
+            const bool bit = j < 64 && ((value >> j) & 1);
+            sub.aap(RowAddr::row(bit ? SpecialRow::C1
+                                     : SpecialRow::C0),
+                    RowAddr::data(seg.baseRow +
+                                  static_cast<uint32_t>(j)));
+        }
+    }
+}
+
+namespace
+{
+
+/** Shared row-copy shift used by shiftLeft/shiftRight. */
+void
+shiftRows(Subarray &sub, uint32_t dst_base, uint32_t src_base,
+          size_t bits, size_t k, bool left)
+{
+    for (size_t j = 0; j < bits; ++j) {
+        const uint32_t dst_row =
+            dst_base + static_cast<uint32_t>(j);
+        // Left shift: dst[j] = src[j-k]; right shift: src[j+k].
+        bool in_range;
+        size_t src_j = 0;
+        if (left) {
+            in_range = j >= k;
+            if (in_range)
+                src_j = j - k;
+        } else {
+            in_range = j + k < bits;
+            if (in_range)
+                src_j = j + k;
+        }
+        if (in_range)
+            sub.aap(RowAddr::data(src_base +
+                                  static_cast<uint32_t>(src_j)),
+                    RowAddr::data(dst_row));
+        else
+            sub.aap(RowAddr::row(SpecialRow::C0),
+                    RowAddr::data(dst_row));
+    }
+}
+
+} // namespace
+
+void
+Processor::shiftLeft(const VecHandle &dst, const VecHandle &src,
+                     size_t k)
+{
+    const VecInfo &d = info(dst);
+    const VecInfo &s = info(src);
+    if (dst.id == src.id)
+        fatal("Processor::shift: in-place shift is not supported");
+    if (d.bits != s.bits || d.elements != s.elements)
+        fatal("Processor::shift: shape mismatch");
+    for (size_t i = 0; i < d.segments.size(); ++i) {
+        const Segment &ds = d.segments[i];
+        const Segment &ss = s.segments[i];
+        if (ds.bank != ss.bank || ds.sub != ss.sub)
+            fatal("Processor::shift: vectors are not co-located");
+        Subarray &sub = device_.bank(ds.bank).subarray(ds.sub);
+        shiftRows(sub, ds.baseRow, ss.baseRow, d.bits, k, true);
+    }
+}
+
+void
+Processor::shiftRight(const VecHandle &dst, const VecHandle &src,
+                      size_t k)
+{
+    const VecInfo &d = info(dst);
+    const VecInfo &s = info(src);
+    if (dst.id == src.id)
+        fatal("Processor::shift: in-place shift is not supported");
+    if (d.bits != s.bits || d.elements != s.elements)
+        fatal("Processor::shift: shape mismatch");
+    for (size_t i = 0; i < d.segments.size(); ++i) {
+        const Segment &ds = d.segments[i];
+        const Segment &ss = s.segments[i];
+        if (ds.bank != ss.bank || ds.sub != ss.sub)
+            fatal("Processor::shift: vectors are not co-located");
+        Subarray &sub = device_.bank(ds.bank).subarray(ds.sub);
+        shiftRows(sub, ds.baseRow, ss.baseRow, d.bits, k, false);
+    }
+}
+
+std::vector<uint64_t>
+Processor::load(const VecHandle &v)
+{
+    const VecInfo &vi = info(v);
+    std::vector<uint64_t> out;
+    out.reserve(vi.elements);
+    for (const Segment &seg : vi.segments) {
+        Subarray &sub = device_.bank(seg.bank).subarray(seg.sub);
+        auto part = tunit_.loadVertical(sub, seg.baseRow, vi.bits,
+                                        seg.lanes);
+        out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+}
+
+const MicroProgram &
+Processor::program(OpKind op, size_t width)
+{
+    const auto key = std::make_pair(op, width);
+    auto it = prog_cache_.find(key);
+    if (it != prog_cache_.end())
+        return *it->second;
+
+    MicroProgram prog;
+    switch (backend_) {
+      case Backend::Simdram:
+        prog = compileMig(lib_.mig(op, width), CompileOptions{});
+        break;
+      case Backend::SimdramNaive: {
+        CompileOptions opts;
+        opts.greedy = false;
+        prog = compileMig(lib_.mig(op, width), opts);
+        break;
+      }
+      case Backend::Ambit:
+        prog = compileAmbit(lib_.aoig(op, width));
+        break;
+    }
+    if (prog.scratchRows > device_.config().scratchRows)
+        fatal("Processor: μProgram needs " +
+              std::to_string(prog.scratchRows) +
+              " scratch rows; raise DramConfig::scratchRows");
+
+    auto owned = std::make_unique<MicroProgram>(std::move(prog));
+    const MicroProgram &ref = *owned;
+    prog_cache_.emplace(key, std::move(owned));
+    return ref;
+}
+
+void
+Processor::run(OpKind op, const VecHandle &dst, const VecHandle &a)
+{
+    const auto sig = signatureOf(op, a.bits);
+    if (sig.numInputs != 1 || sig.hasSel)
+        fatal("Processor::run: operation is not unary");
+    execute(program(op, a.bits), {&info(a)}, info(dst));
+}
+
+void
+Processor::run(OpKind op, const VecHandle &dst, const VecHandle &a,
+               const VecHandle &b)
+{
+    const auto sig = signatureOf(op, a.bits);
+    if (sig.numInputs != 2 || sig.hasSel)
+        fatal("Processor::run: operation is not binary");
+    if (a.bits != b.bits)
+        fatal("Processor::run: operand width mismatch");
+    execute(program(op, a.bits), {&info(a), &info(b)}, info(dst));
+}
+
+void
+Processor::run(OpKind op, const VecHandle &dst, const VecHandle &a,
+               const VecHandle &b, const VecHandle &sel)
+{
+    const auto sig = signatureOf(op, a.bits);
+    if (!(sig.numInputs == 2 && sig.hasSel))
+        fatal("Processor::run: operation is not predicated");
+    if (sel.bits != 1)
+        fatal("Processor::run: predicate must be 1 bit wide");
+    execute(program(op, a.bits), {&info(a), &info(b), &info(sel)},
+            info(dst));
+}
+
+void
+Processor::execute(const MicroProgram &prog,
+                   const std::vector<const VecInfo *> &inputs,
+                   const VecInfo &out)
+{
+    const DramConfig &cfg = device_.config();
+    if (inputs.empty())
+        panic("Processor::execute: no inputs");
+    const size_t elements = inputs[0]->elements;
+    for (const VecInfo *vi : inputs)
+        if (vi->elements != elements)
+            fatal("Processor: operand element counts differ");
+    if (out.elements != elements)
+        fatal("Processor: destination element count differs");
+    if (inputs.size() != prog.inputRegions.size())
+        panic("Processor: operand count does not match μProgram");
+    const size_t expected_out = prog.outputRowCount();
+    if (out.bits != expected_out)
+        fatal("Processor: destination must be " +
+              std::to_string(expected_out) + " bits wide");
+
+    const uint32_t scratch_base = static_cast<uint32_t>(
+        cfg.rowsPerSubarray - cfg.scratchRows);
+
+    const size_t n_segs = inputs[0]->segments.size();
+    for (size_t s = 0; s < n_segs; ++s) {
+        const Segment &seg0 = inputs[0]->segments[s];
+        std::vector<uint32_t> in_bases;
+        for (const VecInfo *vi : inputs) {
+            const Segment &seg = vi->segments[s];
+            if (seg.bank != seg0.bank || seg.sub != seg0.sub)
+                fatal("Processor: operands are not co-located; "
+                      "allocate matching vectors back to back");
+            in_bases.push_back(seg.baseRow);
+        }
+        const Segment &oseg = out.segments[s];
+        if (oseg.bank != seg0.bank || oseg.sub != seg0.sub)
+            fatal("Processor: destination is not co-located with "
+                  "the operands");
+        // The μProgram may write output rows before its last read of
+        // the inputs, so in-place operation is not supported.
+        for (const VecInfo *vi : inputs) {
+            const Segment &seg = vi->segments[s];
+            const uint32_t in_end =
+                seg.baseRow + static_cast<uint32_t>(vi->bits);
+            const uint32_t out_end =
+                oseg.baseRow + static_cast<uint32_t>(out.bits);
+            if (seg.baseRow < out_end && oseg.baseRow < in_end)
+                fatal("Processor: destination overlaps an operand; "
+                      "in-place execution is not supported");
+        }
+        Subarray &sub = device_.bank(seg0.bank).subarray(seg0.sub);
+        cu_.execute(sub, prog, in_bases, {oseg.baseRow},
+                    scratch_base);
+    }
+}
+
+DramStats
+Processor::computeStats() const
+{
+    return device_.parallelStats();
+}
+
+DramStats
+Processor::transferStats() const
+{
+    return tunit_.stats();
+}
+
+void
+Processor::resetStats()
+{
+    device_.resetStats();
+    tunit_.resetStats();
+}
+
+} // namespace simdram

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The SIMDRAM processor: the library's main public API.
+ *
+ * A Processor owns a DRAM device, a transposition unit, a control
+ * unit, and a compiled-μProgram cache, and exposes a vector-style
+ * interface:
+ *
+ *   Processor p(DramConfig::simdramConfig(16));
+ *   auto a = p.alloc(1 << 20, 32);
+ *   auto b = p.alloc(1 << 20, 32);
+ *   auto y = p.alloc(1 << 20, 32);
+ *   p.store(a, data_a);
+ *   p.store(b, data_b);
+ *   p.run(OpKind::Add, y, a, b);
+ *   auto result = p.load(y);
+ *   auto stats = p.computeStats();
+ *
+ * Vectors are stored vertically; elements are striped across banks in
+ * subarray-sized segments (cfg.rowBits lanes each), and banks execute
+ * segments concurrently. Operands of one operation must be
+ * co-located (allocated while the same subarrays are current), which
+ * the sequential allocator guarantees for identically sized vectors
+ * allocated together.
+ *
+ * Three backends share this interface: the SIMDRAM compiler (greedy
+ * allocation), the SIMDRAM compiler with naive allocation (ablation),
+ * and the Ambit per-gate baseline.
+ */
+
+#ifndef SIMDRAM_EXEC_PROCESSOR_H
+#define SIMDRAM_EXEC_PROCESSOR_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dram/device.h"
+#include "exec/control_unit.h"
+#include "layout/transposition_unit.h"
+#include "ops/library.h"
+#include "uprog/program.h"
+
+namespace simdram
+{
+
+/** Which compiler generates the μPrograms. */
+enum class Backend : uint8_t
+{
+    Simdram,      ///< MIG + greedy allocation (the paper's system).
+    SimdramNaive, ///< MIG + naive allocation (ablation).
+    Ambit,        ///< AND/OR/NOT per-gate recipes (baseline).
+};
+
+/** @return A printable backend name. */
+const char *toString(Backend b);
+
+/** An in-DRAM SIMD processor instance. */
+class Processor
+{
+  public:
+    /** A handle to an allocated vertical vector. */
+    struct VecHandle
+    {
+        uint32_t id = UINT32_MAX; ///< Internal identifier.
+        size_t elements = 0;      ///< Number of SIMD elements.
+        size_t bits = 0;          ///< Element width in bits.
+
+        /** @return True if the handle refers to a vector. */
+        bool valid() const { return id != UINT32_MAX; }
+    };
+
+    /**
+     * @param cfg Device configuration.
+     * @param backend μProgram compiler selection.
+     */
+    explicit Processor(DramConfig cfg,
+                       Backend backend = Backend::Simdram);
+
+    /**
+     * Allocates a vertical vector of @p elements elements of
+     * @p bits bits each. Rows are reserved in segment order across
+     * the compute banks.
+     */
+    VecHandle alloc(size_t elements, size_t bits);
+
+    /** Stores host data into a vector through the transposition unit. */
+    void store(const VecHandle &v, const std::vector<uint64_t> &data);
+
+    /**
+     * Fills every element of @p v with @p value using in-DRAM row
+     * initialization: each bit row is RowCloned from the matching
+     * constant row (C0/C1), one AAP per row per segment, with no
+     * channel traffic. This is the bbop_init path — far cheaper than
+     * transposing a host buffer of identical values.
+     */
+    void fillConstant(const VecHandle &v, uint64_t value);
+
+    /**
+     * Logical shift left within each element: dst = src << k.
+     *
+     * In the vertical layout a shift is pure row bookkeeping: bit
+     * row j of dst is a RowClone copy of bit row j-k of src, and the
+     * bottom k rows come from C0 (paper section 2: shifting needs no
+     * dedicated hardware). @p dst and @p src must be distinct,
+     * co-located, same-shape vectors.
+     */
+    void shiftLeft(const VecHandle &dst, const VecHandle &src,
+                   size_t k);
+
+    /** Logical shift right within each element: dst = src >> k. */
+    void shiftRight(const VecHandle &dst, const VecHandle &src,
+                    size_t k);
+
+    /** Loads a vector back into host (horizontal) layout. */
+    std::vector<uint64_t> load(const VecHandle &v);
+
+    /** Executes a unary operation: dst = op(a). */
+    void run(OpKind op, const VecHandle &dst, const VecHandle &a);
+
+    /** Executes a binary operation: dst = op(a, b). */
+    void run(OpKind op, const VecHandle &dst, const VecHandle &a,
+             const VecHandle &b);
+
+    /**
+     * Executes a predicated operation (if_else):
+     * dst = sel ? a : b, with @p sel a 1-bit vector.
+     */
+    void run(OpKind op, const VecHandle &dst, const VecHandle &a,
+             const VecHandle &b, const VecHandle &sel);
+
+    /**
+     * @return The compiled μProgram for @p op at @p width under the
+     *         current backend (compiled once, cached).
+     */
+    const MicroProgram &program(OpKind op, size_t width);
+
+    /** @return Compute statistics (banks merged in parallel). */
+    DramStats computeStats() const;
+
+    /** @return Host-transfer (transposition) statistics. */
+    DramStats transferStats() const;
+
+    /** Clears all statistics. */
+    void resetStats();
+
+    /** @return The backend in use. */
+    Backend backend() const { return backend_; }
+
+    /** @return The device configuration. */
+    const DramConfig &config() const { return device_.config(); }
+
+    /** @return The underlying device (tests, advanced use). */
+    DramDevice &device() { return device_; }
+
+    /** @return The operation library (circuit access). */
+    OperationLibrary &library() { return lib_; }
+
+  private:
+    /** One subarray-sized piece of a vector. */
+    struct Segment
+    {
+        size_t bank = 0;
+        size_t sub = 0;
+        uint32_t baseRow = 0;
+        size_t lanes = 0; ///< Elements in this segment.
+    };
+
+    struct VecInfo
+    {
+        size_t elements = 0;
+        size_t bits = 0;
+        std::vector<Segment> segments;
+    };
+
+    const VecInfo &info(const VecHandle &v) const;
+
+    /** Reserves @p rows rows for segment @p seg_idx in its bank. */
+    Segment reserveSegment(size_t seg_idx, size_t rows,
+                           size_t lanes);
+
+    void execute(const MicroProgram &prog,
+                 const std::vector<const VecInfo *> &inputs,
+                 const VecInfo &out);
+
+    DramDevice device_;
+    TranspositionUnit tunit_;
+    ControlUnit cu_;
+    OperationLibrary lib_;
+    Backend backend_;
+
+    std::vector<VecInfo> vectors_;
+    // Per-bank bump allocation state.
+    std::vector<size_t> cur_sub_;
+    std::vector<uint32_t> next_row_;
+
+    std::map<std::pair<OpKind, size_t>,
+             std::unique_ptr<MicroProgram>>
+        prog_cache_;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_EXEC_PROCESSOR_H

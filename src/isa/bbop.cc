@@ -1,0 +1,162 @@
+#include "isa/bbop.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+BbopInstr
+BbopInstr::trsp(uint16_t obj, uint8_t width)
+{
+    BbopInstr i;
+    i.opcode = BbopOpcode::Trsp;
+    i.width = width;
+    i.dst = obj;
+    return i;
+}
+
+BbopInstr
+BbopInstr::trspInv(uint16_t obj, uint8_t width)
+{
+    BbopInstr i;
+    i.opcode = BbopOpcode::TrspInv;
+    i.width = width;
+    i.dst = obj;
+    return i;
+}
+
+BbopInstr
+BbopInstr::unary(OpKind op, uint8_t width, uint16_t dst,
+                 uint16_t src1)
+{
+    BbopInstr i;
+    i.opcode = BbopOpcode::Op;
+    i.op = op;
+    i.width = width;
+    i.dst = dst;
+    i.src1 = src1;
+    return i;
+}
+
+BbopInstr
+BbopInstr::binary(OpKind op, uint8_t width, uint16_t dst,
+                  uint16_t src1, uint16_t src2)
+{
+    BbopInstr i = unary(op, width, dst, src1);
+    i.src2 = src2;
+    return i;
+}
+
+BbopInstr
+BbopInstr::predicated(OpKind op, uint8_t width, uint16_t dst,
+                      uint16_t src1, uint16_t src2, uint16_t sel)
+{
+    BbopInstr i = binary(op, width, dst, src1, src2);
+    i.sel = sel;
+    return i;
+}
+
+BbopInstr
+BbopInstr::init(uint16_t obj, uint8_t width, uint64_t imm)
+{
+    if (imm >> 36)
+        fatal("bbop_init: immediate does not fit in 36 bits");
+    BbopInstr i;
+    i.opcode = BbopOpcode::Init;
+    i.width = width;
+    i.dst = obj;
+    i.src1 = static_cast<uint16_t>(imm & 0xfff);
+    i.src2 = static_cast<uint16_t>((imm >> 12) & 0xfff);
+    i.sel = static_cast<uint16_t>((imm >> 24) & 0xfff);
+    return i;
+}
+
+BbopInstr
+BbopInstr::shift(bool left, uint8_t width, uint16_t dst,
+                 uint16_t src, uint8_t amount)
+{
+    BbopInstr i;
+    i.opcode = left ? BbopOpcode::ShiftL : BbopOpcode::ShiftR;
+    i.width = width;
+    i.dst = dst;
+    i.src1 = src;
+    i.sel = amount;
+    return i;
+}
+
+uint64_t
+BbopInstr::initImmediate() const
+{
+    return static_cast<uint64_t>(src1) |
+           (static_cast<uint64_t>(src2) << 12) |
+           (static_cast<uint64_t>(sel) << 24);
+}
+
+uint64_t
+encodeBbop(const BbopInstr &instr)
+{
+    if (instr.width == 0 || instr.width > 64)
+        fatal("encodeBbop: bad element width");
+    uint64_t w = 0;
+    w |= static_cast<uint64_t>(instr.opcode) & 0xf;
+    w |= (static_cast<uint64_t>(instr.op) & 0x1f) << 4;
+    w |= (static_cast<uint64_t>(instr.width) & 0x7f) << 9;
+    w |= (static_cast<uint64_t>(instr.dst) & 0xfff) << 16;
+    w |= (static_cast<uint64_t>(instr.src1) & 0xfff) << 28;
+    w |= (static_cast<uint64_t>(instr.src2) & 0xfff) << 40;
+    w |= (static_cast<uint64_t>(instr.sel) & 0xfff) << 52;
+    return w;
+}
+
+BbopInstr
+decodeBbop(uint64_t w)
+{
+    BbopInstr i;
+    i.opcode = static_cast<BbopOpcode>(w & 0xf);
+    i.op = static_cast<OpKind>((w >> 4) & 0x1f);
+    i.width = static_cast<uint8_t>((w >> 9) & 0x7f);
+    i.dst = static_cast<uint16_t>((w >> 16) & 0xfff);
+    i.src1 = static_cast<uint16_t>((w >> 28) & 0xfff);
+    i.src2 = static_cast<uint16_t>((w >> 40) & 0xfff);
+    i.sel = static_cast<uint16_t>((w >> 52) & 0xfff);
+    return i;
+}
+
+std::string
+toAsm(const BbopInstr &instr)
+{
+    std::ostringstream os;
+    switch (instr.opcode) {
+      case BbopOpcode::Trsp:
+        os << "bbop_trsp." << int{instr.width} << " d" << instr.dst;
+        return os.str();
+      case BbopOpcode::TrspInv:
+        os << "bbop_trsp_inv." << int{instr.width} << " d"
+           << instr.dst;
+        return os.str();
+      case BbopOpcode::Init:
+        os << "bbop_init." << int{instr.width} << " d" << instr.dst
+           << ", " << instr.initImmediate();
+        return os.str();
+      case BbopOpcode::ShiftL:
+      case BbopOpcode::ShiftR:
+        os << (instr.opcode == BbopOpcode::ShiftL ? "bbop_shl."
+                                                  : "bbop_shr.")
+           << int{instr.width} << " d" << instr.dst << ", d"
+           << instr.src1 << ", " << int{instr.sel};
+        return os.str();
+      case BbopOpcode::Op:
+        break;
+    }
+    os << "bbop_" << toString(instr.op) << "." << int{instr.width}
+       << " d" << instr.dst << ", d" << instr.src1;
+    if (instr.src2 != kNoObject)
+        os << ", d" << instr.src2;
+    if (instr.sel != kNoObject)
+        os << ", d" << instr.sel;
+    return os.str();
+}
+
+} // namespace simdram

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The bbop ISA extension (paper section 4).
+ *
+ * SIMDRAM extends the host ISA with bulk-bitwise-operation (bbop)
+ * instructions that the memory controller's control unit executes:
+ *
+ *  - bbop_trsp  obj            : transpose a memory object into the
+ *                                vertical layout (through the
+ *                                transposition unit);
+ *  - bbop_trsp_inv obj         : transpose back to horizontal;
+ *  - bbop_<op>  dst, src1[, src2][, sel] : execute operation <op>
+ *                                on vertical objects.
+ *
+ * Instructions are encoded in a single 64-bit word; object sizes and
+ * element widths travel with the object table, mirroring how the
+ * paper keeps bbop instructions compact while μPrograms and object
+ * metadata live in the memory controller.
+ *
+ * Encoding (LSB first):
+ *   [0:3]   opcode        (BbopOpcode)
+ *   [4:8]   operation     (OpKind; Op* opcodes only)
+ *   [9:15]  element width (bits, 1..64)
+ *   [16:27] dst object id
+ *   [28:39] src1 object id
+ *   [40:51] src2 object id
+ *   [52:63] sel object id
+ */
+
+#ifndef SIMDRAM_ISA_BBOP_H
+#define SIMDRAM_ISA_BBOP_H
+
+#include <cstdint>
+#include <string>
+
+#include "ops/op_kind.h"
+
+namespace simdram
+{
+
+/** Top-level bbop opcodes. */
+enum class BbopOpcode : uint8_t
+{
+    Trsp,    ///< Host object -> vertical layout.
+    TrspInv, ///< Vertical layout -> host object.
+    Op,      ///< Execute an OpKind on vertical objects.
+    Init,    ///< Fill a vertical object with an immediate constant
+             ///< via in-DRAM row initialization (no channel traffic).
+             ///< The immediate travels in the src1/src2/sel fields
+             ///< (36 bits).
+    ShiftL,  ///< dst = src1 << imm (row-copy shift; imm in sel).
+    ShiftR,  ///< dst = src1 >> imm (logical; imm in sel).
+};
+
+/** Sentinel for unused object-id fields. */
+constexpr uint16_t kNoObject = 0xfff;
+
+/** A decoded bbop instruction. */
+struct BbopInstr
+{
+    BbopOpcode opcode = BbopOpcode::Op;
+    OpKind op = OpKind::Add; ///< Valid when opcode == Op.
+    uint8_t width = 0;       ///< Element width in bits.
+    uint16_t dst = kNoObject;
+    uint16_t src1 = kNoObject;
+    uint16_t src2 = kNoObject;
+    uint16_t sel = kNoObject;
+
+    /** @return A transpose instruction for @p obj. */
+    static BbopInstr trsp(uint16_t obj, uint8_t width);
+
+    /** @return An inverse-transpose instruction for @p obj. */
+    static BbopInstr trspInv(uint16_t obj, uint8_t width);
+
+    /** @return A unary operation instruction. */
+    static BbopInstr unary(OpKind op, uint8_t width, uint16_t dst,
+                           uint16_t src1);
+
+    /** @return A binary operation instruction. */
+    static BbopInstr binary(OpKind op, uint8_t width, uint16_t dst,
+                            uint16_t src1, uint16_t src2);
+
+    /** @return A predicated operation instruction. */
+    static BbopInstr predicated(OpKind op, uint8_t width,
+                                uint16_t dst, uint16_t src1,
+                                uint16_t src2, uint16_t sel);
+
+    /** @return A constant-fill instruction (imm must fit 36 bits). */
+    static BbopInstr init(uint16_t obj, uint8_t width, uint64_t imm);
+
+    /** @return A shift instruction (@p left selects direction). */
+    static BbopInstr shift(bool left, uint8_t width, uint16_t dst,
+                           uint16_t src, uint8_t amount);
+
+    /** @return The 36-bit immediate of an Init instruction. */
+    uint64_t initImmediate() const;
+
+    bool operator==(const BbopInstr &o) const = default;
+};
+
+/** @return The 64-bit encoding of @p instr. */
+uint64_t encodeBbop(const BbopInstr &instr);
+
+/** @return The instruction decoded from @p word. */
+BbopInstr decodeBbop(uint64_t word);
+
+/** @return Assembly text, e.g. "bbop_add.32 d3, d1, d2". */
+std::string toAsm(const BbopInstr &instr);
+
+} // namespace simdram
+
+#endif // SIMDRAM_ISA_BBOP_H

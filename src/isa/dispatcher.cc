@@ -1,0 +1,138 @@
+#include "isa/dispatcher.h"
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+uint16_t
+BbopDispatcher::defineObject(size_t elements, size_t bits)
+{
+    if (objects_.size() >= kNoObject)
+        fatal("BbopDispatcher: object table full");
+    ObjectInfo info;
+    info.elements = elements;
+    info.bits = bits;
+    info.hostImage.assign(elements, 0);
+    objects_.push_back(std::move(info));
+    return static_cast<uint16_t>(objects_.size() - 1);
+}
+
+void
+BbopDispatcher::writeObject(uint16_t id,
+                            const std::vector<uint64_t> &data)
+{
+    ObjectInfo &obj = object(id);
+    if (data.size() != obj.elements)
+        fatal("writeObject: element count mismatch");
+    obj.hostImage = data;
+    if (obj.vertical) {
+        // Keep the vertical copy coherent, as the transposition unit
+        // would on a horizontal write to a transposed object.
+        proc_->store(obj.vec, obj.hostImage);
+    }
+}
+
+const std::vector<uint64_t> &
+BbopDispatcher::readObject(uint16_t id) const
+{
+    return object(id).hostImage;
+}
+
+void
+BbopDispatcher::exec(const BbopInstr &instr)
+{
+    switch (instr.opcode) {
+      case BbopOpcode::Trsp: {
+        ObjectInfo &obj = object(instr.dst);
+        if (instr.width != obj.bits)
+            fatal("bbop_trsp: width mismatch with object");
+        if (!obj.vertical) {
+            obj.vec = proc_->alloc(obj.elements, obj.bits);
+            obj.vertical = true;
+        }
+        proc_->store(obj.vec, obj.hostImage);
+        return;
+      }
+      case BbopOpcode::TrspInv: {
+        ObjectInfo &obj = object(instr.dst);
+        if (!obj.vertical)
+            fatal("bbop_trsp_inv: object is not vertical");
+        obj.hostImage = proc_->load(obj.vec);
+        return;
+      }
+      case BbopOpcode::Init: {
+        ObjectInfo &obj = object(instr.dst);
+        if (!obj.vertical)
+            fatal("bbop_init: object is not vertical");
+        const uint64_t imm = instr.initImmediate();
+        proc_->fillConstant(obj.vec, imm);
+        obj.hostImage.assign(obj.elements, imm);
+        return;
+      }
+      case BbopOpcode::ShiftL:
+      case BbopOpcode::ShiftR: {
+        ObjectInfo &dst_o = object(instr.dst);
+        ObjectInfo &src_o = object(instr.src1);
+        if (!dst_o.vertical || !src_o.vertical)
+            fatal("bbop_sh*: objects must be vertical");
+        const auto amount = static_cast<size_t>(instr.sel);
+        if (instr.opcode == BbopOpcode::ShiftL)
+            proc_->shiftLeft(dst_o.vec, src_o.vec, amount);
+        else
+            proc_->shiftRight(dst_o.vec, src_o.vec, amount);
+        return;
+      }
+      case BbopOpcode::Op:
+        break;
+    }
+
+    ObjectInfo &dst = object(instr.dst);
+    ObjectInfo &src1 = object(instr.src1);
+    if (!dst.vertical)
+        fatal("bbop: destination object is not vertical; "
+              "issue bbop_trsp first");
+    if (!src1.vertical)
+        fatal("bbop: source object is not vertical");
+
+    const auto sig = signatureOf(instr.op, instr.width);
+    if (sig.numInputs == 1) {
+        proc_->run(instr.op, dst.vec, src1.vec);
+    } else if (!sig.hasSel) {
+        ObjectInfo &src2 = object(instr.src2);
+        if (!src2.vertical)
+            fatal("bbop: source object is not vertical");
+        proc_->run(instr.op, dst.vec, src1.vec, src2.vec);
+    } else {
+        ObjectInfo &src2 = object(instr.src2);
+        ObjectInfo &sel = object(instr.sel);
+        if (!src2.vertical || !sel.vertical)
+            fatal("bbop: source object is not vertical");
+        proc_->run(instr.op, dst.vec, src1.vec, src2.vec, sel.vec);
+    }
+}
+
+void
+BbopDispatcher::exec(const std::vector<BbopInstr> &stream)
+{
+    for (const auto &i : stream)
+        exec(i);
+}
+
+BbopDispatcher::ObjectInfo &
+BbopDispatcher::object(uint16_t id)
+{
+    if (id >= objects_.size())
+        fatal("BbopDispatcher: bad object id");
+    return objects_[id];
+}
+
+const BbopDispatcher::ObjectInfo &
+BbopDispatcher::object(uint16_t id) const
+{
+    if (id >= objects_.size())
+        fatal("BbopDispatcher: bad object id");
+    return objects_[id];
+}
+
+} // namespace simdram

@@ -1,0 +1,80 @@
+#include "layout/transpose.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+void
+transpose64(uint64_t m[64])
+{
+    // Recursive block-swap network (Hacker's Delight 7-3): swap
+    // progressively smaller off-diagonal blocks.
+    uint64_t mask = 0x00000000FFFFFFFFULL;
+    for (int j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+        for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const uint64_t t = (m[k] ^ (m[k + j] >> j)) & mask;
+            m[k] ^= t;
+            m[k + j] ^= t << j;
+        }
+    }
+}
+
+std::vector<BitRow>
+elementsToRows(const uint64_t *elems, size_t n, size_t bits,
+               size_t lanes)
+{
+    if (n > lanes)
+        fatal("elementsToRows: more elements than lanes");
+    std::vector<BitRow> rows(bits, BitRow(lanes));
+
+    // Process tiles of 64 elements; each tile is one 64x64 transpose
+    // whose output words land in word column `tile` of each row.
+    const size_t tiles = (n + 63) / 64;
+    std::array<uint64_t, 64> block;
+    for (size_t tile = 0; tile < tiles; ++tile) {
+        const size_t base = tile * 64;
+        const size_t count = std::min<size_t>(64, n - base);
+        block.fill(0);
+        // The swap network transposes about the anti-diagonal:
+        // (word w, bit b) -> (word 63-b, bit 63-w). Loading element e
+        // into word 63-e therefore lands bit j of element e in word
+        // 63-j at bit e, so row j reads word 63-j directly.
+        for (size_t e = 0; e < count; ++e)
+            block[63 - e] = elems[base + e];
+        transpose64(block.data());
+        for (size_t j = 0; j < bits && j < 64; ++j)
+            rows[j].word(tile) = block[63 - j];
+    }
+    return rows;
+}
+
+std::vector<uint64_t>
+rowsToElements(const std::vector<BitRow> &rows, size_t n)
+{
+    std::vector<uint64_t> elems(n, 0);
+    if (rows.empty())
+        return elems;
+    const size_t lanes = rows[0].width();
+    if (n > lanes)
+        fatal("rowsToElements: more elements than lanes");
+
+    const size_t tiles = (n + 63) / 64;
+    std::array<uint64_t, 64> block;
+    for (size_t tile = 0; tile < tiles; ++tile) {
+        block.fill(0);
+        for (size_t j = 0; j < rows.size() && j < 64; ++j)
+            block[63 - j] = rows[j].word(tile);
+        transpose64(block.data());
+        const size_t base = tile * 64;
+        const size_t count = std::min<size_t>(64, n - base);
+        for (size_t e = 0; e < count; ++e)
+            elems[base + e] = block[63 - e];
+    }
+    return elems;
+}
+
+} // namespace simdram

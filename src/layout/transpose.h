@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Bit-matrix transposition between horizontal (element-per-word) and
+ * vertical (bit-per-row) layouts.
+ *
+ * This is the data-movement kernel inside SIMDRAM's transposition
+ * unit: converting a cache line of horizontal elements into vertical
+ * bit slices and back. The implementation works on 64x64 bit tiles
+ * (the classic recursive swap network a hardware transposition unit
+ * would implement with muxes).
+ */
+
+#ifndef SIMDRAM_LAYOUT_TRANSPOSE_H
+#define SIMDRAM_LAYOUT_TRANSPOSE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitrow.h"
+
+namespace simdram
+{
+
+/**
+ * Transposes a 64x64 bit matrix in place.
+ *
+ * @param m 64 words; bit j of word i becomes bit i of word j.
+ */
+void transpose64(uint64_t m[64]);
+
+/**
+ * Converts @p n horizontal elements into @p bits vertical rows of
+ * width @p lanes (n <= lanes; remaining lanes are zero).
+ *
+ * Row j holds bit j of every element: rows[j].get(i) == bit j of
+ * elems[i].
+ */
+std::vector<BitRow> elementsToRows(const uint64_t *elems, size_t n,
+                                   size_t bits, size_t lanes);
+
+/**
+ * Converts vertical rows back into @p n horizontal elements
+ * (inverse of elementsToRows; bits above rows.size() read as zero).
+ */
+std::vector<uint64_t> rowsToElements(const std::vector<BitRow> &rows,
+                                     size_t n);
+
+} // namespace simdram
+
+#endif // SIMDRAM_LAYOUT_TRANSPOSE_H

@@ -1,0 +1,58 @@
+#include "layout/transposition_unit.h"
+
+#include "common/error.h"
+#include "layout/transpose.h"
+
+namespace simdram
+{
+
+void
+TranspositionUnit::storeVertical(Subarray &sub, uint32_t base_row,
+                                 size_t bits, const uint64_t *elems,
+                                 size_t n)
+{
+    if (n > sub.rowBits())
+        fatal("storeVertical: element count exceeds lanes");
+    auto rows = elementsToRows(elems, n, bits, sub.rowBits());
+    for (size_t j = 0; j < bits; ++j) {
+        // Preserve lanes beyond n (other objects may share rows in
+        // principle; here lanes >= n always, rows are exclusive).
+        sub.pokeData(base_row + j, rows[j]);
+    }
+    account(bits, n);
+}
+
+std::vector<uint64_t>
+TranspositionUnit::loadVertical(const Subarray &sub, uint32_t base_row,
+                                size_t bits, size_t n)
+{
+    std::vector<BitRow> rows;
+    rows.reserve(bits);
+    for (size_t j = 0; j < bits; ++j)
+        rows.push_back(sub.peekData(base_row + j));
+    account(bits, n);
+    return rowsToElements(rows, n);
+}
+
+void
+TranspositionUnit::account(size_t rows, size_t bits_each)
+{
+    const DramTiming &t = cfg_.timing;
+    // One ACT + column bursts + PRE per row; bursts carry 512 bits.
+    const size_t bursts_per_row = (bits_each + 511) / 512;
+    stats_.latencyNs +=
+        static_cast<double>(rows) *
+        (t.tRcd + static_cast<double>(bursts_per_row) * t.tBurst +
+         t.tRp);
+    stats_.activates += rows;
+    stats_.precharges += rows;
+    stats_.writes += rows * bursts_per_row;
+    stats_.energyPj +=
+        static_cast<double>(rows) *
+        (cfg_.actEnergyPj(1) + cfg_.preEnergyPj());
+    stats_.energyPj += static_cast<double>(rows) *
+                       static_cast<double>(bits_each) *
+                       cfg_.energy.eIoPjPerBit;
+}
+
+} // namespace simdram

@@ -1,0 +1,297 @@
+#include "logic/circuit.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+Circuit::Circuit()
+{
+    nodes_.push_back(Node{NodeKind::Const0, {0, 0, 0}});
+}
+
+Lit
+Circuit::addInput(const std::string &name)
+{
+    const uint32_t id = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(Node{NodeKind::Input, {0, 0, 0}});
+    inputs_.push_back(id);
+    input_names_.push_back(name);
+    return lit(id);
+}
+
+std::vector<Lit>
+Circuit::addInputBus(const std::string &name, size_t width)
+{
+    std::vector<Lit> bus;
+    bus.reserve(width);
+    for (size_t j = 0; j < width; ++j)
+        bus.push_back(addInput(name + "[" + std::to_string(j) + "]"));
+    noteInputBus(name, bus);
+    return bus;
+}
+
+void
+Circuit::noteInputBus(const std::string &name,
+                      const std::vector<Lit> &lits)
+{
+    if (input_buses_.count(name))
+        fatal("duplicate input bus: " + name);
+    input_buses_[name] = lits;
+    input_bus_order_.push_back(name);
+}
+
+Lit
+Circuit::mkAnd(Lit a, Lit b)
+{
+    if (a > b)
+        std::swap(a, b);
+    if (a == kLit0)
+        return kLit0;
+    if (a == kLit1)
+        return b;
+    if (a == b)
+        return a;
+    if (a == litNot(b))
+        return kLit0;
+    return intern(NodeKind::And2, {a, b, kLit0}, false);
+}
+
+Lit
+Circuit::mkOr(Lit a, Lit b)
+{
+    if (a > b)
+        std::swap(a, b);
+    if (a == kLit0)
+        return b;
+    if (a == kLit1)
+        return kLit1;
+    if (a == b)
+        return a;
+    if (a == litNot(b))
+        return kLit1;
+    return intern(NodeKind::Or2, {a, b, kLit0}, false);
+}
+
+Lit
+Circuit::mkMaj(Lit a, Lit b, Lit c)
+{
+    // Canonical fanin order.
+    if (a > b)
+        std::swap(a, b);
+    if (b > c)
+        std::swap(b, c);
+    if (a > b)
+        std::swap(a, b);
+
+    // Majority axioms: M(x,x,y) = x and M(x,!x,y) = y.
+    if (a == b)
+        return a;
+    if (b == c)
+        return b;
+    if (a == litNot(b))
+        return c;
+    if (b == litNot(c))
+        return a;
+    if (a == litNot(c))
+        return b;
+
+    // Complement canonicalization: M(!x,!y,!z) = !M(x,y,z). Flip when
+    // two or more fanins are complemented so at most one remains.
+    int ncompl = (litCompl(a) ? 1 : 0) + (litCompl(b) ? 1 : 0) +
+                 (litCompl(c) ? 1 : 0);
+    bool out_compl = false;
+    if (ncompl >= 2) {
+        a = litNot(a);
+        b = litNot(b);
+        c = litNot(c);
+        out_compl = true;
+        // Re-sort: complementing flips the LSB only, order by node
+        // still holds except between equal nodes, which the axioms
+        // above already removed.
+        if (a > b)
+            std::swap(a, b);
+        if (b > c)
+            std::swap(b, c);
+        if (a > b)
+            std::swap(a, b);
+    }
+
+    return intern(NodeKind::Maj3, {a, b, c}, out_compl);
+}
+
+void
+Circuit::addOutput(const std::string &name, Lit l)
+{
+    outputs_.push_back(l);
+    output_names_.push_back(name);
+    output_buses_[name] = {l};
+    output_bus_order_.push_back(name);
+}
+
+void
+Circuit::addOutputBus(const std::string &name,
+                      const std::vector<Lit> &lits)
+{
+    if (output_buses_.count(name))
+        fatal("duplicate output bus: " + name);
+    for (size_t j = 0; j < lits.size(); ++j) {
+        outputs_.push_back(lits[j]);
+        output_names_.push_back(name + "[" + std::to_string(j) + "]");
+    }
+    output_buses_[name] = lits;
+    output_bus_order_.push_back(name);
+}
+
+size_t
+Circuit::gateCount() const
+{
+    size_t n = 0;
+    for (const Node &nd : nodes_)
+        if (nd.kind == NodeKind::And2 || nd.kind == NodeKind::Or2 ||
+            nd.kind == NodeKind::Maj3)
+            ++n;
+    return n;
+}
+
+size_t
+Circuit::gateCount(NodeKind kind) const
+{
+    size_t n = 0;
+    for (const Node &nd : nodes_)
+        if (nd.kind == kind)
+            ++n;
+    return n;
+}
+
+const std::string &
+Circuit::inputName(size_t idx) const
+{
+    return input_names_.at(idx);
+}
+
+const std::string &
+Circuit::outputName(size_t idx) const
+{
+    return output_names_.at(idx);
+}
+
+const std::vector<Lit> *
+Circuit::inputBus(const std::string &name) const
+{
+    auto it = input_buses_.find(name);
+    return it == input_buses_.end() ? nullptr : &it->second;
+}
+
+const std::vector<Lit> *
+Circuit::outputBus(const std::string &name) const
+{
+    auto it = output_buses_.find(name);
+    return it == output_buses_.end() ? nullptr : &it->second;
+}
+
+bool
+Circuit::isMig() const
+{
+    for (const Node &nd : nodes_)
+        if (nd.kind == NodeKind::And2 || nd.kind == NodeKind::Or2)
+            return false;
+    return true;
+}
+
+bool
+Circuit::isAoig() const
+{
+    for (const Node &nd : nodes_)
+        if (nd.kind == NodeKind::Maj3)
+            return false;
+    return true;
+}
+
+size_t
+Circuit::depth() const
+{
+    std::vector<size_t> d(nodes_.size(), 0);
+    size_t max_depth = 0;
+    for (uint32_t id = 1; id < nodes_.size(); ++id) {
+        const Node &nd = nodes_[id];
+        if (nd.kind == NodeKind::Input || nd.kind == NodeKind::Const0)
+            continue;
+        size_t in_max = 0;
+        const int arity = nd.kind == NodeKind::Maj3 ? 3 : 2;
+        for (int i = 0; i < arity; ++i)
+            in_max = std::max(in_max, d[litNode(nd.fanin[i])]);
+        d[id] = in_max + 1;
+        max_depth = std::max(max_depth, d[id]);
+    }
+    return max_depth;
+}
+
+std::vector<uint32_t>
+Circuit::topoOrder() const
+{
+    // Nodes are created fanins-first, so ascending id order is
+    // topological; restrict to the live cone of the outputs.
+    std::vector<bool> live(nodes_.size(), false);
+    std::vector<uint32_t> stack;
+    for (Lit o : outputs_)
+        stack.push_back(litNode(o));
+    while (!stack.empty()) {
+        const uint32_t id = stack.back();
+        stack.pop_back();
+        if (live[id])
+            continue;
+        live[id] = true;
+        const Node &nd = nodes_[id];
+        if (nd.kind == NodeKind::And2 || nd.kind == NodeKind::Or2 ||
+            nd.kind == NodeKind::Maj3) {
+            const int arity = nd.kind == NodeKind::Maj3 ? 3 : 2;
+            for (int i = 0; i < arity; ++i)
+                stack.push_back(litNode(nd.fanin[i]));
+        }
+    }
+    std::vector<uint32_t> order;
+    for (uint32_t id = 1; id < nodes_.size(); ++id) {
+        const Node &nd = nodes_[id];
+        if (live[id] && (nd.kind == NodeKind::And2 ||
+                         nd.kind == NodeKind::Or2 ||
+                         nd.kind == NodeKind::Maj3))
+            order.push_back(id);
+    }
+    return order;
+}
+
+std::vector<uint32_t>
+Circuit::fanoutCounts() const
+{
+    std::vector<uint32_t> fanout(nodes_.size(), 0);
+    for (uint32_t id : topoOrder()) {
+        const Node &nd = nodes_[id];
+        const int arity = nd.kind == NodeKind::Maj3 ? 3 : 2;
+        for (int i = 0; i < arity; ++i)
+            ++fanout[litNode(nd.fanin[i])];
+    }
+    for (Lit o : outputs_)
+        ++fanout[litNode(o)];
+    return fanout;
+}
+
+Lit
+Circuit::intern(NodeKind kind, std::array<Lit, 3> fanin, bool out_compl)
+{
+    const GateKey key{kind, fanin};
+    auto it = hash_.find(key);
+    uint32_t id;
+    if (it != hash_.end()) {
+        id = it->second;
+    } else {
+        id = static_cast<uint32_t>(nodes_.size());
+        nodes_.push_back(Node{kind, fanin});
+        hash_.emplace(key, id);
+    }
+    return lit(id, out_compl);
+}
+
+} // namespace simdram

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Logic-circuit representation used by the SIMDRAM framework.
+ *
+ * A Circuit is a DAG of gates over named inputs with complemented
+ * edges (literals). Two gate families are supported:
+ *
+ *  - AND2/OR2 ("AOIG" form): the operations Ambit natively supports,
+ *    used for the Ambit baseline and as the user-facing description
+ *    language (the paper's step-1 input);
+ *  - MAJ3 ("MIG" form): the majority/NOT form SIMDRAM executes, where
+ *    AND(a,b) = MAJ(a,b,0) and OR(a,b) = MAJ(a,b,1).
+ *
+ * NOT is free in both forms (a complemented edge); in DRAM it costs a
+ * copy through a dual-contact cell, which the microprogram compiler
+ * accounts for.
+ *
+ * Construction performs structural hashing and local simplification
+ * (constant folding, redundancy removal, majority axiom
+ * M(x,x,y)=x / M(x,!x,y)=y, and complement canonicalization
+ * M(!x,!y,!z) = !M(x,y,z)), so equivalent subterms are shared.
+ */
+
+#ifndef SIMDRAM_LOGIC_CIRCUIT_H
+#define SIMDRAM_LOGIC_CIRCUIT_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace simdram
+{
+
+/** Gate/node kinds. */
+enum class NodeKind : uint8_t
+{
+    Const0, ///< The constant-zero node (always node 0).
+    Input,  ///< A primary input.
+    And2,   ///< 2-input AND.
+    Or2,    ///< 2-input OR.
+    Maj3,   ///< 3-input majority.
+};
+
+/** A literal: node index * 2 + complemented flag. */
+using Lit = uint32_t;
+
+/** One node of the DAG. Unused fanins are kLit0. */
+struct Node
+{
+    NodeKind kind = NodeKind::Const0;
+    std::array<Lit, 3> fanin = {0, 0, 0};
+};
+
+/** A combinational circuit DAG with named input/output buses. */
+class Circuit
+{
+  public:
+    /** Constant-false literal (node 0, uncomplemented). */
+    static constexpr Lit kLit0 = 0;
+    /** Constant-true literal (node 0, complemented). */
+    static constexpr Lit kLit1 = 1;
+
+    /** @return Literal for @p node with complement flag @p c. */
+    static Lit lit(uint32_t node, bool c = false)
+    {
+        return node * 2 + (c ? 1 : 0);
+    }
+    /** @return The node index of @p l. */
+    static uint32_t litNode(Lit l) { return l >> 1; }
+    /** @return True if @p l is complemented. */
+    static bool litCompl(Lit l) { return l & 1; }
+    /** @return The complement of @p l. */
+    static Lit litNot(Lit l) { return l ^ 1; }
+
+    Circuit();
+
+    // ---- Building -----------------------------------------------------
+
+    /** Adds a single named primary input and returns its literal. */
+    Lit addInput(const std::string &name);
+
+    /**
+     * Adds a @p width bit input bus; element j is named "name[j]" and
+     * represents bit j (LSB first). Returns the bus literals.
+     */
+    std::vector<Lit> addInputBus(const std::string &name, size_t width);
+
+    /**
+     * Records an input-bus grouping over already-created inputs
+     * (used when reconstructing a circuit; see logic/mig.h).
+     */
+    void noteInputBus(const std::string &name,
+                      const std::vector<Lit> &lits);
+
+    /** @return AND of two literals (hashed, simplified). */
+    Lit mkAnd(Lit a, Lit b);
+
+    /** @return OR of two literals (hashed, simplified). */
+    Lit mkOr(Lit a, Lit b);
+
+    /** @return MAJ of three literals (hashed, simplified). */
+    Lit mkMaj(Lit a, Lit b, Lit c);
+
+    /** Registers a single named output. */
+    void addOutput(const std::string &name, Lit l);
+
+    /** Registers a named output bus (LSB first). */
+    void addOutputBus(const std::string &name,
+                      const std::vector<Lit> &lits);
+
+    // ---- Introspection --------------------------------------------------
+
+    /** @return Total node count, including constants and inputs. */
+    size_t nodeCount() const { return nodes_.size(); }
+
+    /** @return Number of logic gates (And2/Or2/Maj3 nodes). */
+    size_t gateCount() const;
+
+    /** @return Number of gates of a specific kind. */
+    size_t gateCount(NodeKind kind) const;
+
+    /** @return Number of primary inputs. */
+    size_t inputCount() const { return inputs_.size(); }
+
+    /** @return Primary-input node ids in declaration order. */
+    const std::vector<uint32_t> &inputs() const { return inputs_; }
+
+    /** @return The name of input @p idx. */
+    const std::string &inputName(size_t idx) const;
+
+    /** @return Node @p id. */
+    const Node &node(uint32_t id) const { return nodes_[id]; }
+
+    /** @return All output literals in declaration order. */
+    const std::vector<Lit> &outputs() const { return outputs_; }
+
+    /** @return The name of output @p idx. */
+    const std::string &outputName(size_t idx) const;
+
+    /** @return The input bus named @p name, or nullptr. */
+    const std::vector<Lit> *inputBus(const std::string &name) const;
+
+    /** @return The output bus named @p name, or nullptr. */
+    const std::vector<Lit> *outputBus(const std::string &name) const;
+
+    /** @return Names of the input buses in declaration order. */
+    const std::vector<std::string> &inputBusNames() const
+    {
+        return input_bus_order_;
+    }
+
+    /** @return Names of the output buses in declaration order. */
+    const std::vector<std::string> &outputBusNames() const
+    {
+        return output_bus_order_;
+    }
+
+    /** @return True if every gate is a Maj3 (valid MIG). */
+    bool isMig() const;
+
+    /** @return True if no gate is a Maj3 (valid AND/OR/NOT circuit). */
+    bool isAoig() const;
+
+    /** @return Length of the longest input-to-output gate path. */
+    size_t depth() const;
+
+    /**
+     * @return Node ids of the gates in a topological order (fanins
+     *         before fanouts), restricted to the transitive fanin of
+     *         the outputs (dead gates excluded).
+     */
+    std::vector<uint32_t> topoOrder() const;
+
+    /** @return Per-node fanout counts among live gates and outputs. */
+    std::vector<uint32_t> fanoutCounts() const;
+
+  private:
+    struct GateKey
+    {
+        NodeKind kind;
+        std::array<Lit, 3> fanin;
+        bool operator==(const GateKey &o) const = default;
+    };
+
+    struct GateKeyHash
+    {
+        size_t operator()(const GateKey &k) const
+        {
+            uint64_t h = static_cast<uint64_t>(k.kind);
+            for (Lit f : k.fanin)
+                h = h * 0x9e3779b97f4a7c15ULL + f + 1;
+            return static_cast<size_t>(h ^ (h >> 32));
+        }
+    };
+
+    /** Interns a gate node, applying structural hashing. */
+    Lit intern(NodeKind kind, std::array<Lit, 3> fanin, bool out_compl);
+
+    std::vector<Node> nodes_;
+    std::vector<uint32_t> inputs_;
+    std::vector<std::string> input_names_;
+    std::vector<Lit> outputs_;
+    std::vector<std::string> output_names_;
+    std::map<std::string, std::vector<Lit>> input_buses_;
+    std::map<std::string, std::vector<Lit>> output_buses_;
+    std::vector<std::string> input_bus_order_;
+    std::vector<std::string> output_bus_order_;
+    std::unordered_map<GateKey, uint32_t, GateKeyHash> hash_;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_LOGIC_CIRCUIT_H

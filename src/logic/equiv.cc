@@ -1,0 +1,88 @@
+#include "logic/equiv.h"
+
+#include <sstream>
+
+#include "common/bitrow.h"
+#include "common/rng.h"
+#include "logic/simulate.h"
+
+namespace simdram
+{
+
+namespace
+{
+
+EquivResult
+compareOnce(const Circuit &a, const Circuit &b,
+            const std::vector<BitRow> &inputs, bool exhaustive)
+{
+    const auto oa = simulate(a, inputs);
+    const auto ob = simulate(b, inputs);
+    for (size_t k = 0; k < oa.size(); ++k) {
+        if (oa[k] == ob[k])
+            continue;
+        // Find the first mismatching lane for the counterexample.
+        size_t lane = 0;
+        for (size_t i = 0; i < oa[k].width(); ++i) {
+            if (oa[k].get(i) != ob[k].get(i)) {
+                lane = i;
+                break;
+            }
+        }
+        std::ostringstream os;
+        os << "output " << k << " (" << a.outputName(k)
+           << ") differs; inputs:";
+        for (size_t j = 0; j < inputs.size(); ++j)
+            os << " " << a.inputName(j) << "="
+               << (inputs[j].get(lane) ? 1 : 0);
+        os << " -> a=" << oa[k].get(lane) << " b=" << ob[k].get(lane);
+        return {false, exhaustive, os.str()};
+    }
+    return {true, exhaustive, ""};
+}
+
+} // namespace
+
+EquivResult
+checkEquivalence(const Circuit &a, const Circuit &b, uint64_t seed,
+                 size_t random_lanes, size_t random_rounds)
+{
+    if (a.inputCount() != b.inputCount())
+        return {false, false, "input counts differ"};
+    if (a.outputs().size() != b.outputs().size())
+        return {false, false, "output counts differ"};
+
+    const size_t n = a.inputCount();
+    if (n == 0)
+        return compareOnce(a, b, {}, true);
+
+    if (n <= 16) {
+        // Exhaustive: lane i encodes assignment i.
+        const size_t lanes = size_t{1} << n;
+        std::vector<BitRow> inputs(n, BitRow(lanes));
+        for (size_t j = 0; j < n; ++j)
+            for (size_t i = 0; i < lanes; ++i)
+                if ((i >> j) & 1)
+                    inputs[j].set(i, true);
+        return compareOnce(a, b, inputs, true);
+    }
+
+    Rng rng(seed);
+    for (size_t round = 0; round < random_rounds; ++round) {
+        std::vector<BitRow> inputs(n, BitRow(random_lanes));
+        const size_t rem = random_lanes % 64;
+        for (auto &row : inputs) {
+            for (size_t w = 0; w < row.wordCount(); ++w)
+                row.word(w) = rng.next();
+            // Keep the padding-bits-are-zero invariant.
+            if (rem != 0)
+                row.word(row.wordCount() - 1) &= (1ULL << rem) - 1;
+        }
+        EquivResult r = compareOnce(a, b, inputs, false);
+        if (!r.equivalent)
+            return r;
+    }
+    return {true, false, ""};
+}
+
+} // namespace simdram

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Circuit equivalence checking.
+ *
+ * Two strategies, chosen automatically:
+ *  - exhaustive: for circuits with at most 16 primary inputs, every
+ *    assignment is simulated (packed into SIMD lanes);
+ *  - random: otherwise, many rounds of random packed vectors.
+ *
+ * Used throughout the test suite to prove that every framework
+ * transformation (AOIG -> MIG -> optimized MIG -> microprogram)
+ * preserves the computed function.
+ */
+
+#ifndef SIMDRAM_LOGIC_EQUIV_H
+#define SIMDRAM_LOGIC_EQUIV_H
+
+#include <cstdint>
+#include <string>
+
+#include "logic/circuit.h"
+
+namespace simdram
+{
+
+/** Outcome of an equivalence check. */
+struct EquivResult
+{
+    bool equivalent = false; ///< True if no mismatch was found.
+    bool exhaustive = false; ///< True if the check was a full proof.
+    std::string message;     ///< Counterexample description if any.
+};
+
+/**
+ * Checks functional equivalence of @p a and @p b.
+ *
+ * Circuits must have identical input and output counts; inputs and
+ * outputs are matched positionally.
+ *
+ * @param a First circuit.
+ * @param b Second circuit.
+ * @param seed RNG seed for the random strategy.
+ * @param random_lanes Lanes per random round.
+ * @param random_rounds Number of random rounds.
+ */
+EquivResult checkEquivalence(const Circuit &a, const Circuit &b,
+                             uint64_t seed = 1,
+                             size_t random_lanes = 1024,
+                             size_t random_rounds = 32);
+
+} // namespace simdram
+
+#endif // SIMDRAM_LOGIC_EQUIV_H

@@ -1,0 +1,92 @@
+#include "logic/mig.h"
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+Circuit
+rebuild(const Circuit &in, const GateRebuildFn &fn)
+{
+    Circuit out;
+    std::vector<Lit> map(in.nodeCount(), Circuit::kLit0);
+    map[0] = Circuit::kLit0;
+
+    for (size_t i = 0; i < in.inputCount(); ++i) {
+        const uint32_t id = in.inputs()[i];
+        map[id] = out.addInput(in.inputName(i));
+    }
+
+    auto translate = [&](Lit l) {
+        Lit m = map[Circuit::litNode(l)];
+        return Circuit::litCompl(l) ? Circuit::litNot(m) : m;
+    };
+
+    // Reconstruct the input-bus grouping.
+    for (const std::string &name : in.inputBusNames()) {
+        const auto *bus = in.inputBus(name);
+        std::vector<Lit> lits;
+        lits.reserve(bus->size());
+        for (Lit l : *bus)
+            lits.push_back(translate(l));
+        out.noteInputBus(name, lits);
+    }
+
+    for (uint32_t id : in.topoOrder()) {
+        const Node &nd = in.node(id);
+        map[id] = fn(out, nd.kind,
+                     {translate(nd.fanin[0]), translate(nd.fanin[1]),
+                      translate(nd.fanin[2])});
+    }
+
+    for (const std::string &name : in.outputBusNames()) {
+        const auto *bus = in.outputBus(name);
+        std::vector<Lit> lits;
+        lits.reserve(bus->size());
+        for (Lit l : *bus)
+            lits.push_back(translate(l));
+        if (lits.size() == 1)
+            out.addOutput(name, lits[0]);
+        else
+            out.addOutputBus(name, lits);
+    }
+    return out;
+}
+
+Circuit
+sweep(const Circuit &in)
+{
+    return rebuild(in, [](Circuit &out, NodeKind kind,
+                          std::array<Lit, 3> f) {
+        switch (kind) {
+          case NodeKind::And2:
+            return out.mkAnd(f[0], f[1]);
+          case NodeKind::Or2:
+            return out.mkOr(f[0], f[1]);
+          case NodeKind::Maj3:
+            return out.mkMaj(f[0], f[1], f[2]);
+          default:
+            panic("sweep: unexpected gate kind");
+        }
+    });
+}
+
+Circuit
+toMig(const Circuit &in)
+{
+    return rebuild(in, [](Circuit &out, NodeKind kind,
+                          std::array<Lit, 3> f) {
+        switch (kind) {
+          case NodeKind::And2:
+            return out.mkMaj(f[0], f[1], Circuit::kLit0);
+          case NodeKind::Or2:
+            return out.mkMaj(f[0], f[1], Circuit::kLit1);
+          case NodeKind::Maj3:
+            return out.mkMaj(f[0], f[1], f[2]);
+          default:
+            panic("toMig: unexpected gate kind");
+        }
+    });
+}
+
+} // namespace simdram

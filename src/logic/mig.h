@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Conversion between circuit forms (SIMDRAM framework step 1, part 1).
+ *
+ * toMig() lowers an AND/OR/NOT circuit into majority/NOT form using
+ * the identities AND(a,b) = MAJ(a,b,0) and OR(a,b) = MAJ(a,b,1); the
+ * optimizer (optimizer.h) then shrinks the result. rebuild() is the
+ * shared graph-reconstruction utility both passes are built on.
+ */
+
+#ifndef SIMDRAM_LOGIC_MIG_H
+#define SIMDRAM_LOGIC_MIG_H
+
+#include <array>
+#include <functional>
+
+#include "logic/circuit.h"
+
+namespace simdram
+{
+
+/**
+ * Callback deciding how one gate of the source circuit is re-created
+ * in the destination circuit. Receives the destination circuit, the
+ * source gate kind, and the already-translated fanin literals; returns
+ * the literal representing the gate's output in the destination.
+ */
+using GateRebuildFn =
+    std::function<Lit(Circuit &, NodeKind, std::array<Lit, 3>)>;
+
+/**
+ * Reconstructs @p in gate by gate through @p fn.
+ *
+ * Inputs, input buses, outputs, and output buses are preserved by
+ * name; gates outside the transitive fanin of the outputs are dropped
+ * (dead-code elimination); structural hashing in the destination
+ * re-shares equivalent subterms.
+ */
+Circuit rebuild(const Circuit &in, const GateRebuildFn &fn);
+
+/** Rebuilds @p in unchanged (sweeps dead gates, re-hashes). */
+Circuit sweep(const Circuit &in);
+
+/** @return @p in lowered to majority/NOT (MIG) form, unoptimized. */
+Circuit toMig(const Circuit &in);
+
+} // namespace simdram
+
+#endif // SIMDRAM_LOGIC_MIG_H

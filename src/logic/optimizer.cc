@@ -1,0 +1,176 @@
+#include "logic/optimizer.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.h"
+#include "logic/mig.h"
+
+namespace simdram
+{
+
+namespace
+{
+
+/**
+ * One distributivity-driven reconstruction pass.
+ *
+ * While rebuilding each MAJ node, if two of its (uncomplemented,
+ * single-fanout) fanin gates share two fanin literals, apply
+ * M(M(x,y,u), M(x,y,v), z) -> M(x, y, M(u,v,z)). The displaced
+ * children become dead and are removed by the enclosing sweep.
+ */
+Circuit
+distributivityPass(const Circuit &in, bool &changed)
+{
+    const auto fanout = in.fanoutCounts();
+
+    auto rebuild_fn = [&](Circuit &out, NodeKind kind,
+                          std::array<Lit, 3> f) -> Lit {
+        if (kind != NodeKind::Maj3)
+            panic("distributivityPass: input must be a MIG");
+        return out.mkMaj(f[0], f[1], f[2]);
+    };
+
+    // We need access to the original fanins of the children, so this
+    // pass cannot use the generic per-gate callback alone; walk
+    // manually, mirroring rebuild().
+    Circuit out;
+    std::vector<Lit> map(in.nodeCount(), Circuit::kLit0);
+    map[0] = Circuit::kLit0;
+    for (size_t i = 0; i < in.inputCount(); ++i)
+        map[in.inputs()[i]] = out.addInput(in.inputName(i));
+
+    auto translate = [&](Lit l) {
+        Lit m = map[Circuit::litNode(l)];
+        return Circuit::litCompl(l) ? Circuit::litNot(m) : m;
+    };
+
+    for (const std::string &name : in.inputBusNames()) {
+        const auto *bus = in.inputBus(name);
+        std::vector<Lit> lits;
+        for (Lit l : *bus)
+            lits.push_back(translate(l));
+        out.noteInputBus(name, lits);
+    }
+
+    auto is_rewritable_child = [&](Lit l) {
+        if (Circuit::litCompl(l))
+            return false;
+        const uint32_t id = Circuit::litNode(l);
+        return in.node(id).kind == NodeKind::Maj3 && fanout[id] == 1;
+    };
+
+    for (uint32_t id : in.topoOrder()) {
+        const Node &nd = in.node(id);
+        if (nd.kind != NodeKind::Maj3)
+            panic("distributivityPass: input must be a MIG");
+
+        Lit result = 0;
+        bool rewritten = false;
+
+        // Try each pair of fanins as the (p, q) children.
+        static constexpr int pairs[3][3] = {
+            {0, 1, 2}, {0, 2, 1}, {1, 2, 0}};
+        for (const auto &pr : pairs) {
+            const Lit lp = nd.fanin[pr[0]];
+            const Lit lq = nd.fanin[pr[1]];
+            const Lit lz = nd.fanin[pr[2]];
+            if (!is_rewritable_child(lp) || !is_rewritable_child(lq))
+                continue;
+            const Node &p = in.node(Circuit::litNode(lp));
+            const Node &q = in.node(Circuit::litNode(lq));
+
+            // Find two shared fanin literals between p and q.
+            std::array<Lit, 3> pf = p.fanin, qf = q.fanin;
+            std::vector<Lit> shared;
+            std::vector<Lit> p_rest, q_rest;
+            std::array<bool, 3> q_used{false, false, false};
+            for (Lit a : pf) {
+                bool matched = false;
+                for (int j = 0; j < 3; ++j) {
+                    if (!q_used[j] && qf[j] == a) {
+                        q_used[j] = true;
+                        shared.push_back(a);
+                        matched = true;
+                        break;
+                    }
+                }
+                if (!matched)
+                    p_rest.push_back(a);
+            }
+            for (int j = 0; j < 3; ++j)
+                if (!q_used[j])
+                    q_rest.push_back(qf[j]);
+
+            if (shared.size() == 2 && p_rest.size() == 1 &&
+                q_rest.size() == 1) {
+                // M(M(x,y,u), M(x,y,v), z) = M(x, y, M(u,v,z)).
+                const Lit x = translate(shared[0]);
+                const Lit y = translate(shared[1]);
+                const Lit u = translate(p_rest[0]);
+                const Lit v = translate(q_rest[0]);
+                const Lit z = translate(lz);
+                result = out.mkMaj(x, y, out.mkMaj(u, v, z));
+                rewritten = true;
+                changed = true;
+                break;
+            }
+        }
+
+        if (!rewritten)
+            result = rebuild_fn(out, nd.kind,
+                                {translate(nd.fanin[0]),
+                                 translate(nd.fanin[1]),
+                                 translate(nd.fanin[2])});
+        map[id] = result;
+    }
+
+    for (const std::string &name : in.outputBusNames()) {
+        const auto *bus = in.outputBus(name);
+        std::vector<Lit> lits;
+        for (Lit l : *bus)
+            lits.push_back(translate(l));
+        if (lits.size() == 1)
+            out.addOutput(name, lits[0]);
+        else
+            out.addOutputBus(name, lits);
+    }
+    return out;
+}
+
+} // namespace
+
+Circuit
+optimizeMig(const Circuit &mig, OptReport *report)
+{
+    if (!mig.isMig())
+        fatal("optimizeMig: circuit contains non-majority gates");
+
+    OptReport rep;
+    rep.gatesBefore = mig.topoOrder().size();
+    rep.depthBefore = mig.depth();
+
+    Circuit cur = sweep(mig);
+    constexpr size_t kMaxIters = 16;
+    for (rep.iterations = 0; rep.iterations < kMaxIters;
+         ++rep.iterations) {
+        bool changed = false;
+        Circuit next = distributivityPass(cur, changed);
+        next = sweep(next);
+        const bool smaller =
+            next.topoOrder().size() < cur.topoOrder().size();
+        if (smaller || changed)
+            cur = std::move(next);
+        if (!changed && !smaller)
+            break;
+    }
+
+    rep.gatesAfter = cur.topoOrder().size();
+    rep.depthAfter = cur.depth();
+    if (report)
+        *report = rep;
+    return cur;
+}
+
+} // namespace simdram

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * MIG size optimization (SIMDRAM framework step 1, part 2).
+ *
+ * The optimizer shrinks a majority-inverter graph using the majority
+ * Boolean algebra:
+ *
+ *  - local axioms applied during reconstruction (handled by
+ *    Circuit::mkMaj): commutativity (fanin sorting), majority
+ *    M(x,x,y)=x, M(x,!x,y)=y, and inverter propagation
+ *    M(!x,!y,!z)=!M(x,y,z);
+ *  - the distributivity axiom right-to-left,
+ *    M(M(x,y,u), M(x,y,v), z) -> M(x, y, M(u,v,z)),
+ *    which removes one node whenever two single-fanout children share
+ *    two fanins;
+ *  - global structural hashing and dead-node sweeping via rebuild().
+ *
+ * Passes iterate to a fixpoint (bounded). The optimizer never changes
+ * circuit function; tests verify equivalence on every operation.
+ */
+
+#ifndef SIMDRAM_LOGIC_OPTIMIZER_H
+#define SIMDRAM_LOGIC_OPTIMIZER_H
+
+#include <cstddef>
+
+#include "logic/circuit.h"
+
+namespace simdram
+{
+
+/** Result of an optimization run. */
+struct OptReport
+{
+    size_t gatesBefore = 0; ///< MAJ gates before optimization.
+    size_t gatesAfter = 0;  ///< MAJ gates after optimization.
+    size_t depthBefore = 0; ///< Depth before optimization.
+    size_t depthAfter = 0;  ///< Depth after optimization.
+    size_t iterations = 0;  ///< Fixpoint iterations executed.
+};
+
+/**
+ * Optimizes a MIG for size.
+ *
+ * @param mig The circuit to optimize; must satisfy isMig().
+ * @param report Optional out-parameter with before/after statistics.
+ * @return The optimized, functionally equivalent MIG.
+ */
+Circuit optimizeMig(const Circuit &mig, OptReport *report = nullptr);
+
+} // namespace simdram
+
+#endif // SIMDRAM_LOGIC_OPTIMIZER_H

@@ -1,0 +1,122 @@
+#include "logic/simulate.h"
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+std::vector<BitRow>
+simulate(const Circuit &c, const std::vector<BitRow> &input_values)
+{
+    if (input_values.size() != c.inputCount())
+        fatal("simulate: wrong number of input rows");
+    const size_t width = input_values.empty() ? 1
+                                              : input_values[0].width();
+    for (const BitRow &r : input_values)
+        if (r.width() != width)
+            fatal("simulate: input rows must share a width");
+
+    std::vector<BitRow> value(c.nodeCount(), BitRow(width));
+
+    // Assign inputs.
+    for (size_t i = 0; i < c.inputCount(); ++i)
+        value[c.inputs()[i]] = input_values[i];
+
+    auto lit_val = [&](Lit l) {
+        BitRow v = value[Circuit::litNode(l)];
+        if (Circuit::litCompl(l))
+            v.invert();
+        return v;
+    };
+
+    for (uint32_t id : c.topoOrder()) {
+        const Node &nd = c.node(id);
+        switch (nd.kind) {
+          case NodeKind::And2:
+            value[id] = lit_val(nd.fanin[0]) & lit_val(nd.fanin[1]);
+            break;
+          case NodeKind::Or2:
+            value[id] = lit_val(nd.fanin[0]) | lit_val(nd.fanin[1]);
+            break;
+          case NodeKind::Maj3:
+            value[id] = BitRow::majority3(lit_val(nd.fanin[0]),
+                                          lit_val(nd.fanin[1]),
+                                          lit_val(nd.fanin[2]));
+            break;
+          default:
+            panic("simulate: unexpected node kind in topo order");
+        }
+    }
+
+    std::vector<BitRow> out;
+    out.reserve(c.outputs().size());
+    for (Lit o : c.outputs())
+        out.push_back(lit_val(o));
+    return out;
+}
+
+std::map<std::string, std::vector<uint64_t>>
+simulateBuses(const Circuit &c,
+              const std::map<std::string, std::vector<uint64_t>>
+                  &bus_values,
+              size_t lanes)
+{
+    // Build the flat input-row list in input declaration order by
+    // walking the buses in their declaration order.
+    std::vector<BitRow> rows;
+    rows.reserve(c.inputCount());
+    for (const std::string &name : c.inputBusNames()) {
+        const std::vector<Lit> *bus = c.inputBus(name);
+        auto it = bus_values.find(name);
+        if (it == bus_values.end())
+            fatal("simulateBuses: missing values for bus " + name);
+        if (it->second.size() != lanes)
+            fatal("simulateBuses: bus " + name +
+                  " has wrong element count");
+        auto packed = packVertical(it->second, bus->size());
+        for (auto &r : packed)
+            rows.push_back(std::move(r));
+    }
+    if (rows.size() != c.inputCount())
+        fatal("simulateBuses: circuit has inputs outside of buses");
+
+    const auto out_rows = simulate(c, rows);
+
+    std::map<std::string, std::vector<uint64_t>> result;
+    size_t pos = 0;
+    for (const std::string &name : c.outputBusNames()) {
+        const std::vector<Lit> *bus = c.outputBus(name);
+        std::vector<BitRow> slice(out_rows.begin() + pos,
+                                  out_rows.begin() + pos + bus->size());
+        result[name] = unpackVertical(slice);
+        pos += bus->size();
+    }
+    return result;
+}
+
+std::vector<BitRow>
+packVertical(const std::vector<uint64_t> &elements, size_t width)
+{
+    std::vector<BitRow> rows(width, BitRow(elements.size()));
+    for (size_t i = 0; i < elements.size(); ++i)
+        for (size_t j = 0; j < width && j < 64; ++j)
+            if ((elements[i] >> j) & 1)
+                rows[j].set(i, true);
+    return rows;
+}
+
+std::vector<uint64_t>
+unpackVertical(const std::vector<BitRow> &rows)
+{
+    if (rows.empty())
+        return {};
+    const size_t lanes = rows[0].width();
+    std::vector<uint64_t> elements(lanes, 0);
+    for (size_t j = 0; j < rows.size() && j < 64; ++j)
+        for (size_t i = 0; i < lanes; ++i)
+            if (rows[j].get(i))
+                elements[i] |= 1ULL << j;
+    return elements;
+}
+
+} // namespace simdram

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bit-parallel simulation of circuits, plus vertical-layout packing
+ * helpers.
+ *
+ * Simulation evaluates every lane of a BitRow in parallel, mirroring
+ * exactly what the DRAM substrate does: each SIMD lane is one bit
+ * position. The same packing convention ("vertical layout") is used by
+ * the DRAM vectors: packVertical()[j].get(i) == bit j of element i.
+ */
+
+#ifndef SIMDRAM_LOGIC_SIMULATE_H
+#define SIMDRAM_LOGIC_SIMULATE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bitrow.h"
+#include "logic/circuit.h"
+
+namespace simdram
+{
+
+/**
+ * Simulates @p c with one BitRow per primary input (declaration
+ * order); all rows must share a width.
+ *
+ * @return One BitRow per circuit output (declaration order).
+ */
+std::vector<BitRow> simulate(const Circuit &c,
+                             const std::vector<BitRow> &input_values);
+
+/**
+ * Simulates @p c with per-bus element values in vertical layout.
+ *
+ * @param c The circuit; every input bus must appear in @p bus_values.
+ * @param bus_values Map from input bus name to per-lane element
+ *        values (element i drives lane i of that bus).
+ * @param lanes Number of SIMD lanes to simulate.
+ * @return Map from output bus name to per-lane element values,
+ *         assembled from the output bits (LSB first, zero-extended
+ *         into the uint64_t).
+ */
+std::map<std::string, std::vector<uint64_t>>
+simulateBuses(const Circuit &c,
+              const std::map<std::string, std::vector<uint64_t>>
+                  &bus_values,
+              size_t lanes);
+
+/**
+ * Packs horizontal elements into vertical rows.
+ *
+ * @param elements Per-lane element values.
+ * @param width Number of bit rows to produce (element bits above
+ *        @p width are dropped).
+ * @return @p width BitRows; row j holds bit j of every element.
+ */
+std::vector<BitRow> packVertical(const std::vector<uint64_t> &elements,
+                                 size_t width);
+
+/**
+ * Unpacks vertical rows back into horizontal elements
+ * (inverse of packVertical for widths <= 64).
+ */
+std::vector<uint64_t> unpackVertical(const std::vector<BitRow> &rows);
+
+} // namespace simdram
+
+#endif // SIMDRAM_LOGIC_SIMULATE_H

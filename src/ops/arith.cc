@@ -1,0 +1,54 @@
+#include "common/error.h"
+#include "ops/builders.h"
+
+namespace simdram
+{
+namespace detail
+{
+
+Circuit
+buildArith(OpKind op, size_t width, GateStyle style)
+{
+    Circuit c;
+    WordGates g(c, style);
+
+    switch (op) {
+      case OpKind::Abs: {
+        const auto a = c.addInputBus("a", width);
+        const Lit sign = a.back();
+        const auto neg = g.negate(a);
+        c.addOutputBus("y", g.muxBus(sign, neg, a));
+        break;
+      }
+      case OpKind::Add: {
+        const auto a = c.addInputBus("a", width);
+        const auto b = c.addInputBus("b", width);
+        c.addOutputBus("y", g.add(a, b).sum);
+        break;
+      }
+      case OpKind::Sub: {
+        const auto a = c.addInputBus("a", width);
+        const auto b = c.addInputBus("b", width);
+        c.addOutputBus("y", g.sub(a, b).sum);
+        break;
+      }
+      case OpKind::Mul: {
+        const auto a = c.addInputBus("a", width);
+        const auto b = c.addInputBus("b", width);
+        c.addOutputBus("y", g.mulLow(a, b));
+        break;
+      }
+      case OpKind::Div: {
+        const auto a = c.addInputBus("a", width);
+        const auto b = c.addInputBus("b", width);
+        c.addOutputBus("y", g.divUnsigned(a, b));
+        break;
+      }
+      default:
+        panic("buildArith: not an arithmetic op");
+    }
+    return c;
+}
+
+} // namespace detail
+} // namespace simdram

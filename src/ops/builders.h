@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Internal per-category circuit builders (see library.h for the
+ * public entry point buildOpCircuit()).
+ *
+ * Every builder creates a fresh circuit with input buses "a" (and "b",
+ * "sel" per the signature) and a single output bus "y".
+ */
+
+#ifndef SIMDRAM_OPS_BUILDERS_H
+#define SIMDRAM_OPS_BUILDERS_H
+
+#include <cstddef>
+
+#include "logic/circuit.h"
+#include "ops/op_kind.h"
+#include "ops/wordgates.h"
+
+namespace simdram
+{
+namespace detail
+{
+
+/** Builds abs/add/sub/mul/div. */
+Circuit buildArith(OpKind op, size_t width, GateStyle style);
+
+/** Builds eq/gt/ge/max/min. */
+Circuit buildRelational(OpKind op, size_t width, GateStyle style);
+
+/** Builds and_red/or_red/xor_red/bitcount. */
+Circuit buildReduction(OpKind op, size_t width, GateStyle style);
+
+/** Builds if_else/relu. */
+Circuit buildMisc(OpKind op, size_t width, GateStyle style);
+
+} // namespace detail
+} // namespace simdram
+
+#endif // SIMDRAM_OPS_BUILDERS_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The operation library: the user-facing catalog of SIMDRAM
+ * operations (framework step 1 entry point).
+ *
+ * For every (operation, width) pair the library can produce four
+ * circuit variants:
+ *
+ *  - aoig():     the AND/OR/NOT description — what a programmer (or
+ *                the Ambit baseline) starts from;
+ *  - migNaive(): the mechanical MAJ/NOT lowering of the AOIG
+ *                (AND -> MAJ(a,b,0), OR -> MAJ(a,b,1));
+ *  - migSynth(): migNaive() after the MIG optimizer;
+ *  - mig():      the expert MAJ/NOT construction (efficient known MAJ
+ *                decompositions) after the MIG optimizer — what
+ *                SIMDRAM executes.
+ *
+ * All variants of a pair are functionally equivalent (verified in the
+ * test suite). Circuits are built once and cached.
+ */
+
+#ifndef SIMDRAM_OPS_LIBRARY_H
+#define SIMDRAM_OPS_LIBRARY_H
+
+#include <map>
+#include <memory>
+
+#include "logic/circuit.h"
+#include "ops/op_kind.h"
+#include "ops/wordgates.h"
+
+namespace simdram
+{
+
+/**
+ * Builds the circuit for @p op at @p width in gate style @p style.
+ *
+ * Input buses: "a" (and "b", "sel" per signatureOf()); output bus
+ * "y". Not cached; prefer OperationLibrary for repeated use.
+ */
+Circuit buildOpCircuit(OpKind op, size_t width, GateStyle style);
+
+/** Cached circuit variants for all operations. */
+class OperationLibrary
+{
+  public:
+    /** @return The AND/OR/NOT description. */
+    const Circuit &aoig(OpKind op, size_t width);
+
+    /** @return The unoptimized mechanical MAJ/NOT lowering. */
+    const Circuit &migNaive(OpKind op, size_t width);
+
+    /** @return The optimizer-cleaned mechanical lowering. */
+    const Circuit &migSynth(OpKind op, size_t width);
+
+    /** @return The production SIMDRAM MIG (expert + optimizer). */
+    const Circuit &mig(OpKind op, size_t width);
+
+  private:
+    enum class Variant : uint8_t { Aoig, MigNaive, MigSynth, Mig };
+
+    const Circuit &get(OpKind op, size_t width, Variant v);
+
+    std::map<std::tuple<OpKind, size_t, uint8_t>,
+             std::unique_ptr<Circuit>>
+        cache_;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_OPS_LIBRARY_H

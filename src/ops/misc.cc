@@ -1,0 +1,56 @@
+#include "common/error.h"
+#include "ops/builders.h"
+
+namespace simdram
+{
+namespace detail
+{
+
+Circuit
+buildMisc(OpKind op, size_t width, GateStyle style)
+{
+    Circuit c;
+    WordGates g(c, style);
+
+    switch (op) {
+      case OpKind::IfElse: {
+        const auto a = c.addInputBus("a", width);
+        const auto b = c.addInputBus("b", width);
+        const auto sel = c.addInputBus("sel", 1);
+        c.addOutputBus("y", g.muxBus(sel[0], a, b));
+        break;
+      }
+      case OpKind::Relu: {
+        const auto a = c.addInputBus("a", width);
+        const Lit sign = a.back();
+        WordGates::Bus y(width);
+        for (size_t j = 0; j < width; ++j)
+            y[j] = g.land(WordGates::lnot(sign), a[j]);
+        c.addOutputBus("y", y);
+        break;
+      }
+      case OpKind::BitAnd:
+      case OpKind::BitOr:
+      case OpKind::BitXor: {
+        const auto a = c.addInputBus("a", width);
+        const auto b = c.addInputBus("b", width);
+        WordGates::Bus y(width);
+        for (size_t j = 0; j < width; ++j) {
+            if (op == OpKind::BitAnd)
+                y[j] = g.land(a[j], b[j]);
+            else if (op == OpKind::BitOr)
+                y[j] = g.lor(a[j], b[j]);
+            else
+                y[j] = g.lxor(a[j], b[j]);
+        }
+        c.addOutputBus("y", y);
+        break;
+      }
+      default:
+        panic("buildMisc: not a misc op");
+    }
+    return c;
+}
+
+} // namespace detail
+} // namespace simdram

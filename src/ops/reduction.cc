@@ -1,0 +1,36 @@
+#include "common/error.h"
+#include "ops/builders.h"
+
+namespace simdram
+{
+namespace detail
+{
+
+Circuit
+buildReduction(OpKind op, size_t width, GateStyle style)
+{
+    Circuit c;
+    WordGates g(c, style);
+    const auto a = c.addInputBus("a", width);
+
+    switch (op) {
+      case OpKind::AndRed:
+        c.addOutputBus("y", {g.reduceAnd(a)});
+        break;
+      case OpKind::OrRed:
+        c.addOutputBus("y", {g.reduceOr(a)});
+        break;
+      case OpKind::XorRed:
+        c.addOutputBus("y", {g.reduceXor(a)});
+        break;
+      case OpKind::Bitcount:
+        c.addOutputBus("y", g.popcount(a));
+        break;
+      default:
+        panic("buildReduction: not a reduction op");
+    }
+    return c;
+}
+
+} // namespace detail
+} // namespace simdram

@@ -1,0 +1,50 @@
+#include "common/error.h"
+#include "ops/builders.h"
+
+namespace simdram
+{
+namespace detail
+{
+
+Circuit
+buildRelational(OpKind op, size_t width, GateStyle style)
+{
+    Circuit c;
+    WordGates g(c, style);
+    const auto a = c.addInputBus("a", width);
+    const auto b = c.addInputBus("b", width);
+
+    switch (op) {
+      case OpKind::Eq: {
+        const auto cmp = g.compareUnsigned(a, b);
+        c.addOutputBus("y", {cmp.eq});
+        break;
+      }
+      case OpKind::Gt: {
+        const auto cmp = g.compareUnsigned(a, b);
+        c.addOutputBus("y", {cmp.gt});
+        break;
+      }
+      case OpKind::Ge: {
+        const auto cmp = g.compareUnsigned(a, b);
+        c.addOutputBus("y", {g.lor(cmp.gt, cmp.eq)});
+        break;
+      }
+      case OpKind::Max: {
+        const auto cmp = g.compareUnsigned(a, b);
+        c.addOutputBus("y", g.muxBus(cmp.gt, a, b));
+        break;
+      }
+      case OpKind::Min: {
+        const auto cmp = g.compareUnsigned(a, b);
+        c.addOutputBus("y", g.muxBus(cmp.gt, b, a));
+        break;
+      }
+      default:
+        panic("buildRelational: not a relational op");
+    }
+    return c;
+}
+
+} // namespace detail
+} // namespace simdram

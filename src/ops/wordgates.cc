@@ -1,0 +1,274 @@
+#include "ops/wordgates.h"
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+const char *
+toString(GateStyle s)
+{
+    return s == GateStyle::Aoig ? "aoig" : "mig";
+}
+
+Lit
+WordGates::land(Lit a, Lit b)
+{
+    if (style_ == GateStyle::Mig)
+        return c_.mkMaj(a, b, Circuit::kLit0);
+    return c_.mkAnd(a, b);
+}
+
+Lit
+WordGates::lor(Lit a, Lit b)
+{
+    if (style_ == GateStyle::Mig)
+        return c_.mkMaj(a, b, Circuit::kLit1);
+    return c_.mkOr(a, b);
+}
+
+Lit
+WordGates::lxor(Lit a, Lit b)
+{
+    if (style_ == GateStyle::Mig) {
+        // XOR(a,b) = AND(NAND(a,b), OR(a,b)) in majority form; the
+        // two inner nodes hash-share with neighboring arithmetic.
+        const Lit nand_ab = lnot(land(a, b));
+        const Lit or_ab = lor(a, b);
+        return land(nand_ab, or_ab);
+    }
+    return c_.mkOr(c_.mkAnd(a, lnot(b)), c_.mkAnd(lnot(a), b));
+}
+
+Lit
+WordGates::mux(Lit s, Lit t, Lit f)
+{
+    // s?t:f = OR(AND(s,t), AND(!s,f)) in both styles.
+    return lor(land(s, t), land(lnot(s), f));
+}
+
+WordGates::AddResult
+WordGates::fullAdder(Lit a, Lit b, Lit cin)
+{
+    if (style_ == GateStyle::Mig) {
+        // The classic 3-majority full adder (paper Fig. 1):
+        //   carry = M(a, b, cin)
+        //   sum   = M(!carry, M(a, b, !cin), cin)
+        const Lit carry = c_.mkMaj(a, b, cin);
+        const Lit inner = c_.mkMaj(a, b, lnot(cin));
+        const Lit sum = c_.mkMaj(lnot(carry), inner, cin);
+        return {{sum}, carry};
+    }
+    const Lit x = lxor(a, b);
+    const Lit sum = lxor(x, cin);
+    const Lit carry = lor(land(a, b), land(x, cin));
+    return {{sum}, carry};
+}
+
+WordGates::Bus
+WordGates::constant(uint64_t value, size_t width) const
+{
+    Bus bus(width, Circuit::kLit0);
+    for (size_t j = 0; j < width && j < 64; ++j)
+        if ((value >> j) & 1)
+            bus[j] = Circuit::kLit1;
+    return bus;
+}
+
+WordGates::Bus
+WordGates::notBus(const Bus &a)
+{
+    Bus r(a.size());
+    for (size_t j = 0; j < a.size(); ++j)
+        r[j] = lnot(a[j]);
+    return r;
+}
+
+WordGates::AddResult
+WordGates::add(const Bus &a, const Bus &b, Lit cin)
+{
+    if (a.size() != b.size())
+        fatal("WordGates::add: width mismatch");
+    Bus sum(a.size());
+    Lit carry = cin;
+    for (size_t j = 0; j < a.size(); ++j) {
+        AddResult fa = fullAdder(a[j], b[j], carry);
+        sum[j] = fa.sum[0];
+        carry = fa.carry;
+    }
+    return {sum, carry};
+}
+
+WordGates::AddResult
+WordGates::sub(const Bus &a, const Bus &b)
+{
+    return add(a, notBus(b), Circuit::kLit1);
+}
+
+WordGates::Bus
+WordGates::negate(const Bus &a)
+{
+    return add(notBus(a), constant(0, a.size()), Circuit::kLit1).sum;
+}
+
+WordGates::Bus
+WordGates::muxBus(Lit s, const Bus &t, const Bus &f)
+{
+    if (t.size() != f.size())
+        fatal("WordGates::muxBus: width mismatch");
+    Bus r(t.size());
+    for (size_t j = 0; j < t.size(); ++j)
+        r[j] = mux(s, t[j], f[j]);
+    return r;
+}
+
+WordGates::CmpResult
+WordGates::compareUnsigned(const Bus &a, const Bus &b)
+{
+    if (a.size() != b.size())
+        fatal("WordGates::compareUnsigned: width mismatch");
+    // Walk from the MSB down:
+    //   gt' = gt | (eq & a_i & !b_i)
+    //   eq' = eq & XNOR(a_i, b_i)
+    Lit gt = Circuit::kLit0;
+    Lit eq = Circuit::kLit1;
+    for (size_t j = a.size(); j-- > 0;) {
+        const Lit a_gt_b = land(a[j], lnot(b[j]));
+        gt = lor(gt, land(eq, a_gt_b));
+        eq = land(eq, lnot(lxor(a[j], b[j])));
+    }
+    return {gt, eq};
+}
+
+WordGates::CmpResult
+WordGates::compareSigned(const Bus &a, const Bus &b)
+{
+    // Flip the sign bits and compare unsigned.
+    Bus a2 = a, b2 = b;
+    a2.back() = lnot(a2.back());
+    b2.back() = lnot(b2.back());
+    return compareUnsigned(a2, b2);
+}
+
+WordGates::Bus
+WordGates::mulLow(const Bus &a, const Bus &b)
+{
+    if (a.size() != b.size())
+        fatal("WordGates::mulLow: width mismatch");
+    const size_t w = a.size();
+
+    // acc = a * b_0
+    Bus acc(w);
+    for (size_t i = 0; i < w; ++i)
+        acc[i] = land(a[i], b[0]);
+
+    // For each further multiplier bit, add the masked, shifted
+    // multiplicand into the surviving high part of the accumulator.
+    for (size_t j = 1; j < w; ++j) {
+        Lit carry = Circuit::kLit0;
+        for (size_t i = 0; i + j < w; ++i) {
+            const Lit pp = land(a[i], b[j]);
+            AddResult fa = fullAdder(acc[i + j], pp, carry);
+            acc[i + j] = fa.sum[0];
+            carry = fa.carry;
+        }
+    }
+    return acc;
+}
+
+WordGates::Bus
+WordGates::divUnsigned(const Bus &a, const Bus &b)
+{
+    if (a.size() != b.size())
+        fatal("WordGates::divUnsigned: width mismatch");
+    const size_t w = a.size();
+
+    // Restoring division with a (w+1)-bit remainder: after every
+    // restore the remainder is < b <= 2^w - 1, so its top bit is zero
+    // and shifting it left into w+1 bits never loses information.
+    Bus rem = constant(0, w + 1);
+    Bus bx = b;
+    bx.push_back(Circuit::kLit0); // zero-extended divisor
+    Bus q(w, Circuit::kLit0);
+    for (size_t step = w; step-- > 0;) {
+        // rem = (rem << 1) | a[step], within w+1 bits.
+        Bus shifted(w + 1);
+        shifted[0] = a[step];
+        for (size_t i = 1; i <= w; ++i)
+            shifted[i] = rem[i - 1];
+        AddResult diff = sub(shifted, bx);
+        q[step] = diff.carry; // no borrow => divisor fits
+        rem = muxBus(diff.carry, diff.sum, shifted);
+    }
+    return q;
+}
+
+WordGates::Bus
+WordGates::popcount(const Bus &a)
+{
+    size_t out_w = 1;
+    while ((size_t{1} << out_w) < a.size() + 1)
+        ++out_w;
+
+    // Carry-save 3:2 reduction of the input bits down to one value
+    // per weight, then a final ripple combine. Cheaper than repeated
+    // increments for every width of interest.
+    std::vector<std::vector<Lit>> columns(out_w);
+    columns[0] = a;
+    for (size_t wgt = 0; wgt < columns.size(); ++wgt) {
+        auto &col = columns[wgt];
+        while (col.size() > 1) {
+            if (col.size() >= 3) {
+                const Lit x = col.back(); col.pop_back();
+                const Lit y = col.back(); col.pop_back();
+                const Lit z = col.back(); col.pop_back();
+                AddResult fa = fullAdder(x, y, z);
+                col.push_back(fa.sum[0]);
+                if (wgt + 1 < columns.size())
+                    columns[wgt + 1].push_back(fa.carry);
+            } else {
+                const Lit x = col.back(); col.pop_back();
+                const Lit y = col.back(); col.pop_back();
+                AddResult ha = fullAdder(x, y, Circuit::kLit0);
+                col.push_back(ha.sum[0]);
+                if (wgt + 1 < columns.size())
+                    columns[wgt + 1].push_back(ha.carry);
+            }
+        }
+    }
+
+    Bus result(out_w, Circuit::kLit0);
+    for (size_t wgt = 0; wgt < out_w; ++wgt)
+        if (!columns[wgt].empty())
+            result[wgt] = columns[wgt][0];
+    return result;
+}
+
+Lit
+WordGates::reduceAnd(const Bus &a)
+{
+    Lit r = Circuit::kLit1;
+    for (Lit l : a)
+        r = land(r, l);
+    return r;
+}
+
+Lit
+WordGates::reduceOr(const Bus &a)
+{
+    Lit r = Circuit::kLit0;
+    for (Lit l : a)
+        r = lor(r, l);
+    return r;
+}
+
+Lit
+WordGates::reduceXor(const Bus &a)
+{
+    Lit r = Circuit::kLit0;
+    for (Lit l : a)
+        r = lxor(r, l);
+    return r;
+}
+
+} // namespace simdram

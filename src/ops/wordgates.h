@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Word-level circuit construction in two gate styles.
+ *
+ * WordGates is the bridge between an operation's algorithm (ripple
+ * adder, restoring divider, comparator, ...) and the two substrate
+ * node sets:
+ *
+ *  - GateStyle::Aoig emits AND/OR/NOT gates — the building blocks
+ *    Ambit natively executes (the baseline);
+ *  - GateStyle::Mig emits majority/NOT gates directly, using the
+ *    efficient known MAJ decompositions (e.g. a full adder is three
+ *    majority gates) — the SIMDRAM substrate.
+ *
+ * The same algorithm code produces both variants, which is exactly the
+ * comparison the paper makes: the MAJ/NOT node set needs fewer DRAM
+ * commands for the same computation.
+ */
+
+#ifndef SIMDRAM_OPS_WORDGATES_H
+#define SIMDRAM_OPS_WORDGATES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/circuit.h"
+
+namespace simdram
+{
+
+/** Which gate family WordGates emits. */
+enum class GateStyle : uint8_t
+{
+    Aoig, ///< AND/OR/NOT (Ambit baseline).
+    Mig,  ///< Majority/NOT (SIMDRAM).
+};
+
+/** @return "aoig" or "mig". */
+const char *toString(GateStyle s);
+
+/** Word-level gate builder over a Circuit. */
+class WordGates
+{
+  public:
+    /** A little-endian bundle of literals (bit 0 first). */
+    using Bus = std::vector<Lit>;
+
+    /** Sum and carry of an adder stage. */
+    struct AddResult
+    {
+        Bus sum;   ///< Sum bits.
+        Lit carry; ///< Carry/borrow-free flag out of the top bit.
+    };
+
+    /** Unsigned comparison flags. */
+    struct CmpResult
+    {
+        Lit gt; ///< a > b.
+        Lit eq; ///< a == b.
+    };
+
+    /**
+     * @param c Circuit being built (must outlive this object).
+     * @param style Gate family to emit.
+     */
+    WordGates(Circuit &c, GateStyle style) : c_(c), style_(style) {}
+
+    // ---- Bit-level gates ----------------------------------------------
+
+    /** @return NOT a (free: complemented edge). */
+    static Lit lnot(Lit a) { return Circuit::litNot(a); }
+
+    /** @return a AND b in the current style. */
+    Lit land(Lit a, Lit b);
+
+    /** @return a OR b in the current style. */
+    Lit lor(Lit a, Lit b);
+
+    /** @return a XOR b in the current style. */
+    Lit lxor(Lit a, Lit b);
+
+    /** @return s ? t : f in the current style. */
+    Lit mux(Lit s, Lit t, Lit f);
+
+    /** @return Full-adder {sum, carry} of three bits. */
+    AddResult fullAdder(Lit a, Lit b, Lit cin);
+
+    // ---- Word-level helpers --------------------------------------------
+
+    /** @return A bus holding constant @p value over @p width bits. */
+    Bus constant(uint64_t value, size_t width) const;
+
+    /** @return Bitwise NOT of a bus. */
+    static Bus notBus(const Bus &a);
+
+    /** @return Ripple-carry a + b + cin (buses must match widths). */
+    AddResult add(const Bus &a, const Bus &b,
+                  Lit cin = Circuit::kLit0);
+
+    /**
+     * @return a - b via a + ~b + 1. carry==1 means no borrow
+     *         (i.e. a >= b unsigned).
+     */
+    AddResult sub(const Bus &a, const Bus &b);
+
+    /** @return Two's-complement negation of @p a. */
+    Bus negate(const Bus &a);
+
+    /** @return Per-bit multiplex: s ? t : f. */
+    Bus muxBus(Lit s, const Bus &t, const Bus &f);
+
+    /** @return Unsigned comparison of two buses. */
+    CmpResult compareUnsigned(const Bus &a, const Bus &b);
+
+    /** @return Signed (two's-complement) comparison. */
+    CmpResult compareSigned(const Bus &a, const Bus &b);
+
+    /** @return Low-width(a) bits of a * b (schoolbook). */
+    Bus mulLow(const Bus &a, const Bus &b);
+
+    /**
+     * @return Unsigned quotient of a / b (restoring division).
+     *         Division by zero yields the all-ones bus.
+     */
+    Bus divUnsigned(const Bus &a, const Bus &b);
+
+    /** @return Population count of @p a, ceil(log2(w+1)) bits wide. */
+    Bus popcount(const Bus &a);
+
+    /** @return AND-reduction of all bits of @p a. */
+    Lit reduceAnd(const Bus &a);
+
+    /** @return OR-reduction of all bits of @p a. */
+    Lit reduceOr(const Bus &a);
+
+    /** @return XOR-reduction (parity) of all bits of @p a. */
+    Lit reduceXor(const Bus &a);
+
+  private:
+    Circuit &c_;
+    GateStyle style_;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_OPS_WORDGATES_H

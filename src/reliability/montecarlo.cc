@@ -1,0 +1,39 @@
+#include "reliability/montecarlo.h"
+
+#include <cmath>
+
+namespace simdram
+{
+
+McResult
+traFailureRate(const TechNode &node, const VariationParams &var,
+               size_t samples, uint64_t seed)
+{
+    Rng rng(seed);
+    McResult r;
+    r.samples = samples;
+    for (size_t i = 0; i < samples; ++i) {
+        const uint64_t w = rng.next();
+        const std::array<bool, 3> bits = {
+            (w & 1) != 0, (w & 2) != 0, (w & 4) != 0};
+        if (!sampleTra(node, var, bits, rng))
+            ++r.failures;
+    }
+    r.traFailureRate =
+        static_cast<double>(r.failures) /
+        static_cast<double>(samples ? samples : 1);
+    return r;
+}
+
+double
+opSuccessProbability(double p_tra, size_t tras)
+{
+    if (p_tra <= 0.0)
+        return 1.0;
+    if (p_tra >= 1.0)
+        return 0.0;
+    return std::exp(static_cast<double>(tras) *
+                    std::log1p(-p_tra));
+}
+
+} // namespace simdram

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Monte-Carlo estimation of TRA and whole-operation failure rates
+ * under process variation.
+ */
+
+#ifndef SIMDRAM_RELIABILITY_MONTECARLO_H
+#define SIMDRAM_RELIABILITY_MONTECARLO_H
+
+#include <cstddef>
+
+#include "reliability/variation.h"
+
+namespace simdram
+{
+
+/** Result of one Monte-Carlo sweep point. */
+struct McResult
+{
+    double traFailureRate = 0; ///< Per-TRA failure probability.
+    size_t samples = 0;        ///< Samples drawn.
+    size_t failures = 0;       ///< Failing samples.
+};
+
+/**
+ * Estimates the per-TRA failure rate at one (node, variation) point
+ * with uniformly random stored bits.
+ *
+ * @param node Technology node.
+ * @param var Variation magnitudes.
+ * @param samples Number of Monte-Carlo samples.
+ * @param seed RNG seed (deterministic sweeps).
+ */
+McResult traFailureRate(const TechNode &node,
+                        const VariationParams &var, size_t samples,
+                        uint64_t seed = 42);
+
+/**
+ * @return The probability that an operation issuing @p tras
+ *         triple-row activations completes with no failure anywhere,
+ *         given per-TRA failure rate @p p_tra (independent-fault
+ *         approximation, as in the paper's analysis).
+ */
+double opSuccessProbability(double p_tra, size_t tras);
+
+} // namespace simdram
+
+#endif // SIMDRAM_RELIABILITY_MONTECARLO_H

@@ -1,0 +1,61 @@
+#include "reliability/variation.h"
+
+namespace simdram
+{
+
+const std::array<TechNode, 5> &
+techNodes()
+{
+    // Cell capacitance shrinks with the node while the bitline
+    // capacitance (dominated by wire length) shrinks more slowly,
+    // which is what erodes the TRA margin at smaller nodes.
+    static const std::array<TechNode, 5> nodes = {{
+        {"55nm", 30.0, 110.0, 1.5},
+        {"45nm", 25.0, 100.0, 1.35},
+        {"32nm", 20.0, 95.0, 1.25},
+        {"22nm", 15.0, 90.0, 1.2},
+        {"14nm", 10.0, 85.0, 1.1},
+    }};
+    return nodes;
+}
+
+VariationParams
+VariationParams::uniform(double frac)
+{
+    VariationParams v;
+    v.sigmaCellCap = frac;
+    v.sigmaBlCap = frac;
+    v.sigmaVdd = frac;
+    v.senseOffsetMv = frac * 100.0;
+    return v;
+}
+
+bool
+sampleTra(const TechNode &node, const VariationParams &var,
+          const std::array<bool, 3> &bits, Rng &rng)
+{
+    const int ones = (bits[0] ? 1 : 0) + (bits[1] ? 1 : 0) +
+                     (bits[2] ? 1 : 0);
+    const bool ideal = ones >= 2;
+
+    const double cb = rng.gaussian(node.blCapFf,
+                                   var.sigmaBlCap * node.blCapFf);
+    double num = cb * node.vdd / 2.0;
+    double den = cb;
+    for (bool bit : bits) {
+        const double ci = rng.gaussian(
+            node.cellCapFf, var.sigmaCellCap * node.cellCapFf);
+        const double vi =
+            bit ? rng.gaussian(node.vdd, var.sigmaVdd * node.vdd)
+                : 0.0;
+        num += ci * vi;
+        den += ci;
+    }
+    const double v = num / den;
+    const double offset =
+        rng.gaussian(0.0, var.senseOffsetMv * 1e-3);
+    const bool sensed = (v - node.vdd / 2.0 - offset) > 0.0;
+    return sensed == ideal;
+}
+
+} // namespace simdram

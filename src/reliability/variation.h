@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Charge-sharing model of triple-row activation under process
+ * variation (paper section 5, reliability evaluation).
+ *
+ * When three cells share charge with a precharged bitline, the final
+ * bitline voltage is
+ *
+ *   V = (Cb * Vdd/2 + sum_i Ci * Vi) / (Cb + sum_i Ci)
+ *
+ * with Vi = Vdd for a stored 1 and 0 for a stored 0. The sense
+ * amplifier resolves MAJ correctly iff sign(V - Vdd/2 - offset)
+ * matches the majority of the stored bits. Process variation
+ * perturbs every cell capacitance, the bitline capacitance, the cell
+ * voltages (leakage/retention), and the sense-amplifier offset; the
+ * margin shrinks with technology scaling because Cc shrinks faster
+ * than Cb.
+ */
+
+#ifndef SIMDRAM_RELIABILITY_VARIATION_H
+#define SIMDRAM_RELIABILITY_VARIATION_H
+
+#include <array>
+#include <string>
+
+#include "common/rng.h"
+
+namespace simdram
+{
+
+/** Nominal electricals of a DRAM technology node. */
+struct TechNode
+{
+    std::string name;      ///< e.g. "22nm".
+    double cellCapFf = 0;  ///< Nominal cell capacitance, fF.
+    double blCapFf = 0;    ///< Nominal bitline capacitance, fF.
+    double vdd = 0;        ///< Supply voltage, V.
+};
+
+/** @return The ladder of nodes swept by the reliability bench. */
+const std::array<TechNode, 5> &techNodes();
+
+/** Variation magnitudes, as fractions of the nominal values. */
+struct VariationParams
+{
+    double sigmaCellCap = 0;  ///< Relative sigma of each Ci.
+    double sigmaBlCap = 0;    ///< Relative sigma of Cb.
+    double sigmaVdd = 0;      ///< Relative sigma of each cell's Vi.
+    double senseOffsetMv = 0; ///< Absolute sigma of the SA offset.
+
+    /**
+     * @return Parameters where every relative sigma is @p frac and
+     *         the sense offset is @p frac * 100 mV (so one knob
+     *         sweeps the whole corner).
+     */
+    static VariationParams uniform(double frac);
+};
+
+/**
+ * Samples one TRA under variation.
+ *
+ * @param node Technology node.
+ * @param var Variation magnitudes.
+ * @param bits The three stored bits.
+ * @param rng Random source.
+ * @return True if the sense amplifier resolves the correct majority.
+ */
+bool sampleTra(const TechNode &node, const VariationParams &var,
+               const std::array<bool, 3> &bits, Rng &rng);
+
+} // namespace simdram
+
+#endif // SIMDRAM_RELIABILITY_VARIATION_H

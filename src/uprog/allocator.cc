@@ -1,0 +1,710 @@
+#include "uprog/allocator.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+namespace
+{
+
+/** The four TRA groups with their member slots. */
+struct TripleInfo
+{
+    TripleAddr addr;
+    // Slots: each is either a T row (0..3) or a DCC cell (0..1).
+    struct Slot
+    {
+        bool isDcc;
+        int index; ///< T row index or DCC cell index.
+    };
+    Slot slots[3];
+};
+
+constexpr TripleInfo kTriples[4] = {
+    {TripleAddr::T0T1T2,
+     {{false, 0}, {false, 1}, {false, 2}}},
+    {TripleAddr::T1T2T3,
+     {{false, 1}, {false, 2}, {false, 3}}},
+    {TripleAddr::DCC0T1T2,
+     {{true, 0}, {false, 1}, {false, 2}}},
+    {TripleAddr::DCC1T0T3,
+     {{true, 1}, {false, 0}, {false, 3}}},
+};
+
+constexpr SpecialRow kTRows[4] = {SpecialRow::T0, SpecialRow::T1,
+                                  SpecialRow::T2, SpecialRow::T3};
+constexpr SpecialRow kDccP[2] = {SpecialRow::DCC0P, SpecialRow::DCC1P};
+constexpr SpecialRow kDccN[2] = {SpecialRow::DCC0N, SpecialRow::DCC1N};
+
+constexpr uint32_t kNoValue = UINT32_MAX;
+
+/** State + emission context for one compilation. */
+class Compiler
+{
+  public:
+    Compiler(const Circuit &mig, CompileOptions opts)
+        : mig_(mig), opts_(opts)
+    {
+    }
+
+    MicroProgram run(CompileReport *report);
+
+  private:
+    // ---- Value-location tracking ------------------------------------
+
+    /** @return All row addresses whose first activation yields @p v. */
+    std::vector<RowAddr> directSources(Lit v) const;
+
+    /** @return Number of direct sources of @p v. */
+    size_t sourceCount(Lit v) const
+    {
+        return directSources(v).size();
+    }
+
+    /** Record that data (virtual) row @p row now holds @p v. */
+    void setDataRow(uint32_t row, Lit v);
+
+    /** Forget the value of data row @p row. */
+    void clearDataRow(uint32_t row);
+
+    // ---- Emission helpers --------------------------------------------
+
+    void emitAap(RowAddr src, RowAddr dst);
+    void emitAp(RowAddr src);
+
+    /**
+     * Makes T row @p t hold value @p v, emitting up to two AAPs
+     * (complement values route through a free DCC). @p force reloads
+     * even when the row already holds the value (naive policy).
+     */
+    void loadIntoT(int t, Lit v, bool force = false);
+
+    /**
+     * Makes DCC cell @p d hold value @p v (one AAP: through the P
+     * port from a direct source of v, or through the N port from a
+     * source of !v).
+     */
+    void loadIntoDcc(int d, Lit v, bool force = false);
+
+    /** @return A DCC cell index safe to clobber (preserves if needed). */
+    int pickFreeDcc();
+
+    /** Allocates (or reuses) a scratch virtual row. */
+    uint32_t allocScratch();
+
+    /** Preserves @p v to scratch if @p v would otherwise be lost. */
+    void preserveIfNeeded(Lit v, const std::vector<RowAddr> &dying);
+
+    /** Copies @p v into virtual data row @p row (1-2 AAPs). */
+    void copyValueToDataRow(Lit v, uint32_t row);
+
+    // ---- Node compilation ---------------------------------------------
+
+    void compileNode(uint32_t id, uint32_t next_id);
+    void finalizeOutputs();
+
+    /** @return remaining uses of the node behind @p v. */
+    uint32_t usesOf(Lit v) const
+    {
+        return remaining_uses_[Circuit::litNode(v)];
+    }
+
+    const Circuit &mig_;
+    CompileOptions opts_;
+    MicroProgram prog_;
+
+    // Row state. Values are canonical literals; kNoValue = unknown.
+    Lit t_val_[4] = {kNoValue, kNoValue, kNoValue, kNoValue};
+    Lit dcc_val_[2] = {kNoValue, kNoValue};
+    std::unordered_map<uint32_t, Lit> data_val_; // virt row -> lit
+
+    std::vector<uint32_t> remaining_uses_; // per node
+    std::vector<uint32_t> free_scratch_;
+    size_t scratch_high_water_ = 0;
+    uint32_t scratch_base_ = 0; // first scratch virtual row
+    int reserved_dcc_ = -1;     // DCC slot of the triple in flight
+
+    // Output bookkeeping: (virtual row, literal wanted, written?).
+    struct OutTarget
+    {
+        uint32_t row;
+        Lit lit;
+        bool written = false;
+    };
+    std::vector<OutTarget> out_targets_;
+    std::unordered_map<uint32_t, std::vector<size_t>>
+        outs_of_node_; // node id -> indices into out_targets_
+};
+
+std::vector<RowAddr>
+Compiler::directSources(Lit v) const
+{
+    std::vector<RowAddr> srcs;
+    if (v == Circuit::kLit0) {
+        srcs.push_back(RowAddr::row(SpecialRow::C0));
+        return srcs;
+    }
+    if (v == Circuit::kLit1) {
+        srcs.push_back(RowAddr::row(SpecialRow::C1));
+        return srcs;
+    }
+    for (int i = 0; i < 4; ++i)
+        if (t_val_[i] == v)
+            srcs.push_back(RowAddr::row(kTRows[i]));
+    for (int d = 0; d < 2; ++d) {
+        if (dcc_val_[d] == v)
+            srcs.push_back(RowAddr::row(kDccP[d]));
+        else if (dcc_val_[d] != kNoValue &&
+                 dcc_val_[d] == Circuit::litNot(v))
+            srcs.push_back(RowAddr::row(kDccN[d]));
+    }
+    for (const auto &[row, lit] : data_val_)
+        if (lit == v)
+            srcs.push_back(RowAddr::data(row));
+    return srcs;
+}
+
+void
+Compiler::setDataRow(uint32_t row, Lit v)
+{
+    data_val_[row] = v;
+}
+
+void
+Compiler::clearDataRow(uint32_t row)
+{
+    data_val_.erase(row);
+}
+
+void
+Compiler::emitAap(RowAddr src, RowAddr dst)
+{
+    prog_.ops.push_back(MicroOp::aap(src, dst));
+}
+
+void
+Compiler::emitAp(RowAddr src)
+{
+    prog_.ops.push_back(MicroOp::ap(src));
+}
+
+void
+Compiler::loadIntoT(int t, Lit v, bool force)
+{
+    if (t_val_[t] == v && !force)
+        return;
+    auto srcs = directSources(v);
+    if (!srcs.empty()) {
+        emitAap(srcs.front(), RowAddr::row(kTRows[t]));
+        t_val_[t] = v;
+        return;
+    }
+    // Only the complement exists somewhere: route through a DCC.
+    auto csrcs = directSources(Circuit::litNot(v));
+    if (csrcs.empty())
+        panic("loadIntoT: value " + std::to_string(v) +
+              " has no live source (compiler bug)");
+    const int d = pickFreeDcc();
+    // Writing !v through the N port leaves the cell holding v.
+    emitAap(csrcs.front(), RowAddr::row(kDccN[d]));
+    dcc_val_[d] = v;
+    emitAap(RowAddr::row(kDccP[d]), RowAddr::row(kTRows[t]));
+    t_val_[t] = v;
+}
+
+void
+Compiler::loadIntoDcc(int d, Lit v, bool force)
+{
+    if (dcc_val_[d] == v && !force)
+        return;
+    auto srcs = directSources(v);
+    if (!srcs.empty()) {
+        emitAap(srcs.front(), RowAddr::row(kDccP[d]));
+        dcc_val_[d] = v;
+        return;
+    }
+    auto csrcs = directSources(Circuit::litNot(v));
+    if (csrcs.empty())
+        panic("loadIntoDcc: value has no live source (compiler bug)");
+    emitAap(csrcs.front(), RowAddr::row(kDccN[d]));
+    dcc_val_[d] = v;
+}
+
+int
+Compiler::pickFreeDcc()
+{
+    // Prefer a cell holding nothing or a dead value; never touch the
+    // DCC reserved as a slot of the triple being assembled.
+    for (int d = 0; d < 2; ++d) {
+        if (d == reserved_dcc_)
+            continue;
+        if (dcc_val_[d] == kNoValue)
+            return d;
+    }
+    for (int d = 0; d < 2; ++d) {
+        if (d == reserved_dcc_)
+            continue;
+        const Lit v = dcc_val_[d];
+        if (v == Circuit::kLit0 || v == Circuit::kLit1 ||
+            usesOf(v) == 0)
+            return d;
+    }
+    // Remaining cells hold live values; preserve, then reuse.
+    for (int d = 0; d < 2; ++d) {
+        if (d == reserved_dcc_)
+            continue;
+        preserveIfNeeded(dcc_val_[d], {RowAddr::row(kDccP[d]),
+                                       RowAddr::row(kDccN[d])});
+        return d;
+    }
+    panic("pickFreeDcc: no cell available");
+}
+
+uint32_t
+Compiler::allocScratch()
+{
+    if (!free_scratch_.empty()) {
+        const uint32_t row = free_scratch_.back();
+        free_scratch_.pop_back();
+        return row;
+    }
+    const uint32_t row =
+        scratch_base_ + static_cast<uint32_t>(scratch_high_water_);
+    ++scratch_high_water_;
+    if (scratch_high_water_ > opts_.maxScratchRows)
+        fatal("compileMig: scratch row budget exceeded (" +
+              std::to_string(opts_.maxScratchRows) + ")");
+    return row;
+}
+
+void
+Compiler::preserveIfNeeded(Lit v, const std::vector<RowAddr> &dying)
+{
+    if (v == kNoValue || v == Circuit::kLit0 || v == Circuit::kLit1)
+        return;
+    if (usesOf(v) == 0)
+        return;
+    // Count sources that are not about to be destroyed.
+    auto srcs = directSources(v);
+    size_t surviving = 0;
+    for (const auto &s : srcs) {
+        bool dies = false;
+        for (const auto &d : dying)
+            if (s == d)
+                dies = true;
+        if (!dies)
+            ++surviving;
+    }
+    if (surviving > 0)
+        return;
+    // Also fine if the complement survives in a DCC cell (still
+    // reachable through the other port).
+    const uint32_t row = allocScratch();
+    // Source: the first dying location still valid right now.
+    emitAap(dying.front(), RowAddr::data(row));
+    setDataRow(row, v);
+}
+
+void
+Compiler::copyValueToDataRow(Lit v, uint32_t row)
+{
+    auto srcs = directSources(v);
+    if (!srcs.empty()) {
+        emitAap(srcs.front(), RowAddr::data(row));
+        setDataRow(row, v);
+        return;
+    }
+    auto csrcs = directSources(Circuit::litNot(v));
+    if (csrcs.empty())
+        panic("copyValueToDataRow: value has no live source");
+    const int d = pickFreeDcc();
+    emitAap(csrcs.front(), RowAddr::row(kDccN[d]));
+    dcc_val_[d] = v;
+    emitAap(RowAddr::row(kDccP[d]), RowAddr::data(row));
+    setDataRow(row, v);
+}
+
+void
+Compiler::compileNode(uint32_t id, uint32_t next_id)
+{
+    const Node &nd = mig_.node(id);
+    const std::array<Lit, 3> fanin = nd.fanin;
+    const Lit result = Circuit::lit(id);
+
+    // ---- Choose triple + assignment ---------------------------------
+    int best_triple = 0;
+    std::array<int, 3> best_perm = {0, 1, 2}; // fanin index per slot
+    if (opts_.greedy) {
+        int best_cost = INT32_MAX;
+        static constexpr int kPerms[6][3] = {{0, 1, 2}, {0, 2, 1},
+                                             {1, 0, 2}, {1, 2, 0},
+                                             {2, 0, 1}, {2, 1, 0}};
+        for (int ti = 0; ti < 4; ++ti) {
+            const TripleInfo &tri = kTriples[ti];
+            for (const auto &perm : kPerms) {
+                int cost = 0;
+                for (int s = 0; s < 3; ++s) {
+                    const Lit f = fanin[perm[s]];
+                    const auto &slot = tri.slots[s];
+                    if (slot.isDcc) {
+                        if (dcc_val_[slot.index] == f)
+                            continue;
+                        // One AAP whichever polarity is available.
+                        cost += 10;
+                        // Penalize clobbering a live cell value.
+                        const Lit cur = dcc_val_[slot.index];
+                        if (cur != kNoValue && cur != Circuit::kLit0 &&
+                            cur != Circuit::kLit1 && usesOf(cur) > 0)
+                            cost += 4;
+                    } else {
+                        const Lit cur = t_val_[slot.index];
+                        if (cur == f)
+                            continue;
+                        const bool direct =
+                            !directSources(f).empty();
+                        cost += direct ? 10 : 20;
+                        if (cur != kNoValue && cur != Circuit::kLit0 &&
+                            cur != Circuit::kLit1 && usesOf(cur) > 0)
+                            cost += 4;
+                    }
+                }
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best_triple = ti;
+                    best_perm = {perm[0], perm[1], perm[2]};
+                }
+            }
+        }
+    }
+
+    const TripleInfo &tri = kTriples[best_triple];
+    const bool naive = !opts_.greedy;
+
+    // Reserve the triple's DCC slot so complement routing for the
+    // other operands never clobbers it.
+    reserved_dcc_ = -1;
+    for (int s = 0; s < 3; ++s)
+        if (tri.slots[s].isDcc)
+            reserved_dcc_ = tri.slots[s].index;
+
+    // ---- Emit operand loads, ordered so that no load destroys the
+    // ---- last copy of a value another pending load still needs. ----
+    struct PendingLoad
+    {
+        int slot;
+        Lit value;
+        bool done;
+    };
+    std::array<PendingLoad, 3> loads;
+    for (int s = 0; s < 3; ++s)
+        loads[s] = {s, fanin[best_perm[s]], false};
+
+    // Mark already-satisfied slots first (greedy reuse).
+    if (!naive) {
+        for (auto &ld : loads) {
+            const auto &slot = tri.slots[ld.slot];
+            const Lit cur = slot.isDcc ? dcc_val_[slot.index]
+                                       : t_val_[slot.index];
+            if (cur == ld.value)
+                ld.done = true;
+        }
+    }
+
+    auto slot_addr = [&](int s) {
+        const auto &slot = tri.slots[s];
+        return slot.isDcc ? RowAddr::row(kDccP[slot.index])
+                          : RowAddr::row(kTRows[slot.index]);
+    };
+    auto all_done = [&] {
+        return std::all_of(loads.begin(), loads.end(),
+                           [](const PendingLoad &l) {
+                               return l.done;
+                           });
+    };
+
+    for (int guard = 0; !all_done(); ++guard) {
+        if (guard > 12)
+            panic("compileNode: load ordering did not converge");
+        // Pick an undone load whose target is not the unique source
+        // of another pending load's value.
+        int chosen = -1;
+        for (int i = 0; i < 3 && chosen < 0; ++i) {
+            if (loads[i].done)
+                continue;
+            const RowAddr target = slot_addr(loads[i].slot);
+            bool conflict = false;
+            for (int j = 0; j < 3; ++j) {
+                if (j == i || loads[j].done)
+                    continue;
+                const auto srcs = directSources(loads[j].value);
+                bool target_is_src = false;
+                for (const auto &srow : srcs)
+                    if (srow == target)
+                        target_is_src = true;
+                if (target_is_src && srcs.size() == 1)
+                    conflict = true;
+            }
+            if (!conflict)
+                chosen = i;
+        }
+        if (chosen < 0) {
+            // Swap cycle: bounce one pending single-source value to
+            // scratch, then retry.
+            bool bounced = false;
+            for (int j = 0; j < 3 && !bounced; ++j) {
+                if (loads[j].done)
+                    continue;
+                const auto srcs = directSources(loads[j].value);
+                if (srcs.size() == 1) {
+                    const uint32_t row = allocScratch();
+                    emitAap(srcs.front(), RowAddr::data(row));
+                    setDataRow(row, loads[j].value);
+                    bounced = true;
+                }
+            }
+            if (!bounced)
+                chosen = 0; // no real conflict remains; take any
+            else
+                continue;
+            while (loads[chosen].done)
+                ++chosen;
+        }
+
+        auto &ld = loads[chosen];
+        const auto &slot = tri.slots[ld.slot];
+        // Preserve the clobbered slot value if it is still needed.
+        const Lit cur =
+            slot.isDcc ? dcc_val_[slot.index] : t_val_[slot.index];
+        if (cur != kNoValue) {
+            std::vector<RowAddr> dying = {slot_addr(ld.slot)};
+            if (slot.isDcc)
+                dying.push_back(RowAddr::row(kDccN[slot.index]));
+            preserveIfNeeded(cur, dying);
+        }
+        if (slot.isDcc)
+            loadIntoDcc(slot.index, ld.value, naive);
+        else
+            loadIntoT(slot.index, ld.value, naive);
+        ld.done = true;
+    }
+    reserved_dcc_ = -1;
+
+    // ---- Consume fanins (liveness) -----------------------------------
+    for (const Lit f : fanin) {
+        const uint32_t n = Circuit::litNode(f);
+        if (n != 0 && remaining_uses_[n] > 0)
+            --remaining_uses_[n];
+    }
+
+    // ---- Preserve any last-copy values the TRA will destroy ----------
+    for (int s = 0; s < 3; ++s) {
+        const auto &slot = tri.slots[s];
+        const Lit v =
+            slot.isDcc ? dcc_val_[slot.index] : t_val_[slot.index];
+        if (v == kNoValue)
+            continue;
+        // All three slot locations die simultaneously.
+        std::vector<RowAddr> dying;
+        for (int s2 = 0; s2 < 3; ++s2)
+            dying.push_back(slot_addr(s2));
+        // The DCC N-port view dies too.
+        for (int s2 = 0; s2 < 3; ++s2)
+            if (tri.slots[s2].isDcc)
+                dying.push_back(
+                    RowAddr::row(kDccN[tri.slots[s2].index]));
+        preserveIfNeeded(v, dying);
+    }
+
+    // ---- Free scratch rows of dead values -----------------------------
+    {
+        std::vector<uint32_t> dead_rows;
+        for (const auto &[row, lit] : data_val_) {
+            if (row < scratch_base_)
+                continue; // inputs/outputs are never recycled
+            const uint32_t n = Circuit::litNode(lit);
+            if (remaining_uses_[n] == 0) {
+                dead_rows.push_back(row);
+            }
+        }
+        for (uint32_t row : dead_rows) {
+            clearDataRow(row);
+            free_scratch_.push_back(row);
+        }
+    }
+
+    // ---- Compute + copy-out -------------------------------------------
+    const RowAddr tra = RowAddr::row(tri.addr);
+
+    // Output rows wanting the value directly.
+    std::vector<size_t> plus_outs, minus_outs;
+    auto it = outs_of_node_.find(id);
+    if (it != outs_of_node_.end()) {
+        for (size_t oi : it->second) {
+            if (out_targets_[oi].written)
+                continue;
+            if (out_targets_[oi].lit == result)
+                plus_outs.push_back(oi);
+            else
+                minus_outs.push_back(oi);
+        }
+    }
+
+    // How many *gate* consumers remain (output uses are tracked in
+    // out_targets_ and consume one remaining use each when written).
+    const uint32_t out_uses =
+        static_cast<uint32_t>(plus_outs.size() + minus_outs.size());
+    const uint32_t gate_uses =
+        remaining_uses_[id] >= out_uses
+            ? remaining_uses_[id] - out_uses
+            : 0;
+    const bool consumer_is_next = gate_uses == 1 && next_id != 0 && [&] {
+        for (const Lit f : mig_.node(next_id).fanin)
+            if (Circuit::litNode(f) == id)
+                return true;
+        return false;
+    }();
+    const bool need_spill =
+        naive || gate_uses >= 2 ||
+        (gate_uses == 1 && !consumer_is_next);
+
+    bool computed = false;
+    if (!plus_outs.empty()) {
+        const uint32_t row0 = out_targets_[plus_outs[0]].row;
+        emitAap(tra, RowAddr::data(row0));
+        setDataRow(row0, result);
+        out_targets_[plus_outs[0]].written = true;
+        --remaining_uses_[id];
+        computed = true;
+        for (size_t k = 1; k < plus_outs.size(); ++k) {
+            const uint32_t row = out_targets_[plus_outs[k]].row;
+            emitAap(RowAddr::data(row0), RowAddr::data(row));
+            setDataRow(row, result);
+            out_targets_[plus_outs[k]].written = true;
+            --remaining_uses_[id];
+        }
+    } else if (need_spill) {
+        const uint32_t row = allocScratch();
+        emitAap(tra, RowAddr::data(row));
+        setDataRow(row, result);
+        computed = true;
+    }
+    if (!computed)
+        emitAp(tra);
+
+    // The TRA left `result` in all three slots.
+    for (int s = 0; s < 3; ++s) {
+        const auto &slot = tri.slots[s];
+        if (slot.isDcc)
+            dcc_val_[slot.index] = result;
+        else
+            t_val_[slot.index] = result;
+    }
+
+    // Complemented output targets: read !result through a DCC.
+    for (size_t oi : minus_outs) {
+        const uint32_t row = out_targets_[oi].row;
+        copyValueToDataRow(Circuit::litNot(result), row);
+        out_targets_[oi].written = true;
+        --remaining_uses_[id];
+    }
+}
+
+void
+Compiler::finalizeOutputs()
+{
+    for (auto &t : out_targets_) {
+        if (t.written)
+            continue;
+        auto it = data_val_.find(t.row);
+        if (it != data_val_.end() && it->second == t.lit) {
+            t.written = true;
+            continue;
+        }
+        copyValueToDataRow(t.lit, t.row);
+        t.written = true;
+    }
+}
+
+MicroProgram
+Compiler::run(CompileReport *report)
+{
+    if (!mig_.isMig())
+        fatal("compileMig: circuit contains non-majority gates");
+
+    // ---- Virtual row layout -------------------------------------------
+    uint32_t next_row = 0;
+    std::unordered_map<uint32_t, uint32_t> input_row_of;
+    for (const std::string &name : mig_.inputBusNames()) {
+        const auto *bus = mig_.inputBus(name);
+        prog_.inputRegions.push_back({name, bus->size()});
+        for (Lit l : *bus) {
+            if (Circuit::litCompl(l))
+                fatal("compileMig: complemented input-bus literal");
+            input_row_of[Circuit::litNode(l)] = next_row++;
+        }
+    }
+    std::vector<std::pair<uint32_t, Lit>> output_rows;
+    for (const std::string &name : mig_.outputBusNames()) {
+        const auto *bus = mig_.outputBus(name);
+        prog_.outputRegions.push_back({name, bus->size()});
+        for (Lit l : *bus)
+            output_rows.emplace_back(next_row++, l);
+    }
+    scratch_base_ = next_row;
+
+    // Input rows hold input values from the start.
+    for (const auto &[node, row] : input_row_of)
+        setDataRow(row, Circuit::lit(node));
+
+    // ---- Liveness -------------------------------------------------------
+    const auto order = mig_.topoOrder();
+    remaining_uses_.assign(mig_.nodeCount(), 0);
+    for (uint32_t id : order)
+        for (const Lit f : mig_.node(id).fanin)
+            ++remaining_uses_[Circuit::litNode(f)];
+    for (Lit o : mig_.outputs())
+        ++remaining_uses_[Circuit::litNode(o)];
+
+    // ---- Output targets --------------------------------------------------
+    for (const auto &[row, lit] : output_rows) {
+        const uint32_t node = Circuit::litNode(lit);
+        OutTarget t{row, lit, false};
+        out_targets_.push_back(t);
+        outs_of_node_[node].push_back(out_targets_.size() - 1);
+    }
+
+    // ---- Compile ----------------------------------------------------------
+    for (size_t i = 0; i < order.size(); ++i) {
+        const uint32_t next_id =
+            i + 1 < order.size() ? order[i + 1] : 0;
+        compileNode(order[i], next_id);
+    }
+    finalizeOutputs();
+
+    prog_.scratchRows = scratch_high_water_;
+
+    if (report) {
+        report->migGates = order.size();
+        report->aaps = prog_.aapCount();
+        report->aps = prog_.apCount();
+        report->scratchRows = scratch_high_water_;
+    }
+    return std::move(prog_);
+}
+
+} // namespace
+
+MicroProgram
+compileMig(const Circuit &mig, CompileOptions opts,
+           CompileReport *report)
+{
+    Compiler c(mig, opts);
+    return c.run(report);
+}
+
+} // namespace simdram

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The MIG-to-μProgram compiler (SIMDRAM framework step 2).
+ *
+ * Walks the majority-inverter graph in topological order and, for each
+ * MAJ node, (1) chooses one of the four triple-row-activation groups
+ * and an operand-to-row assignment, (2) emits AAPs to place missing
+ * operands (routing complements through the dual-contact cells),
+ * (3) emits the TRA, merging the result copy-out into a single AAP
+ * when the value must reach a data row, and (4) tracks value locations
+ * and liveness so later nodes reuse operands already present in the
+ * compute rows and scratch rows are recycled.
+ *
+ * Two allocation policies are provided:
+ *  - greedy (the SIMDRAM approach): minimizes AAPs by scoring every
+ *    (triple, operand-permutation) pair against the current row state;
+ *  - naive (ablation baseline): fixed triple, always reload, always
+ *    spill — what a per-gate recipe with no cross-gate reuse costs.
+ */
+
+#ifndef SIMDRAM_UPROG_ALLOCATOR_H
+#define SIMDRAM_UPROG_ALLOCATOR_H
+
+#include <cstddef>
+
+#include "logic/circuit.h"
+#include "uprog/program.h"
+
+namespace simdram
+{
+
+/** Compiler policy knobs. */
+struct CompileOptions
+{
+    bool greedy = true;        ///< Greedy allocation (vs naive).
+    size_t maxScratchRows = 512; ///< Hard cap; fatal() if exceeded.
+};
+
+/** Compiler outcome statistics. */
+struct CompileReport
+{
+    size_t migGates = 0;    ///< Live MAJ gates compiled.
+    size_t aaps = 0;        ///< AAP μOps emitted.
+    size_t aps = 0;         ///< AP μOps emitted.
+    size_t scratchRows = 0; ///< Scratch high-water mark.
+};
+
+/**
+ * Compiles a MIG into a μProgram.
+ *
+ * @param mig A circuit satisfying isMig(); inputs must be grouped in
+ *        buses and outputs in output buses.
+ * @param opts Allocation policy.
+ * @param report Optional out-parameter.
+ * @return The compiled μProgram.
+ */
+MicroProgram compileMig(const Circuit &mig, CompileOptions opts = {},
+                        CompileReport *report = nullptr);
+
+} // namespace simdram
+
+#endif // SIMDRAM_UPROG_ALLOCATOR_H

@@ -1,0 +1,109 @@
+#include "uprog/program.h"
+
+#include <sstream>
+
+namespace simdram
+{
+
+size_t
+MicroProgram::inputRowCount() const
+{
+    size_t n = 0;
+    for (const auto &r : inputRegions)
+        n += r.rows;
+    return n;
+}
+
+size_t
+MicroProgram::outputRowCount() const
+{
+    size_t n = 0;
+    for (const auto &r : outputRegions)
+        n += r.rows;
+    return n;
+}
+
+size_t
+MicroProgram::virtualRowCount() const
+{
+    return inputRowCount() + outputRowCount() + scratchRows;
+}
+
+size_t
+MicroProgram::aapCount() const
+{
+    size_t n = 0;
+    for (const auto &op : ops)
+        if (op.kind == MicroOp::Kind::Aap)
+            ++n;
+    return n;
+}
+
+size_t
+MicroProgram::apCount() const
+{
+    return ops.size() - aapCount();
+}
+
+double
+MicroProgram::latencyNs(const DramTiming &t) const
+{
+    return static_cast<double>(aapCount()) * t.aapNs() +
+           static_cast<double>(apCount()) * t.apNs();
+}
+
+double
+MicroProgram::energyPj(const DramConfig &cfg) const
+{
+    double pj = 0.0;
+    for (const auto &op : ops) {
+        pj += cfg.actEnergyPj(op.src.rowsRaised());
+        if (op.kind == MicroOp::Kind::Aap)
+            pj += cfg.actEnergyPj(op.dst.rowsRaised());
+        pj += cfg.preEnergyPj();
+    }
+    return pj;
+}
+
+std::string
+MicroProgram::toString() const
+{
+    std::ostringstream os;
+    os << "; inputs:";
+    for (const auto &r : inputRegions)
+        os << " " << r.name << "[" << r.rows << "]";
+    os << " outputs:";
+    for (const auto &r : outputRegions)
+        os << " " << r.name << "[" << r.rows << "]";
+    os << " scratch: " << scratchRows << "\n";
+    for (const auto &op : ops) {
+        if (op.kind == MicroOp::Kind::Aap)
+            os << "AAP " << simdram::toString(op.src) << " -> "
+               << simdram::toString(op.dst) << "\n";
+        else
+            os << "AP  " << simdram::toString(op.src) << "\n";
+    }
+    return os.str();
+}
+
+DramStats
+estimateCompute(const MicroProgram &prog, size_t elements,
+                const DramConfig &cfg)
+{
+    DramStats s;
+    const size_t segments = (elements + cfg.rowBits - 1) / cfg.rowBits;
+    const size_t per_bank =
+        (segments + cfg.computeBanks - 1) / cfg.computeBanks;
+
+    const uint64_t aaps = prog.aapCount();
+    const uint64_t aps = prog.apCount();
+    s.aaps = aaps * segments;
+    s.aps = aps * segments;
+    s.latencyNs =
+        static_cast<double>(per_bank) * prog.latencyNs(cfg.timing);
+    s.energyPj =
+        static_cast<double>(segments) * prog.energyPj(cfg);
+    return s;
+}
+
+} // namespace simdram

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * μPrograms: the DRAM command sequences SIMDRAM executes
+ * (framework step 2 output).
+ *
+ * A μProgram is a sequence of AAP/AP macro-operations over *virtual*
+ * data rows plus the subarray's special rows. The virtual row space is
+ * laid out as [input regions | output regions | scratch]; the control
+ * unit binds virtual rows to physical rows at issue time, which is
+ * what lets one stored μProgram serve every operand location (the
+ * paper stores μPrograms in a small memory inside the memory
+ * controller, indexed by the bbop instruction).
+ *
+ * The analytic latency/energy accessors use exactly the same
+ * per-command constants as the functional Subarray model; a test
+ * asserts they agree.
+ */
+
+#ifndef SIMDRAM_UPROG_PROGRAM_H
+#define SIMDRAM_UPROG_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "dram/address.h"
+#include "dram/config.h"
+
+namespace simdram
+{
+
+/** One μOp: an AAP (copy / compute-and-copy) or AP (compute). */
+struct MicroOp
+{
+    /** μOp kinds. */
+    enum class Kind : uint8_t
+    {
+        Aap, ///< ACTIVATE(src) ACTIVATE(dst) PRECHARGE.
+        Ap,  ///< ACTIVATE(src) PRECHARGE.
+    };
+
+    Kind kind = Kind::Ap;
+    RowAddr src; ///< First activation (data source / TRA).
+    RowAddr dst; ///< Second activation (copy target; Aap only).
+
+    /** @return An AAP μOp. */
+    static MicroOp aap(RowAddr src, RowAddr dst)
+    {
+        return {Kind::Aap, src, dst};
+    }
+
+    /** @return An AP μOp. */
+    static MicroOp ap(RowAddr src) { return {Kind::Ap, src, {}}; }
+};
+
+/** A named, fixed-width run of virtual rows. */
+struct RowRegion
+{
+    std::string name; ///< Bus name ("a", "b", "sel", "y", ...).
+    size_t rows = 0;  ///< Number of rows (bus width in bits).
+};
+
+/** A compiled SIMDRAM operation. */
+class MicroProgram
+{
+  public:
+    std::vector<MicroOp> ops;            ///< Command sequence.
+    std::vector<RowRegion> inputRegions; ///< In bus-declaration order.
+    std::vector<RowRegion> outputRegions;///< In bus-declaration order.
+    size_t scratchRows = 0;              ///< Scratch rows required.
+
+    /** @return Total input rows across regions. */
+    size_t inputRowCount() const;
+
+    /** @return Total output rows across regions. */
+    size_t outputRowCount() const;
+
+    /** @return Size of the virtual row space. */
+    size_t virtualRowCount() const;
+
+    /** @return Number of AAP μOps. */
+    size_t aapCount() const;
+
+    /** @return Number of AP μOps. */
+    size_t apCount() const;
+
+    /** @return Latency of one execution (one subarray), in ns. */
+    double latencyNs(const DramTiming &t) const;
+
+    /** @return Energy of one execution (one subarray), in pJ. */
+    double energyPj(const DramConfig &cfg) const;
+
+    /** @return A printable listing (one μOp per line). */
+    std::string toString() const;
+};
+
+/**
+ * Analytic cost of executing @p prog over @p elements elements on
+ * @p cfg: segments of cfg.rowBits lanes are distributed round-robin
+ * over cfg.computeBanks banks; banks run concurrently, segments
+ * within a bank serialize. Counters/energy cover all segments.
+ */
+DramStats estimateCompute(const MicroProgram &prog, size_t elements,
+                          const DramConfig &cfg);
+
+} // namespace simdram
+
+#endif // SIMDRAM_UPROG_PROGRAM_H

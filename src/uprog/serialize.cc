@@ -1,0 +1,134 @@
+#include "uprog/serialize.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+namespace
+{
+
+/** Parses one row-address token ("D17", "T2", "TRA(T0,T1,T2)"...). */
+RowAddr
+parseRowAddr(const std::string &tok)
+{
+    static const std::pair<const char *, SpecialRow> kSpecial[] = {
+        {"C0", SpecialRow::C0},       {"C1", SpecialRow::C1},
+        {"T0", SpecialRow::T0},       {"T1", SpecialRow::T1},
+        {"T2", SpecialRow::T2},       {"T3", SpecialRow::T3},
+        {"DCC0P", SpecialRow::DCC0P}, {"DCC0N", SpecialRow::DCC0N},
+        {"DCC1P", SpecialRow::DCC1P}, {"DCC1N", SpecialRow::DCC1N},
+    };
+
+    if (tok.rfind("TRA(", 0) == 0) {
+        for (auto t : {TripleAddr::T0T1T2, TripleAddr::T1T2T3,
+                       TripleAddr::DCC0T1T2, TripleAddr::DCC1T0T3}) {
+            if (toString(RowAddr::row(t)) == tok)
+                return RowAddr::row(t);
+        }
+        fatal("parseMicroProgram: unknown triple address " + tok);
+    }
+    if (tok.rfind("DUAL(", 0) == 0) {
+        for (auto d : {DualAddr::T0T1, DualAddr::T1T2,
+                       DualAddr::T2T3, DualAddr::T0T3}) {
+            if (toString(RowAddr::row(d)) == tok)
+                return RowAddr::row(d);
+        }
+        fatal("parseMicroProgram: unknown dual address " + tok);
+    }
+    if (tok.size() >= 2 && tok[0] == 'D' &&
+        (tok[1] >= '0' && tok[1] <= '9')) {
+        return RowAddr::data(
+            static_cast<uint32_t>(std::stoul(tok.substr(1))));
+    }
+    for (const auto &[name, row] : kSpecial)
+        if (tok == name)
+            return RowAddr::row(row);
+    fatal("parseMicroProgram: unknown row address " + tok);
+}
+
+/** Parses region specs like "a[8] b[8]" until a stop word. */
+std::vector<RowRegion>
+parseRegions(std::istringstream &is, std::string &pending)
+{
+    std::vector<RowRegion> regions;
+    std::string tok;
+    while (is >> tok) {
+        if (tok == "outputs:" || tok == "scratch:") {
+            pending = tok;
+            break;
+        }
+        const auto open = tok.find('[');
+        const auto close = tok.find(']');
+        if (open == std::string::npos || close == std::string::npos)
+            fatal("parseMicroProgram: malformed region " + tok);
+        RowRegion r;
+        r.name = tok.substr(0, open);
+        r.rows = std::stoul(tok.substr(open + 1, close - open - 1));
+        regions.push_back(std::move(r));
+    }
+    return regions;
+}
+
+} // namespace
+
+std::string
+serializeMicroProgram(const MicroProgram &prog)
+{
+    return prog.toString();
+}
+
+MicroProgram
+parseMicroProgram(const std::string &text)
+{
+    MicroProgram prog;
+    std::istringstream lines(text);
+    std::string line;
+
+    // Header.
+    if (!std::getline(lines, line) || line.rfind(";", 0) != 0)
+        fatal("parseMicroProgram: missing header line");
+    {
+        std::istringstream is(line);
+        std::string tok;
+        is >> tok; // ";"
+        is >> tok;
+        if (tok != "inputs:")
+            fatal("parseMicroProgram: expected 'inputs:'");
+        std::string pending;
+        prog.inputRegions = parseRegions(is, pending);
+        if (pending != "outputs:")
+            fatal("parseMicroProgram: expected 'outputs:'");
+        prog.outputRegions = parseRegions(is, pending);
+        if (pending != "scratch:")
+            fatal("parseMicroProgram: expected 'scratch:'");
+        is >> prog.scratchRows;
+    }
+
+    // μOps.
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream is(line);
+        std::string kind, src;
+        is >> kind >> src;
+        if (kind == "AAP") {
+            std::string arrow, dst;
+            is >> arrow >> dst;
+            if (arrow != "->")
+                fatal("parseMicroProgram: malformed AAP line: " +
+                      line);
+            prog.ops.push_back(MicroOp::aap(parseRowAddr(src),
+                                            parseRowAddr(dst)));
+        } else if (kind == "AP") {
+            prog.ops.push_back(MicroOp::ap(parseRowAddr(src)));
+        } else {
+            fatal("parseMicroProgram: unknown op kind: " + kind);
+        }
+    }
+    return prog;
+}
+
+} // namespace simdram

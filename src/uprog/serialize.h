@@ -1,0 +1,45 @@
+/**
+ * @file
+ * μProgram (de)serialization.
+ *
+ * The paper stores μPrograms in a small memory inside the memory
+ * controller, populated at boot/install time. This module provides
+ * the corresponding persistence format: a line-oriented text listing
+ * that round-trips exactly through MicroProgram::toString(), so
+ * compiled programs can be inspected, shipped, and reloaded without
+ * recompiling their circuits.
+ *
+ * Format (one header line, then one μOp per line):
+ *
+ *   ; inputs: a[8] b[8] outputs: y[8] scratch: 4
+ *   AAP C0 -> T0
+ *   AAP D0 -> T1
+ *   AP  TRA(T0,T1,T2)
+ *   ...
+ */
+
+#ifndef SIMDRAM_UPROG_SERIALIZE_H
+#define SIMDRAM_UPROG_SERIALIZE_H
+
+#include <string>
+
+#include "uprog/program.h"
+
+namespace simdram
+{
+
+/** @return The textual form of @p prog (same as prog.toString()). */
+std::string serializeMicroProgram(const MicroProgram &prog);
+
+/**
+ * Parses a μProgram from its textual form.
+ *
+ * @param text A listing produced by serializeMicroProgram().
+ * @return The parsed program.
+ * @throws FatalError on malformed input.
+ */
+MicroProgram parseMicroProgram(const std::string &text);
+
+} // namespace simdram
+
+#endif // SIMDRAM_UPROG_SERIALIZE_H

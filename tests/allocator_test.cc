@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the MIG-to-μProgram compiler (framework step 2): the
+ * compiled command sequences must compute the right values on the
+ * DRAM model, respect the scratch budget, and cost what the analytic
+ * model says they cost.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "exec/control_unit.h"
+#include "logic/simulate.h"
+#include "ops/library.h"
+#include "uprog/allocator.h"
+
+namespace simdram
+{
+namespace
+{
+
+/**
+ * Executes @p prog on a fresh subarray with vertically packed
+ * random inputs and returns the output elements, checking the
+ * analytic cost model against the subarray's accounting.
+ */
+std::vector<uint64_t>
+runProgram(const Circuit &circuit, const MicroProgram &prog,
+           const std::map<std::string, std::vector<uint64_t>> &ins,
+           size_t lanes)
+{
+    DramConfig cfg = DramConfig::forTesting(256, 512);
+    cfg.scratchRows = 160;
+    Subarray sub(cfg);
+
+    // Bind regions bottom-up: inputs, then outputs, then scratch at
+    // the fixed scratch base.
+    std::vector<uint32_t> in_bases, out_bases;
+    uint32_t next = 0;
+    for (const auto &r : prog.inputRegions) {
+        in_bases.push_back(next);
+        const auto rows = packVertical(ins.at(r.name), r.rows);
+        for (size_t j = 0; j < r.rows; ++j) {
+            BitRow padded(cfg.rowBits);
+            for (size_t i = 0; i < lanes; ++i)
+                padded.set(i, rows[j].get(i));
+            sub.pokeData(next + j, padded);
+        }
+        next += static_cast<uint32_t>(r.rows);
+    }
+    for (const auto &r : prog.outputRegions) {
+        out_bases.push_back(next);
+        next += static_cast<uint32_t>(r.rows);
+    }
+    const uint32_t scratch_base = static_cast<uint32_t>(
+        cfg.rowsPerSubarray - cfg.scratchRows);
+    EXPECT_LE(prog.scratchRows, cfg.scratchRows);
+
+    ControlUnit cu;
+    cu.execute(sub, prog, in_bases, out_bases, scratch_base);
+
+    // Analytic model must match the functional accounting exactly.
+    const DramStats &s = sub.stats();
+    EXPECT_EQ(s.aaps, prog.aapCount());
+    EXPECT_EQ(s.aps, prog.apCount());
+    EXPECT_DOUBLE_EQ(s.latencyNs, prog.latencyNs(cfg.timing));
+    EXPECT_DOUBLE_EQ(s.energyPj, prog.energyPj(cfg));
+
+    // Collect outputs.
+    std::vector<BitRow> out_rows;
+    const size_t out_width = prog.outputRowCount();
+    for (size_t j = 0; j < out_width; ++j) {
+        BitRow r(lanes);
+        const BitRow &full = sub.peekData(out_bases[0] + j);
+        for (size_t i = 0; i < lanes; ++i)
+            r.set(i, full.get(i));
+        out_rows.push_back(r);
+    }
+    return unpackVertical(out_rows);
+}
+
+TEST(Compiler, RejectsNonMig)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    c.addOutput("y", c.mkAnd(a, b));
+    EXPECT_THROW(compileMig(c), FatalError);
+}
+
+TEST(Compiler, SingleMajIsFourMacroOps)
+{
+    Circuit c;
+    const auto a = c.addInputBus("a", 1);
+    const auto b = c.addInputBus("b", 1);
+    c.addOutputBus("y", {c.mkMaj(a[0], b[0], Circuit::kLit0)});
+    CompileReport rep;
+    const auto prog = compileMig(c, {}, &rep);
+    // Two operand loads + one constant load + one merged TRA/copy.
+    EXPECT_EQ(rep.aaps + rep.aps, 4u);
+    EXPECT_EQ(rep.migGates, 1u);
+}
+
+TEST(Compiler, ReportMatchesProgram)
+{
+    OperationLibrary lib;
+    CompileReport rep;
+    const auto prog = compileMig(lib.mig(OpKind::Add, 8), {}, &rep);
+    EXPECT_EQ(rep.aaps, prog.aapCount());
+    EXPECT_EQ(rep.aps, prog.apCount());
+    EXPECT_EQ(rep.scratchRows, prog.scratchRows);
+}
+
+TEST(Compiler, GreedyBeatsNaive)
+{
+    OperationLibrary lib;
+    for (OpKind op : {OpKind::Add, OpKind::Mul, OpKind::Gt,
+                      OpKind::Bitcount}) {
+        CompileReport greedy_rep, naive_rep;
+        compileMig(lib.mig(op, 16), {}, &greedy_rep);
+        CompileOptions naive;
+        naive.greedy = false;
+        compileMig(lib.mig(op, 16), naive, &naive_rep);
+        EXPECT_LT(greedy_rep.aaps + greedy_rep.aps,
+                  naive_rep.aaps + naive_rep.aps)
+            << toString(op);
+    }
+}
+
+TEST(Compiler, ScratchBudgetEnforced)
+{
+    OperationLibrary lib;
+    CompileOptions opts;
+    opts.maxScratchRows = 1;
+    EXPECT_THROW(compileMig(lib.mig(OpKind::Mul, 16), opts),
+                 FatalError);
+}
+
+TEST(Compiler, ProgramListingIsReadable)
+{
+    OperationLibrary lib;
+    const auto prog = compileMig(lib.mig(OpKind::Add, 4));
+    const std::string s = prog.toString();
+    EXPECT_NE(s.find("AAP"), std::string::npos);
+    EXPECT_NE(s.find("TRA"), std::string::npos);
+    EXPECT_NE(s.find("inputs: a[4] b[4]"), std::string::npos);
+}
+
+TEST(Compiler, VirtualRowLayout)
+{
+    OperationLibrary lib;
+    const auto prog = compileMig(lib.mig(OpKind::Add, 8));
+    EXPECT_EQ(prog.inputRowCount(), 16u);
+    EXPECT_EQ(prog.outputRowCount(), 8u);
+    EXPECT_EQ(prog.virtualRowCount(),
+              24u + prog.scratchRows);
+}
+
+TEST(EstimateCompute, ScalesWithSegmentsAndBanks)
+{
+    OperationLibrary lib;
+    const auto prog = compileMig(lib.mig(OpKind::Add, 8));
+    DramConfig cfg = DramConfig::simdramConfig(4);
+
+    const auto one = estimateCompute(prog, cfg.rowBits, cfg);
+    const auto four = estimateCompute(prog, 4 * cfg.rowBits, cfg);
+    const auto five = estimateCompute(prog, 5 * cfg.rowBits, cfg);
+    // Four segments across four banks: same latency, 4x energy.
+    EXPECT_DOUBLE_EQ(four.latencyNs, one.latencyNs);
+    EXPECT_DOUBLE_EQ(four.energyPj, 4 * one.energyPj);
+    // Fifth segment serializes behind a bank.
+    EXPECT_DOUBLE_EQ(five.latencyNs, 2 * one.latencyNs);
+}
+
+/** End-to-end functional check per (op, width, policy). */
+class CompiledOpTest
+    : public ::testing::TestWithParam<
+          std::tuple<OpKind, size_t, bool>>
+{
+};
+
+TEST_P(CompiledOpTest, ComputesReferenceValues)
+{
+    const auto [op, width, greedy] = GetParam();
+    OperationLibrary lib;
+    const Circuit &mig = lib.mig(op, width);
+    CompileOptions opts;
+    opts.greedy = greedy;
+    const auto prog = compileMig(mig, opts);
+
+    const auto sig = signatureOf(op, width);
+    const uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    Rng rng(0xabc + width + (greedy ? 1 : 0));
+    const size_t lanes = 200;
+    std::map<std::string, std::vector<uint64_t>> in;
+    for (size_t i = 0; i < lanes; ++i) {
+        in["a"].push_back(rng.next() & mask);
+        if (sig.numInputs == 2)
+            in["b"].push_back(rng.next() & mask);
+        if (sig.hasSel)
+            in["sel"].push_back(rng.next() & 1);
+    }
+
+    const auto got = runProgram(mig, prog, in, lanes);
+    ASSERT_EQ(got.size(), lanes);
+    for (size_t i = 0; i < lanes; ++i) {
+        const uint64_t expect = referenceOp(
+            op, width, in["a"][i],
+            sig.numInputs == 2 ? in["b"][i] : 0,
+            sig.hasSel ? in["sel"][i] != 0 : false);
+        ASSERT_EQ(got[i], expect)
+            << toString(op) << " w=" << width << " lane " << i
+            << " greedy=" << greedy;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, CompiledOpTest,
+    ::testing::Combine(::testing::ValuesIn(kAllOps),
+                       ::testing::Values(size_t{4}, size_t{8}),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return toString(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param)) +
+               (std::get<2>(info.param) ? "_greedy" : "_naive");
+    });
+
+} // namespace
+} // namespace simdram

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the Ambit baseline compiler: recipe shapes, functional
+ * correctness, and the SIMDRAM-vs-Ambit command-count relationship
+ * the paper's comparison rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ambit/ambit_synth.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "exec/control_unit.h"
+#include "logic/simulate.h"
+#include "ops/library.h"
+#include "uprog/allocator.h"
+
+namespace simdram
+{
+namespace
+{
+
+TEST(Ambit, RejectsMig)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    c.addOutput("y", c.mkMaj(a, b, Circuit::kLit0));
+    EXPECT_THROW(compileAmbit(c), FatalError);
+}
+
+TEST(Ambit, AndRecipeIsFourAaps)
+{
+    Circuit c;
+    const auto a = c.addInputBus("a", 1);
+    const auto b = c.addInputBus("b", 1);
+    c.addOutputBus("y", {c.mkAnd(a[0], b[0])});
+    CompileReport rep;
+    const auto prog = compileAmbit(c, &rep);
+    // AAP(a,T0) AAP(b,T1) AAP(C0,T2) AAP(TRA,dst) + output copy.
+    EXPECT_EQ(prog.aapCount(), 5u);
+    EXPECT_EQ(prog.apCount(), 0u);
+}
+
+TEST(Ambit, NotCostsTwoExtraAaps)
+{
+    Circuit c1, c2;
+    {
+        const auto a = c1.addInputBus("a", 1);
+        const auto b = c1.addInputBus("b", 1);
+        c1.addOutputBus("y", {c1.mkAnd(a[0], b[0])});
+    }
+    {
+        const auto a = c2.addInputBus("a", 1);
+        const auto b = c2.addInputBus("b", 1);
+        c2.addOutputBus("y",
+                        {c2.mkAnd(Circuit::litNot(a[0]), b[0])});
+    }
+    const auto p1 = compileAmbit(c1);
+    const auto p2 = compileAmbit(c2);
+    EXPECT_EQ(p2.aapCount(), p1.aapCount() + 1u);
+}
+
+TEST(Ambit, SimdramNeedsFewerCommandsOnArithmetic)
+{
+    OperationLibrary lib;
+    for (OpKind op : {OpKind::Add, OpKind::Sub, OpKind::Mul,
+                      OpKind::Div, OpKind::Bitcount,
+                      OpKind::IfElse}) {
+        const auto ambit = compileAmbit(lib.aoig(op, 16));
+        const auto simdram = compileMig(lib.mig(op, 16));
+        const size_t ambit_cmds = ambit.ops.size();
+        const size_t simdram_cmds = simdram.ops.size();
+        EXPECT_LT(simdram_cmds, ambit_cmds) << toString(op);
+        // The paper reports up to ~5x; sanity-bound the ratio.
+        EXPECT_LT(static_cast<double>(ambit_cmds) / simdram_cmds,
+                  8.0)
+            << toString(op);
+    }
+}
+
+TEST(Ambit, AdditionRatioInPaperBand)
+{
+    OperationLibrary lib;
+    const auto ambit = compileAmbit(lib.aoig(OpKind::Add, 32));
+    const auto simdram = compileMig(lib.mig(OpKind::Add, 32));
+    const double ratio = static_cast<double>(ambit.ops.size()) /
+                         static_cast<double>(simdram.ops.size());
+    // MAJ-based addition should need 2x-5x fewer activations.
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 5.5);
+}
+
+/** Functional correctness of Ambit-compiled operations. */
+class AmbitOpTest
+    : public ::testing::TestWithParam<std::tuple<OpKind, size_t>>
+{
+};
+
+TEST_P(AmbitOpTest, ComputesReferenceValues)
+{
+    const auto [op, width] = GetParam();
+    OperationLibrary lib;
+    const Circuit &aoig = lib.aoig(op, width);
+    const auto prog = compileAmbit(aoig);
+
+    DramConfig cfg = DramConfig::forTesting(256, 512);
+    cfg.scratchRows = 224;
+    ASSERT_LE(prog.scratchRows, cfg.scratchRows);
+    Subarray sub(cfg);
+
+    const auto sig = signatureOf(op, width);
+    const uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    Rng rng(0x777 + width);
+    const size_t lanes = cfg.rowBits;
+    std::map<std::string, std::vector<uint64_t>> in;
+    for (size_t i = 0; i < lanes; ++i) {
+        in["a"].push_back(rng.next() & mask);
+        if (sig.numInputs == 2)
+            in["b"].push_back(rng.next() & mask);
+        if (sig.hasSel)
+            in["sel"].push_back(rng.next() & 1);
+    }
+
+    std::vector<uint32_t> in_bases, out_bases;
+    uint32_t next = 0;
+    for (const auto &r : prog.inputRegions) {
+        in_bases.push_back(next);
+        const auto rows = packVertical(in.at(r.name), r.rows);
+        for (size_t j = 0; j < r.rows; ++j)
+            sub.pokeData(next + j, rows[j]);
+        next += static_cast<uint32_t>(r.rows);
+    }
+    for (const auto &r : prog.outputRegions) {
+        out_bases.push_back(next);
+        next += static_cast<uint32_t>(r.rows);
+    }
+
+    ControlUnit cu;
+    cu.execute(sub, prog, in_bases, out_bases,
+               static_cast<uint32_t>(cfg.rowsPerSubarray -
+                                     cfg.scratchRows));
+
+    std::vector<BitRow> out_rows;
+    for (size_t j = 0; j < prog.outputRowCount(); ++j)
+        out_rows.push_back(sub.peekData(out_bases[0] + j));
+    const auto got = unpackVertical(out_rows);
+
+    for (size_t i = 0; i < lanes; ++i) {
+        const uint64_t expect = referenceOp(
+            op, width, in["a"][i],
+            sig.numInputs == 2 ? in["b"][i] : 0,
+            sig.hasSel ? in["sel"][i] != 0 : false);
+        ASSERT_EQ(got[i], expect)
+            << toString(op) << " w=" << width << " lane " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, AmbitOpTest,
+    ::testing::Combine(::testing::ValuesIn(kAllOps),
+                       ::testing::Values(size_t{4}, size_t{8})),
+    [](const auto &info) {
+        return toString(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace simdram

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the analytic area model: the paper's headline claim is
+ * that SIMDRAM adds less than 1% DRAM chip area.
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/area_model.h"
+
+namespace simdram
+{
+namespace
+{
+
+TEST(Area, DramOverheadBelowOnePercent)
+{
+    const DramConfig cfg = DramConfig::simdramConfig(16);
+    EXPECT_LT(dramOverheadPercent(cfg), 1.0);
+    EXPECT_GT(dramOverheadPercent(cfg), 0.0);
+}
+
+TEST(Area, ReportContainsAllComponents)
+{
+    const DramConfig cfg = DramConfig::simdramConfig(1);
+    const auto items = areaReport(cfg);
+    ASSERT_EQ(items.size(), 7u);
+    bool has_trsp = false, has_uprog = false, has_rows = false;
+    for (const auto &it : items) {
+        if (it.component == "transposition unit")
+            has_trsp = true;
+        if (it.component.find("μProgram") != std::string::npos)
+            has_uprog = true;
+        if (it.component.find("rows") != std::string::npos)
+            has_rows = true;
+        EXPECT_GT(it.areaMm2, 0.0) << it.component;
+        EXPECT_GT(it.percent, 0.0) << it.component;
+    }
+    EXPECT_TRUE(has_trsp);
+    EXPECT_TRUE(has_uprog);
+    EXPECT_TRUE(has_rows);
+}
+
+TEST(Area, MoreRowsPerSubarrayLowersOverhead)
+{
+    DramConfig small = DramConfig::simdramConfig(1);
+    small.rowsPerSubarray = 512;
+    DramConfig big = DramConfig::simdramConfig(1);
+    big.rowsPerSubarray = 1024;
+    EXPECT_GT(dramOverheadPercent(small),
+              dramOverheadPercent(big));
+}
+
+TEST(Area, ControllerSideIsTiny)
+{
+    const auto items = areaReport(DramConfig::simdramConfig(1));
+    for (const auto &it : items)
+        if (it.component == "TOTAL controller-side")
+            EXPECT_LT(it.percent, 0.1)
+                << "controller additions must be well under 0.1% "
+                   "of a CPU die";
+}
+
+TEST(Area, TotalsAreSumOfParts)
+{
+    const auto items = areaReport(DramConfig::simdramConfig(1));
+    double dram_sum = 0, mc_sum = 0, dram_total = 0, mc_total = 0;
+    for (const auto &it : items) {
+        if (it.component.rfind("TOTAL", 0) == 0) {
+            if (it.where == "DRAM chip")
+                dram_total = it.areaMm2;
+            else
+                mc_total = it.areaMm2;
+        } else if (it.where == "DRAM chip") {
+            dram_sum += it.areaMm2;
+        } else {
+            mc_sum += it.areaMm2;
+        }
+    }
+    EXPECT_NEAR(dram_sum, dram_total, 1e-12);
+    EXPECT_NEAR(mc_sum, mc_total, 1e-12);
+}
+
+} // namespace
+} // namespace simdram

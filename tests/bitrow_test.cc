@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for BitRow, the packed row representation underlying the
+ * whole functional simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitrow.h"
+
+namespace simdram
+{
+namespace
+{
+
+TEST(BitRow, DefaultIsEmpty)
+{
+    BitRow r;
+    EXPECT_EQ(r.width(), 0u);
+    EXPECT_EQ(r.wordCount(), 0u);
+    EXPECT_TRUE(r.allZero());
+}
+
+TEST(BitRow, ConstructZeroFilled)
+{
+    BitRow r(130);
+    EXPECT_EQ(r.width(), 130u);
+    EXPECT_EQ(r.wordCount(), 3u);
+    EXPECT_TRUE(r.allZero());
+    EXPECT_FALSE(r.allOne());
+    EXPECT_EQ(r.popcount(), 0u);
+}
+
+TEST(BitRow, ConstructOneFilledRespectsPadding)
+{
+    BitRow r(70, true);
+    EXPECT_TRUE(r.allOne());
+    EXPECT_EQ(r.popcount(), 70u);
+    // Padding bits in the last word must stay zero.
+    EXPECT_EQ(r.word(1), (1ULL << 6) - 1);
+}
+
+TEST(BitRow, SetGetRoundTrip)
+{
+    BitRow r(100);
+    r.set(0, true);
+    r.set(63, true);
+    r.set(64, true);
+    r.set(99, true);
+    EXPECT_TRUE(r.get(0));
+    EXPECT_TRUE(r.get(63));
+    EXPECT_TRUE(r.get(64));
+    EXPECT_TRUE(r.get(99));
+    EXPECT_FALSE(r.get(1));
+    EXPECT_EQ(r.popcount(), 4u);
+    r.set(63, false);
+    EXPECT_FALSE(r.get(63));
+    EXPECT_EQ(r.popcount(), 3u);
+}
+
+TEST(BitRow, FillChangesEverything)
+{
+    BitRow r(65);
+    r.fill(true);
+    EXPECT_TRUE(r.allOne());
+    r.fill(false);
+    EXPECT_TRUE(r.allZero());
+}
+
+TEST(BitRow, InvertRespectsPadding)
+{
+    BitRow r(65);
+    r.set(3, true);
+    r.invert();
+    EXPECT_FALSE(r.get(3));
+    EXPECT_TRUE(r.get(0));
+    EXPECT_EQ(r.popcount(), 64u);
+    // Double inversion restores.
+    r.invert();
+    EXPECT_EQ(r.popcount(), 1u);
+}
+
+TEST(BitRow, BitwiseOperators)
+{
+    BitRow a(8), b(8);
+    a.set(0, true);
+    a.set(1, true);
+    b.set(1, true);
+    b.set(2, true);
+
+    const BitRow and_r = a & b;
+    const BitRow or_r = a | b;
+    const BitRow xor_r = a ^ b;
+    EXPECT_EQ(and_r.popcount(), 1u);
+    EXPECT_TRUE(and_r.get(1));
+    EXPECT_EQ(or_r.popcount(), 3u);
+    EXPECT_EQ(xor_r.popcount(), 2u);
+    EXPECT_TRUE(xor_r.get(0));
+    EXPECT_TRUE(xor_r.get(2));
+}
+
+TEST(BitRow, EqualityOperator)
+{
+    BitRow a(10), b(10);
+    EXPECT_EQ(a, b);
+    a.set(5, true);
+    EXPECT_NE(a, b);
+    b.set(5, true);
+    EXPECT_EQ(a, b);
+}
+
+TEST(BitRow, Majority3TruthTable)
+{
+    // All eight input combinations, one per lane.
+    BitRow a(8), b(8), c(8);
+    for (size_t i = 0; i < 8; ++i) {
+        a.set(i, i & 1);
+        b.set(i, i & 2);
+        c.set(i, i & 4);
+    }
+    const BitRow m = BitRow::majority3(a, b, c);
+    for (size_t i = 0; i < 8; ++i) {
+        const int ones = ((i >> 0) & 1) + ((i >> 1) & 1) +
+                         ((i >> 2) & 1);
+        EXPECT_EQ(m.get(i), ones >= 2) << "lane " << i;
+    }
+}
+
+TEST(BitRow, Majority3IsSymmetric)
+{
+    BitRow a(64), b(64), c(64);
+    for (size_t i = 0; i < 64; ++i) {
+        a.set(i, (i * 7) % 3 == 0);
+        b.set(i, (i * 5) % 4 == 1);
+        c.set(i, (i * 3) % 5 == 2);
+    }
+    const BitRow m1 = BitRow::majority3(a, b, c);
+    const BitRow m2 = BitRow::majority3(c, a, b);
+    const BitRow m3 = BitRow::majority3(b, c, a);
+    EXPECT_EQ(m1, m2);
+    EXPECT_EQ(m1, m3);
+}
+
+TEST(BitRow, SelectMuxesPerLane)
+{
+    BitRow sel(4), t(4), f(4);
+    sel.set(0, true);
+    sel.set(2, true);
+    t.fill(true);
+    const BitRow r = BitRow::select(sel, t, f);
+    EXPECT_TRUE(r.get(0));
+    EXPECT_FALSE(r.get(1));
+    EXPECT_TRUE(r.get(2));
+    EXPECT_FALSE(r.get(3));
+}
+
+TEST(BitRow, ToStringLsbFirst)
+{
+    BitRow r(6);
+    r.set(0, true);
+    r.set(3, true);
+    EXPECT_EQ(r.toString(), "100100");
+}
+
+TEST(BitRow, ToStringTruncates)
+{
+    BitRow r(100, true);
+    const std::string s = r.toString(10);
+    EXPECT_EQ(s, "1111111111...");
+}
+
+TEST(BitRow, MajorityMatchesBooleanFormula)
+{
+    // MAJ(a,b,c) == ab | bc | ac on random words.
+    BitRow a(192), b(192), c(192);
+    uint64_t x = 0x243f6a8885a308d3ULL;
+    auto next = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+    for (size_t w = 0; w < a.wordCount(); ++w) {
+        a.word(w) = next();
+        b.word(w) = next();
+        c.word(w) = next();
+    }
+    const BitRow m = BitRow::majority3(a, b, c);
+    const BitRow formula = (a & b) | (b & c) | (a & c);
+    EXPECT_EQ(m, formula);
+}
+
+} // namespace
+} // namespace simdram

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the circuit DAG: literals, structural hashing, the
+ * construction-time simplification rules, and graph introspection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "logic/circuit.h"
+
+namespace simdram
+{
+namespace
+{
+
+TEST(Circuit, LiteralHelpers)
+{
+    EXPECT_EQ(Circuit::lit(5), 10u);
+    EXPECT_EQ(Circuit::lit(5, true), 11u);
+    EXPECT_EQ(Circuit::litNode(11), 5u);
+    EXPECT_TRUE(Circuit::litCompl(11));
+    EXPECT_FALSE(Circuit::litCompl(10));
+    EXPECT_EQ(Circuit::litNot(10), 11u);
+    EXPECT_EQ(Circuit::litNot(Circuit::kLit0), Circuit::kLit1);
+}
+
+TEST(Circuit, FreshCircuitHasOnlyConstant)
+{
+    Circuit c;
+    EXPECT_EQ(c.nodeCount(), 1u);
+    EXPECT_EQ(c.gateCount(), 0u);
+    EXPECT_EQ(c.inputCount(), 0u);
+}
+
+TEST(Circuit, AddInputAssignsNames)
+{
+    Circuit c;
+    const Lit a = c.addInput("x");
+    EXPECT_EQ(c.inputCount(), 1u);
+    EXPECT_EQ(c.inputName(0), "x");
+    EXPECT_FALSE(Circuit::litCompl(a));
+}
+
+TEST(Circuit, InputBusNaming)
+{
+    Circuit c;
+    const auto bus = c.addInputBus("a", 3);
+    EXPECT_EQ(bus.size(), 3u);
+    EXPECT_EQ(c.inputName(1), "a[1]");
+    ASSERT_NE(c.inputBus("a"), nullptr);
+    EXPECT_EQ(c.inputBus("a")->size(), 3u);
+    EXPECT_EQ(c.inputBus("nope"), nullptr);
+}
+
+TEST(Circuit, DuplicateBusRejected)
+{
+    Circuit c;
+    c.addInputBus("a", 2);
+    EXPECT_THROW(c.addInputBus("a", 2), FatalError);
+}
+
+TEST(Circuit, AndSimplifications)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    EXPECT_EQ(c.mkAnd(a, Circuit::kLit0), Circuit::kLit0);
+    EXPECT_EQ(c.mkAnd(a, Circuit::kLit1), a);
+    EXPECT_EQ(c.mkAnd(a, a), a);
+    EXPECT_EQ(c.mkAnd(a, Circuit::litNot(a)), Circuit::kLit0);
+    EXPECT_EQ(c.gateCount(), 0u);
+}
+
+TEST(Circuit, OrSimplifications)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    EXPECT_EQ(c.mkOr(a, Circuit::kLit0), a);
+    EXPECT_EQ(c.mkOr(a, Circuit::kLit1), Circuit::kLit1);
+    EXPECT_EQ(c.mkOr(a, a), a);
+    EXPECT_EQ(c.mkOr(a, Circuit::litNot(a)), Circuit::kLit1);
+    EXPECT_EQ(c.gateCount(), 0u);
+}
+
+TEST(Circuit, MajAxioms)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    // M(x,x,y) = x
+    EXPECT_EQ(c.mkMaj(a, a, b), a);
+    // M(x,!x,y) = y
+    EXPECT_EQ(c.mkMaj(a, Circuit::litNot(a), b), b);
+    // M(0,1,y) = y
+    EXPECT_EQ(c.mkMaj(Circuit::kLit0, Circuit::kLit1, b), b);
+    EXPECT_EQ(c.gateCount(), 0u);
+}
+
+TEST(Circuit, StructuralHashingSharesGates)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    const Lit g1 = c.mkAnd(a, b);
+    const Lit g2 = c.mkAnd(b, a); // commuted
+    EXPECT_EQ(g1, g2);
+    EXPECT_EQ(c.gateCount(), 1u);
+    const Lit m1 = c.mkMaj(a, b, g1);
+    const Lit m2 = c.mkMaj(g1, a, b);
+    EXPECT_EQ(m1, m2);
+}
+
+TEST(Circuit, ComplementCanonicalization)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    const Lit x = c.addInput("x");
+    // M(!a,!b,!x) must be stored as !M(a,b,x).
+    const Lit m1 = c.mkMaj(Circuit::litNot(a), Circuit::litNot(b),
+                           Circuit::litNot(x));
+    const Lit m2 = c.mkMaj(a, b, x);
+    EXPECT_EQ(m1, Circuit::litNot(m2));
+    EXPECT_EQ(c.gateCount(), 1u);
+}
+
+TEST(Circuit, IsMigAndIsAoig)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    EXPECT_TRUE(c.isMig());
+    EXPECT_TRUE(c.isAoig());
+    c.mkAnd(a, b);
+    EXPECT_FALSE(c.isMig());
+    EXPECT_TRUE(c.isAoig());
+
+    Circuit m;
+    const Lit x = m.addInput("x");
+    const Lit y = m.addInput("y");
+    m.mkMaj(x, y, Circuit::kLit0);
+    EXPECT_TRUE(m.isMig());
+    EXPECT_FALSE(m.isAoig());
+}
+
+TEST(Circuit, DepthFollowsLongestPath)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    const Lit g1 = c.mkAnd(a, b);
+    const Lit g2 = c.mkAnd(g1, a);
+    const Lit g3 = c.mkAnd(g2, b);
+    c.addOutput("y", g3);
+    EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, TopoOrderExcludesDeadGates)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    const Lit live = c.mkAnd(a, b);
+    c.mkOr(a, b); // dead
+    c.addOutput("y", live);
+    EXPECT_EQ(c.gateCount(), 2u);
+    EXPECT_EQ(c.topoOrder().size(), 1u);
+}
+
+TEST(Circuit, TopoOrderFaninsBeforeFanouts)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    const Lit x = c.addInput("x");
+    const Lit g1 = c.mkMaj(a, b, x);
+    const Lit g2 = c.mkMaj(g1, a, Circuit::kLit0);
+    c.addOutput("y", g2);
+    const auto order = c.topoOrder();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], Circuit::litNode(g1));
+    EXPECT_EQ(order[1], Circuit::litNode(g2));
+}
+
+TEST(Circuit, FanoutCountsIncludeOutputs)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    const Lit g1 = c.mkAnd(a, b);
+    const Lit g2 = c.mkOr(g1, a);
+    c.addOutput("y1", g2);
+    c.addOutput("y2", g1);
+    const auto fo = c.fanoutCounts();
+    EXPECT_EQ(fo[Circuit::litNode(g1)], 2u); // g2 + output
+    EXPECT_EQ(fo[Circuit::litNode(g2)], 1u);
+    EXPECT_EQ(fo[Circuit::litNode(a)], 2u);
+}
+
+TEST(Circuit, OutputBusBookkeeping)
+{
+    Circuit c;
+    const auto a = c.addInputBus("a", 2);
+    c.addOutputBus("y", {a[0], Circuit::litNot(a[1])});
+    ASSERT_NE(c.outputBus("y"), nullptr);
+    EXPECT_EQ(c.outputs().size(), 2u);
+    EXPECT_EQ(c.outputName(0), "y[0]");
+    EXPECT_EQ(c.outputName(1), "y[1]");
+}
+
+TEST(Circuit, GateCountByKind)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    const Lit x = c.addInput("x");
+    c.mkAnd(a, b);
+    c.mkOr(a, b);
+    c.mkMaj(a, b, x);
+    EXPECT_EQ(c.gateCount(NodeKind::And2), 1u);
+    EXPECT_EQ(c.gateCount(NodeKind::Or2), 1u);
+    EXPECT_EQ(c.gateCount(NodeKind::Maj3), 1u);
+    EXPECT_EQ(c.gateCount(), 3u);
+}
+
+} // namespace
+} // namespace simdram

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Unit tests for the DRAM substrate: configuration, subarray command
+ * semantics (TRA majority, DCC negation, RowClone copies), and the
+ * bank/device aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "dram/device.h"
+
+namespace simdram
+{
+namespace
+{
+
+DramConfig
+tinyCfg()
+{
+    return DramConfig::forTesting(64, 64);
+}
+
+BitRow
+pattern(size_t width, uint64_t bits)
+{
+    BitRow r(width);
+    for (size_t i = 0; i < width && i < 64; ++i)
+        if ((bits >> i) & 1)
+            r.set(i, true);
+    return r;
+}
+
+TEST(DramConfig, ValidateRejectsZeroGeometry)
+{
+    DramConfig cfg = tinyCfg();
+    cfg.banks = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(DramConfig, ValidateRejectsBadComputeBanks)
+{
+    DramConfig cfg = tinyCfg();
+    cfg.computeBanks = cfg.banks + 1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(DramConfig, ValidateRejectsNonWordRows)
+{
+    DramConfig cfg = tinyCfg();
+    cfg.rowBits = 100;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(DramConfig, TimingMacrosFollowDecomposition)
+{
+    DramTiming t;
+    EXPECT_DOUBLE_EQ(t.apNs(), t.tRas + t.tRp);
+    EXPECT_DOUBLE_EQ(t.aapNs(), 2 * t.tRas + t.tRp);
+}
+
+TEST(DramConfig, EnergyScalesWithRowWidth)
+{
+    DramConfig full = DramConfig::simdramConfig(1);
+    DramConfig half = full;
+    half.rowBits = full.rowBits / 2;
+    EXPECT_DOUBLE_EQ(half.actEnergyPj(1), full.actEnergyPj(1) / 2.0);
+}
+
+TEST(DramConfig, TripleActivationCostsMore)
+{
+    DramConfig cfg = tinyCfg();
+    EXPECT_GT(cfg.actEnergyPj(3), cfg.actEnergyPj(2));
+    EXPECT_GT(cfg.actEnergyPj(2), cfg.actEnergyPj(1));
+}
+
+TEST(Subarray, ConstantRowsInitialized)
+{
+    Subarray sub(tinyCfg());
+    EXPECT_TRUE(sub.peek(SpecialRow::C0).allZero());
+    EXPECT_TRUE(sub.peek(SpecialRow::C1).allOne());
+}
+
+TEST(Subarray, AapCopiesDataRowToDataRow)
+{
+    Subarray sub(tinyCfg());
+    const BitRow v = pattern(64, 0xdeadbeef12345678ULL);
+    sub.pokeData(3, v);
+    sub.aap(RowAddr::data(3), RowAddr::data(7));
+    EXPECT_EQ(sub.peekData(7), v);
+    EXPECT_EQ(sub.peekData(3), v) << "source must be preserved";
+}
+
+TEST(Subarray, AapCopiesIntoComputeRow)
+{
+    Subarray sub(tinyCfg());
+    const BitRow v = pattern(64, 0xff00ff00ff00ff00ULL);
+    sub.pokeData(0, v);
+    sub.aap(RowAddr::data(0), RowAddr::row(SpecialRow::T2));
+    EXPECT_EQ(sub.peek(SpecialRow::T2), v);
+}
+
+TEST(Subarray, DualDestinationWritesBothRows)
+{
+    Subarray sub(tinyCfg());
+    const BitRow v = pattern(64, 0x123456789abcdef0ULL);
+    sub.pokeData(0, v);
+    sub.aap(RowAddr::data(0), RowAddr::row(DualAddr::T0T1));
+    EXPECT_EQ(sub.peek(SpecialRow::T0), v);
+    EXPECT_EQ(sub.peek(SpecialRow::T1), v);
+}
+
+TEST(Subarray, DualFirstActivationPanics)
+{
+    Subarray sub(tinyCfg());
+    EXPECT_THROW(sub.ap(RowAddr::row(DualAddr::T0T1)), PanicError);
+}
+
+TEST(Subarray, TraComputesMajorityInPlace)
+{
+    Subarray sub(tinyCfg());
+    const BitRow a = pattern(64, 0x0f0f0f0f0f0f0f0fULL);
+    const BitRow b = pattern(64, 0x00ff00ff00ff00ffULL);
+    const BitRow c = pattern(64, 0x3333333333333333ULL);
+    sub.poke(SpecialRow::T0, a);
+    sub.poke(SpecialRow::T1, b);
+    sub.poke(SpecialRow::T2, c);
+    sub.ap(RowAddr::row(TripleAddr::T0T1T2));
+    const BitRow expect = BitRow::majority3(a, b, c);
+    // TRA is destructive: all three rows hold the result.
+    EXPECT_EQ(sub.peek(SpecialRow::T0), expect);
+    EXPECT_EQ(sub.peek(SpecialRow::T1), expect);
+    EXPECT_EQ(sub.peek(SpecialRow::T2), expect);
+}
+
+TEST(Subarray, TraWithAapCopiesResultOut)
+{
+    Subarray sub(tinyCfg());
+    const BitRow a = pattern(64, 0xaaaaaaaaaaaaaaaaULL);
+    const BitRow b = pattern(64, 0xccccccccccccccccULL);
+    const BitRow c = pattern(64, 0xf0f0f0f0f0f0f0f0ULL);
+    sub.poke(SpecialRow::T1, a);
+    sub.poke(SpecialRow::T2, b);
+    sub.poke(SpecialRow::T3, c);
+    sub.aap(RowAddr::row(TripleAddr::T1T2T3), RowAddr::data(9));
+    EXPECT_EQ(sub.peekData(9), BitRow::majority3(a, b, c));
+}
+
+TEST(Subarray, AndViaControlRow)
+{
+    // The Ambit AND idiom: MAJ(a, b, 0).
+    Subarray sub(tinyCfg());
+    const BitRow a = pattern(64, 0b1100);
+    const BitRow b = pattern(64, 0b1010);
+    sub.pokeData(0, a);
+    sub.pokeData(1, b);
+    sub.aap(RowAddr::data(0), RowAddr::row(SpecialRow::T0));
+    sub.aap(RowAddr::data(1), RowAddr::row(SpecialRow::T1));
+    sub.aap(RowAddr::row(SpecialRow::C0), RowAddr::row(SpecialRow::T2));
+    sub.aap(RowAddr::row(TripleAddr::T0T1T2), RowAddr::data(5));
+    EXPECT_EQ(sub.peekData(5), a & b);
+}
+
+TEST(Subarray, OrViaControlRow)
+{
+    Subarray sub(tinyCfg());
+    const BitRow a = pattern(64, 0b1100);
+    const BitRow b = pattern(64, 0b1010);
+    sub.pokeData(0, a);
+    sub.pokeData(1, b);
+    sub.aap(RowAddr::data(0), RowAddr::row(SpecialRow::T0));
+    sub.aap(RowAddr::data(1), RowAddr::row(SpecialRow::T1));
+    sub.aap(RowAddr::row(SpecialRow::C1), RowAddr::row(SpecialRow::T2));
+    sub.aap(RowAddr::row(TripleAddr::T0T1T2), RowAddr::data(5));
+    EXPECT_EQ(sub.peekData(5), a | b);
+}
+
+TEST(Subarray, DccNegativePortReadsComplement)
+{
+    Subarray sub(tinyCfg());
+    const BitRow v = pattern(64, 0x5555aaaa5555aaaaULL);
+    sub.pokeData(0, v);
+    // Ambit NOT: copy into the cell, read the negated port.
+    sub.aap(RowAddr::data(0), RowAddr::row(SpecialRow::DCC0P));
+    sub.aap(RowAddr::row(SpecialRow::DCC0N), RowAddr::data(4));
+    EXPECT_EQ(sub.peekData(4), ~v);
+}
+
+TEST(Subarray, DccNegativePortWriteStoresComplement)
+{
+    Subarray sub(tinyCfg());
+    const BitRow v = pattern(64, 0x00ff00ff00ff00ffULL);
+    sub.pokeData(0, v);
+    // Writing v through the N port leaves the cell holding !v, so
+    // the P port then reads !v.
+    sub.aap(RowAddr::data(0), RowAddr::row(SpecialRow::DCC1N));
+    sub.aap(RowAddr::row(SpecialRow::DCC1P), RowAddr::data(4));
+    EXPECT_EQ(sub.peekData(4), ~v);
+}
+
+TEST(Subarray, DccTripleUsesCellValue)
+{
+    Subarray sub(tinyCfg());
+    const BitRow a = pattern(64, 0x1111222233334444ULL);
+    const BitRow b = pattern(64, 0x9999aaaabbbbccccULL);
+    const BitRow c = pattern(64, 0x5a5a5a5a5a5a5a5aULL);
+    sub.poke(SpecialRow::DCC0P, a);
+    sub.poke(SpecialRow::T1, b);
+    sub.poke(SpecialRow::T2, c);
+    sub.ap(RowAddr::row(TripleAddr::DCC0T1T2));
+    EXPECT_EQ(sub.peek(SpecialRow::DCC0P),
+              BitRow::majority3(a, b, c));
+}
+
+TEST(Subarray, ConstantRowsAreWriteProtected)
+{
+    Subarray sub(tinyCfg());
+    sub.pokeData(0, pattern(64, 0xff));
+    EXPECT_THROW(sub.aap(RowAddr::data(0),
+                         RowAddr::row(SpecialRow::C0)),
+                 PanicError);
+}
+
+TEST(Subarray, StatsCountCommands)
+{
+    Subarray sub(tinyCfg());
+    sub.pokeData(0, pattern(64, 1));
+    sub.aap(RowAddr::data(0), RowAddr::data(1));
+    sub.ap(RowAddr::data(0));
+    const DramStats &s = sub.stats();
+    EXPECT_EQ(s.aaps, 1u);
+    EXPECT_EQ(s.aps, 1u);
+    EXPECT_EQ(s.activates, 3u);
+    EXPECT_EQ(s.precharges, 2u);
+    EXPECT_GT(s.energyPj, 0.0);
+    DramTiming t;
+    EXPECT_DOUBLE_EQ(s.latencyNs, t.aapNs() + t.apNs());
+}
+
+TEST(Subarray, TraCountsAsMultiActivate)
+{
+    Subarray sub(tinyCfg());
+    sub.ap(RowAddr::row(TripleAddr::T0T1T2));
+    EXPECT_EQ(sub.stats().multiActivates, 1u);
+    EXPECT_EQ(sub.stats().activates, 0u);
+}
+
+TEST(Subarray, ResetStatsKeepsContents)
+{
+    Subarray sub(tinyCfg());
+    const BitRow v = pattern(64, 0x77);
+    sub.pokeData(0, v);
+    sub.aap(RowAddr::data(0), RowAddr::data(1));
+    sub.resetStats();
+    EXPECT_EQ(sub.stats().aaps, 0u);
+    EXPECT_EQ(sub.peekData(1), v);
+}
+
+TEST(Subarray, OutOfRangePanics)
+{
+    Subarray sub(tinyCfg());
+    EXPECT_THROW(sub.peekData(10000), PanicError);
+    EXPECT_THROW(sub.ap(RowAddr::data(10000)), PanicError);
+}
+
+TEST(Bank, LazyMaterialization)
+{
+    DramConfig cfg = tinyCfg();
+    Bank bank(cfg);
+    EXPECT_FALSE(bank.materialized(0));
+    bank.subarray(0).ap(RowAddr::data(0));
+    EXPECT_TRUE(bank.materialized(0));
+    EXPECT_FALSE(bank.materialized(1));
+}
+
+TEST(Bank, SerialStatsAddLatency)
+{
+    DramConfig cfg = tinyCfg();
+    Bank bank(cfg);
+    bank.subarray(0).ap(RowAddr::data(0));
+    bank.subarray(1).ap(RowAddr::data(0));
+    const DramStats s = bank.serialStats();
+    EXPECT_EQ(s.aps, 2u);
+    EXPECT_DOUBLE_EQ(s.latencyNs, 2 * cfg.timing.apNs());
+}
+
+TEST(Device, ParallelStatsTakeMaxAcrossBanks)
+{
+    DramConfig cfg = tinyCfg();
+    DramDevice dev(cfg);
+    dev.bank(0).subarray(0).ap(RowAddr::data(0));
+    dev.bank(0).subarray(0).ap(RowAddr::data(0));
+    dev.bank(1).subarray(0).ap(RowAddr::data(0));
+    const DramStats s = dev.parallelStats();
+    EXPECT_EQ(s.aps, 3u);
+    EXPECT_DOUBLE_EQ(s.latencyNs, 2 * cfg.timing.apNs());
+    const DramStats ser = dev.serialStats();
+    EXPECT_DOUBLE_EQ(ser.latencyNs, 3 * cfg.timing.apNs());
+}
+
+TEST(Device, HostTransferCostsBandwidthAndEnergy)
+{
+    DramConfig cfg = tinyCfg();
+    DramDevice dev(cfg);
+    DramStats s;
+    const double lat = dev.hostTransfer(1024, s);
+    EXPECT_GT(lat, 0.0);
+    EXPECT_EQ(s.reads, 16u); // 1024 B / 64 B bursts
+    EXPECT_DOUBLE_EQ(s.energyPj,
+                     1024 * 8 * cfg.energy.eIoPjPerBit);
+}
+
+TEST(Device, RowAddrToStringForms)
+{
+    EXPECT_EQ(toString(RowAddr::data(17)), "D17");
+    EXPECT_EQ(toString(RowAddr::row(SpecialRow::DCC0N)), "DCC0N");
+    EXPECT_EQ(toString(RowAddr::row(DualAddr::T2T3)), "DUAL(T2,T3)");
+    EXPECT_EQ(toString(RowAddr::row(TripleAddr::DCC1T0T3)),
+              "TRA(DCC1P,T0,T3)");
+}
+
+} // namespace
+} // namespace simdram

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the equivalence checker itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include "logic/equiv.h"
+
+namespace simdram
+{
+namespace
+{
+
+TEST(Equiv, IdenticalCircuitsEquivalent)
+{
+    Circuit a;
+    const Lit x = a.addInput("x");
+    const Lit y = a.addInput("y");
+    a.addOutput("o", a.mkAnd(x, y));
+
+    Circuit b;
+    const Lit x2 = b.addInput("x");
+    const Lit y2 = b.addInput("y");
+    b.addOutput("o", b.mkAnd(x2, y2));
+
+    const auto r = checkEquivalence(a, b);
+    EXPECT_TRUE(r.equivalent);
+    EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(Equiv, DeMorganHolds)
+{
+    Circuit a;
+    {
+        const Lit x = a.addInput("x");
+        const Lit y = a.addInput("y");
+        a.addOutput("o", Circuit::litNot(a.mkAnd(x, y)));
+    }
+    Circuit b;
+    {
+        const Lit x = b.addInput("x");
+        const Lit y = b.addInput("y");
+        b.addOutput("o", b.mkOr(Circuit::litNot(x),
+                                Circuit::litNot(y)));
+    }
+    EXPECT_TRUE(checkEquivalence(a, b).equivalent);
+}
+
+TEST(Equiv, DetectsAndVsOr)
+{
+    Circuit a;
+    {
+        const Lit x = a.addInput("x");
+        const Lit y = a.addInput("y");
+        a.addOutput("o", a.mkAnd(x, y));
+    }
+    Circuit b;
+    {
+        const Lit x = b.addInput("x");
+        const Lit y = b.addInput("y");
+        b.addOutput("o", b.mkOr(x, y));
+    }
+    const auto r = checkEquivalence(a, b);
+    EXPECT_FALSE(r.equivalent);
+    EXPECT_FALSE(r.message.empty());
+    EXPECT_NE(r.message.find("output 0"), std::string::npos);
+}
+
+TEST(Equiv, DetectsInputCountMismatch)
+{
+    Circuit a;
+    a.addInput("x");
+    a.addOutput("o", Circuit::kLit0);
+    Circuit b;
+    b.addOutput("o", Circuit::kLit0);
+    EXPECT_FALSE(checkEquivalence(a, b).equivalent);
+}
+
+TEST(Equiv, DetectsOutputCountMismatch)
+{
+    Circuit a;
+    a.addInput("x");
+    a.addOutput("o", Circuit::kLit0);
+    Circuit b;
+    b.addInput("x");
+    b.addOutput("o", Circuit::kLit0);
+    b.addOutput("o2", Circuit::kLit1);
+    EXPECT_FALSE(checkEquivalence(a, b).equivalent);
+}
+
+TEST(Equiv, ConstantCircuits)
+{
+    Circuit a;
+    a.addOutput("o", Circuit::kLit1);
+    Circuit b;
+    b.addOutput("o", Circuit::kLit1);
+    EXPECT_TRUE(checkEquivalence(a, b).equivalent);
+
+    Circuit d;
+    d.addOutput("o", Circuit::kLit0);
+    EXPECT_FALSE(checkEquivalence(a, d).equivalent);
+}
+
+TEST(Equiv, LargeCircuitsUseRandomStrategy)
+{
+    // 20 inputs exceeds the exhaustive limit.
+    Circuit a, b;
+    std::vector<Lit> xs_a, xs_b;
+    for (int i = 0; i < 20; ++i) {
+        xs_a.push_back(a.addInput("x" + std::to_string(i)));
+        xs_b.push_back(b.addInput("x" + std::to_string(i)));
+    }
+    Lit acc_a = Circuit::kLit0, acc_b = Circuit::kLit0;
+    for (int i = 0; i < 20; ++i) {
+        acc_a = a.mkOr(acc_a, xs_a[i]);
+        acc_b = b.mkOr(acc_b, xs_b[i]);
+    }
+    a.addOutput("o", acc_a);
+    b.addOutput("o", acc_b);
+    const auto r = checkEquivalence(a, b);
+    EXPECT_TRUE(r.equivalent);
+    EXPECT_FALSE(r.exhaustive);
+}
+
+TEST(Equiv, RandomStrategyFindsSingleMintermBug)
+{
+    // Differ only on the all-ones assignment of 18 inputs: random
+    // vectors are unlikely to hit it, but AND-reduction structure
+    // means... actually make the difference broad enough: differ on
+    // any assignment where the two top inputs are set.
+    Circuit a, b;
+    std::vector<Lit> xs_a, xs_b;
+    for (int i = 0; i < 18; ++i) {
+        xs_a.push_back(a.addInput("x" + std::to_string(i)));
+        xs_b.push_back(b.addInput("x" + std::to_string(i)));
+    }
+    a.addOutput("o", a.mkAnd(xs_a[0], xs_a[1]));
+    b.addOutput("o", b.mkOr(xs_b[0], xs_b[1]));
+    EXPECT_FALSE(checkEquivalence(a, b).equivalent);
+}
+
+} // namespace
+} // namespace simdram

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Tests for the features beyond the paper's core: bulk bitwise
+ * extension operations, in-DRAM constant initialization (bbop_init),
+ * row-renaming shifts, μProgram serialization, and TRA fault
+ * injection on the functional path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ambit/ambit_synth.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "isa/dispatcher.h"
+#include "logic/equiv.h"
+#include "ops/library.h"
+#include "uprog/serialize.h"
+
+namespace simdram
+{
+namespace
+{
+
+DramConfig
+cfg()
+{
+    return DramConfig::forTesting(256, 512);
+}
+
+// ---- Extension operations ---------------------------------------------
+
+class ExtensionOpTest
+    : public ::testing::TestWithParam<std::tuple<OpKind, Backend>>
+{
+};
+
+TEST_P(ExtensionOpTest, MatchesHostReference)
+{
+    const auto [op, backend] = GetParam();
+    Processor p(cfg(), backend);
+    const size_t n = 300, w = 16;
+    Rng rng(0xe57);
+    std::vector<uint64_t> da(n), db(n);
+    for (size_t i = 0; i < n; ++i) {
+        da[i] = rng.next() & 0xffff;
+        db[i] = rng.next() & 0xffff;
+    }
+    const auto a = p.alloc(n, w);
+    const auto b = p.alloc(n, w);
+    const auto y = p.alloc(n, w);
+    p.store(a, da);
+    p.store(b, db);
+    p.run(op, y, a, b);
+    const auto got = p.load(y);
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(got[i], referenceOp(op, w, da[i], db[i])) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitwiseOps, ExtensionOpTest,
+    ::testing::Combine(::testing::ValuesIn(kExtensionOps),
+                       ::testing::Values(Backend::Simdram,
+                                         Backend::Ambit)),
+    [](const auto &info) {
+        return toString(std::get<0>(info.param)) + "_" +
+               (std::get<1>(info.param) == Backend::Simdram
+                    ? "simdram"
+                    : "ambit");
+    });
+
+TEST(ExtensionOps, EquivalentAcrossVariants)
+{
+    OperationLibrary lib;
+    for (OpKind op : kExtensionOps) {
+        const auto r = checkEquivalence(lib.aoig(op, 6),
+                                        lib.mig(op, 6));
+        EXPECT_TRUE(r.equivalent) << toString(op) << r.message;
+        EXPECT_TRUE(r.exhaustive);
+    }
+}
+
+TEST(ExtensionOps, BitAndCostsOneTraPerBit)
+{
+    OperationLibrary lib;
+    const auto prog = compileAmbit(lib.aoig(OpKind::BitAnd, 8));
+    // Ambit: 4 AAPs per AND gate + 8 output copies.
+    EXPECT_EQ(prog.aapCount(), 8u * 4u + 8u);
+}
+
+// ---- fillConstant / bbop_init ------------------------------------------
+
+TEST(FillConstant, ValuesVisibleOnLoad)
+{
+    Processor p(cfg());
+    const auto v = p.alloc(300, 16);
+    p.fillConstant(v, 0xabc);
+    EXPECT_EQ(p.load(v), std::vector<uint64_t>(300, 0xabc));
+}
+
+TEST(FillConstant, NoChannelTraffic)
+{
+    Processor p(cfg());
+    const auto v = p.alloc(100, 8);
+    p.resetStats();
+    p.fillConstant(v, 0x5a);
+    EXPECT_DOUBLE_EQ(p.transferStats().energyPj, 0.0)
+        << "bbop_init must not move data over the channel";
+    EXPECT_EQ(p.computeStats().aaps, 8u)
+        << "one AAP per bit row per segment";
+}
+
+TEST(FillConstant, CheaperThanStore)
+{
+    Processor p1(cfg()), p2(cfg());
+    const auto v1 = p1.alloc(256, 32);
+    const auto v2 = p2.alloc(256, 32);
+    p1.fillConstant(v1, 7);
+    p2.store(v2, std::vector<uint64_t>(256, 7));
+    const double e1 = p1.computeStats().energyPj +
+                      p1.transferStats().energyPj;
+    const double e2 = p2.computeStats().energyPj +
+                      p2.transferStats().energyPj;
+    EXPECT_LT(e1, e2);
+    EXPECT_EQ(p1.load(v1), p2.load(v2));
+}
+
+TEST(FillConstant, RejectsOverwideValue)
+{
+    Processor p(cfg());
+    const auto v = p.alloc(10, 4);
+    EXPECT_THROW(p.fillConstant(v, 16), FatalError);
+}
+
+TEST(FillConstant, UsedInComputation)
+{
+    Processor p(cfg());
+    const size_t n = 200;
+    const auto a = p.alloc(n, 8);
+    const auto b = p.alloc(n, 8);
+    const auto y = p.alloc(n, 8);
+    std::vector<uint64_t> da(n);
+    for (size_t i = 0; i < n; ++i)
+        da[i] = i & 0xff;
+    p.store(a, da);
+    p.fillConstant(b, 100);
+    p.run(OpKind::Add, y, a, b);
+    const auto got = p.load(y);
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(got[i], (da[i] + 100) & 0xff);
+}
+
+// ---- Shifts ----------------------------------------------------------------
+
+TEST(Shift, LeftMatchesHost)
+{
+    Processor p(cfg());
+    const size_t n = 300, w = 16;
+    Rng rng(0x51f7);
+    std::vector<uint64_t> da(n);
+    for (auto &v : da)
+        v = rng.next() & 0xffff;
+    const auto a = p.alloc(n, w);
+    const auto y = p.alloc(n, w);
+    p.store(a, da);
+    for (size_t k : {0u, 1u, 3u, 15u}) {
+        p.shiftLeft(y, a, k);
+        const auto got = p.load(y);
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(got[i], (da[i] << k) & 0xffff)
+                << "k=" << k << " i=" << i;
+    }
+}
+
+TEST(Shift, RightMatchesHost)
+{
+    Processor p(cfg());
+    const size_t n = 300, w = 16;
+    Rng rng(0x51f8);
+    std::vector<uint64_t> da(n);
+    for (auto &v : da)
+        v = rng.next() & 0xffff;
+    const auto a = p.alloc(n, w);
+    const auto y = p.alloc(n, w);
+    p.store(a, da);
+    for (size_t k : {0u, 1u, 4u, 16u}) {
+        p.shiftRight(y, a, k);
+        const auto got = p.load(y);
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(got[i], da[i] >> k) << "k=" << k;
+    }
+}
+
+TEST(Shift, CostIsOneAapPerRow)
+{
+    Processor p(cfg());
+    const auto a = p.alloc(100, 8);
+    const auto y = p.alloc(100, 8);
+    p.store(a, std::vector<uint64_t>(100, 3));
+    p.resetStats();
+    p.shiftLeft(y, a, 2);
+    EXPECT_EQ(p.computeStats().aaps, 8u)
+        << "a shift is pure row copying, one AAP per bit row";
+}
+
+TEST(Shift, InPlaceRejected)
+{
+    Processor p(cfg());
+    const auto a = p.alloc(10, 8);
+    EXPECT_THROW(p.shiftLeft(a, a, 1), FatalError);
+}
+
+TEST(Shift, ShapeMismatchRejected)
+{
+    Processor p(cfg());
+    const auto a = p.alloc(10, 8);
+    const auto y = p.alloc(10, 16);
+    EXPECT_THROW(p.shiftLeft(y, a, 1), FatalError);
+}
+
+// ---- bbop Init/Shift instructions ---------------------------------------
+
+TEST(BbopExt, InitEncodeDecodeRoundTrip)
+{
+    const BbopInstr i = BbopInstr::init(5, 32, 0x123456789ULL);
+    EXPECT_EQ(i.initImmediate(), 0x123456789ULL);
+    const BbopInstr back = decodeBbop(encodeBbop(i));
+    EXPECT_EQ(back, i);
+    EXPECT_EQ(back.initImmediate(), 0x123456789ULL);
+}
+
+TEST(BbopExt, InitRejectsHugeImmediate)
+{
+    EXPECT_THROW(BbopInstr::init(0, 64, 1ULL << 36), FatalError);
+}
+
+TEST(BbopExt, AsmForms)
+{
+    EXPECT_EQ(toAsm(BbopInstr::init(3, 16, 255)),
+              "bbop_init.16 d3, 255");
+    EXPECT_EQ(toAsm(BbopInstr::shift(true, 8, 2, 1, 3)),
+              "bbop_shl.8 d2, d1, 3");
+    EXPECT_EQ(toAsm(BbopInstr::shift(false, 8, 2, 1, 3)),
+              "bbop_shr.8 d2, d1, 3");
+}
+
+TEST(BbopExt, InitAndShiftEndToEnd)
+{
+    Processor proc(cfg());
+    BbopDispatcher d(proc);
+    const size_t n = 100;
+    const uint16_t a = d.defineObject(n, 16);
+    const uint16_t y = d.defineObject(n, 16);
+    d.exec(BbopInstr::trsp(a, 16));
+    d.exec(BbopInstr::trsp(y, 16));
+    d.exec(BbopInstr::init(a, 16, 0x00f3));
+    d.exec(BbopInstr::shift(true, 16, y, a, 4));
+    d.exec(BbopInstr::trspInv(y, 16));
+    EXPECT_EQ(d.readObject(y),
+              std::vector<uint64_t>(n, 0x0f30));
+}
+
+// ---- μProgram serialization ------------------------------------------------
+
+TEST(Serialize, RoundTripsEveryOpProgram)
+{
+    OperationLibrary lib;
+    for (OpKind op : {OpKind::Add, OpKind::Mul, OpKind::Gt,
+                      OpKind::IfElse, OpKind::Bitcount,
+                      OpKind::BitXor}) {
+        const auto prog = compileMig(lib.mig(op, 8));
+        const std::string text = serializeMicroProgram(prog);
+        const auto back = parseMicroProgram(text);
+        ASSERT_EQ(back.ops.size(), prog.ops.size()) << toString(op);
+        for (size_t i = 0; i < prog.ops.size(); ++i) {
+            EXPECT_EQ(back.ops[i].kind, prog.ops[i].kind);
+            EXPECT_TRUE(back.ops[i].src == prog.ops[i].src);
+            if (prog.ops[i].kind == MicroOp::Kind::Aap)
+                EXPECT_TRUE(back.ops[i].dst == prog.ops[i].dst);
+        }
+        EXPECT_EQ(back.scratchRows, prog.scratchRows);
+        ASSERT_EQ(back.inputRegions.size(),
+                  prog.inputRegions.size());
+        for (size_t r = 0; r < back.inputRegions.size(); ++r) {
+            EXPECT_EQ(back.inputRegions[r].name,
+                      prog.inputRegions[r].name);
+            EXPECT_EQ(back.inputRegions[r].rows,
+                      prog.inputRegions[r].rows);
+        }
+        // Re-serialization is a fixpoint.
+        EXPECT_EQ(serializeMicroProgram(back), text);
+    }
+}
+
+TEST(Serialize, RejectsGarbage)
+{
+    EXPECT_THROW(parseMicroProgram("not a program"), FatalError);
+    EXPECT_THROW(parseMicroProgram("; inputs: a[1] outputs: y[1] "
+                                   "scratch: 0\nZAP D0\n"),
+                 FatalError);
+    EXPECT_THROW(parseMicroProgram("; inputs: a[1] outputs: y[1] "
+                                   "scratch: 0\nAAP D0 -> Q9\n"),
+                 FatalError);
+}
+
+// ---- Fault injection ---------------------------------------------------------
+
+TEST(FaultInjection, ZeroProbabilityIsTransparent)
+{
+    DramConfig c = cfg();
+    Subarray sub(c);
+    sub.enableTraFaults(0.0, 1);
+    BitRow a(c.rowBits), b(c.rowBits), x(c.rowBits);
+    a.word(0) = 0x0f0f;
+    b.word(0) = 0x00ff;
+    x.word(0) = 0x3333;
+    sub.poke(SpecialRow::T0, a);
+    sub.poke(SpecialRow::T1, b);
+    sub.poke(SpecialRow::T2, x);
+    sub.ap(RowAddr::row(TripleAddr::T0T1T2));
+    EXPECT_EQ(sub.peek(SpecialRow::T0), BitRow::majority3(a, b, x));
+    EXPECT_EQ(sub.injectedFaults(), 0u);
+}
+
+TEST(FaultInjection, FlipsTrackTheProbability)
+{
+    DramConfig c = cfg();
+    Subarray sub(c);
+    sub.enableTraFaults(0.25, 42);
+    const size_t trials = 200;
+    for (size_t t = 0; t < trials; ++t)
+        sub.ap(RowAddr::row(TripleAddr::T0T1T2));
+    const double per_bit =
+        static_cast<double>(sub.injectedFaults()) /
+        static_cast<double>(trials * c.rowBits);
+    EXPECT_NEAR(per_bit, 0.25, 0.02);
+}
+
+TEST(FaultInjection, CorruptsComputationResults)
+{
+    // An add on a faulty device must produce wrong lanes; on a
+    // healthy device it must not.
+    const size_t n = 256;
+    Rng rng(7);
+    std::vector<uint64_t> da(n), db(n);
+    for (size_t i = 0; i < n; ++i) {
+        da[i] = rng.next() & 0xff;
+        db[i] = rng.next() & 0xff;
+    }
+    size_t wrong_healthy = 0, wrong_faulty = 0;
+    for (bool faulty : {false, true}) {
+        Processor p(cfg());
+        const auto a = p.alloc(n, 8);
+        const auto b = p.alloc(n, 8);
+        const auto y = p.alloc(n, 8);
+        if (faulty)
+            p.device().bank(0).subarray(0).enableTraFaults(0.02, 3);
+        p.store(a, da);
+        p.store(b, db);
+        p.run(OpKind::Add, y, a, b);
+        const auto got = p.load(y);
+        size_t wrong = 0;
+        for (size_t i = 0; i < n; ++i)
+            if (got[i] != ((da[i] + db[i]) & 0xff))
+                ++wrong;
+        (faulty ? wrong_faulty : wrong_healthy) = wrong;
+    }
+    EXPECT_EQ(wrong_healthy, 0u);
+    EXPECT_GT(wrong_faulty, n / 4)
+        << "2% per-TRA-bit faults across ~40 TRAs must corrupt "
+           "many lanes";
+}
+
+TEST(FaultInjection, DisableRestoresCorrectness)
+{
+    DramConfig c = cfg();
+    Subarray sub(c);
+    sub.enableTraFaults(1.0, 5);
+    sub.ap(RowAddr::row(TripleAddr::T0T1T2));
+    EXPECT_GT(sub.injectedFaults(), 0u);
+    sub.disableTraFaults();
+    const uint64_t before = sub.injectedFaults();
+    sub.ap(RowAddr::row(TripleAddr::T0T1T2));
+    EXPECT_EQ(sub.injectedFaults(), before);
+}
+
+} // namespace
+} // namespace simdram

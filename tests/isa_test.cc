@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the bbop ISA: encoding round-trips, assembly printing,
+ * and the dispatcher's end-to-end execution model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "isa/dispatcher.h"
+
+namespace simdram
+{
+namespace
+{
+
+TEST(Bbop, EncodeDecodeRoundTripAllOps)
+{
+    for (OpKind op : kAllOps) {
+        const BbopInstr i =
+            BbopInstr::predicated(op, 32, 1, 2, 3, 4);
+        const BbopInstr back = decodeBbop(encodeBbop(i));
+        EXPECT_EQ(back, i) << toString(op);
+    }
+}
+
+TEST(Bbop, EncodeDecodeTranspose)
+{
+    const BbopInstr t = BbopInstr::trsp(100, 16);
+    EXPECT_EQ(decodeBbop(encodeBbop(t)), t);
+    const BbopInstr ti = BbopInstr::trspInv(100, 16);
+    EXPECT_EQ(decodeBbop(encodeBbop(ti)), ti);
+}
+
+TEST(Bbop, FieldsSurviveExtremes)
+{
+    BbopInstr i = BbopInstr::binary(OpKind::XorRed, 64, 0xffe,
+                                    0, 0xffe);
+    const BbopInstr back = decodeBbop(encodeBbop(i));
+    EXPECT_EQ(back.dst, 0xffe);
+    EXPECT_EQ(back.width, 64);
+}
+
+TEST(Bbop, EncodeRejectsBadWidth)
+{
+    BbopInstr i = BbopInstr::trsp(0, 16);
+    i.width = 0;
+    EXPECT_THROW(encodeBbop(i), FatalError);
+    i.width = 100;
+    EXPECT_THROW(encodeBbop(i), FatalError);
+}
+
+TEST(Bbop, AsmForms)
+{
+    EXPECT_EQ(toAsm(BbopInstr::trsp(3, 32)), "bbop_trsp.32 d3");
+    EXPECT_EQ(toAsm(BbopInstr::binary(OpKind::Add, 32, 2, 0, 1)),
+              "bbop_add.32 d2, d0, d1");
+    EXPECT_EQ(toAsm(BbopInstr::unary(OpKind::Relu, 8, 1, 0)),
+              "bbop_relu.8 d1, d0");
+    EXPECT_EQ(
+        toAsm(BbopInstr::predicated(OpKind::IfElse, 16, 3, 0, 1, 2)),
+        "bbop_if_else.16 d3, d0, d1, d2");
+}
+
+class DispatcherTest : public ::testing::Test
+{
+  protected:
+    DispatcherTest()
+        : proc_(DramConfig::forTesting(256, 512)), disp_(proc_)
+    {
+    }
+
+    Processor proc_;
+    BbopDispatcher disp_;
+};
+
+TEST_F(DispatcherTest, EndToEndAddProgram)
+{
+    const size_t n = 300;
+    Rng rng(5);
+    std::vector<uint64_t> da(n), db(n);
+    for (size_t i = 0; i < n; ++i) {
+        da[i] = rng.next() & 0xffff;
+        db[i] = rng.next() & 0xffff;
+    }
+
+    const uint16_t a = disp_.defineObject(n, 16);
+    const uint16_t b = disp_.defineObject(n, 16);
+    const uint16_t y = disp_.defineObject(n, 16);
+    disp_.writeObject(a, da);
+    disp_.writeObject(b, db);
+
+    disp_.exec({BbopInstr::trsp(a, 16), BbopInstr::trsp(b, 16),
+                BbopInstr::trsp(y, 16),
+                BbopInstr::binary(OpKind::Add, 16, y, a, b),
+                BbopInstr::trspInv(y, 16)});
+
+    const auto &out = disp_.readObject(y);
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], (da[i] + db[i]) & 0xffff) << i;
+}
+
+TEST_F(DispatcherTest, OpOnHorizontalObjectRejected)
+{
+    const uint16_t a = disp_.defineObject(8, 8);
+    const uint16_t y = disp_.defineObject(8, 8);
+    disp_.exec(BbopInstr::trsp(y, 8));
+    EXPECT_THROW(disp_.exec(BbopInstr::unary(OpKind::Relu, 8, y, a)),
+                 FatalError);
+}
+
+TEST_F(DispatcherTest, TrspInvBeforeTrspRejected)
+{
+    const uint16_t a = disp_.defineObject(8, 8);
+    EXPECT_THROW(disp_.exec(BbopInstr::trspInv(a, 8)), FatalError);
+}
+
+TEST_F(DispatcherTest, TrspWidthMismatchRejected)
+{
+    const uint16_t a = disp_.defineObject(8, 8);
+    EXPECT_THROW(disp_.exec(BbopInstr::trsp(a, 16)), FatalError);
+}
+
+TEST_F(DispatcherTest, BadObjectIdRejected)
+{
+    EXPECT_THROW(disp_.exec(BbopInstr::trsp(999, 8)), FatalError);
+}
+
+TEST_F(DispatcherTest, WriteKeepsVerticalCoherent)
+{
+    const size_t n = 10;
+    const uint16_t a = disp_.defineObject(n, 8);
+    const uint16_t y = disp_.defineObject(n, 8);
+    disp_.writeObject(a, std::vector<uint64_t>(n, 1));
+    disp_.exec(BbopInstr::trsp(a, 8));
+    disp_.exec(BbopInstr::trsp(y, 8));
+    // Rewriting after transposition updates the vertical copy.
+    disp_.writeObject(a, std::vector<uint64_t>(n, 9));
+    disp_.exec(BbopInstr::unary(OpKind::Relu, 8, y, a));
+    disp_.exec(BbopInstr::trspInv(y, 8));
+    EXPECT_EQ(disp_.readObject(y), std::vector<uint64_t>(n, 9));
+}
+
+} // namespace
+} // namespace simdram

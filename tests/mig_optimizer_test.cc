@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the framework's step-1 transformations: AOIG -> MIG
+ * conversion, sweeping, and the MIG optimizer. Every transformation
+ * must preserve function (checked exhaustively for small circuits).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "logic/equiv.h"
+#include "logic/mig.h"
+#include "logic/optimizer.h"
+#include "ops/library.h"
+
+namespace simdram
+{
+namespace
+{
+
+TEST(ToMig, AndBecomesMajWithZero)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    c.addOutput("y", c.mkAnd(a, b));
+    const Circuit m = toMig(c);
+    EXPECT_TRUE(m.isMig());
+    EXPECT_EQ(m.gateCount(NodeKind::Maj3), 1u);
+    const auto eq = checkEquivalence(c, m);
+    EXPECT_TRUE(eq.equivalent) << eq.message;
+    EXPECT_TRUE(eq.exhaustive);
+}
+
+TEST(ToMig, PreservesBusStructure)
+{
+    Circuit c;
+    const auto a = c.addInputBus("a", 3);
+    const auto b = c.addInputBus("b", 3);
+    std::vector<Lit> y;
+    for (int i = 0; i < 3; ++i)
+        y.push_back(c.mkOr(a[i], b[i]));
+    c.addOutputBus("y", y);
+
+    const Circuit m = toMig(c);
+    ASSERT_NE(m.inputBus("a"), nullptr);
+    ASSERT_NE(m.outputBus("y"), nullptr);
+    EXPECT_EQ(m.inputBus("a")->size(), 3u);
+    EXPECT_EQ(m.outputBus("y")->size(), 3u);
+    EXPECT_EQ(m.inputBusNames(), c.inputBusNames());
+}
+
+TEST(Sweep, RemovesDeadGates)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    const Lit live = c.mkAnd(a, b);
+    c.mkOr(a, b); // dead
+    c.addOutput("y", live);
+    const Circuit s = sweep(c);
+    EXPECT_EQ(s.gateCount(), 1u);
+    EXPECT_TRUE(checkEquivalence(c, s).equivalent);
+}
+
+TEST(Optimizer, RejectsNonMig)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    c.addOutput("y", c.mkAnd(a, b));
+    EXPECT_THROW(optimizeMig(c), FatalError);
+}
+
+TEST(Optimizer, DistributivityShrinksSharedPair)
+{
+    // M(M(x,y,u), M(x,y,v), z) -> M(x, y, M(u,v,z)): 3 -> 2 gates.
+    Circuit c;
+    const Lit x = c.addInput("x");
+    const Lit y = c.addInput("y");
+    const Lit u = c.addInput("u");
+    const Lit v = c.addInput("v");
+    const Lit z = c.addInput("z");
+    const Lit p = c.mkMaj(x, y, u);
+    const Lit q = c.mkMaj(x, y, v);
+    c.addOutput("out", c.mkMaj(p, q, z));
+    ASSERT_EQ(c.topoOrder().size(), 3u);
+
+    OptReport rep;
+    const Circuit o = optimizeMig(c, &rep);
+    EXPECT_EQ(rep.gatesBefore, 3u);
+    EXPECT_EQ(rep.gatesAfter, 2u);
+    const auto eq = checkEquivalence(c, o);
+    EXPECT_TRUE(eq.equivalent) << eq.message;
+    EXPECT_TRUE(eq.exhaustive);
+}
+
+TEST(Optimizer, DistributivityRequiresSingleFanout)
+{
+    // If the shared children have other consumers, the rewrite would
+    // not reduce size; the result must still be equivalent.
+    Circuit c;
+    const Lit x = c.addInput("x");
+    const Lit y = c.addInput("y");
+    const Lit u = c.addInput("u");
+    const Lit v = c.addInput("v");
+    const Lit z = c.addInput("z");
+    const Lit p = c.mkMaj(x, y, u);
+    const Lit q = c.mkMaj(x, y, v);
+    c.addOutput("out", c.mkMaj(p, q, z));
+    c.addOutput("p", p); // extra fanout
+    const Circuit o = optimizeMig(c);
+    EXPECT_TRUE(checkEquivalence(c, o).equivalent);
+}
+
+TEST(Optimizer, ReportsDepth)
+{
+    OperationLibrary lib;
+    const Circuit &naive = lib.migNaive(OpKind::Add, 4);
+    OptReport rep;
+    optimizeMig(naive, &rep);
+    EXPECT_GT(rep.depthBefore, 0u);
+    EXPECT_GT(rep.depthAfter, 0u);
+    EXPECT_GE(rep.gatesBefore, rep.gatesAfter);
+}
+
+TEST(Optimizer, IdempotentOnOptimizedCircuit)
+{
+    OperationLibrary lib;
+    const Circuit &m = lib.mig(OpKind::Add, 8);
+    OptReport rep;
+    const Circuit again = optimizeMig(m, &rep);
+    EXPECT_EQ(rep.gatesBefore, rep.gatesAfter);
+    EXPECT_TRUE(checkEquivalence(m, again).equivalent);
+}
+
+/** Parameterized equivalence across the whole op library. */
+class MigPipelineTest
+    : public ::testing::TestWithParam<std::tuple<OpKind, size_t>>
+{
+};
+
+TEST_P(MigPipelineTest, AllVariantsEquivalent)
+{
+    const auto [op, width] = GetParam();
+    OperationLibrary lib;
+    const Circuit &aoig = lib.aoig(op, width);
+    const Circuit &naive = lib.migNaive(op, width);
+    const Circuit &synth = lib.migSynth(op, width);
+    const Circuit &mig = lib.mig(op, width);
+
+    EXPECT_TRUE(aoig.isAoig());
+    EXPECT_TRUE(naive.isMig());
+    EXPECT_TRUE(synth.isMig());
+    EXPECT_TRUE(mig.isMig());
+
+    auto r1 = checkEquivalence(aoig, naive);
+    EXPECT_TRUE(r1.equivalent) << "naive: " << r1.message;
+    auto r2 = checkEquivalence(aoig, synth);
+    EXPECT_TRUE(r2.equivalent) << "synth: " << r2.message;
+    auto r3 = checkEquivalence(aoig, mig);
+    EXPECT_TRUE(r3.equivalent) << "mig: " << r3.message;
+
+    // The optimizer must never grow the naive conversion.
+    EXPECT_LE(synth.topoOrder().size(), naive.topoOrder().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, MigPipelineTest,
+    ::testing::Combine(::testing::ValuesIn(kAllOps),
+                       ::testing::Values(size_t{2}, size_t{4},
+                                         size_t{7})),
+    [](const auto &info) {
+        return toString(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace simdram

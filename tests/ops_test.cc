@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the operation library: signatures, golden references,
+ * and exhaustive/randomized functional checks of every generated
+ * circuit against referenceOp().
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "logic/simulate.h"
+#include "ops/library.h"
+
+namespace simdram
+{
+namespace
+{
+
+TEST(OpKind, NamesAreStable)
+{
+    EXPECT_EQ(toString(OpKind::Add), "add");
+    EXPECT_EQ(toString(OpKind::AndRed), "and_red");
+    EXPECT_EQ(toString(OpKind::Bitcount), "bitcount");
+    EXPECT_EQ(toString(OpKind::IfElse), "if_else");
+    EXPECT_EQ(toString(OpKind::XorRed), "xor_red");
+}
+
+TEST(OpKind, SignatureShapes)
+{
+    const auto add = signatureOf(OpKind::Add, 32);
+    EXPECT_EQ(add.numInputs, 2u);
+    EXPECT_FALSE(add.hasSel);
+    EXPECT_EQ(add.outWidth, 32u);
+
+    const auto relu = signatureOf(OpKind::Relu, 16);
+    EXPECT_EQ(relu.numInputs, 1u);
+    EXPECT_EQ(relu.outWidth, 16u);
+
+    const auto eq = signatureOf(OpKind::Eq, 32);
+    EXPECT_EQ(eq.outWidth, 1u);
+
+    const auto ifelse = signatureOf(OpKind::IfElse, 8);
+    EXPECT_TRUE(ifelse.hasSel);
+    EXPECT_EQ(ifelse.numInputs, 2u);
+
+    const auto bc = signatureOf(OpKind::Bitcount, 8);
+    EXPECT_EQ(bc.outWidth, 4u); // 0..8 needs 4 bits
+    EXPECT_EQ(signatureOf(OpKind::Bitcount, 32).outWidth, 6u);
+}
+
+TEST(OpKind, ReferenceSpotChecks)
+{
+    EXPECT_EQ(referenceOp(OpKind::Add, 8, 200, 100), 44u);
+    EXPECT_EQ(referenceOp(OpKind::Sub, 8, 5, 10), 251u);
+    EXPECT_EQ(referenceOp(OpKind::Abs, 8, 0xFF, 0), 1u);
+    EXPECT_EQ(referenceOp(OpKind::Relu, 8, 0x80, 0), 0u);
+    EXPECT_EQ(referenceOp(OpKind::Relu, 8, 0x7F, 0), 0x7Fu);
+    EXPECT_EQ(referenceOp(OpKind::Div, 8, 100, 7), 14u);
+    EXPECT_EQ(referenceOp(OpKind::Div, 8, 100, 0), 255u);
+    EXPECT_EQ(referenceOp(OpKind::Mul, 8, 20, 20), 144u);
+    EXPECT_EQ(referenceOp(OpKind::Bitcount, 8, 0xF0, 0), 4u);
+    EXPECT_EQ(referenceOp(OpKind::AndRed, 4, 0xF, 0), 1u);
+    EXPECT_EQ(referenceOp(OpKind::AndRed, 4, 0xE, 0), 0u);
+    EXPECT_EQ(referenceOp(OpKind::XorRed, 4, 0x7, 0), 1u);
+    EXPECT_EQ(referenceOp(OpKind::IfElse, 8, 1, 2, true), 1u);
+    EXPECT_EQ(referenceOp(OpKind::IfElse, 8, 1, 2, false), 2u);
+    EXPECT_EQ(referenceOp(OpKind::Max, 8, 3, 200), 200u);
+    EXPECT_EQ(referenceOp(OpKind::Min, 8, 3, 200), 3u);
+}
+
+TEST(OpLibrary, WidthBoundsEnforced)
+{
+    EXPECT_THROW(buildOpCircuit(OpKind::Add, 0, GateStyle::Mig),
+                 FatalError);
+    EXPECT_THROW(buildOpCircuit(OpKind::Add, 65, GateStyle::Mig),
+                 FatalError);
+    EXPECT_THROW(buildOpCircuit(OpKind::Abs, 1, GateStyle::Mig),
+                 FatalError);
+    EXPECT_NO_THROW(buildOpCircuit(OpKind::IfElse, 1,
+                                   GateStyle::Mig));
+}
+
+TEST(OpLibrary, CachingReturnsSameObject)
+{
+    OperationLibrary lib;
+    const Circuit &a = lib.mig(OpKind::Add, 8);
+    const Circuit &b = lib.mig(OpKind::Add, 8);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(OpLibrary, ExpertMigSmallerOnArithmetic)
+{
+    OperationLibrary lib;
+    for (OpKind op : {OpKind::Add, OpKind::Sub, OpKind::Mul,
+                      OpKind::Div, OpKind::Bitcount}) {
+        const size_t aoig = lib.aoig(op, 16).topoOrder().size();
+        const size_t mig = lib.mig(op, 16).topoOrder().size();
+        EXPECT_LT(mig, aoig) << toString(op)
+            << ": MAJ/NOT must need fewer gates";
+    }
+}
+
+/**
+ * Functional check of the production MIG for every operation and a
+ * sweep of widths: simulate over many lanes and compare against the
+ * scalar reference. Exhaustive over both operands at small widths.
+ */
+class OpFunctionalTest
+    : public ::testing::TestWithParam<std::tuple<OpKind, size_t>>
+{
+};
+
+TEST_P(OpFunctionalTest, MigMatchesReference)
+{
+    const auto [op, width] = GetParam();
+    if ((op == OpKind::Abs || op == OpKind::Relu) && width < 2)
+        GTEST_SKIP();
+    OperationLibrary lib;
+    const Circuit &mig = lib.mig(op, width);
+    const auto sig = signatureOf(op, width);
+
+    // Build the lane workload: exhaustive when cheap, random tail.
+    std::vector<uint64_t> as, bs, sels;
+    const uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    if (width <= 5 && sig.numInputs == 2) {
+        for (uint64_t a = 0; a <= mask; ++a)
+            for (uint64_t b = 0; b <= mask; ++b) {
+                as.push_back(a);
+                bs.push_back(b);
+                sels.push_back((a ^ b) & 1);
+            }
+    } else {
+        Rng rng(0x5151 + width);
+        for (int i = 0; i < 2000; ++i) {
+            as.push_back(rng.next() & mask);
+            bs.push_back(rng.next() & mask);
+            sels.push_back(rng.next() & 1);
+        }
+        // Edge lanes.
+        for (uint64_t v :
+             {uint64_t{0}, uint64_t{1}, mask, mask - 1, mask >> 1}) {
+            as.push_back(v & mask);
+            bs.push_back(mask - (v & mask));
+            sels.push_back(1);
+        }
+    }
+
+    std::map<std::string, std::vector<uint64_t>> in;
+    in["a"] = as;
+    if (sig.numInputs == 2)
+        in["b"] = bs;
+    if (sig.hasSel)
+        in["sel"] = sels;
+    const auto out = simulateBuses(mig, in, as.size());
+    const auto &ys = out.at("y");
+    for (size_t i = 0; i < as.size(); ++i) {
+        const uint64_t expect = referenceOp(
+            op, width, as[i], sig.numInputs == 2 ? bs[i] : 0,
+            sels[i] != 0);
+        ASSERT_EQ(ys[i], expect)
+            << toString(op) << " w=" << width << " a=" << as[i]
+            << " b=" << bs[i];
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OpFunctionalTest,
+    ::testing::Combine(::testing::ValuesIn(kAllOps),
+                       ::testing::Values(size_t{4}, size_t{8},
+                                         size_t{16}, size_t{32})),
+    [](const auto &info) {
+        return toString(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace simdram

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * End-to-end tests of the Processor public API: allocation, layout
+ * conversion, execution of every operation on every backend, bank
+ * parallelism, and misuse diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/host_kernels.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "exec/processor.h"
+
+namespace simdram
+{
+namespace
+{
+
+DramConfig
+testCfg()
+{
+    return DramConfig::forTesting(256, 512);
+}
+
+TEST(Processor, StoreLoadRoundTrip)
+{
+    Processor p(testCfg());
+    const auto v = p.alloc(300, 16); // spans 2 segments of 256 lanes
+    Rng rng(1);
+    std::vector<uint64_t> data(300);
+    for (auto &x : data)
+        x = rng.next() & 0xffff;
+    p.store(v, data);
+    EXPECT_EQ(p.load(v), data);
+    EXPECT_GT(p.transferStats().energyPj, 0.0);
+}
+
+TEST(Processor, AllocRejectsEmpty)
+{
+    Processor p(testCfg());
+    EXPECT_THROW(p.alloc(0, 8), FatalError);
+    EXPECT_THROW(p.alloc(8, 0), FatalError);
+}
+
+TEST(Processor, StoreRejectsWrongSize)
+{
+    Processor p(testCfg());
+    const auto v = p.alloc(10, 8);
+    EXPECT_THROW(p.store(v, std::vector<uint64_t>(11, 0)),
+                 FatalError);
+}
+
+TEST(Processor, InvalidHandleRejected)
+{
+    Processor p(testCfg());
+    Processor::VecHandle bogus;
+    EXPECT_THROW(p.load(bogus), FatalError);
+}
+
+TEST(Processor, WidthMismatchRejected)
+{
+    Processor p(testCfg());
+    const auto a = p.alloc(10, 8);
+    const auto b = p.alloc(10, 16);
+    const auto y = p.alloc(10, 8);
+    EXPECT_THROW(p.run(OpKind::Add, y, a, b), FatalError);
+}
+
+TEST(Processor, DestinationWidthChecked)
+{
+    Processor p(testCfg());
+    const auto a = p.alloc(10, 8);
+    const auto b = p.alloc(10, 8);
+    const auto y = p.alloc(10, 4); // eq needs 1-bit dst
+    EXPECT_THROW(p.run(OpKind::Eq, y, a, b), FatalError);
+}
+
+TEST(Processor, ArityChecked)
+{
+    Processor p(testCfg());
+    const auto a = p.alloc(10, 8);
+    const auto y = p.alloc(10, 8);
+    EXPECT_THROW(p.run(OpKind::Add, y, a), FatalError);
+    EXPECT_THROW(p.run(OpKind::Relu, y, a, a), FatalError);
+}
+
+TEST(Processor, InPlaceExecutionRejected)
+{
+    Processor p(testCfg());
+    const auto a = p.alloc(10, 8);
+    const auto b = p.alloc(10, 8);
+    p.store(a, std::vector<uint64_t>(10, 1));
+    p.store(b, std::vector<uint64_t>(10, 2));
+    EXPECT_THROW(p.run(OpKind::Add, a, a, b), FatalError);
+}
+
+TEST(Processor, MultiSegmentComputation)
+{
+    // 600 elements over 256-lane subarrays: 3 segments, 1 bank.
+    Processor p(testCfg());
+    const size_t n = 600;
+    const auto a = p.alloc(n, 8);
+    const auto b = p.alloc(n, 8);
+    const auto y = p.alloc(n, 8);
+    Rng rng(2);
+    std::vector<uint64_t> da(n), db(n);
+    for (size_t i = 0; i < n; ++i) {
+        da[i] = rng.next() & 0xff;
+        db[i] = rng.next() & 0xff;
+    }
+    p.store(a, da);
+    p.store(b, db);
+    p.run(OpKind::Add, y, a, b);
+    const auto got = p.load(y);
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(got[i], (da[i] + db[i]) & 0xff) << i;
+}
+
+TEST(Processor, BankParallelismReducesLatency)
+{
+    DramConfig cfg1 = testCfg();
+    cfg1.computeBanks = 1;
+    DramConfig cfg2 = testCfg();
+    cfg2.computeBanks = 2;
+
+    const size_t n = 512; // two segments
+    std::vector<uint64_t> da(n, 3), db(n, 4);
+
+    Processor p1(cfg1), p2(cfg2);
+    for (Processor *p : {&p1, &p2}) {
+        const auto a = p->alloc(n, 8);
+        const auto b = p->alloc(n, 8);
+        const auto y = p->alloc(n, 8);
+        p->store(a, da);
+        p->store(b, db);
+        p->run(OpKind::Add, y, a, b);
+        EXPECT_EQ(p->load(y), std::vector<uint64_t>(n, 7));
+    }
+    const auto s1 = p1.computeStats();
+    const auto s2 = p2.computeStats();
+    EXPECT_EQ(s1.aaps, s2.aaps) << "same total work";
+    EXPECT_DOUBLE_EQ(s2.latencyNs, s1.latencyNs / 2)
+        << "two banks halve the serialized latency";
+}
+
+TEST(Processor, StatsResetWorks)
+{
+    Processor p(testCfg());
+    const auto a = p.alloc(10, 4);
+    const auto y = p.alloc(10, 4);
+    p.store(a, std::vector<uint64_t>(10, 5));
+    p.run(OpKind::Relu, y, a);
+    EXPECT_GT(p.computeStats().aaps, 0u);
+    p.resetStats();
+    EXPECT_EQ(p.computeStats().aaps, 0u);
+    EXPECT_DOUBLE_EQ(p.transferStats().energyPj, 0.0);
+}
+
+TEST(Processor, ProgramCacheIsPerWidth)
+{
+    Processor p(testCfg());
+    const auto &p8 = p.program(OpKind::Add, 8);
+    const auto &p16 = p.program(OpKind::Add, 16);
+    EXPECT_NE(&p8, &p16);
+    EXPECT_EQ(&p8, &p.program(OpKind::Add, 8));
+    EXPECT_GT(p16.ops.size(), p8.ops.size());
+}
+
+TEST(Processor, SixtyFourBitOperations)
+{
+    // 64-bit vectors stress the row allocator (3 x 64 rows + deep
+    // scratch) and the full carry chain.
+    DramConfig cfg = DramConfig::forTesting(256, 768);
+    Rng rng(0x64);
+    const size_t n = 300;
+    std::vector<uint64_t> da(n), db(n);
+    for (size_t i = 0; i < n; ++i) {
+        da[i] = rng.next();
+        db[i] = rng.next();
+    }
+    for (OpKind op : {OpKind::Add, OpKind::Sub, OpKind::Gt,
+                      OpKind::BitXor}) {
+        Processor p(cfg);
+        const auto sig = signatureOf(op, 64);
+        const auto a = p.alloc(n, 64);
+        const auto b = p.alloc(n, 64);
+        const auto y = p.alloc(n, sig.outWidth);
+        p.store(a, da);
+        p.store(b, db);
+        p.run(op, y, a, b);
+        const auto got = p.load(y);
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(got[i], referenceOp(op, 64, da[i], db[i]))
+                << toString(op) << " lane " << i;
+    }
+}
+
+TEST(Processor, BackendNames)
+{
+    EXPECT_STREQ(toString(Backend::Simdram), "SIMDRAM");
+    EXPECT_STREQ(toString(Backend::SimdramNaive), "SIMDRAM-naive");
+    EXPECT_STREQ(toString(Backend::Ambit), "Ambit");
+}
+
+/** Every op x width x backend, end to end vs the host kernels. */
+class ProcessorOpTest
+    : public ::testing::TestWithParam<
+          std::tuple<OpKind, size_t, Backend>>
+{
+};
+
+TEST_P(ProcessorOpTest, MatchesHostKernels)
+{
+    const auto [op, width, backend] = GetParam();
+    Processor p(testCfg(), backend);
+    const auto sig = signatureOf(op, width);
+    const size_t n = 300; // crosses a segment boundary
+    const uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+
+    Rng rng(0x9e3 + width);
+    std::vector<uint64_t> da(n), db(n), ds(n);
+    for (size_t i = 0; i < n; ++i) {
+        da[i] = rng.next() & mask;
+        db[i] = rng.next() & mask;
+        ds[i] = rng.next() & 1;
+    }
+
+    const auto a = p.alloc(n, width);
+    const auto b = p.alloc(n, width);
+    const auto sel = p.alloc(n, 1);
+    const auto y = p.alloc(n, sig.outWidth);
+    p.store(a, da);
+    if (sig.numInputs == 2)
+        p.store(b, db);
+    if (sig.hasSel)
+        p.store(sel, ds);
+
+    if (sig.numInputs == 1)
+        p.run(op, y, a);
+    else if (!sig.hasSel)
+        p.run(op, y, a, b);
+    else
+        p.run(op, y, a, b, sel);
+
+    const auto got = p.load(y);
+    const auto expect = hostBulkOp(op, width, da,
+                                   sig.numInputs == 2
+                                       ? db
+                                       : std::vector<uint64_t>(),
+                                   sig.hasSel
+                                       ? ds
+                                       : std::vector<uint64_t>());
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(got[i], expect[i])
+            << toString(op) << " w=" << width << " lane " << i
+            << " backend=" << toString(backend);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, ProcessorOpTest,
+    ::testing::Combine(::testing::ValuesIn(kAllOps),
+                       ::testing::Values(size_t{8}, size_t{16}),
+                       ::testing::Values(Backend::Simdram,
+                                         Backend::Ambit)),
+    [](const auto &info) {
+        return toString(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param)) + "_" +
+               (std::get<2>(info.param) == Backend::Simdram
+                    ? "simdram"
+                    : "ambit");
+    });
+
+} // namespace
+} // namespace simdram

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Property-based tests: algebraic identities of the operation set,
+ * executed end-to-end on the simulated DRAM device across a sweep of
+ * element widths. Each property is checked on random data *through
+ * the full stack* (circuit -> μProgram -> TRA execution ->
+ * transposition), so a violation anywhere in the pipeline surfaces
+ * as a broken identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/processor.h"
+
+namespace simdram
+{
+namespace
+{
+
+/** Fixture providing a device and random operand vectors. */
+class PropertyTest : public ::testing::TestWithParam<size_t>
+{
+  protected:
+    static constexpr size_t kN = 200;
+
+    PropertyTest()
+        : proc_(DramConfig::forTesting(256, 768)),
+          width_(GetParam()),
+          mask_(width_ >= 64 ? ~0ULL : ((1ULL << width_) - 1))
+    {
+        Rng rng(0xbeef00 + width_);
+        da_.resize(kN);
+        db_.resize(kN);
+        for (size_t i = 0; i < kN; ++i) {
+            da_[i] = rng.next() & mask_;
+            db_[i] = rng.next() & mask_;
+        }
+        a_ = proc_.alloc(kN, width_);
+        b_ = proc_.alloc(kN, width_);
+        proc_.store(a_, da_);
+        proc_.store(b_, db_);
+    }
+
+    /** Runs a binary op into a fresh vector and loads the result. */
+    std::vector<uint64_t>
+    run2(OpKind op, const Processor::VecHandle &x,
+         const Processor::VecHandle &y)
+    {
+        const auto sig = signatureOf(op, width_);
+        auto out = proc_.alloc(kN, sig.outWidth);
+        proc_.run(op, out, x, y);
+        return proc_.load(out);
+    }
+
+    /** Runs a unary op into a fresh vector and loads the result. */
+    std::vector<uint64_t>
+    run1(OpKind op, const Processor::VecHandle &x)
+    {
+        const auto sig = signatureOf(op, width_);
+        auto out = proc_.alloc(kN, sig.outWidth);
+        proc_.run(op, out, x);
+        return proc_.load(out);
+    }
+
+    Processor proc_;
+    size_t width_;
+    uint64_t mask_;
+    std::vector<uint64_t> da_, db_;
+    Processor::VecHandle a_, b_;
+};
+
+TEST_P(PropertyTest, AddIsCommutative)
+{
+    EXPECT_EQ(run2(OpKind::Add, a_, b_), run2(OpKind::Add, b_, a_));
+}
+
+TEST_P(PropertyTest, MulIsCommutative)
+{
+    EXPECT_EQ(run2(OpKind::Mul, a_, b_), run2(OpKind::Mul, b_, a_));
+}
+
+TEST_P(PropertyTest, BitwiseOpsAreCommutative)
+{
+    EXPECT_EQ(run2(OpKind::BitAnd, a_, b_),
+              run2(OpKind::BitAnd, b_, a_));
+    EXPECT_EQ(run2(OpKind::BitOr, a_, b_),
+              run2(OpKind::BitOr, b_, a_));
+    EXPECT_EQ(run2(OpKind::BitXor, a_, b_),
+              run2(OpKind::BitXor, b_, a_));
+}
+
+TEST_P(PropertyTest, SubUndoesAdd)
+{
+    // (a + b) - b == a, modulo 2^w.
+    auto sum = proc_.alloc(kN, width_);
+    proc_.run(OpKind::Add, sum, a_, b_);
+    auto back = proc_.alloc(kN, width_);
+    proc_.run(OpKind::Sub, back, sum, b_);
+    EXPECT_EQ(proc_.load(back), da_);
+}
+
+TEST_P(PropertyTest, MinPlusMaxEqualsAPlusB)
+{
+    auto mn = proc_.alloc(kN, width_);
+    auto mx = proc_.alloc(kN, width_);
+    proc_.run(OpKind::Min, mn, a_, b_);
+    proc_.run(OpKind::Max, mx, a_, b_);
+    auto s1 = proc_.alloc(kN, width_);
+    proc_.run(OpKind::Add, s1, mn, mx);
+    auto s2 = proc_.alloc(kN, width_);
+    proc_.run(OpKind::Add, s2, a_, b_);
+    EXPECT_EQ(proc_.load(s1), proc_.load(s2));
+}
+
+TEST_P(PropertyTest, RelationalTrichotomy)
+{
+    // Exactly one of a>b, a==b, b>a holds per lane.
+    const auto gt = run2(OpKind::Gt, a_, b_);
+    const auto eq = run2(OpKind::Eq, a_, b_);
+    const auto lt = run2(OpKind::Gt, b_, a_);
+    for (size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(gt[i] + eq[i] + lt[i], 1u) << i;
+}
+
+TEST_P(PropertyTest, GeIsGtOrEq)
+{
+    const auto ge = run2(OpKind::Ge, a_, b_);
+    const auto gt = run2(OpKind::Gt, a_, b_);
+    const auto eq = run2(OpKind::Eq, a_, b_);
+    for (size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(ge[i], gt[i] | eq[i]) << i;
+}
+
+TEST_P(PropertyTest, ShiftLeftIsDoubling)
+{
+    // a << 1 == a + a.
+    auto shifted = proc_.alloc(kN, width_);
+    proc_.shiftLeft(shifted, a_, 1);
+    auto doubled = proc_.alloc(kN, width_);
+    proc_.run(OpKind::Add, doubled, a_, a_);
+    EXPECT_EQ(proc_.load(shifted), proc_.load(doubled));
+}
+
+TEST_P(PropertyTest, XorIsAddWithoutCarryOfDisjoint)
+{
+    // If a & b == 0 lane-wise, then a ^ b == a + b. Force
+    // disjointness: lo keeps only low bits, hi only high bits.
+    std::vector<uint64_t> lo(kN), hi(kN);
+    for (size_t i = 0; i < kN; ++i) {
+        lo[i] = da_[i] & (mask_ >> ((width_ + 1) / 2));
+        hi[i] = (db_[i] << (width_ - width_ / 2)) & mask_;
+    }
+    auto vl = proc_.alloc(kN, width_);
+    auto vh = proc_.alloc(kN, width_);
+    proc_.store(vl, lo);
+    proc_.store(vh, hi);
+    EXPECT_EQ(run2(OpKind::BitXor, vl, vh),
+              run2(OpKind::Add, vl, vh));
+}
+
+TEST_P(PropertyTest, BitcountOfComplementsSumsToWidth)
+{
+    if (signatureOf(OpKind::Bitcount, width_).outWidth > 63)
+        GTEST_SKIP();
+    auto nota = proc_.alloc(kN, width_);
+    // ~a = mask ^ a.
+    auto vmask = proc_.alloc(kN, width_);
+    proc_.fillConstant(vmask, mask_);
+    proc_.run(OpKind::BitXor, nota, a_, vmask);
+    const auto c1 = run1(OpKind::Bitcount, a_);
+    const auto c2 = run1(OpKind::Bitcount, nota);
+    for (size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(c1[i] + c2[i], width_) << i;
+}
+
+TEST_P(PropertyTest, XorRedIsBitcountParity)
+{
+    const auto parity = run1(OpKind::XorRed, a_);
+    const auto count = run1(OpKind::Bitcount, a_);
+    for (size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(parity[i], count[i] & 1) << i;
+}
+
+TEST_P(PropertyTest, IfElseWithEqualArmsIsIdentity)
+{
+    auto sel = proc_.alloc(kN, 1);
+    std::vector<uint64_t> sels(kN);
+    Rng rng(9);
+    for (auto &s : sels)
+        s = rng.next() & 1;
+    proc_.store(sel, sels);
+    auto out = proc_.alloc(kN, width_);
+    proc_.run(OpKind::IfElse, out, a_, a_, sel);
+    EXPECT_EQ(proc_.load(out), da_);
+}
+
+TEST_P(PropertyTest, DeMorgan)
+{
+    // ~(a & b) == ~a | ~b via BitXor with the all-ones mask.
+    auto vmask = proc_.alloc(kN, width_);
+    proc_.fillConstant(vmask, mask_);
+    auto ab = proc_.alloc(kN, width_);
+    proc_.run(OpKind::BitAnd, ab, a_, b_);
+    auto lhs = proc_.alloc(kN, width_);
+    proc_.run(OpKind::BitXor, lhs, ab, vmask);
+
+    auto na = proc_.alloc(kN, width_);
+    auto nb = proc_.alloc(kN, width_);
+    proc_.run(OpKind::BitXor, na, a_, vmask);
+    proc_.run(OpKind::BitXor, nb, b_, vmask);
+    auto rhs = proc_.alloc(kN, width_);
+    proc_.run(OpKind::BitOr, rhs, na, nb);
+    EXPECT_EQ(proc_.load(lhs), proc_.load(rhs));
+}
+
+TEST_P(PropertyTest, DivMulBoundsQuotient)
+{
+    // q = a/b satisfies q*b <= a < (q+1)*b for b != 0 (host-side
+    // arithmetic on the loaded quotient; the in-DRAM division is
+    // what is under test).
+    const auto q = run2(OpKind::Div, a_, b_);
+    for (size_t i = 0; i < kN; ++i) {
+        if (db_[i] == 0)
+            continue;
+        EXPECT_LE(q[i] * db_[i], da_[i]) << i;
+        EXPECT_GT((q[i] + 1) * db_[i], da_[i]) << i;
+    }
+}
+
+TEST_P(PropertyTest, AbsIsIdempotent)
+{
+    if (width_ < 2)
+        GTEST_SKIP();
+    auto abs1 = proc_.alloc(kN, width_);
+    proc_.run(OpKind::Abs, abs1, a_);
+    auto abs2 = proc_.alloc(kN, width_);
+    proc_.run(OpKind::Abs, abs2, abs1);
+    // |x| is non-negative unless x is INT_MIN, where |x| == x.
+    EXPECT_EQ(proc_.load(abs2), proc_.load(abs1));
+}
+
+TEST_P(PropertyTest, ReluIsIdempotentAndBounded)
+{
+    if (width_ < 2)
+        GTEST_SKIP();
+    const auto r1 = run1(OpKind::Relu, a_);
+    auto vr = proc_.alloc(kN, width_);
+    proc_.store(vr, r1);
+    const auto r2 = run1(OpKind::Relu, vr);
+    EXPECT_EQ(r2, r1);
+    const uint64_t sign = 1ULL << (width_ - 1);
+    for (size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(r1[i] & sign, 0u) << "relu output is non-negative";
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PropertyTest,
+                         ::testing::Values(size_t{2}, size_t{5},
+                                           size_t{8}, size_t{13},
+                                           size_t{16}, size_t{24}),
+                         [](const auto &info) {
+                             return "w" + std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace simdram

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the process-variation reliability model: nominal
+ * correctness, monotonic degradation with variation, the
+ * technology-scaling trend, and the whole-operation failure math.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/montecarlo.h"
+
+namespace simdram
+{
+namespace
+{
+
+TEST(Variation, NodesAreOrderedByCellCap)
+{
+    const auto &nodes = techNodes();
+    for (size_t i = 1; i < nodes.size(); ++i)
+        EXPECT_LT(nodes[i].cellCapFf, nodes[i - 1].cellCapFf);
+}
+
+TEST(Variation, UniformKnobSetsAllSigmas)
+{
+    const auto v = VariationParams::uniform(0.1);
+    EXPECT_DOUBLE_EQ(v.sigmaCellCap, 0.1);
+    EXPECT_DOUBLE_EQ(v.sigmaBlCap, 0.1);
+    EXPECT_DOUBLE_EQ(v.sigmaVdd, 0.1);
+    EXPECT_DOUBLE_EQ(v.senseOffsetMv, 10.0);
+}
+
+TEST(Variation, NoVariationNeverFails)
+{
+    Rng rng(1);
+    const auto &node = techNodes().back(); // smallest node
+    const auto var = VariationParams::uniform(0.0);
+    for (int pattern = 0; pattern < 8; ++pattern) {
+        const std::array<bool, 3> bits = {
+            (pattern & 1) != 0, (pattern & 2) != 0,
+            (pattern & 4) != 0};
+        for (int i = 0; i < 100; ++i)
+            EXPECT_TRUE(sampleTra(node, var, bits, rng))
+                << "pattern " << pattern;
+    }
+}
+
+TEST(MonteCarlo, ZeroVariationZeroFailures)
+{
+    for (const auto &node : techNodes()) {
+        const auto r = traFailureRate(
+            node, VariationParams::uniform(0.0), 20000);
+        EXPECT_EQ(r.failures, 0u) << node.name;
+    }
+}
+
+TEST(MonteCarlo, NominalVariationIsReliable)
+{
+    // Realistic manufacturing variation (~5%) must keep TRA solid.
+    const auto r = traFailureRate(
+        techNodes()[2], VariationParams::uniform(0.05), 100000);
+    EXPECT_LT(r.traFailureRate, 1e-3);
+}
+
+TEST(MonteCarlo, FailureRateMonotonicInVariation)
+{
+    const auto &node = techNodes()[3];
+    double prev = -1.0;
+    for (double frac : {0.0, 0.10, 0.20, 0.30}) {
+        const auto r = traFailureRate(
+            node, VariationParams::uniform(frac), 60000);
+        EXPECT_GE(r.traFailureRate, prev) << "frac " << frac;
+        prev = r.traFailureRate;
+    }
+    EXPECT_GT(prev, 0.0) << "30% variation must show failures";
+}
+
+TEST(MonteCarlo, SmallerNodeIsNoMoreReliable)
+{
+    const auto var = VariationParams::uniform(0.22);
+    const auto big = traFailureRate(techNodes().front(), var,
+                                    200000);
+    const auto small = traFailureRate(techNodes().back(), var,
+                                      200000);
+    EXPECT_GE(small.traFailureRate, big.traFailureRate);
+}
+
+TEST(MonteCarlo, Deterministic)
+{
+    const auto &node = techNodes()[1];
+    const auto var = VariationParams::uniform(0.25);
+    const auto a = traFailureRate(node, var, 10000, 9);
+    const auto b = traFailureRate(node, var, 10000, 9);
+    EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(OpSuccess, Math)
+{
+    EXPECT_DOUBLE_EQ(opSuccessProbability(0.0, 1000000), 1.0);
+    EXPECT_DOUBLE_EQ(opSuccessProbability(1.0, 1), 0.0);
+    EXPECT_NEAR(opSuccessProbability(1e-6, 1000), 0.999, 1e-4);
+    // More TRAs -> lower success.
+    EXPECT_LT(opSuccessProbability(1e-4, 10000),
+              opSuccessProbability(1e-4, 100));
+}
+
+} // namespace
+} // namespace simdram

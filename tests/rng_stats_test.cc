@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and the statistics types.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace simdram
+{
+namespace
+{
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(9);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.below(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    const double mean = 3.0, sigma = 2.0;
+    double sum = 0, sumsq = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian(mean, sigma);
+        sum += g;
+        sumsq += g * g;
+    }
+    const double m = sum / n;
+    const double var = sumsq / n - m * m;
+    EXPECT_NEAR(m, mean, 0.05);
+    EXPECT_NEAR(std::sqrt(var), sigma, 0.05);
+}
+
+TEST(DramStats, AccumulateAddsEverything)
+{
+    DramStats a, b;
+    a.aaps = 3;
+    a.latencyNs = 10;
+    a.energyPj = 5;
+    b.aaps = 2;
+    b.latencyNs = 7;
+    b.energyPj = 4;
+    a += b;
+    EXPECT_EQ(a.aaps, 5u);
+    EXPECT_DOUBLE_EQ(a.latencyNs, 17.0);
+    EXPECT_DOUBLE_EQ(a.energyPj, 9.0);
+}
+
+TEST(DramStats, ParallelMergeTakesMaxLatency)
+{
+    DramStats a, b;
+    a.latencyNs = 10;
+    a.energyPj = 5;
+    b.latencyNs = 7;
+    b.energyPj = 4;
+    a.mergeParallel(b);
+    EXPECT_DOUBLE_EQ(a.latencyNs, 10.0);
+    EXPECT_DOUBLE_EQ(a.energyPj, 9.0);
+}
+
+TEST(DramStats, ResetClears)
+{
+    DramStats a;
+    a.aaps = 1;
+    a.latencyNs = 2;
+    a.reset();
+    EXPECT_EQ(a.aaps, 0u);
+    EXPECT_DOUBLE_EQ(a.latencyNs, 0.0);
+}
+
+TEST(DramStats, SummaryMentionsCounters)
+{
+    DramStats a;
+    a.aaps = 42;
+    EXPECT_NE(a.summary().find("AAP=42"), std::string::npos);
+}
+
+TEST(RunResult, ThroughputMath)
+{
+    RunResult r;
+    r.elements = 1000;
+    r.latencyNs = 500.0;
+    EXPECT_DOUBLE_EQ(r.throughputGops(), 2.0);
+}
+
+TEST(RunResult, EfficiencyMath)
+{
+    RunResult r;
+    r.elements = 1000;
+    r.energyPj = 2000.0; // 2e-9 J -> 0.5e12 ops/J = 500 Gops/J
+    EXPECT_DOUBLE_EQ(r.efficiencyGopsPerJoule(), 500.0);
+}
+
+TEST(RunResult, ZeroGuards)
+{
+    RunResult r;
+    EXPECT_DOUBLE_EQ(r.throughputGops(), 0.0);
+    EXPECT_DOUBLE_EQ(r.efficiencyGopsPerJoule(), 0.0);
+}
+
+} // namespace
+} // namespace simdram

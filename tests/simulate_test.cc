@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for circuit simulation and the vertical packing helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "logic/simulate.h"
+
+namespace simdram
+{
+namespace
+{
+
+BitRow
+rowOf(std::initializer_list<int> bits)
+{
+    BitRow r(bits.size());
+    size_t i = 0;
+    for (int b : bits)
+        r.set(i++, b != 0);
+    return r;
+}
+
+TEST(Simulate, AndGateTruthTable)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    c.addOutput("y", c.mkAnd(a, b));
+    const auto out = simulate(c, {rowOf({0, 0, 1, 1}),
+                                  rowOf({0, 1, 0, 1})});
+    EXPECT_EQ(out[0], rowOf({0, 0, 0, 1}));
+}
+
+TEST(Simulate, OrGateTruthTable)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    c.addOutput("y", c.mkOr(a, b));
+    const auto out = simulate(c, {rowOf({0, 0, 1, 1}),
+                                  rowOf({0, 1, 0, 1})});
+    EXPECT_EQ(out[0], rowOf({0, 1, 1, 1}));
+}
+
+TEST(Simulate, MajGateTruthTable)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    const Lit x = c.addInput("x");
+    c.addOutput("y", c.mkMaj(a, b, x));
+    const auto out = simulate(c, {rowOf({0, 1, 0, 1, 0, 1, 0, 1}),
+                                  rowOf({0, 0, 1, 1, 0, 0, 1, 1}),
+                                  rowOf({0, 0, 0, 0, 1, 1, 1, 1})});
+    EXPECT_EQ(out[0], rowOf({0, 0, 0, 1, 0, 1, 1, 1}));
+}
+
+TEST(Simulate, ComplementedEdgesAndOutputs)
+{
+    Circuit c;
+    const Lit a = c.addInput("a");
+    c.addOutput("y", Circuit::litNot(a));
+    const auto out = simulate(c, {rowOf({0, 1})});
+    EXPECT_EQ(out[0], rowOf({1, 0}));
+}
+
+TEST(Simulate, ConstantOutput)
+{
+    Circuit c;
+    c.addInput("a");
+    c.addOutput("zero", Circuit::kLit0);
+    c.addOutput("one", Circuit::kLit1);
+    const auto out = simulate(c, {rowOf({0, 1, 0})});
+    EXPECT_TRUE(out[0].allZero());
+    EXPECT_TRUE(out[1].allOne());
+}
+
+TEST(Simulate, RejectsWrongInputCount)
+{
+    Circuit c;
+    c.addInput("a");
+    c.addOutput("y", Circuit::kLit0);
+    EXPECT_THROW(simulate(c, {}), FatalError);
+}
+
+TEST(Simulate, RejectsMismatchedWidths)
+{
+    Circuit c;
+    c.addInput("a");
+    c.addInput("b");
+    c.addOutput("y", Circuit::kLit0);
+    EXPECT_THROW(simulate(c, {BitRow(4), BitRow(8)}), FatalError);
+}
+
+TEST(PackVertical, RoundTrip)
+{
+    const std::vector<uint64_t> elems = {0, 1, 5, 255, 170, 3};
+    const auto rows = packVertical(elems, 8);
+    ASSERT_EQ(rows.size(), 8u);
+    EXPECT_EQ(unpackVertical(rows), elems);
+}
+
+TEST(PackVertical, RowJHoldsBitJ)
+{
+    const std::vector<uint64_t> elems = {0b01, 0b10, 0b11};
+    const auto rows = packVertical(elems, 2);
+    EXPECT_TRUE(rows[0].get(0));
+    EXPECT_FALSE(rows[0].get(1));
+    EXPECT_TRUE(rows[0].get(2));
+    EXPECT_FALSE(rows[1].get(0));
+    EXPECT_TRUE(rows[1].get(1));
+    EXPECT_TRUE(rows[1].get(2));
+}
+
+TEST(SimulateBuses, RippleAdderOnBuses)
+{
+    // Build a 4-bit adder directly from full adders.
+    Circuit c;
+    const auto a = c.addInputBus("a", 4);
+    const auto b = c.addInputBus("b", 4);
+    std::vector<Lit> sum(4);
+    Lit carry = Circuit::kLit0;
+    for (int i = 0; i < 4; ++i) {
+        const Lit cout = c.mkMaj(a[i], b[i], carry);
+        const Lit inner = c.mkMaj(a[i], b[i], Circuit::litNot(carry));
+        sum[i] = c.mkMaj(Circuit::litNot(cout), inner, carry);
+        carry = cout;
+    }
+    c.addOutputBus("y", sum);
+
+    std::map<std::string, std::vector<uint64_t>> in;
+    in["a"] = {0, 3, 7, 15, 9};
+    in["b"] = {0, 5, 9, 1, 9};
+    const auto out = simulateBuses(c, in, 5);
+    const std::vector<uint64_t> expect = {0, 8, 0, 0, 2}; // mod 16
+    EXPECT_EQ(out.at("y"), expect);
+}
+
+TEST(SimulateBuses, MissingBusRejected)
+{
+    Circuit c;
+    c.addInputBus("a", 2);
+    c.addOutputBus("y", *c.inputBus("a"));
+    std::map<std::string, std::vector<uint64_t>> in;
+    EXPECT_THROW(simulateBuses(c, in, 1), FatalError);
+}
+
+} // namespace
+} // namespace simdram

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Tests for the word-level gate builders in both gate styles, using
+ * simulation against integer arithmetic as the oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "logic/simulate.h"
+#include "ops/wordgates.h"
+
+namespace simdram
+{
+namespace
+{
+
+/** Builds a circuit around one WordGates construct and simulates. */
+class WordGatesTest : public ::testing::TestWithParam<GateStyle>
+{
+  protected:
+    GateStyle style() const { return GetParam(); }
+};
+
+TEST_P(WordGatesTest, BitGatesTruthTables)
+{
+    Circuit c;
+    WordGates g(c, style());
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    c.addOutput("and", g.land(a, b));
+    c.addOutput("or", g.lor(a, b));
+    c.addOutput("xor", g.lxor(a, b));
+
+    BitRow ra(4), rb(4);
+    for (int i = 0; i < 4; ++i) {
+        ra.set(i, i & 1);
+        rb.set(i, i & 2);
+    }
+    const auto out = simulate(c, {ra, rb});
+    for (int i = 0; i < 4; ++i) {
+        const bool av = i & 1, bv = i & 2;
+        EXPECT_EQ(out[0].get(i), av && bv);
+        EXPECT_EQ(out[1].get(i), av || bv);
+        EXPECT_EQ(out[2].get(i), av != bv);
+    }
+}
+
+TEST_P(WordGatesTest, MuxSelects)
+{
+    Circuit c;
+    WordGates g(c, style());
+    const Lit s = c.addInput("s");
+    const Lit t = c.addInput("t");
+    const Lit f = c.addInput("f");
+    c.addOutput("y", g.mux(s, t, f));
+    BitRow rs(8), rt(8), rf(8);
+    for (int i = 0; i < 8; ++i) {
+        rs.set(i, i & 1);
+        rt.set(i, i & 2);
+        rf.set(i, i & 4);
+    }
+    const auto out = simulate(c, {rs, rt, rf});
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(out[0].get(i), (i & 1) ? bool(i & 2) : bool(i & 4));
+}
+
+TEST_P(WordGatesTest, FullAdderTruthTable)
+{
+    Circuit c;
+    WordGates g(c, style());
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    const Lit cin = c.addInput("cin");
+    const auto fa = g.fullAdder(a, b, cin);
+    c.addOutput("sum", fa.sum[0]);
+    c.addOutput("carry", fa.carry);
+
+    BitRow ra(8), rb(8), rc(8);
+    for (int i = 0; i < 8; ++i) {
+        ra.set(i, i & 1);
+        rb.set(i, i & 2);
+        rc.set(i, i & 4);
+    }
+    const auto out = simulate(c, {ra, rb, rc});
+    for (int i = 0; i < 8; ++i) {
+        const int total = (i & 1 ? 1 : 0) + (i & 2 ? 1 : 0) +
+                          (i & 4 ? 1 : 0);
+        EXPECT_EQ(out[0].get(i), (total & 1) != 0) << "sum " << i;
+        EXPECT_EQ(out[1].get(i), total >= 2) << "carry " << i;
+    }
+}
+
+TEST_P(WordGatesTest, MigFullAdderUsesThreeMaj)
+{
+    if (style() != GateStyle::Mig)
+        GTEST_SKIP();
+    Circuit c;
+    WordGates g(c, GateStyle::Mig);
+    const Lit a = c.addInput("a");
+    const Lit b = c.addInput("b");
+    const Lit cin = c.addInput("cin");
+    const auto fa = g.fullAdder(a, b, cin);
+    c.addOutput("sum", fa.sum[0]);
+    c.addOutput("carry", fa.carry);
+    // The paper's Fig.-1 construction: exactly 3 MAJ gates.
+    EXPECT_EQ(c.topoOrder().size(), 3u);
+}
+
+TEST_P(WordGatesTest, AdderMatchesInteger)
+{
+    Circuit c;
+    WordGates g(c, style());
+    const auto a = c.addInputBus("a", 6);
+    const auto b = c.addInputBus("b", 6);
+    const auto r = g.add(a, b);
+    c.addOutputBus("y", r.sum);
+    c.addOutput("carry", r.carry);
+
+    std::map<std::string, std::vector<uint64_t>> in;
+    for (uint64_t x = 0; x < 64; x += 7)
+        for (uint64_t y = 0; y < 64; y += 5) {
+            in["a"].push_back(x);
+            in["b"].push_back(y);
+        }
+    const auto out = simulateBuses(c, in, in["a"].size());
+    for (size_t i = 0; i < in["a"].size(); ++i)
+        EXPECT_EQ(out.at("y")[i], (in["a"][i] + in["b"][i]) & 63);
+}
+
+TEST_P(WordGatesTest, SubCarryIsNoBorrow)
+{
+    Circuit c;
+    WordGates g(c, style());
+    const auto a = c.addInputBus("a", 5);
+    const auto b = c.addInputBus("b", 5);
+    const auto r = g.sub(a, b);
+    c.addOutputBus("y", r.sum);
+    c.addOutput("noborrow", r.carry);
+
+    std::map<std::string, std::vector<uint64_t>> in;
+    for (uint64_t x = 0; x < 32; x += 3)
+        for (uint64_t y = 0; y < 32; y += 4) {
+            in["a"].push_back(x);
+            in["b"].push_back(y);
+        }
+    const size_t n = in["a"].size();
+    const auto out = simulateBuses(c, in, n);
+    // noborrow flag is returned as a second output bus "noborrow".
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out.at("y")[i], (in["a"][i] - in["b"][i]) & 31);
+        EXPECT_EQ(out.at("noborrow")[i],
+                  in["a"][i] >= in["b"][i] ? 1u : 0u);
+    }
+}
+
+TEST_P(WordGatesTest, CompareUnsigned)
+{
+    Circuit c;
+    WordGates g(c, style());
+    const auto a = c.addInputBus("a", 5);
+    const auto b = c.addInputBus("b", 5);
+    const auto cmp = g.compareUnsigned(a, b);
+    c.addOutput("gt", cmp.gt);
+    c.addOutput("eq", cmp.eq);
+
+    std::map<std::string, std::vector<uint64_t>> in;
+    for (uint64_t x = 0; x < 32; x += 2)
+        for (uint64_t y = 0; y < 32; y += 3) {
+            in["a"].push_back(x);
+            in["b"].push_back(y);
+        }
+    in["a"].push_back(17);
+    in["b"].push_back(17);
+    const size_t n = in["a"].size();
+    const auto out = simulateBuses(c, in, n);
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out.at("gt")[i], in["a"][i] > in["b"][i] ? 1u : 0u);
+        EXPECT_EQ(out.at("eq")[i],
+                  in["a"][i] == in["b"][i] ? 1u : 0u);
+    }
+}
+
+TEST_P(WordGatesTest, CompareSignedFlipsSignBit)
+{
+    Circuit c;
+    WordGates g(c, style());
+    const auto a = c.addInputBus("a", 4);
+    const auto b = c.addInputBus("b", 4);
+    const auto cmp = g.compareSigned(a, b);
+    c.addOutput("gt", cmp.gt);
+
+    std::map<std::string, std::vector<uint64_t>> in;
+    for (uint64_t x = 0; x < 16; ++x)
+        for (uint64_t y = 0; y < 16; ++y) {
+            in["a"].push_back(x);
+            in["b"].push_back(y);
+        }
+    const size_t n = in["a"].size();
+    const auto out = simulateBuses(c, in, n);
+    auto sval = [](uint64_t v) {
+        return v >= 8 ? static_cast<int>(v) - 16
+                      : static_cast<int>(v);
+    };
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out.at("gt")[i],
+                  sval(in["a"][i]) > sval(in["b"][i]) ? 1u : 0u);
+}
+
+TEST_P(WordGatesTest, MultiplyLowBits)
+{
+    Circuit c;
+    WordGates g(c, style());
+    const auto a = c.addInputBus("a", 6);
+    const auto b = c.addInputBus("b", 6);
+    c.addOutputBus("y", g.mulLow(a, b));
+
+    std::map<std::string, std::vector<uint64_t>> in;
+    for (uint64_t x = 0; x < 64; x += 5)
+        for (uint64_t y = 0; y < 64; y += 7) {
+            in["a"].push_back(x);
+            in["b"].push_back(y);
+        }
+    const size_t n = in["a"].size();
+    const auto out = simulateBuses(c, in, n);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out.at("y")[i], (in["a"][i] * in["b"][i]) & 63);
+}
+
+TEST_P(WordGatesTest, DivideExhaustive5Bit)
+{
+    Circuit c;
+    WordGates g(c, style());
+    const auto a = c.addInputBus("a", 5);
+    const auto b = c.addInputBus("b", 5);
+    c.addOutputBus("y", g.divUnsigned(a, b));
+
+    std::map<std::string, std::vector<uint64_t>> in;
+    for (uint64_t x = 0; x < 32; ++x)
+        for (uint64_t y = 0; y < 32; ++y) {
+            in["a"].push_back(x);
+            in["b"].push_back(y);
+        }
+    const size_t n = in["a"].size();
+    const auto out = simulateBuses(c, in, n);
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t expect =
+            in["b"][i] == 0 ? 31 : in["a"][i] / in["b"][i];
+        EXPECT_EQ(out.at("y")[i], expect)
+            << in["a"][i] << "/" << in["b"][i];
+    }
+}
+
+TEST_P(WordGatesTest, PopcountAllWidths)
+{
+    for (size_t w : {3u, 8u, 13u}) {
+        Circuit c;
+        WordGates g(c, style());
+        const auto a = c.addInputBus("a", w);
+        c.addOutputBus("y", g.popcount(a));
+
+        std::map<std::string, std::vector<uint64_t>> in;
+        for (uint64_t x = 0; x < (1ULL << std::min<size_t>(w, 10));
+             ++x)
+            in["a"].push_back(x % (1ULL << w));
+        const size_t n = in["a"].size();
+        const auto out = simulateBuses(c, in, n);
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(out.at("y")[i],
+                      static_cast<uint64_t>(
+                          __builtin_popcountll(in["a"][i])))
+                << "w=" << w;
+    }
+}
+
+TEST_P(WordGatesTest, Reductions)
+{
+    Circuit c;
+    WordGates g(c, style());
+    const auto a = c.addInputBus("a", 6);
+    c.addOutput("and", g.reduceAnd(a));
+    c.addOutput("or", g.reduceOr(a));
+    c.addOutput("xor", g.reduceXor(a));
+
+    std::map<std::string, std::vector<uint64_t>> in;
+    for (uint64_t x = 0; x < 64; ++x)
+        in["a"].push_back(x);
+    const auto out = simulateBuses(c, in, 64);
+    for (uint64_t x = 0; x < 64; ++x) {
+        EXPECT_EQ(out.at("and")[x], x == 63 ? 1u : 0u);
+        EXPECT_EQ(out.at("or")[x], x != 0 ? 1u : 0u);
+        EXPECT_EQ(out.at("xor")[x],
+                  static_cast<uint64_t>(__builtin_popcountll(x) & 1));
+    }
+}
+
+TEST_P(WordGatesTest, NegateIsTwosComplement)
+{
+    Circuit c;
+    WordGates g(c, style());
+    const auto a = c.addInputBus("a", 5);
+    c.addOutputBus("y", g.negate(a));
+    std::map<std::string, std::vector<uint64_t>> in;
+    for (uint64_t x = 0; x < 32; ++x)
+        in["a"].push_back(x);
+    const auto out = simulateBuses(c, in, 32);
+    for (uint64_t x = 0; x < 32; ++x)
+        EXPECT_EQ(out.at("y")[x], (-x) & 31);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStyles, WordGatesTest,
+                         ::testing::Values(GateStyle::Aoig,
+                                           GateStyle::Mig),
+                         [](const auto &info) {
+                             return std::string(
+                                 toString(info.param));
+                         });
+
+} // namespace
+} // namespace simdram
