@@ -9,8 +9,10 @@
 #ifndef SIMDRAM_BENCH_BENCH_COMMON_H
 #define SIMDRAM_BENCH_BENCH_COMMON_H
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace simdram

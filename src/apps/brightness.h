@@ -11,6 +11,9 @@
 #ifndef SIMDRAM_APPS_BRIGHTNESS_H
 #define SIMDRAM_APPS_BRIGHTNESS_H
 
+#include <cstddef>
+#include <cstdint>
+
 #include "apps/engine.h"
 #include "exec/processor.h"
 

@@ -18,8 +18,11 @@
 #ifndef SIMDRAM_APPS_ENGINE_H
 #define SIMDRAM_APPS_ENGINE_H
 
+#include <cstddef>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/cpu_model.h"

@@ -12,6 +12,9 @@
 #ifndef SIMDRAM_APPS_KNN_H
 #define SIMDRAM_APPS_KNN_H
 
+#include <cstddef>
+#include <cstdint>
+
 #include "apps/engine.h"
 #include "exec/processor.h"
 

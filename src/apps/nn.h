@@ -18,6 +18,8 @@
 #ifndef SIMDRAM_APPS_NN_H
 #define SIMDRAM_APPS_NN_H
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -19,6 +19,7 @@
 #ifndef SIMDRAM_APPS_TPCH_H
 #define SIMDRAM_APPS_TPCH_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

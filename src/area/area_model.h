@@ -20,6 +20,7 @@
 #ifndef SIMDRAM_AREA_AREA_MODEL_H
 #define SIMDRAM_AREA_AREA_MODEL_H
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

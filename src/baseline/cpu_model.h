@@ -19,6 +19,7 @@
 #ifndef SIMDRAM_BASELINE_CPU_MODEL_H
 #define SIMDRAM_BASELINE_CPU_MODEL_H
 
+#include <cstddef>
 #include <string>
 
 #include "common/stats.h"

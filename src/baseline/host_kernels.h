@@ -10,6 +10,7 @@
 #ifndef SIMDRAM_BASELINE_HOST_KERNELS_H
 #define SIMDRAM_BASELINE_HOST_KERNELS_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -29,6 +29,7 @@
 #define SIMDRAM_DRAM_ADDRESS_H
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 

@@ -13,6 +13,7 @@
 #ifndef SIMDRAM_DRAM_BANK_H
 #define SIMDRAM_DRAM_BANK_H
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 

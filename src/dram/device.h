@@ -7,6 +7,7 @@
 #ifndef SIMDRAM_DRAM_DEVICE_H
 #define SIMDRAM_DRAM_DEVICE_H
 
+#include <cstddef>
 #include <vector>
 
 #include "dram/bank.h"

@@ -28,6 +28,8 @@
 #ifndef SIMDRAM_DRAM_SUBARRAY_H
 #define SIMDRAM_DRAM_SUBARRAY_H
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/bitrow.h"

@@ -31,9 +31,11 @@
 #ifndef SIMDRAM_EXEC_PROCESSOR_H
 #define SIMDRAM_EXEC_PROCESSOR_H
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "dram/device.h"

@@ -20,6 +20,8 @@
 #ifndef SIMDRAM_ISA_DISPATCHER_H
 #define SIMDRAM_ISA_DISPATCHER_H
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "exec/processor.h"

@@ -21,6 +21,7 @@
 #ifndef SIMDRAM_LAYOUT_TRANSPOSITION_UNIT_H
 #define SIMDRAM_LAYOUT_TRANSPOSITION_UNIT_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -25,6 +25,7 @@
 #define SIMDRAM_LOGIC_CIRCUIT_H
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>

@@ -15,6 +15,7 @@
 #ifndef SIMDRAM_LOGIC_EQUIV_H
 #define SIMDRAM_LOGIC_EQUIV_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 

@@ -12,6 +12,7 @@
 #ifndef SIMDRAM_LOGIC_SIMULATE_H
 #define SIMDRAM_LOGIC_SIMULATE_H
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>

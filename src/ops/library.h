@@ -22,8 +22,11 @@
 #ifndef SIMDRAM_OPS_LIBRARY_H
 #define SIMDRAM_OPS_LIBRARY_H
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <tuple>
 
 #include "logic/circuit.h"
 #include "ops/op_kind.h"

@@ -20,6 +20,7 @@
 #ifndef SIMDRAM_OPS_WORDGATES_H
 #define SIMDRAM_OPS_WORDGATES_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

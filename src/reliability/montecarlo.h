@@ -8,6 +8,7 @@
 #define SIMDRAM_RELIABILITY_MONTECARLO_H
 
 #include <cstddef>
+#include <cstdint>
 
 #include "reliability/variation.h"
 

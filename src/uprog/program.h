@@ -19,6 +19,7 @@
 #ifndef SIMDRAM_UPROG_PROGRAM_H
 #define SIMDRAM_UPROG_PROGRAM_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

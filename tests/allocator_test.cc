@@ -26,7 +26,7 @@ namespace
  * analytic cost model against the subarray's accounting.
  */
 std::vector<uint64_t>
-runProgram(const Circuit &circuit, const MicroProgram &prog,
+runProgram(const Circuit & /*circuit*/, const MicroProgram &prog,
            const std::map<std::string, std::vector<uint64_t>> &ins,
            size_t lanes)
 {

@@ -54,11 +54,13 @@ TEST(Area, MoreRowsPerSubarrayLowersOverhead)
 TEST(Area, ControllerSideIsTiny)
 {
     const auto items = areaReport(DramConfig::simdramConfig(1));
-    for (const auto &it : items)
-        if (it.component == "TOTAL controller-side")
+    for (const auto &it : items) {
+        if (it.component == "TOTAL controller-side") {
             EXPECT_LT(it.percent, 0.1)
                 << "controller additions must be well under 0.1% "
                    "of a CPU die";
+        }
+    }
 }
 
 TEST(Area, TotalsAreSumOfParts)

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the BulkEngine layer (src/apps/engine.h): the standard
+ * engine roster, InDramEngine's μProgram cache, and the invariant
+ * promised in the header's doc comment — estimateCompute() pricing
+ * matches the functional simulator's accounting exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/engine.h"
+#include "common/rng.h"
+#include "exec/processor.h"
+#include "uprog/program.h"
+
+namespace simdram
+{
+namespace
+{
+
+DramConfig
+engineCfg()
+{
+    return DramConfig::forTesting(256, 512);
+}
+
+TEST(StandardEngines, RosterMatchesDocComment)
+{
+    // engine.h promises: CPU, GPU, Ambit (1 bank), SIMDRAM:1,
+    // SIMDRAM:4, SIMDRAM:16 — in that order.
+    auto engines = standardEngines();
+    ASSERT_EQ(engines.size(), 6u);
+    EXPECT_EQ(engines[0]->name(), "CPU");
+    EXPECT_EQ(engines[1]->name(), "GPU");
+    EXPECT_EQ(engines[2]->name(), "Ambit");
+    EXPECT_EQ(engines[3]->name(), "SIMDRAM:1");
+    EXPECT_EQ(engines[4]->name(), "SIMDRAM:4");
+    EXPECT_EQ(engines[5]->name(), "SIMDRAM:16");
+}
+
+TEST(InDramEngineCache, ProgramIsCompiledOnceAndReused)
+{
+    InDramEngine e(engineCfg(), Backend::Simdram, "SIMDRAM:test");
+
+    const MicroProgram &first = e.program(OpKind::Add, 8);
+    const MicroProgram &again = e.program(OpKind::Add, 8);
+    // Cache hit must hand back the very same object, not a recompile.
+    EXPECT_EQ(&first, &again);
+
+    // Distinct (op, width) keys get distinct programs.
+    const MicroProgram &wider = e.program(OpKind::Add, 16);
+    const MicroProgram &other = e.program(OpKind::BitXor, 8);
+    EXPECT_NE(&first, &wider);
+    EXPECT_NE(&first, &other);
+
+    // The first entry must survive later insertions (stable storage).
+    EXPECT_EQ(&first, &e.program(OpKind::Add, 8));
+}
+
+TEST(InDramEngineCache, OpCostIsStableAcrossCalls)
+{
+    InDramEngine e(engineCfg(), Backend::Simdram, "SIMDRAM:test");
+    const auto r1 = e.opCost(OpKind::Mul, 8, 1000);
+    const auto r2 = e.opCost(OpKind::Mul, 8, 1000);
+    EXPECT_DOUBLE_EQ(r1.latencyNs, r2.latencyNs);
+    EXPECT_DOUBLE_EQ(r1.energyPj, r2.energyPj);
+    EXPECT_EQ(r1.engine, "SIMDRAM:test");
+    EXPECT_EQ(r1.elements, 1000u);
+}
+
+/**
+ * Runs op over @p elements elements on a real Processor and returns
+ * the simulator's compute accounting.
+ */
+DramStats
+simulateOp(const DramConfig &cfg, Backend backend, OpKind op,
+           size_t width, size_t elements)
+{
+    Processor p(cfg, backend);
+    auto a = p.alloc(elements, width);
+    auto b = p.alloc(elements, width);
+    auto y = p.alloc(elements, width);
+    Rng rng(7);
+    std::vector<uint64_t> da(elements), db(elements);
+    const uint64_t mask =
+        width == 64 ? ~0ull : ((1ull << width) - 1);
+    for (size_t i = 0; i < elements; ++i) {
+        da[i] = rng.next() & mask;
+        db[i] = rng.next() & mask;
+    }
+    p.store(a, da);
+    p.store(b, db);
+    p.resetStats(); // isolate compute from transposition traffic
+    p.run(op, y, a, b);
+    return p.computeStats();
+}
+
+/** Verifies the engine.h invariant for one (cfg, backend, shape). */
+void
+expectEstimateMatchesSimulator(const DramConfig &cfg,
+                               Backend backend, OpKind op,
+                               size_t width, size_t elements)
+{
+    SCOPED_TRACE(std::string(toString(backend)) + " " +
+                 toString(op) + " w=" + std::to_string(width) +
+                 " n=" + std::to_string(elements));
+
+    const DramStats sim =
+        simulateOp(cfg, backend, op, width, elements);
+
+    InDramEngine e(cfg, backend, "engine-under-test");
+    const RunResult priced = e.opCost(op, width, elements);
+    EXPECT_DOUBLE_EQ(priced.latencyNs, sim.latencyNs);
+    EXPECT_DOUBLE_EQ(priced.energyPj, sim.energyPj);
+
+    // The command counts must agree too, not just the totals.
+    const DramStats est =
+        estimateCompute(e.program(op, width), elements, cfg);
+    EXPECT_EQ(est.aaps, sim.aaps);
+    EXPECT_EQ(est.aps, sim.aps);
+}
+
+TEST(EstimateMatchesSimulator, SingleSegmentSimdram)
+{
+    const DramConfig cfg = engineCfg();
+    expectEstimateMatchesSimulator(cfg, Backend::Simdram,
+                                   OpKind::Add, 8, cfg.rowBits);
+}
+
+TEST(EstimateMatchesSimulator, PartialSegmentSimdram)
+{
+    const DramConfig cfg = engineCfg();
+    // A ragged tail still occupies (and is charged for) a full
+    // segment's rows.
+    expectEstimateMatchesSimulator(cfg, Backend::Simdram,
+                                   OpKind::Add, 8,
+                                   cfg.rowBits / 2 + 3);
+}
+
+TEST(EstimateMatchesSimulator, MultiSegmentSerializesInOneBank)
+{
+    const DramConfig cfg = engineCfg();
+    expectEstimateMatchesSimulator(cfg, Backend::Simdram,
+                                   OpKind::Sub, 8, 3 * cfg.rowBits);
+}
+
+TEST(EstimateMatchesSimulator, MultiBankRunsInParallel)
+{
+    DramConfig cfg = engineCfg();
+    cfg.computeBanks = 2;
+    cfg.validate();
+    expectEstimateMatchesSimulator(cfg, Backend::Simdram,
+                                   OpKind::Add, 8, 2 * cfg.rowBits);
+}
+
+TEST(EstimateMatchesSimulator, AmbitBackend)
+{
+    const DramConfig cfg = engineCfg();
+    expectEstimateMatchesSimulator(cfg, Backend::Ambit, OpKind::BitAnd,
+                                   8, cfg.rowBits);
+}
+
+TEST(EstimateMatchesSimulator, WiderElements)
+{
+    const DramConfig cfg = engineCfg();
+    expectEstimateMatchesSimulator(cfg, Backend::Simdram,
+                                   OpKind::Add, 16, cfg.rowBits);
+}
+
+} // namespace
+} // namespace simdram

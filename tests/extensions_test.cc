@@ -274,8 +274,9 @@ TEST(Serialize, RoundTripsEveryOpProgram)
         for (size_t i = 0; i < prog.ops.size(); ++i) {
             EXPECT_EQ(back.ops[i].kind, prog.ops[i].kind);
             EXPECT_TRUE(back.ops[i].src == prog.ops[i].src);
-            if (prog.ops[i].kind == MicroOp::Kind::Aap)
+            if (prog.ops[i].kind == MicroOp::Kind::Aap) {
                 EXPECT_TRUE(back.ops[i].dst == prog.ops[i].dst);
+            }
         }
         EXPECT_EQ(back.scratchRows, prog.scratchRows);
         ASSERT_EQ(back.inputRegions.size(),

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Verifies that every header in the tree compiles standalone, i.e. that each
+# header includes everything it uses instead of relying on what its includers
+# happen to pull in first. Run from the repo root (the `header_selfcontained`
+# CMake target does this for you):
+#
+#   tools/check_header_selfcontained.sh
+#
+# Exit status is 0 iff every header compiles on its own.
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-c++}"
+CXXFLAGS="-std=c++20 -Wall -Wextra -fsyntax-only -Isrc -Ibench -Itests"
+
+fail=0
+checked=0
+
+for header in $(find src bench tests -name '*.h' | sort); do
+    checked=$((checked + 1))
+    # Include each header the way the tree does: paths relative to the
+    # include roots (-Isrc -Ibench), not to the repo root.
+    inc="${header#src/}"
+    inc="${inc#bench/}"
+    inc="${inc#tests/}"
+    tu="$(mktemp --suffix=.cc)"
+    printf '#include "%s"\n' "$inc" > "$tu"
+    if ! out="$($CXX $CXXFLAGS "$tu" 2>&1)"; then
+        fail=$((fail + 1))
+        echo "FAIL $header"
+        echo "$out" | sed 's/^/    /'
+    fi
+    rm -f "$tu"
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "OK: all $checked headers are self-contained"
+else
+    echo "$fail of $checked headers are NOT self-contained"
+    exit 1
+fi
