@@ -28,9 +28,9 @@ BM_BitRowMajority(benchmark::State &state)
     BitRow a(bits), b(bits), c(bits);
     Rng rng(1);
     for (size_t w = 0; w < a.wordCount(); ++w) {
-        a.word(w) = rng.next();
-        b.word(w) = rng.next();
-        c.word(w) = rng.next();
+        a.setWord(w, rng.next());
+        b.setWord(w, rng.next());
+        c.setWord(w, rng.next());
     }
     for (auto _ : state) {
         auto m = BitRow::majority3(a, b, c);

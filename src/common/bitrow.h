@@ -6,11 +6,27 @@
  * sense-amplifier row buffers, and logic-simulation signal values are all
  * BitRows. Bit i of the row corresponds to DRAM column i, i.e. SIMD
  * lane i. All bulk operations are word-parallel over 64-bit words.
+ *
+ * The bulk kernels come in two flavours:
+ *
+ *  - value-returning operations (majority3, select, operator~, ...):
+ *    convenient, but each call allocates a fresh result row;
+ *  - fused "Into" operations (majority3Into, selectInto, aapInto,
+ *    andNotInto, assignNot): write into an existing destination row
+ *    with a single pass over the backing words and no allocation.
+ *    These are the hot path of μProgram replay; the word loops are
+ *    written over raw pointers so compilers auto-vectorize them, and
+ *    an AVX2 intrinsic path is available behind SIMDRAM_USE_AVX2.
+ *
+ * Semantics of every kernel are defined by the bit-at-a-time reference
+ * implementations in common/kernels_ref.h; tests/kernel_diff_test.cc
+ * checks the word-parallel paths bit-exact against them.
  */
 
 #ifndef SIMDRAM_COMMON_BITROW_H
 #define SIMDRAM_COMMON_BITROW_H
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -48,8 +64,45 @@ class BitRow
 
     /** Direct word access (for high-throughput kernels). */
     uint64_t word(size_t i) const { return words_[i]; }
-    /** Mutable word access; caller must not set padding bits. */
-    uint64_t &word(size_t i) { return words_[i]; }
+
+    /**
+     * Sets backing word @p i to @p w.
+     *
+     * Writing the last word must not set padding bits above width();
+     * that would silently break the invariant operator== and
+     * popcount() depend on. Debug builds assert it; callers that
+     * batch-write raw words can mask with lastWordMask() or call
+     * trimLast() afterwards.
+     */
+    void
+    setWord(size_t i, uint64_t w)
+    {
+        assert(i < words_.size());
+        assert(i + 1 < words_.size() || (w & ~lastWordMask()) == 0);
+        words_[i] = w;
+    }
+
+    /**
+     * @return Mask of the valid bits in the last backing word
+     *         (all-ones when width() is a multiple of 64 or zero).
+     */
+    uint64_t
+    lastWordMask() const
+    {
+        const size_t rem = width_ % 64;
+        return rem == 0 ? ~0ULL : (1ULL << rem) - 1;
+    }
+
+    /**
+     * Clears the padding bits above width() in the last word,
+     * restoring the class invariant after raw word writes.
+     */
+    void
+    trimLast()
+    {
+        if (!words_.empty())
+            words_.back() &= lastWordMask();
+    }
 
     /** @return Bit @p i (lane i). */
     bool get(size_t i) const;
@@ -85,6 +138,36 @@ class BitRow
 
     bool operator==(const BitRow &other) const = default;
 
+    // ---- Fused in-place kernels (the μProgram replay hot path) ------
+
+    /**
+     * Row-clone copy: @p dst takes this row's width and contents.
+     *
+     * Named after the AAP command it models; unlike plain assignment
+     * it is guaranteed allocation-free once @p dst has matching
+     * capacity, which makes it safe inside replay inner loops.
+     */
+    void aapInto(BitRow &dst) const;
+
+    /** *this = ~src, fused (no temporary). */
+    void assignNot(const BitRow &src);
+
+    /** out = a & ~b, fused (no temporary). */
+    static void andNotInto(BitRow &out, const BitRow &a,
+                           const BitRow &b);
+
+    /**
+     * out[i] = MAJ(a[i], b[i], c[i]), fused into @p out.
+     *
+     * @p out may alias any operand (pure element-wise).
+     */
+    static void majority3Into(BitRow &out, const BitRow &a,
+                              const BitRow &b, const BitRow &c);
+
+    /** out[i] = sel[i] ? t[i] : f[i], fused into @p out. */
+    static void selectInto(BitRow &out, const BitRow &sel,
+                           const BitRow &t, const BitRow &f);
+
     /**
      * Bitwise 3-input majority: out[i] = MAJ(a[i], b[i], c[i]).
      *
@@ -107,8 +190,8 @@ class BitRow
     std::string toString(size_t max_bits = 64) const;
 
   private:
-    /** Clears the padding bits above width_ in the last word. */
-    void trim();
+    /** Resizes to @p other's shape without initializing contents. */
+    void adoptShape(const BitRow &other);
 
     size_t width_ = 0;
     std::vector<uint64_t> words_;

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bit-at-a-time reference implementations of the simulator's hot
+ * kernels.
+ *
+ * These are the *semantic definitions* the optimized word-parallel /
+ * AVX2 paths in BitRow and layout/transpose are differentially tested
+ * against (tests/kernel_diff_test.cc) and benchmarked against
+ * (bench/bench_kernels.cc). They are deliberately written one bit at
+ * a time with no word-level tricks: slow, obvious, and easy to audit.
+ * Do not optimize this file — its only job is to be correct.
+ */
+
+#ifndef SIMDRAM_COMMON_KERNELS_REF_H
+#define SIMDRAM_COMMON_KERNELS_REF_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitrow.h"
+
+namespace simdram
+{
+namespace refkernel
+{
+
+/** out[i] = MAJ(a[i], b[i], c[i]), one bit at a time. */
+inline BitRow
+majority3(const BitRow &a, const BitRow &b, const BitRow &c)
+{
+    BitRow r(a.width());
+    for (size_t i = 0; i < a.width(); ++i) {
+        const int ones = int(a.get(i)) + int(b.get(i)) + int(c.get(i));
+        r.set(i, ones >= 2);
+    }
+    return r;
+}
+
+/** out[i] = sel[i] ? t[i] : f[i], one bit at a time. */
+inline BitRow
+select(const BitRow &sel, const BitRow &t, const BitRow &f)
+{
+    BitRow r(sel.width());
+    for (size_t i = 0; i < sel.width(); ++i)
+        r.set(i, sel.get(i) ? t.get(i) : f.get(i));
+    return r;
+}
+
+/** out[i] = !a[i], one bit at a time. */
+inline BitRow
+bitNot(const BitRow &a)
+{
+    BitRow r(a.width());
+    for (size_t i = 0; i < a.width(); ++i)
+        r.set(i, !a.get(i));
+    return r;
+}
+
+/** out[i] = a[i] & !b[i], one bit at a time. */
+inline BitRow
+andNot(const BitRow &a, const BitRow &b)
+{
+    BitRow r(a.width());
+    for (size_t i = 0; i < a.width(); ++i)
+        r.set(i, a.get(i) && !b.get(i));
+    return r;
+}
+
+/** @return The number of set bits, counted one bit at a time. */
+inline size_t
+popcount(const BitRow &a)
+{
+    size_t n = 0;
+    for (size_t i = 0; i < a.width(); ++i)
+        n += a.get(i) ? 1 : 0;
+    return n;
+}
+
+/**
+ * Horizontal-to-vertical conversion, one bit at a time: row j gets
+ * bit j of every element (same contract as simdram::elementsToRows).
+ */
+inline std::vector<BitRow>
+elementsToRows(const uint64_t *elems, size_t n, size_t bits,
+               size_t lanes)
+{
+    std::vector<BitRow> rows(bits, BitRow(lanes));
+    for (size_t j = 0; j < bits && j < 64; ++j)
+        for (size_t e = 0; e < n; ++e)
+            rows[j].set(e, (elems[e] >> j) & 1);
+    return rows;
+}
+
+/**
+ * Vertical-to-horizontal conversion, one bit at a time (same contract
+ * as simdram::rowsToElements; bits above 64 rows read as zero).
+ */
+inline std::vector<uint64_t>
+rowsToElements(const std::vector<BitRow> &rows, size_t n)
+{
+    std::vector<uint64_t> elems(n, 0);
+    for (size_t j = 0; j < rows.size() && j < 64; ++j)
+        for (size_t e = 0; e < n; ++e)
+            if (rows[j].get(e))
+                elems[e] |= 1ULL << j;
+    return elems;
+}
+
+} // namespace refkernel
+} // namespace simdram
+
+#endif // SIMDRAM_COMMON_KERNELS_REF_H

@@ -66,22 +66,48 @@ Subarray::Subarray(const DramConfig &cfg)
 }
 
 void
-Subarray::activate(const RowAddr &addr)
+Subarray::activateState(const RowAddr &addr)
 {
     if (!buffer_open_) {
         // First activation: charge sharing resolves the bitlines, then
         // the sense amplifiers restore the resolved value into every
-        // activated cell.
+        // activated cell. The fast path opens the buffer as a view of
+        // the addressed cell (no copy); the reference path is the
+        // retained seed implementation that materializes the value.
         if (addr.kind == RowAddr::Kind::Dual)
             panic("activating a dual address from precharged state has "
                   "undefined charge-sharing semantics");
-        buffer_ = readValue(addr);
+        if (reference_path_) {
+            buffer_view_ = nullptr;
+            buffer_ = readValue(addr);
+        } else if (addr.kind == RowAddr::Kind::Triple &&
+                   tra_flip_p_ == 0.0) {
+            // Fault-free TRA, fully fused: majority straight into the
+            // first activated cell (aliasing is element-wise safe),
+            // RowClone it into the other two, and leave the buffer as
+            // a view — one fewer row write than computing into the
+            // buffer and restoring all three.
+            const auto rows = tripleRows(addr.triple);
+            BitRow &r0 = specialCellMut(rows[0]);
+            BitRow &r1 = specialCellMut(rows[1]);
+            BitRow &r2 = specialCellMut(rows[2]);
+            BitRow::majority3Into(r0, r0, r1, r2);
+            r0.aapInto(r1);
+            r0.aapInto(r2);
+            buffer_view_ = &r0;
+            buffer_view_neg_ = false;
+            buffer_open_ = true;
+            return;
+        } else {
+            openBufferFast(addr);
+        }
         // Restore is value-preserving for a single row; only a triple
         // activation destroys cell contents (all three rows end up
         // holding the majority value). Injected faults model a
         // charge-sharing failure: the sense amplifiers resolve some
         // bitlines to the wrong value and restore that wrong value.
         if (addr.kind == RowAddr::Kind::Triple) {
+            // Both paths materialize the majority into buffer_.
             if (tra_flip_p_ > 0.0) {
                 for (size_t i = 0; i < buffer_.width(); ++i) {
                     if (fault_rng_.uniform() < tra_flip_p_) {
@@ -90,20 +116,131 @@ Subarray::activate(const RowAddr &addr)
                     }
                 }
             }
-            writeValue(addr, buffer_);
+            if (reference_path_)
+                writeValue(addr, buffer_);
+            else
+                writeBufferTo(addr);
         }
         buffer_open_ = true;
     } else {
         // Row buffer is open: the sense amplifiers drive the bitlines
         // and overwrite the newly connected cells (RowClone copy).
-        writeValue(addr, buffer_);
+        if (reference_path_)
+            writeValue(addr, buffer_);
+        else
+            writeBufferTo(addr);
     }
+}
 
+void
+Subarray::activate(const RowAddr &addr)
+{
+    activateState(addr);
     if (addr.rowsRaised() > 1)
         ++stats_.multiActivates;
     else
         ++stats_.activates;
     stats_.energyPj += cfg_.actEnergyPj(addr.rowsRaised());
+}
+
+void
+Subarray::openBufferFast(const RowAddr &addr)
+{
+    switch (addr.kind) {
+      case RowAddr::Kind::Data:
+        if (addr.dataRow >= data_.size())
+            panic("activate: data row out of range");
+        buffer_view_ = &data_[addr.dataRow];
+        buffer_view_neg_ = false;
+        return;
+      case RowAddr::Kind::Special: {
+        const auto [cell, negated] = portCell(addr.special);
+        buffer_view_ = cell;
+        buffer_view_neg_ = negated;
+        return;
+      }
+      case RowAddr::Kind::Triple: {
+        buffer_view_ = nullptr;
+        const auto rows = tripleRows(addr.triple);
+        BitRow::majority3Into(buffer_, specialCell(rows[0]),
+                              specialCell(rows[1]),
+                              specialCell(rows[2]));
+        return;
+      }
+      case RowAddr::Kind::Dual:
+      default:
+        panic("openBufferFast: unsupported address kind");
+    }
+}
+
+void
+Subarray::materializeBuffer() const
+{
+    if (buffer_view_ == nullptr)
+        return;
+    if (buffer_view_neg_)
+        buffer_.assignNot(*buffer_view_);
+    else
+        buffer_view_->aapInto(buffer_);
+    buffer_view_ = nullptr;
+    buffer_view_neg_ = false;
+}
+
+void
+Subarray::readBufferInto(BitRow &dst, bool negate)
+{
+    // A negation-parity mismatch on the viewed cell itself would
+    // change the cell the view reads from; collapse the view first.
+    if (buffer_view_ == &dst && negate != buffer_view_neg_)
+        materializeBuffer();
+    const BitRow *src = buffer_view_ != nullptr ? buffer_view_
+                                                : &buffer_;
+    const bool neg =
+        buffer_view_ != nullptr ? (negate != buffer_view_neg_)
+                                : negate;
+    if (neg)
+        dst.assignNot(*src);
+    else
+        src->aapInto(dst);
+}
+
+void
+Subarray::writeBufferTo(const RowAddr &addr)
+{
+    switch (addr.kind) {
+      case RowAddr::Kind::Data:
+        if (addr.dataRow >= data_.size())
+            panic("activate: data row out of range");
+        readBufferInto(data_[addr.dataRow], false);
+        return;
+      case RowAddr::Kind::Special:
+        writeSpecialFromBuffer(addr.special);
+        return;
+      case RowAddr::Kind::Dual: {
+        const auto rows = dualRows(addr.dual);
+        for (SpecialRow s : rows)
+            writeSpecialFromBuffer(s);
+        return;
+      }
+      case RowAddr::Kind::Triple: {
+        const auto rows = tripleRows(addr.triple);
+        for (SpecialRow s : rows)
+            writeSpecialFromBuffer(s);
+        return;
+      }
+    }
+}
+
+void
+Subarray::writeSpecialFromBuffer(SpecialRow s)
+{
+    if (s == SpecialRow::C0 || s == SpecialRow::C1) {
+        // The row decoder never drives the constant rows from the
+        // sense amplifiers; a write here is a compiler bug.
+        panic("writeSpecial: constant rows are read-only");
+    }
+    const auto [cell, negated] = portCell(s);
+    readBufferInto(*cell, negated);
 }
 
 void
@@ -141,6 +278,21 @@ Subarray::ap(const RowAddr &addr)
     stats_.latencyNs += cfg_.timing.apNs();
 }
 
+void
+Subarray::aapFunctional(const RowAddr &src, const RowAddr &dst)
+{
+    activateState(src);
+    activateState(dst);
+    buffer_open_ = false;
+}
+
+void
+Subarray::apFunctional(const RowAddr &addr)
+{
+    activateState(addr);
+    buffer_open_ = false;
+}
+
 const BitRow &
 Subarray::peekData(size_t row) const
 {
@@ -156,7 +308,18 @@ Subarray::pokeData(size_t row, const BitRow &value)
         panic("pokeData: row out of range");
     if (value.width() != cfg_.rowBits)
         panic("pokeData: width mismatch");
+    // The row buffer may be a view of this cell; snapshot it first.
+    materializeBuffer();
     data_[row] = value;
+}
+
+BitRow &
+Subarray::pokeDataRow(size_t row)
+{
+    if (row >= data_.size())
+        panic("pokeDataRow: row out of range");
+    materializeBuffer();
+    return data_[row];
 }
 
 BitRow
@@ -168,6 +331,7 @@ Subarray::peek(SpecialRow s) const
 void
 Subarray::poke(SpecialRow s, const BitRow &value)
 {
+    materializeBuffer();
     writeSpecial(s, value);
 }
 
@@ -190,6 +354,53 @@ Subarray::readValue(const RowAddr &addr) const
       case RowAddr::Kind::Dual:
       default:
         panic("readValue: unsupported address kind");
+    }
+}
+
+const BitRow &
+Subarray::specialCell(SpecialRow s) const
+{
+    switch (s) {
+      case SpecialRow::C0:
+        return c0_;
+      case SpecialRow::C1:
+        return c1_;
+      case SpecialRow::T0:
+        return t_[0];
+      case SpecialRow::T1:
+        return t_[1];
+      case SpecialRow::T2:
+        return t_[2];
+      case SpecialRow::T3:
+        return t_[3];
+      case SpecialRow::DCC0P:
+        return dcc_[0];
+      case SpecialRow::DCC1P:
+        return dcc_[1];
+      case SpecialRow::DCC0N:
+      case SpecialRow::DCC1N:
+        break;
+    }
+    panic("specialCell: negated port has no direct cell");
+}
+
+BitRow &
+Subarray::specialCellMut(SpecialRow s)
+{
+    return const_cast<BitRow &>(
+        static_cast<const Subarray *>(this)->specialCell(s));
+}
+
+std::pair<BitRow *, bool>
+Subarray::portCell(SpecialRow s)
+{
+    switch (s) {
+      case SpecialRow::DCC0N:
+        return {&dcc_[0], true};
+      case SpecialRow::DCC1N:
+        return {&dcc_[1], true};
+      default:
+        return {&specialCellMut(s), false};
     }
 }
 

@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/bitrow.h"
@@ -91,6 +92,22 @@ class Subarray
      */
     void ap(const RowAddr &addr);
 
+    /**
+     * State-only AAP: identical memory semantics to aap(), but
+     * accumulates no statistics. Batched μProgram replay
+     * (exec/replay_plan.h) uses this together with addStats(): the
+     * per-command counters, latency, and energy of a μOp stream are
+     * precomputed once per plan and added in one shot per segment
+     * instead of being recomputed per command.
+     */
+    void aapFunctional(const RowAddr &src, const RowAddr &dst);
+
+    /** State-only AP (see aapFunctional()). */
+    void apFunctional(const RowAddr &addr);
+
+    /** Adds a precomputed statistics aggregate (serial latency). */
+    void addStats(const DramStats &s) { stats_ += s; }
+
     // ---- Backdoor access (no cost; for host modeling and tests) ------
 
     /** @return The stored value of data row @p row. */
@@ -98,6 +115,15 @@ class Subarray
 
     /** Overwrites data row @p row (host store backdoor). */
     void pokeData(size_t row, const BitRow &value);
+
+    /**
+     * Mutable access to data row @p row (host store backdoor).
+     *
+     * Lets the transposition unit write transposed words in place
+     * instead of building rows aside and copying them in. The caller
+     * must preserve the row's width and padding invariant.
+     */
+    BitRow &pokeDataRow(size_t row);
 
     /** @return The value visible through special-row port @p s. */
     BitRow peek(SpecialRow s) const;
@@ -109,7 +135,12 @@ class Subarray
     bool bufferOpen() const { return buffer_open_; }
 
     /** @return The current row-buffer contents. */
-    const BitRow &peekBuffer() const { return buffer_; }
+    const BitRow &
+    peekBuffer() const
+    {
+        materializeBuffer();
+        return buffer_;
+    }
 
     // ---- Statistics ---------------------------------------------------
 
@@ -137,9 +168,72 @@ class Subarray
     /** @return Number of bits flipped by fault injection so far. */
     uint64_t injectedFaults() const { return injected_faults_; }
 
+    // ---- Reference vs. fast activate path -------------------------------
+
+    /**
+     * Selects the retained seed ("reference") activate path, which
+     * materializes every value read through a row address as a fresh
+     * BitRow, instead of the default fused path that computes into
+     * the row buffer in place. Both are bit-exact (the differential
+     * and replay-equivalence tests assert it); the reference path
+     * exists as the semantics baseline and for benchmarking.
+     */
+    void useReferencePath(bool on) { reference_path_ = on; }
+
+    /** @return True if the reference activate path is selected. */
+    bool referencePath() const { return reference_path_; }
+
   private:
     /** @return The value read through @p addr (with port negation). */
     BitRow readValue(const RowAddr &addr) const;
+
+    /**
+     * @return The cell behind a positive-port special row. Negative
+     *         ports have no direct cell reference; callers carry the
+     *         complement as a flag (triple addresses only ever name
+     *         positive ports).
+     */
+    const BitRow &specialCell(SpecialRow s) const;
+
+    /** Mutable variant of specialCell(). */
+    BitRow &specialCellMut(SpecialRow s);
+
+    /**
+     * Decodes a special-row port into (cell, negated): the single
+     * place the fast path maps DCC negative ports onto their cells.
+     */
+    std::pair<BitRow *, bool> portCell(SpecialRow s);
+
+    /** Memory semantics of one ACTIVATE (no statistics). */
+    void activateState(const RowAddr &addr);
+
+    /**
+     * Fast-path buffer open: points the buffer at the addressed cell
+     * (possibly through the negative port) instead of copying it;
+     * triple addresses materialize the majority into buffer_.
+     */
+    void openBufferFast(const RowAddr &addr);
+
+    /**
+     * Collapses a buffer view into buffer_ (no-op when already
+     * materialized). Called before anything that reads buffer_
+     * directly or mutates the viewed cell.
+     */
+    void materializeBuffer() const;
+
+    /**
+     * Writes the buffer value (negated if @p negate) into @p dst.
+     * Materializes first when the write would mutate the viewed cell
+     * (negation parity mismatch), so later reads through the view
+     * stay correct.
+     */
+    void readBufferInto(BitRow &dst, bool negate);
+
+    /** Fast-path writeValue: writes the buffer through @p addr. */
+    void writeBufferTo(const RowAddr &addr);
+
+    /** Fast-path write of the buffer into special row @p s. */
+    void writeSpecialFromBuffer(SpecialRow s);
 
     /** Writes @p v through @p addr into all selected cells. */
     void writeValue(const RowAddr &addr, const BitRow &v);
@@ -155,9 +249,15 @@ class Subarray
     BitRow c0_, c1_;            ///< Constant rows.
     BitRow t_[4];               ///< Compute rows T0..T3.
     BitRow dcc_[2];             ///< DCC cells (true stored value).
-    BitRow buffer_;             ///< Sense-amplifier row buffer.
+    // The row buffer is either materialized in buffer_ or, on the
+    // fast path, a view of a resident cell (saving one row copy per
+    // AAP). Mutable: views collapse lazily from const accessors.
+    mutable BitRow buffer_;     ///< Sense-amplifier row buffer.
+    mutable const BitRow *buffer_view_ = nullptr;
+    mutable bool buffer_view_neg_ = false;
     bool buffer_open_ = false;
     DramStats stats_;
+    bool reference_path_ = false; ///< Use the seed activate path.
     double tra_flip_p_ = 0.0;   ///< Per-bit TRA flip probability.
     Rng fault_rng_;             ///< Fault-injection randomness.
     uint64_t injected_faults_ = 0;

@@ -21,7 +21,16 @@
 namespace simdram
 {
 
-/** Binds virtual μProgram rows to physical rows and executes. */
+/**
+ * Binds virtual μProgram rows to physical rows and executes.
+ *
+ * This is the retained *reference* replay path: it re-binds the
+ * virtual row table and re-dispatches every μOp per call. Production
+ * execution goes through exec/replay_plan.h, which resolves bindings
+ * once per μProgram and replays segments in batch; the
+ * replay-equivalence tests assert both paths produce identical memory
+ * state and identical DramStats.
+ */
 class ControlUnit
 {
   public:

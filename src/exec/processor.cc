@@ -21,6 +21,18 @@ toString(Backend b)
     return "?";
 }
 
+const char *
+toString(ReplayMode m)
+{
+    switch (m) {
+      case ReplayMode::Reference:
+        return "reference";
+      case ReplayMode::Batched:
+        return "batched";
+    }
+    return "?";
+}
+
 Processor::Processor(DramConfig cfg, Backend backend)
     : device_(cfg),
       tunit_(device_.config()),
@@ -284,6 +296,17 @@ Processor::run(OpKind op, const VecHandle &dst, const VecHandle &a,
             info(dst));
 }
 
+const ReplayPlan &
+Processor::planFor(const MicroProgram &prog)
+{
+    auto it = plan_cache_.find(&prog);
+    if (it == plan_cache_.end())
+        it = plan_cache_
+                 .emplace(&prog, ReplayPlan(prog, device_.config()))
+                 .first;
+    return it->second;
+}
+
 void
 Processor::execute(const MicroProgram &prog,
                    const std::vector<const VecInfo *> &inputs,
@@ -307,17 +330,24 @@ Processor::execute(const MicroProgram &prog,
 
     const uint32_t scratch_base = static_cast<uint32_t>(
         cfg.rowsPerSubarray - cfg.scratchRows);
+    const bool batched = replay_mode_ == ReplayMode::Batched;
 
+    // Validation + binding pass: one SegmentBinding per segment, with
+    // region bases ordered inputs / outputs / scratch (the layout
+    // both ControlUnit and ReplayPlan use).
+    std::vector<ReplayPlan::SegmentBinding> segs;
     const size_t n_segs = inputs[0]->segments.size();
+    segs.reserve(n_segs);
     for (size_t s = 0; s < n_segs; ++s) {
         const Segment &seg0 = inputs[0]->segments[s];
-        std::vector<uint32_t> in_bases;
+        ReplayPlan::SegmentBinding binding;
+        binding.bases.reserve(inputs.size() + 2);
         for (const VecInfo *vi : inputs) {
             const Segment &seg = vi->segments[s];
             if (seg.bank != seg0.bank || seg.sub != seg0.sub)
                 fatal("Processor: operands are not co-located; "
                       "allocate matching vectors back to back");
-            in_bases.push_back(seg.baseRow);
+            binding.bases.push_back(seg.baseRow);
         }
         const Segment &oseg = out.segments[s];
         if (oseg.bank != seg0.bank || oseg.sub != seg0.sub)
@@ -335,9 +365,24 @@ Processor::execute(const MicroProgram &prog,
                 fatal("Processor: destination overlaps an operand; "
                       "in-place execution is not supported");
         }
-        Subarray &sub = device_.bank(seg0.bank).subarray(seg0.sub);
-        cu_.execute(sub, prog, in_bases, {oseg.baseRow},
-                    scratch_base);
+        binding.bases.push_back(oseg.baseRow);
+        binding.bases.push_back(scratch_base);
+        binding.sub = &device_.bank(seg0.bank).subarray(seg0.sub);
+        binding.sub->useReferencePath(!batched);
+        segs.push_back(std::move(binding));
+    }
+
+    if (batched) {
+        planFor(prog).replayBatch(segs);
+        return;
+    }
+    // Reference mode: the seed per-segment path, re-binding and
+    // re-dispatching through the control unit.
+    for (const ReplayPlan::SegmentBinding &b : segs) {
+        const std::vector<uint32_t> in_bases(
+            b.bases.begin(), b.bases.end() - 2);
+        cu_.execute(*b.sub, prog, in_bases,
+                    {b.bases[b.bases.size() - 2]}, scratch_base);
     }
 }
 

@@ -40,6 +40,7 @@
 
 #include "dram/device.h"
 #include "exec/control_unit.h"
+#include "exec/replay_plan.h"
 #include "layout/transposition_unit.h"
 #include "ops/library.h"
 #include "uprog/program.h"
@@ -57,6 +58,16 @@ enum class Backend : uint8_t
 
 /** @return A printable backend name. */
 const char *toString(Backend b);
+
+/** Which μProgram replay path Processor::run uses. */
+enum class ReplayMode : uint8_t
+{
+    Reference, ///< Seed path: per-segment binding via ControlUnit.
+    Batched,   ///< Cached ReplayPlan, batched over segments/banks.
+};
+
+/** @return A printable replay-mode name. */
+const char *toString(ReplayMode m);
 
 /** An in-DRAM SIMD processor instance. */
 class Processor
@@ -150,6 +161,17 @@ class Processor
     /** @return The backend in use. */
     Backend backend() const { return backend_; }
 
+    /**
+     * Selects the replay path (default: ReplayMode::Batched). The
+     * reference mode reproduces the seed execution exactly — same
+     * commands, same order, same stats — and exists for differential
+     * testing and benchmarking of the batched path.
+     */
+    void setReplayMode(ReplayMode mode) { replay_mode_ = mode; }
+
+    /** @return The replay path in use. */
+    ReplayMode replayMode() const { return replay_mode_; }
+
     /** @return The device configuration. */
     const DramConfig &config() const { return device_.config(); }
 
@@ -186,11 +208,15 @@ class Processor
                  const std::vector<const VecInfo *> &inputs,
                  const VecInfo &out);
 
+    /** @return The cached replay plan for @p prog (built once). */
+    const ReplayPlan &planFor(const MicroProgram &prog);
+
     DramDevice device_;
     TranspositionUnit tunit_;
     ControlUnit cu_;
     OperationLibrary lib_;
     Backend backend_;
+    ReplayMode replay_mode_ = ReplayMode::Batched;
 
     std::vector<VecInfo> vectors_;
     // Per-bank bump allocation state.
@@ -200,6 +226,9 @@ class Processor
     std::map<std::pair<OpKind, size_t>,
              std::unique_ptr<MicroProgram>>
         prog_cache_;
+    // Keyed by program address: programs are owned by prog_cache_
+    // behind unique_ptr, so their addresses are stable.
+    std::map<const MicroProgram *, ReplayPlan> plan_cache_;
 };
 
 } // namespace simdram

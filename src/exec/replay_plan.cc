@@ -1,0 +1,155 @@
+#include "exec/replay_plan.h"
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+ReplayPlan::ReplayPlan(const MicroProgram &prog, const DramConfig &cfg)
+{
+    // Region table in virtual-row order: inputs, outputs, scratch.
+    struct Region
+    {
+        size_t start;
+        size_t rows;
+    };
+    std::vector<Region> regions;
+    size_t start = 0;
+    for (const RowRegion &r : prog.inputRegions) {
+        regions.push_back({start, r.rows});
+        start += r.rows;
+    }
+    for (const RowRegion &r : prog.outputRegions) {
+        regions.push_back({start, r.rows});
+        start += r.rows;
+    }
+    regions.push_back({start, prog.scratchRows});
+    n_regions_ = regions.size();
+    const size_t virtual_rows = start + prog.scratchRows;
+
+    auto resolve = [&](const RowAddr &a) {
+        Operand op;
+        if (a.kind != RowAddr::Kind::Data) {
+            op.fixed = a;
+            return op;
+        }
+        if (a.dataRow >= virtual_rows)
+            panic("ReplayPlan: virtual row out of range");
+        op.isData = true;
+        for (size_t r = 0; r < regions.size(); ++r) {
+            if (a.dataRow < regions[r].start + regions[r].rows) {
+                op.region = static_cast<uint32_t>(r);
+                op.offset = static_cast<uint32_t>(a.dataRow -
+                                                  regions[r].start);
+                break;
+            }
+        }
+        return op;
+    };
+
+    // Precompute the statistics of one stream replay, accumulating
+    // in command order with exactly the per-command constants
+    // Subarray::aap/ap would use, so one bulk add per segment equals
+    // the seed path's per-command accounting.
+    auto countActivate = [&](const RowAddr &a) {
+        const int raised = a.rowsRaised();
+        if (raised > 1)
+            ++seg_stats_.multiActivates;
+        else
+            ++seg_stats_.activates;
+        seg_stats_.energyPj += cfg.actEnergyPj(raised);
+    };
+
+    ops_.reserve(prog.ops.size());
+    for (const MicroOp &op : prog.ops) {
+        PlanOp p;
+        p.kind = op.kind;
+        p.src = resolve(op.src);
+        countActivate(op.src);
+        if (op.kind == MicroOp::Kind::Aap) {
+            p.dst = resolve(op.dst);
+            countActivate(op.dst);
+            ++seg_stats_.aaps;
+            seg_stats_.latencyNs += cfg.timing.aapNs();
+        } else {
+            ++seg_stats_.aps;
+            seg_stats_.latencyNs += cfg.timing.apNs();
+        }
+        ++seg_stats_.precharges;
+        seg_stats_.energyPj += cfg.preEnergyPj();
+        ops_.push_back(p);
+    }
+}
+
+void
+ReplayPlan::apply(const PlanOp &op, Subarray &sub,
+                  const std::vector<uint32_t> &bases)
+{
+    const RowAddr src =
+        op.src.isData
+            ? RowAddr::data(bases[op.src.region] + op.src.offset)
+            : op.src.fixed;
+    if (op.kind == MicroOp::Kind::Aap) {
+        const RowAddr dst =
+            op.dst.isData
+                ? RowAddr::data(bases[op.dst.region] + op.dst.offset)
+                : op.dst.fixed;
+        sub.aapFunctional(src, dst);
+    } else {
+        sub.apFunctional(src);
+    }
+}
+
+void
+ReplayPlan::replay(Subarray &sub,
+                   const std::vector<uint32_t> &bases) const
+{
+    if (bases.size() != n_regions_)
+        panic("ReplayPlan: wrong number of region bases");
+    for (const PlanOp &op : ops_)
+        apply(op, sub, bases);
+    sub.addStats(seg_stats_);
+}
+
+void
+ReplayPlan::replayBatch(const std::vector<SegmentBinding> &segs) const
+{
+    for (const SegmentBinding &s : segs)
+        if (s.sub == nullptr || s.bases.size() != n_regions_)
+            panic("ReplayPlan: malformed segment binding");
+
+    // Segments sharing a subarray also share its compute rows and
+    // must replay the full stream back-to-back, not interleaved per
+    // μOp. Group segments by subarray (original order within each
+    // group); round k then replays the k-th segment of every group —
+    // distinct subarrays within a round, so op-outer is safe.
+    std::vector<Subarray *> subs;
+    std::vector<std::vector<const SegmentBinding *>> groups;
+    for (const SegmentBinding &s : segs) {
+        size_t g = 0;
+        while (g < subs.size() && subs[g] != s.sub)
+            ++g;
+        if (g == subs.size()) {
+            subs.push_back(s.sub);
+            groups.emplace_back();
+        }
+        groups[g].push_back(&s);
+    }
+
+    std::vector<const SegmentBinding *> round;
+    for (size_t k = 0;; ++k) {
+        round.clear();
+        for (const auto &group : groups)
+            if (k < group.size())
+                round.push_back(group[k]);
+        if (round.empty())
+            break;
+        for (const PlanOp &op : ops_)
+            for (const SegmentBinding *s : round)
+                apply(op, *s->sub, s->bases);
+        for (const SegmentBinding *s : round)
+            s->sub->addStats(seg_stats_);
+    }
+}
+
+} // namespace simdram

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Pre-resolved μProgram replay plans (the batched execution path).
+ *
+ * The seed control-unit path (ControlUnit::execute) rebuilds the
+ * virtual-to-physical row table and re-dispatches every μOp through a
+ * binding closure for every segment of every operation. A ReplayPlan
+ * instead resolves each μOp operand ONCE per μProgram into either a
+ * fixed special/dual/triple address or a (region, offset) pair; a
+ * segment is then described by nothing but its region base rows, and
+ * replaying a segment is a tight loop of base+offset adds.
+ *
+ * replayBatch() additionally replays the whole μOp stream over many
+ * segments at once, op-outer / segment-inner, so the per-op decode is
+ * amortized across every segment and bank executing the operation.
+ * Segments that live in the *same* subarray share its compute rows
+ * (T0..T3, DCCs), so they cannot be interleaved at μOp granularity;
+ * the batch replays in waves of distinct subarrays, which preserves
+ * the seed path's per-subarray command order exactly (and therefore
+ * its memory state and DramStats — asserted by the
+ * replay-equivalence tests).
+ */
+
+#ifndef SIMDRAM_EXEC_REPLAY_PLAN_H
+#define SIMDRAM_EXEC_REPLAY_PLAN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/subarray.h"
+#include "uprog/program.h"
+
+namespace simdram
+{
+
+/** A μProgram with operand bindings resolved to region offsets. */
+class ReplayPlan
+{
+  public:
+    /** One segment to replay: a target subarray plus its base rows. */
+    struct SegmentBinding
+    {
+        Subarray *sub = nullptr; ///< Target subarray.
+        /** Base row per region: inputs, then outputs, then scratch. */
+        std::vector<uint32_t> bases;
+    };
+
+    ReplayPlan() = default;
+
+    /**
+     * Builds the plan for @p prog on a device configured as @p cfg:
+     * validates every virtual row reference, splits each operand into
+     * fixed vs. region-relative form, and precomputes the statistics
+     * aggregate (counters, serial latency, energy) of one full
+     * stream replay — command accounting identical to issuing every
+     * aap()/ap() individually, paid once per segment instead of once
+     * per command. The program must outlive the plan.
+     */
+    ReplayPlan(const MicroProgram &prog, const DramConfig &cfg);
+
+    /** @return Number of region bases a SegmentBinding must carry. */
+    size_t regionCount() const { return n_regions_; }
+
+    /** @return Number of μOps in the plan. */
+    size_t opCount() const { return ops_.size(); }
+
+    /** @return The statistics of one full stream replay. */
+    const DramStats &segmentStats() const { return seg_stats_; }
+
+    /** Replays the μOp stream on one segment. */
+    void replay(Subarray &sub,
+                const std::vector<uint32_t> &bases) const;
+
+    /**
+     * Replays the μOp stream over all of @p segs, op-outer across
+     * waves of distinct subarrays (see file comment).
+     */
+    void replayBatch(const std::vector<SegmentBinding> &segs) const;
+
+  private:
+    /** One resolved μOp operand. */
+    struct Operand
+    {
+        RowAddr fixed;       ///< Used when !isData.
+        uint32_t region = 0; ///< Index into SegmentBinding::bases.
+        uint32_t offset = 0; ///< Row offset within the region.
+        bool isData = false; ///< Region-relative vs. fixed address.
+    };
+
+    /** One resolved μOp. */
+    struct PlanOp
+    {
+        MicroOp::Kind kind = MicroOp::Kind::Ap;
+        Operand src;
+        Operand dst;
+    };
+
+    /** Applies one resolved op to one bound segment. */
+    static void apply(const PlanOp &op, Subarray &sub,
+                      const std::vector<uint32_t> &bases);
+
+    std::vector<PlanOp> ops_;
+    size_t n_regions_ = 0;
+    DramStats seg_stats_; ///< Aggregate of one stream replay.
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_EXEC_REPLAY_PLAN_H

@@ -23,13 +23,15 @@ transpose64(uint64_t m[64])
     }
 }
 
-std::vector<BitRow>
-elementsToRows(const uint64_t *elems, size_t n, size_t bits,
-               size_t lanes)
+void
+elementsToRowsInto(const uint64_t *elems, size_t n, size_t bits,
+                   BitRow *const *rows)
 {
-    if (n > lanes)
+    if (bits == 0)
+        return;
+    const size_t word_count = rows[0]->wordCount();
+    if (n > rows[0]->width())
         fatal("elementsToRows: more elements than lanes");
-    std::vector<BitRow> rows(bits, BitRow(lanes));
 
     // Process tiles of 64 elements; each tile is one 64x64 transpose
     // whose output words land in word column `tile` of each row.
@@ -47,8 +49,52 @@ elementsToRows(const uint64_t *elems, size_t n, size_t bits,
             block[63 - e] = elems[base + e];
         transpose64(block.data());
         for (size_t j = 0; j < bits && j < 64; ++j)
-            rows[j].word(tile) = block[63 - j];
+            rows[j]->setWord(tile, block[63 - j]);
     }
+    // Zero the lanes beyond n and the bit rows beyond what a 64-bit
+    // element can populate, so the rows carry exactly the transposed
+    // data (matches the reference kernel, which starts from zeros).
+    for (size_t j = 0; j < bits; ++j) {
+        const size_t from = j < 64 ? tiles : 0;
+        for (size_t t = from; t < word_count; ++t)
+            rows[j]->setWord(t, 0);
+    }
+}
+
+void
+rowsToElementsInto(const BitRow *const *rows, size_t bits,
+                   uint64_t *elems, size_t n)
+{
+    if (n == 0)
+        return;
+    if (bits > 0 && n > rows[0]->width())
+        fatal("rowsToElements: more elements than lanes");
+
+    const size_t tiles = (n + 63) / 64;
+    std::array<uint64_t, 64> block;
+    for (size_t tile = 0; tile < tiles; ++tile) {
+        block.fill(0);
+        for (size_t j = 0; j < bits && j < 64; ++j)
+            block[63 - j] = rows[j]->word(tile);
+        transpose64(block.data());
+        const size_t base = tile * 64;
+        const size_t count = std::min<size_t>(64, n - base);
+        for (size_t e = 0; e < count; ++e)
+            elems[base + e] = block[63 - e];
+    }
+}
+
+std::vector<BitRow>
+elementsToRows(const uint64_t *elems, size_t n, size_t bits,
+               size_t lanes)
+{
+    if (n > lanes)
+        fatal("elementsToRows: more elements than lanes");
+    std::vector<BitRow> rows(bits, BitRow(lanes));
+    std::vector<BitRow *> ptrs(bits);
+    for (size_t j = 0; j < bits; ++j)
+        ptrs[j] = &rows[j];
+    elementsToRowsInto(elems, n, bits, ptrs.data());
     return rows;
 }
 
@@ -56,24 +102,10 @@ std::vector<uint64_t>
 rowsToElements(const std::vector<BitRow> &rows, size_t n)
 {
     std::vector<uint64_t> elems(n, 0);
-    if (rows.empty())
-        return elems;
-    const size_t lanes = rows[0].width();
-    if (n > lanes)
-        fatal("rowsToElements: more elements than lanes");
-
-    const size_t tiles = (n + 63) / 64;
-    std::array<uint64_t, 64> block;
-    for (size_t tile = 0; tile < tiles; ++tile) {
-        block.fill(0);
-        for (size_t j = 0; j < rows.size() && j < 64; ++j)
-            block[63 - j] = rows[j].word(tile);
-        transpose64(block.data());
-        const size_t base = tile * 64;
-        const size_t count = std::min<size_t>(64, n - base);
-        for (size_t e = 0; e < count; ++e)
-            elems[base + e] = block[63 - e];
-    }
+    std::vector<const BitRow *> ptrs(rows.size());
+    for (size_t j = 0; j < rows.size(); ++j)
+        ptrs[j] = &rows[j];
+    rowsToElementsInto(ptrs.data(), rows.size(), elems.data(), n);
     return elems;
 }
 

@@ -7,7 +7,15 @@
  * unit: converting a cache line of horizontal elements into vertical
  * bit slices and back. The implementation works on 64x64 bit tiles
  * (the classic recursive swap network a hardware transposition unit
- * would implement with muxes).
+ * would implement with muxes), feeding BitRow words directly — no
+ * per-bit access anywhere on the fast path.
+ *
+ * The Into variants operate through caller-provided row pointers so
+ * the transposition unit can convert straight into (or out of) the
+ * subarray's resident rows without materializing a std::vector<BitRow>
+ * per transfer. The vector-returning functions are thin wrappers.
+ * Semantics are defined by refkernel::elementsToRows /
+ * refkernel::rowsToElements in common/kernels_ref.h.
  */
 
 #ifndef SIMDRAM_LAYOUT_TRANSPOSE_H
@@ -30,11 +38,27 @@ namespace simdram
 void transpose64(uint64_t m[64]);
 
 /**
+ * Converts @p n horizontal elements into @p bits vertical rows
+ * written through @p rows (an array of @p bits row pointers, each of
+ * identical width >= @p n). Every word of every target row is
+ * written: lanes beyond @p n and bit rows beyond 64 become zero.
+ *
+ * Row j holds bit j of every element: rows[j]->get(i) == bit j of
+ * elems[i].
+ */
+void elementsToRowsInto(const uint64_t *elems, size_t n, size_t bits,
+                        BitRow *const *rows);
+
+/**
+ * Converts @p bits vertical rows read through @p rows back into @p n
+ * horizontal elements (bits above @p bits or above 64 read as zero).
+ */
+void rowsToElementsInto(const BitRow *const *rows, size_t bits,
+                        uint64_t *elems, size_t n);
+
+/**
  * Converts @p n horizontal elements into @p bits vertical rows of
  * width @p lanes (n <= lanes; remaining lanes are zero).
- *
- * Row j holds bit j of every element: rows[j].get(i) == bit j of
- * elems[i].
  */
 std::vector<BitRow> elementsToRows(const uint64_t *elems, size_t n,
                                    size_t bits, size_t lanes);

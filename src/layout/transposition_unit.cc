@@ -13,12 +13,13 @@ TranspositionUnit::storeVertical(Subarray &sub, uint32_t base_row,
 {
     if (n > sub.rowBits())
         fatal("storeVertical: element count exceeds lanes");
-    auto rows = elementsToRows(elems, n, bits, sub.rowBits());
-    for (size_t j = 0; j < bits; ++j) {
-        // Preserve lanes beyond n (other objects may share rows in
-        // principle; here lanes >= n always, rows are exclusive).
-        sub.pokeData(base_row + j, rows[j]);
-    }
+    // Transpose straight into the resident rows; the Into kernel
+    // overwrites every word (lanes beyond n become zero), exactly as
+    // poking freshly transposed rows did.
+    std::vector<BitRow *> rows(bits);
+    for (size_t j = 0; j < bits; ++j)
+        rows[j] = &sub.pokeDataRow(base_row + j);
+    elementsToRowsInto(elems, n, bits, rows.data());
     account(bits, n);
 }
 
@@ -26,12 +27,13 @@ std::vector<uint64_t>
 TranspositionUnit::loadVertical(const Subarray &sub, uint32_t base_row,
                                 size_t bits, size_t n)
 {
-    std::vector<BitRow> rows;
-    rows.reserve(bits);
+    std::vector<const BitRow *> rows(bits);
     for (size_t j = 0; j < bits; ++j)
-        rows.push_back(sub.peekData(base_row + j));
+        rows[j] = &sub.peekData(base_row + j);
     account(bits, n);
-    return rowsToElements(rows, n);
+    std::vector<uint64_t> elems(n, 0);
+    rowsToElementsInto(rows.data(), bits, elems.data(), n);
+    return elems;
 }
 
 void

@@ -70,13 +70,14 @@ checkEquivalence(const Circuit &a, const Circuit &b, uint64_t seed,
     Rng rng(seed);
     for (size_t round = 0; round < random_rounds; ++round) {
         std::vector<BitRow> inputs(n, BitRow(random_lanes));
-        const size_t rem = random_lanes % 64;
         for (auto &row : inputs) {
-            for (size_t w = 0; w < row.wordCount(); ++w)
-                row.word(w) = rng.next();
-            // Keep the padding-bits-are-zero invariant.
-            if (rem != 0)
-                row.word(row.wordCount() - 1) &= (1ULL << rem) - 1;
+            // Mask the last word so the padding-bits-are-zero
+            // invariant holds.
+            for (size_t w = 0; w + 1 < row.wordCount(); ++w)
+                row.setWord(w, rng.next());
+            if (row.wordCount() > 0)
+                row.setWord(row.wordCount() - 1,
+                            rng.next() & row.lastWordMask());
         }
         EquivResult r = compareOnce(a, b, inputs, false);
         if (!r.equivalent)

@@ -181,9 +181,9 @@ TEST(BitRow, MajorityMatchesBooleanFormula)
         return x;
     };
     for (size_t w = 0; w < a.wordCount(); ++w) {
-        a.word(w) = next();
-        b.word(w) = next();
-        c.word(w) = next();
+        a.setWord(w, next());
+        b.setWord(w, next());
+        c.setWord(w, next());
     }
     const BitRow m = BitRow::majority3(a, b, c);
     const BitRow formula = (a & b) | (b & c) | (a & c);

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared BitRow helpers for the test suites: random rows that respect
+ * the padding invariant, and a checker for that invariant.
+ */
+
+#ifndef SIMDRAM_TESTS_BITROW_TESTUTIL_H
+#define SIMDRAM_TESTS_BITROW_TESTUTIL_H
+
+#include <cstddef>
+
+#include "common/bitrow.h"
+#include "common/rng.h"
+
+namespace simdram
+{
+namespace testutil
+{
+
+/** @return A @p bits-wide row of random words with clean padding. */
+inline BitRow
+randomRow(size_t bits, Rng &rng)
+{
+    BitRow r(bits);
+    for (size_t w = 0; w + 1 < r.wordCount(); ++w)
+        r.setWord(w, rng.next());
+    if (r.wordCount() > 0)
+        r.setWord(r.wordCount() - 1, rng.next() & r.lastWordMask());
+    return r;
+}
+
+/** @return True if the padding bits above width() are all zero. */
+inline bool
+paddingClear(const BitRow &r)
+{
+    if (r.wordCount() == 0)
+        return true;
+    return (r.word(r.wordCount() - 1) & ~r.lastWordMask()) == 0;
+}
+
+} // namespace testutil
+} // namespace simdram
+
+#endif // SIMDRAM_TESTS_BITROW_TESTUTIL_H

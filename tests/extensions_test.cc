@@ -311,9 +311,9 @@ TEST(FaultInjection, ZeroProbabilityIsTransparent)
     Subarray sub(c);
     sub.enableTraFaults(0.0, 1);
     BitRow a(c.rowBits), b(c.rowBits), x(c.rowBits);
-    a.word(0) = 0x0f0f;
-    b.word(0) = 0x00ff;
-    x.word(0) = 0x3333;
+    a.setWord(0, 0x0f0f);
+    b.setWord(0, 0x00ff);
+    x.setWord(0, 0x3333);
     sub.poke(SpecialRow::T0, a);
     sub.poke(SpecialRow::T1, b);
     sub.poke(SpecialRow::T2, x);

@@ -81,6 +81,59 @@ TEST(Integration, ReluOfAddPipeline)
     }
 }
 
+TEST(Integration, ReplayModesAgreeOnPipeline)
+{
+    // A pipeline mixing μProgram replay with the row-bookkeeping
+    // paths (fillConstant, shifts) must be identical — results and
+    // statistics — under the reference and batched replay modes.
+    const size_t n = 700; // 3 segments
+    Rng rng(41);
+    std::vector<uint64_t> da(n), db(n);
+    for (size_t i = 0; i < n; ++i) {
+        da[i] = rng.next() & 0xffff;
+        db[i] = rng.next() & 0xffff;
+    }
+
+    auto runPipeline = [&](ReplayMode mode, DramStats &stats) {
+        DramConfig cfg = DramConfig::forTesting(256, 512);
+        cfg.computeBanks = 2;
+        Processor p(cfg);
+        p.setReplayMode(mode);
+        const auto a = p.alloc(n, 16);
+        const auto b = p.alloc(n, 16);
+        const auto t = p.alloc(n, 16);
+        const auto u = p.alloc(n, 16);
+        const auto y = p.alloc(n, 16);
+        p.store(a, da);
+        p.store(b, db);
+        p.run(OpKind::Add, t, a, b);
+        p.shiftLeft(u, t, 3);
+        p.fillConstant(y, 0);
+        p.run(OpKind::Max, y, u, b);
+        stats = p.computeStats();
+        return p.load(y);
+    };
+
+    DramStats ref_stats, bat_stats;
+    const auto ref = runPipeline(ReplayMode::Reference, ref_stats);
+    const auto bat = runPipeline(ReplayMode::Batched, bat_stats);
+    EXPECT_EQ(bat, ref);
+    EXPECT_EQ(bat_stats.aaps, ref_stats.aaps);
+    EXPECT_EQ(bat_stats.aps, ref_stats.aps);
+    EXPECT_EQ(bat_stats.activates, ref_stats.activates);
+    EXPECT_EQ(bat_stats.multiActivates, ref_stats.multiActivates);
+    EXPECT_EQ(bat_stats.precharges, ref_stats.precharges);
+    EXPECT_DOUBLE_EQ(bat_stats.latencyNs, ref_stats.latencyNs);
+    EXPECT_DOUBLE_EQ(bat_stats.energyPj, ref_stats.energyPj);
+
+    // Sanity: the result is what the pipeline computes.
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t sum = (da[i] + db[i]) & 0xffff;
+        const uint64_t shifted = (sum << 3) & 0xffff;
+        ASSERT_EQ(ref[i], std::max(shifted, db[i])) << i;
+    }
+}
+
 TEST(Integration, PredicatedSaturatingAdd)
 {
     // Brightness-style saturation via a three-op bbop program.

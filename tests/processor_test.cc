@@ -272,5 +272,130 @@ INSTANTIATE_TEST_SUITE_P(
                     : "ambit");
     });
 
+/** Compares the full DRAM state of two processors' devices. */
+void
+expectSameDeviceState(Processor &a, Processor &b)
+{
+    DramDevice &da = a.device();
+    DramDevice &db = b.device();
+    ASSERT_EQ(da.bankCount(), db.bankCount());
+    for (size_t bank = 0; bank < da.bankCount(); ++bank) {
+        Bank &ba = da.bank(bank);
+        Bank &bb = db.bank(bank);
+        ASSERT_EQ(ba.subarrayCount(), bb.subarrayCount());
+        for (size_t s = 0; s < ba.subarrayCount(); ++s) {
+            ASSERT_EQ(ba.materialized(s), bb.materialized(s))
+                << "bank " << bank << " sub " << s;
+            if (!ba.materialized(s))
+                continue;
+            Subarray &sa = ba.subarray(s);
+            Subarray &sb = bb.subarray(s);
+            for (size_t row = 0; row < sa.dataRowCount(); ++row)
+                ASSERT_EQ(sa.peekData(row), sb.peekData(row))
+                    << "bank " << bank << " sub " << s << " row "
+                    << row;
+            for (SpecialRow sr :
+                 {SpecialRow::T0, SpecialRow::T1, SpecialRow::T2,
+                  SpecialRow::T3, SpecialRow::DCC0P,
+                  SpecialRow::DCC1P})
+                ASSERT_EQ(sa.peek(sr), sb.peek(sr))
+                    << "bank " << bank << " sub " << s << " "
+                    << toString(sr);
+        }
+    }
+}
+
+/** Compares DramStats: counters exactly, doubles to the last ulps. */
+void
+expectSameStats(const DramStats &a, const DramStats &b)
+{
+    EXPECT_EQ(a.activates, b.activates);
+    EXPECT_EQ(a.multiActivates, b.multiActivates);
+    EXPECT_EQ(a.precharges, b.precharges);
+    EXPECT_EQ(a.aaps, b.aaps);
+    EXPECT_EQ(a.aps, b.aps);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    // The batched plan adds one precomputed aggregate per segment
+    // where the reference path accumulates per command; the sums can
+    // differ in the last ulps.
+    EXPECT_DOUBLE_EQ(a.latencyNs, b.latencyNs);
+    EXPECT_DOUBLE_EQ(a.energyPj, b.energyPj);
+}
+
+/**
+ * Replay equivalence: for each OpKind x backend x width, the batched
+ * ReplayPlan path must produce the same memory state and the same
+ * DramStats as the seed per-segment ControlUnit path.
+ */
+class ReplayEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<OpKind, size_t, Backend>>
+{
+};
+
+TEST_P(ReplayEquivalenceTest, BatchedMatchesReference)
+{
+    const auto [op, width, backend] = GetParam();
+    Processor pref(testCfg(), backend);
+    Processor pbat(testCfg(), backend);
+    pref.setReplayMode(ReplayMode::Reference);
+    pbat.setReplayMode(ReplayMode::Batched);
+
+    const auto sig = signatureOf(op, width);
+    const size_t n = 300; // crosses a segment boundary
+    const uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    Rng rng(0x5eed + width);
+    std::vector<uint64_t> da(n), db(n), ds(n);
+    for (size_t i = 0; i < n; ++i) {
+        da[i] = rng.next() & mask;
+        db[i] = rng.next() & mask;
+        ds[i] = rng.next() & 1;
+    }
+
+    auto runOn = [&](Processor &p) {
+        const auto a = p.alloc(n, width);
+        const auto b = p.alloc(n, width);
+        const auto sel = p.alloc(n, 1);
+        const auto y = p.alloc(n, sig.outWidth);
+        p.store(a, da);
+        if (sig.numInputs == 2)
+            p.store(b, db);
+        if (sig.hasSel)
+            p.store(sel, ds);
+        if (sig.numInputs == 1)
+            p.run(op, y, a);
+        else if (!sig.hasSel)
+            p.run(op, y, a, b);
+        else
+            p.run(op, y, a, b, sel);
+        return p.load(y);
+    };
+
+    const auto out_ref = runOn(pref);
+    const auto out_bat = runOn(pbat);
+    EXPECT_EQ(out_bat, out_ref);
+    expectSameDeviceState(pbat, pref);
+    expectSameStats(pbat.computeStats(), pref.computeStats());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, ReplayEquivalenceTest,
+    ::testing::Combine(::testing::ValuesIn(kAllOps),
+                       ::testing::Values(size_t{8}, size_t{16}),
+                       ::testing::Values(Backend::Simdram,
+                                         Backend::SimdramNaive,
+                                         Backend::Ambit)),
+    [](const auto &info) {
+        const Backend b = std::get<2>(info.param);
+        return toString(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param)) + "_" +
+               (b == Backend::Simdram
+                    ? "simdram"
+                    : (b == Backend::SimdramNaive ? "naive"
+                                                  : "ambit"));
+    });
+
 } // namespace
 } // namespace simdram

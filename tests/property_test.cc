@@ -10,13 +10,123 @@
 
 #include <gtest/gtest.h>
 
+#include "bitrow_testutil.h"
+#include "common/bitrow.h"
 #include "common/rng.h"
 #include "exec/processor.h"
+#include "layout/transpose.h"
 
 namespace simdram
 {
 namespace
 {
+
+using testutil::paddingClear;
+using testutil::randomRow;
+
+// ---- BitRow kernel properties (no DRAM stack involved) ---------------
+
+TEST(BitRowProperty, DeMorganIdentities)
+{
+    Rng rng(0xde30);
+    for (size_t w : {size_t{1}, size_t{63}, size_t{64}, size_t{130}}) {
+        const BitRow a = randomRow(w, rng);
+        const BitRow b = randomRow(w, rng);
+        EXPECT_EQ(~(a & b), ~a | ~b) << "w=" << w;
+        EXPECT_EQ(~(a | b), ~a & ~b) << "w=" << w;
+        EXPECT_EQ(~(a ^ b), (~a) ^ b) << "w=" << w;
+    }
+}
+
+TEST(BitRowProperty, MajoritySelectIdentities)
+{
+    Rng rng(0x3a14);
+    for (size_t w : {size_t{5}, size_t{64}, size_t{200}}) {
+        const BitRow a = randomRow(w, rng);
+        const BitRow b = randomRow(w, rng);
+        const BitRow c = randomRow(w, rng);
+        const BitRow zeros(w, false);
+        const BitRow ones(w, true);
+        // MAJ(a, b, 0) = a AND b; MAJ(a, b, 1) = a OR b.
+        EXPECT_EQ(BitRow::majority3(a, b, zeros), a & b) << "w=" << w;
+        EXPECT_EQ(BitRow::majority3(a, b, ones), a | b) << "w=" << w;
+        // When a and b agree the majority is a; otherwise c decides:
+        // MAJ(a, b, c) = select(a XOR b, c, a).
+        EXPECT_EQ(BitRow::majority3(a, b, c),
+                  BitRow::select(a ^ b, c, a))
+            << "w=" << w;
+        // select with equal arms is the arm, independent of sel.
+        EXPECT_EQ(BitRow::select(a, b, b), b) << "w=" << w;
+        // MAJ is invariant under argument rotation.
+        EXPECT_EQ(BitRow::majority3(a, b, c),
+                  BitRow::majority3(c, a, b))
+            << "w=" << w;
+    }
+}
+
+TEST(BitRowProperty, PaddingInvariantAfterEveryMutatingOp)
+{
+    Rng rng(0x9ad5);
+    for (size_t w : {size_t{1}, size_t{65}, size_t{130}, size_t{191}}) {
+        BitRow r = randomRow(w, rng);
+        const BitRow a = randomRow(w, rng);
+        const BitRow b = randomRow(w, rng);
+        const BitRow c = randomRow(w, rng);
+
+        r.fill(true);
+        EXPECT_TRUE(paddingClear(r)) << "fill w=" << w;
+        r.invert();
+        EXPECT_TRUE(paddingClear(r)) << "invert w=" << w;
+        r.set(w - 1, true);
+        EXPECT_TRUE(paddingClear(r)) << "set w=" << w;
+        r &= a;
+        EXPECT_TRUE(paddingClear(r)) << "&= w=" << w;
+        r |= b;
+        EXPECT_TRUE(paddingClear(r)) << "|= w=" << w;
+        r ^= c;
+        EXPECT_TRUE(paddingClear(r)) << "^= w=" << w;
+        r.assignNot(a);
+        EXPECT_TRUE(paddingClear(r)) << "assignNot w=" << w;
+        a.aapInto(r);
+        EXPECT_TRUE(paddingClear(r)) << "aapInto w=" << w;
+        BitRow::andNotInto(r, a, b);
+        EXPECT_TRUE(paddingClear(r)) << "andNotInto w=" << w;
+        BitRow::majority3Into(r, a, b, c);
+        EXPECT_TRUE(paddingClear(r)) << "majority3Into w=" << w;
+        BitRow::selectInto(r, a, b, c);
+        EXPECT_TRUE(paddingClear(r)) << "selectInto w=" << w;
+        r.setWord(r.wordCount() - 1, rng.next() & r.lastWordMask());
+        r.trimLast();
+        EXPECT_TRUE(paddingClear(r)) << "setWord+trimLast w=" << w;
+        // popcount must agree with the width-bounded count, which is
+        // only true while the invariant holds.
+        size_t bits = 0;
+        for (size_t i = 0; i < w; ++i)
+            bits += r.get(i) ? 1 : 0;
+        EXPECT_EQ(r.popcount(), bits) << "w=" << w;
+    }
+}
+
+TEST(BitRowProperty, TransposeRoundTripRandomShapes)
+{
+    Rng rng(0x707);
+    for (int round = 0; round < 80; ++round) {
+        const size_t lanes = 1 + rng.below(260);
+        const size_t n = rng.below(lanes + 1);
+        const size_t bits = 1 + rng.below(64);
+        const uint64_t mask =
+            bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+        std::vector<uint64_t> elems(n);
+        for (auto &e : elems)
+            e = rng.next() & mask;
+
+        // rowsToElements ∘ elementsToRows is the identity on the
+        // element side for any (n, bits, lanes).
+        const auto rows = elementsToRows(elems.data(), n, bits, lanes);
+        EXPECT_EQ(rowsToElements(rows, n), elems)
+            << "lanes=" << lanes << " n=" << n << " bits=" << bits;
+    }
+}
 
 /** Fixture providing a device and random operand vectors. */
 class PropertyTest : public ::testing::TestWithParam<size_t>
