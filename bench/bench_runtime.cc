@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Multi-device runtime benchmarks: throughput scaling of bbop
+ * streams over a DeviceGroup at 1/2/4/8 devices, through the
+ * asynchronous StreamExecutor. Emits BENCH_runtime.json.
+ *
+ * Two kinds of numbers per configuration:
+ *  - "modeled": the simulated machine's throughput, from the
+ *    per-stream DramStats latency (devices execute concurrently, so
+ *    the stream latency is the slowest device's shard). This is the
+ *    paper-style metric and is deterministic.
+ *  - "wall": host wall clock of submit+wait, i.e. the simulator's
+ *    own speed. It only scales with devices when the host has cores
+ *    to back the worker threads, so the headline speedup pairs are
+ *    the modeled ones.
+ *
+ * The wide-row workload matches bench_kernels' replay shape scaled
+ * up: 4,096-lane subarrays, two compute banks per device, 64 Ki
+ * 32-bit elements (16 segments), streams of 4 chained adds.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "common/rng.h"
+#include "runtime/stream_executor.h"
+
+namespace
+{
+
+using namespace simdram;
+
+DramConfig
+deviceCfg()
+{
+    // Wide rows so row-copy work dominates; 1,024 rows per subarray
+    // so three 32-bit vectors co-locate even with all 16 segments on
+    // one device.
+    DramConfig cfg = DramConfig::forTesting(4096, 1024);
+    cfg.computeBanks = 2;
+    return cfg;
+}
+
+constexpr size_t kElements = 16 * 4096; // 16 segments
+constexpr size_t kOpsPerStream = 4;
+
+/** A group + executor with a, b, y transposed and ready. */
+struct RuntimeFixture
+{
+    DeviceGroup group;
+    StreamExecutor ex;
+    uint16_t a, b, y;
+
+    explicit RuntimeFixture(size_t devices)
+        : group(deviceCfg(), devices),
+          ex(group),
+          a(ex.defineObject(kElements, 32)),
+          b(ex.defineObject(kElements, 32)),
+          y(ex.defineObject(kElements, 32))
+    {
+        Rng rng(0x5ca1e + devices);
+        std::vector<uint64_t> da(kElements), db(kElements);
+        for (size_t i = 0; i < kElements; ++i) {
+            da[i] = rng.next() & 0xffffffffULL;
+            db[i] = rng.next() & 0xffffffffULL;
+        }
+        ex.writeObject(a, da);
+        ex.writeObject(b, db);
+        ex.submit({BbopInstr::trsp(a, 32), BbopInstr::trsp(b, 32),
+                   BbopInstr::trsp(y, 32)})
+            .wait();
+    }
+
+    std::vector<BbopInstr>
+    addStream() const
+    {
+        std::vector<BbopInstr> s;
+        for (size_t i = 0; i < kOpsPerStream; ++i)
+            s.push_back(
+                BbopInstr::binary(OpKind::Add, 32, y, a, b));
+        return s;
+    }
+};
+
+void
+benchWideRow(bench::Harness &h, size_t devices)
+{
+    RuntimeFixture f(devices);
+    const std::vector<BbopInstr> stream = f.addStream();
+    const size_t items = kElements * kOpsPerStream;
+    const std::string tag = "d" + std::to_string(devices);
+
+    // Modeled: simulated latency of one stream (deterministic).
+    const StreamResult r = f.ex.submit(stream).wait();
+    h.record("runtime/add32-wide/modeled/" + tag, items,
+             r.compute.latencyNs);
+
+    // Wall clock: how fast the simulator executes the stream.
+    h.run("runtime/add32-wide/wall/" + tag, items,
+          [&] { f.ex.submit(stream).wait(); });
+}
+
+void
+benchBrightnessStream(bench::Harness &h, size_t devices)
+{
+    // The brightness kernel's 3-op stream (add, compare, select) on
+    // 16-bit pixels: a mixed-width stream with a predicated op.
+    DeviceGroup group(deviceCfg(), devices);
+    StreamExecutor ex(group);
+    const uint16_t img = ex.defineObject(kElements, 16);
+    const uint16_t delta = ex.defineObject(kElements, 16);
+    const uint16_t cap = ex.defineObject(kElements, 16);
+    const uint16_t sum = ex.defineObject(kElements, 16);
+    const uint16_t ovf = ex.defineObject(kElements, 1);
+    const uint16_t out = ex.defineObject(kElements, 16);
+
+    Rng rng(0xb1d);
+    std::vector<uint64_t> pix(kElements);
+    for (auto &p : pix)
+        p = rng.below(256);
+    ex.writeObject(img, pix);
+    ex.submit({BbopInstr::trsp(img, 16), BbopInstr::trsp(delta, 16),
+               BbopInstr::init(delta, 16, 70),
+               BbopInstr::trsp(cap, 16),
+               BbopInstr::init(cap, 16, 255),
+               BbopInstr::trsp(sum, 16), BbopInstr::trsp(ovf, 1),
+               BbopInstr::trsp(out, 16)})
+        .wait();
+
+    const std::vector<BbopInstr> kernel = {
+        BbopInstr::binary(OpKind::Add, 16, sum, img, delta),
+        BbopInstr::binary(OpKind::Gt, 16, ovf, sum, cap),
+        BbopInstr::predicated(OpKind::IfElse, 16, out, cap, sum,
+                              ovf),
+    };
+    const StreamResult r = ex.submit(kernel).wait();
+    h.record("runtime/brightness/modeled/d" +
+                 std::to_string(devices),
+             kElements * kernel.size(), r.compute.latencyNs);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    simdram::bench::Options defaults;
+    defaults.out = "BENCH_runtime.json";
+    defaults.schema = "simdram-bench-runtime-v1";
+    simdram::bench::Options opts =
+        simdram::bench::parseArgs(argc, argv, defaults);
+    simdram::bench::Harness h(opts);
+
+    for (size_t devices : {1, 2, 4, 8}) {
+        std::printf("-- %zu device%s --\n", devices,
+                    devices == 1 ? "" : "s");
+        benchWideRow(h, devices);
+        benchBrightnessStream(h, devices);
+    }
+
+    h.speedup("runtime wide-row throughput 2 devices vs 1",
+              "runtime/add32-wide/modeled/d1",
+              "runtime/add32-wide/modeled/d2");
+    h.speedup("runtime wide-row throughput 4 devices vs 1",
+              "runtime/add32-wide/modeled/d1",
+              "runtime/add32-wide/modeled/d4");
+    h.speedup("runtime wide-row throughput 8 devices vs 1",
+              "runtime/add32-wide/modeled/d1",
+              "runtime/add32-wide/modeled/d8");
+    h.speedup("runtime brightness throughput 4 devices vs 1",
+              "runtime/brightness/modeled/d1",
+              "runtime/brightness/modeled/d4");
+    h.speedup("runtime wide-row wall clock 4 devices vs 1",
+              "runtime/add32-wide/wall/d1",
+              "runtime/add32-wide/wall/d4");
+    return h.finish();
+}

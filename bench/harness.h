@@ -61,13 +61,19 @@ struct Options
     std::string out = "BENCH_kernels.json";
     double min_time_ms = 20.0;
     size_t reps = 5;
+    /** Schema tag written to the JSON artifact. */
+    std::string schema = "simdram-bench-kernels-v1";
 };
 
-/** Parses the harness command-line flags (unknown flags are fatal). */
+/**
+ * Parses the harness command-line flags (unknown flags are fatal).
+ * @p defaults seeds the options, so drivers with their own artifact
+ * name/schema (bench_runtime) pass them here and flags still win.
+ */
 inline Options
-parseArgs(int argc, char **argv)
+parseArgs(int argc, char **argv, Options defaults = Options{})
 {
-    Options o;
+    Options o = std::move(defaults);
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--smoke") {
@@ -162,6 +168,33 @@ class Harness
     }
 
     /**
+     * Records a result whose per-operation time was measured (or
+     * modeled) externally — e.g. the simulated DRAM latency of a
+     * stream from DramStats, where wall clock would measure the
+     * simulator host instead of the simulated machine. The entry
+     * participates in tables, JSON, and speedup pairs exactly like a
+     * run() result.
+     */
+    void
+    record(const std::string &name, size_t items, double ns_per_op)
+    {
+        Result res;
+        res.name = name;
+        res.ns_per_op = ns_per_op;
+        res.items = items;
+        res.inner = 1;
+        res.reps = 1;
+        results_.push_back(res);
+        std::printf("%-40s %14.1f ns/op %12.1f Mitems/s\n",
+                    name.c_str(), ns_per_op,
+                    ns_per_op > 0.0
+                        ? static_cast<double>(items) / ns_per_op *
+                              1e3
+                        : 0.0);
+        std::fflush(stdout);
+    }
+
+    /**
      * Records a named speedup pair: how much faster @p fast_name ran
      * than @p slow_name. Both must have been run already.
      */
@@ -202,7 +235,7 @@ class Harness
                          opts_.out.c_str());
             return 1;
         }
-        os << "{\n  \"schema\": \"simdram-bench-kernels-v1\",\n";
+        os << "{\n  \"schema\": \"" << opts_.schema << "\",\n";
         os << "  \"mode\": \"" << (opts_.smoke ? "smoke" : "full")
            << "\",\n";
         // SIMDRAM_USE_AVX2 is a PUBLIC define of the simdram target:

@@ -1,9 +1,39 @@
 #include "apps/brightness.h"
 
+#include <algorithm>
+
 #include "common/rng.h"
+#include "runtime/stream_executor.h"
 
 namespace simdram
 {
+
+namespace
+{
+
+// Shared shape of the small verification image and the host
+// reference both verifies compare to.
+constexpr size_t kVerifyPixels = 600;
+constexpr uint8_t kVerifyBits = 16;
+constexpr uint64_t kDelta = 70, kCap = 255;
+
+uint64_t
+expectedPixel(uint64_t v)
+{
+    return std::min<uint64_t>(v + kDelta, kCap);
+}
+
+std::vector<uint64_t>
+randomImage(uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint64_t> img(kVerifyPixels);
+    for (auto &v : img)
+        v = rng.below(256);
+    return img;
+}
+
+} // namespace
 
 KernelCost
 brightnessCost(BulkEngine &engine, const BrightnessSpec &spec)
@@ -18,13 +48,9 @@ brightnessCost(BulkEngine &engine, const BrightnessSpec &spec)
 bool
 brightnessVerify(Processor &proc, uint64_t seed)
 {
-    constexpr size_t pixels = 600, bits = 16;
-    constexpr uint64_t delta = 70, cap = 255;
-
-    Rng rng(seed);
-    std::vector<uint64_t> img(pixels);
-    for (auto &v : img)
-        v = rng.below(256);
+    constexpr size_t pixels = kVerifyPixels;
+    constexpr size_t bits = kVerifyBits;
+    const std::vector<uint64_t> img = randomImage(seed);
 
     auto vimg = proc.alloc(pixels, bits);
     auto vdelta = proc.alloc(pixels, bits);
@@ -34,20 +60,61 @@ brightnessVerify(Processor &proc, uint64_t seed)
     auto vout = proc.alloc(pixels, bits);
 
     proc.store(vimg, img);
-    proc.store(vdelta, std::vector<uint64_t>(pixels, delta));
-    proc.store(vcap, std::vector<uint64_t>(pixels, cap));
+    proc.store(vdelta, std::vector<uint64_t>(pixels, kDelta));
+    proc.store(vcap, std::vector<uint64_t>(pixels, kCap));
 
     proc.run(OpKind::Add, vsum, vimg, vdelta);
     proc.run(OpKind::Gt, movf, vsum, vcap);
     proc.run(OpKind::IfElse, vout, vcap, vsum, movf);
 
     const auto out = proc.load(vout);
-    for (size_t i = 0; i < pixels; ++i) {
-        const uint64_t expect = std::min<uint64_t>(img[i] + delta,
-                                                   cap);
-        if (out[i] != expect)
+    for (size_t i = 0; i < pixels; ++i)
+        if (out[i] != expectedPixel(img[i]))
             return false;
-    }
+    return true;
+}
+
+bool
+brightnessVerify(DeviceGroup &group, uint64_t seed)
+{
+    constexpr size_t pixels = kVerifyPixels;
+    constexpr uint8_t bits = kVerifyBits;
+    const std::vector<uint64_t> img = randomImage(seed);
+
+    StreamExecutor ex(group);
+    const uint16_t oimg = ex.defineObject(pixels, bits);
+    const uint16_t odelta = ex.defineObject(pixels, bits);
+    const uint16_t ocap = ex.defineObject(pixels, bits);
+    const uint16_t osum = ex.defineObject(pixels, bits);
+    const uint16_t oovf = ex.defineObject(pixels, 1);
+    const uint16_t oout = ex.defineObject(pixels, bits);
+    ex.writeObject(oimg, img);
+
+    // The whole kernel as one stream: layout conversion, in-DRAM
+    // constant materialization, saturating add, and readback.
+    auto h = ex.submit({
+        BbopInstr::trsp(oimg, bits),
+        BbopInstr::trsp(odelta, bits),
+        BbopInstr::init(odelta, bits, kDelta),
+        BbopInstr::trsp(ocap, bits),
+        BbopInstr::init(ocap, bits, kCap),
+        BbopInstr::trsp(osum, bits),
+        BbopInstr::trsp(oovf, 1),
+        BbopInstr::trsp(oout, bits),
+        BbopInstr::binary(OpKind::Add, bits, osum, oimg, odelta),
+        BbopInstr::binary(OpKind::Gt, bits, oovf, osum, ocap),
+        BbopInstr::predicated(OpKind::IfElse, bits, oout, ocap,
+                              osum, oovf),
+        BbopInstr::trspInv(oout, bits),
+    });
+    const StreamResult r = h.wait();
+    if (r.instructions != 12 || r.compute.latencyNs <= 0.0)
+        return false;
+
+    const auto out = ex.readObject(oout);
+    for (size_t i = 0; i < pixels; ++i)
+        if (out[i] != expectedPixel(img[i]))
+            return false;
     return true;
 }
 

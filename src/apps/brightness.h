@@ -16,6 +16,7 @@
 
 #include "apps/engine.h"
 #include "exec/processor.h"
+#include "runtime/device_group.h"
 
 namespace simdram
 {
@@ -36,6 +37,14 @@ KernelCost brightnessCost(BulkEngine &engine,
  * against a host reference.
  */
 bool brightnessVerify(Processor &proc, uint64_t seed = 5);
+
+/**
+ * Multi-device variant: runs the same kernel as one bbop instruction
+ * stream through a StreamExecutor over @p group, so the image is
+ * sharded across the group's devices and the constants are
+ * materialized by bbop_init. Verifies against the host reference.
+ */
+bool brightnessVerify(DeviceGroup &group, uint64_t seed = 5);
 
 } // namespace simdram
 

@@ -1,6 +1,7 @@
 #include "apps/tpch.h"
 
 #include "common/rng.h"
+#include "runtime/stream_executor.h"
 
 namespace simdram
 {
@@ -22,6 +23,28 @@ makeLineitem(size_t rows, uint64_t seed)
     }
     return t;
 }
+
+namespace
+{
+
+/** Host evaluation of Q6: the reference both verifies compare to. */
+uint64_t
+q6HostRevenue(const LineitemTable &t, const Q6Params &q)
+{
+    uint64_t sum = 0;
+    for (size_t i = 0; i < t.rows(); ++i) {
+        const bool hit = t.shipdate[i] >= q.d1 &&
+                         t.shipdate[i] < q.d2 &&
+                         t.discount[i] >= q.lo &&
+                         t.discount[i] <= q.hi &&
+                         t.quantity[i] < q.qty;
+        if (hit)
+            sum += t.price[i] * t.discount[i];
+    }
+    return sum;
+}
+
+} // namespace
 
 KernelCost
 tpchCost(BulkEngine &engine, size_t rows)
@@ -96,17 +119,85 @@ tpchVerify(Processor &proc, uint64_t seed)
     for (uint64_t v : rev)
         sum_sim += v;
 
-    uint64_t sum_host = 0;
-    for (size_t i = 0; i < rows; ++i) {
-        const bool hit = t.shipdate[i] >= q.d1 &&
-                         t.shipdate[i] < q.d2 &&
-                         t.discount[i] >= q.lo &&
-                         t.discount[i] <= q.hi &&
-                         t.quantity[i] < q.qty;
-        if (hit)
-            sum_host += t.price[i] * t.discount[i];
-    }
-    return sum_sim == sum_host;
+    return sum_sim == q6HostRevenue(t, q);
+}
+
+bool
+tpchVerify(DeviceGroup &group, uint64_t seed)
+{
+    constexpr size_t rows = 300;
+    constexpr uint8_t kW = 16;
+    const LineitemTable t = makeLineitem(rows, seed);
+    const Q6Params q;
+
+    StreamExecutor ex(group);
+    const uint16_t oship = ex.defineObject(rows, kW);
+    const uint16_t odisc = ex.defineObject(rows, kW);
+    const uint16_t oqty = ex.defineObject(rows, kW);
+    const uint16_t oprice = ex.defineObject(rows, kW);
+    const uint16_t oconst = ex.defineObject(rows, kW);
+    const uint16_t om1 = ex.defineObject(rows, 1);
+    const uint16_t om2 = ex.defineObject(rows, 1);
+    const uint16_t omacc = ex.defineObject(rows, 1);
+    const uint16_t orev = ex.defineObject(rows, kW);
+    const uint16_t osel = ex.defineObject(rows, kW);
+    const uint16_t ozero = ex.defineObject(rows, kW);
+
+    ex.writeObject(oship, t.shipdate);
+    ex.writeObject(odisc, t.discount);
+    ex.writeObject(oqty, t.quantity);
+    ex.writeObject(oprice, t.price);
+
+    // Q6 as one asynchronous stream; the query constants never cross
+    // the memory channel (bbop_init), and oconst is re-initialized
+    // between predicates — per-device program order makes that safe.
+    auto h = ex.submit({
+        BbopInstr::trsp(oship, kW),
+        BbopInstr::trsp(odisc, kW),
+        BbopInstr::trsp(oqty, kW),
+        BbopInstr::trsp(oprice, kW),
+        BbopInstr::trsp(oconst, kW),
+        BbopInstr::trsp(om1, 1),
+        BbopInstr::trsp(om2, 1),
+        BbopInstr::trsp(omacc, 1),
+        BbopInstr::trsp(orev, kW),
+        BbopInstr::trsp(osel, kW),
+        BbopInstr::trsp(ozero, kW),
+        BbopInstr::init(ozero, kW, 0),
+        // shipdate >= d1
+        BbopInstr::init(oconst, kW, q.d1),
+        BbopInstr::binary(OpKind::Ge, kW, omacc, oship, oconst),
+        // shipdate < d2  (d2 > shipdate)
+        BbopInstr::init(oconst, kW, q.d2),
+        BbopInstr::binary(OpKind::Gt, kW, om1, oconst, oship),
+        BbopInstr::binary(OpKind::BitAnd, 1, om2, om1, omacc),
+        // discount >= lo
+        BbopInstr::init(oconst, kW, q.lo),
+        BbopInstr::binary(OpKind::Ge, kW, om1, odisc, oconst),
+        BbopInstr::binary(OpKind::BitAnd, 1, omacc, om1, om2),
+        // discount <= hi  (hi >= discount)
+        BbopInstr::init(oconst, kW, q.hi),
+        BbopInstr::binary(OpKind::Ge, kW, om1, oconst, odisc),
+        BbopInstr::binary(OpKind::BitAnd, 1, om2, om1, omacc),
+        // quantity < qty  (qty > quantity)
+        BbopInstr::init(oconst, kW, q.qty),
+        BbopInstr::binary(OpKind::Gt, kW, om1, oconst, oqty),
+        BbopInstr::binary(OpKind::BitAnd, 1, omacc, om1, om2),
+        // revenue = price * discount where selected
+        BbopInstr::binary(OpKind::Mul, kW, orev, oprice, odisc),
+        BbopInstr::predicated(OpKind::IfElse, kW, osel, orev,
+                              ozero, omacc),
+        BbopInstr::trspInv(osel, kW),
+    });
+    const StreamResult r = h.wait();
+    if (r.compute.latencyNs <= 0.0)
+        return false;
+
+    uint64_t sum_sim = 0;
+    for (uint64_t v : ex.readObject(osel))
+        sum_sim += v;
+
+    return sum_sim == q6HostRevenue(t, q);
 }
 
 } // namespace simdram

@@ -25,6 +25,7 @@
 
 #include "apps/engine.h"
 #include "exec/processor.h"
+#include "runtime/device_group.h"
 
 namespace simdram
 {
@@ -60,6 +61,16 @@ KernelCost tpchCost(BulkEngine &engine, size_t rows);
  * compares the aggregated revenue against a host evaluation.
  */
 bool tpchVerify(Processor &proc, uint64_t seed = 99);
+
+/**
+ * Multi-device variant: the whole query (predicates, mask combining,
+ * revenue computation) is submitted as a single bbop instruction
+ * stream to a StreamExecutor over @p group, with the table columns
+ * sharded across the group's devices and the query constants
+ * materialized in DRAM by bbop_init. The final aggregation reduces
+ * on the host, as in the paper.
+ */
+bool tpchVerify(DeviceGroup &group, uint64_t seed = 99);
 
 } // namespace simdram
 

@@ -41,6 +41,37 @@ DramStats::reset()
     *this = DramStats{};
 }
 
+DramStats
+operator+(DramStats a, const DramStats &b)
+{
+    a += b;
+    return a;
+}
+
+DramStats
+merge(const DramStats &a, const DramStats &b)
+{
+    DramStats m = a;
+    m.mergeParallel(b);
+    return m;
+}
+
+DramStats
+diff(const DramStats &after, const DramStats &before)
+{
+    DramStats d;
+    d.activates = after.activates - before.activates;
+    d.multiActivates = after.multiActivates - before.multiActivates;
+    d.precharges = after.precharges - before.precharges;
+    d.aaps = after.aaps - before.aaps;
+    d.aps = after.aps - before.aps;
+    d.reads = after.reads - before.reads;
+    d.writes = after.writes - before.writes;
+    d.latencyNs = after.latencyNs - before.latencyNs;
+    d.energyPj = after.energyPj - before.energyPj;
+    return d;
+}
+
 std::string
 DramStats::summary() const
 {

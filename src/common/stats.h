@@ -51,6 +51,25 @@ struct DramStats
     std::string summary() const;
 };
 
+/** @return @p a + @p b with serial semantics (latency adds). */
+DramStats operator+(DramStats a, const DramStats &b);
+
+/**
+ * Merges statistics from substrates that execute concurrently
+ * (devices of a DeviceGroup, banks of a device): counters and energy
+ * add, latency takes the maximum. The aggregation used by the runtime
+ * layer when combining per-device accounting.
+ */
+DramStats merge(const DramStats &a, const DramStats &b);
+
+/**
+ * @return The delta between two cumulative snapshots of the same
+ *         monotonic counters: @p after - @p before, field by field.
+ *         Used to attribute stats to one execution window (e.g. one
+ *         stream's share of a device's counters).
+ */
+DramStats diff(const DramStats &after, const DramStats &before);
+
 /**
  * Result of running a workload on any engine (SIMDRAM, Ambit, CPU
  * model, GPU model): enough to compute throughput and efficiency.

@@ -1,5 +1,7 @@
 #include "exec/processor.h"
 
+#include <algorithm>
+
 #include "ambit/ambit_synth.h"
 #include "common/error.h"
 #include "uprog/allocator.h"
@@ -108,14 +110,20 @@ Processor::info(const VecHandle &v) const
 void
 Processor::store(const VecHandle &v, const std::vector<uint64_t> &data)
 {
+    store(v, data.data(), data.size());
+}
+
+void
+Processor::store(const VecHandle &v, const uint64_t *data, size_t n)
+{
     const VecInfo &vi = info(v);
-    if (data.size() != vi.elements)
+    if (n != vi.elements)
         fatal("Processor::store: element count mismatch");
     size_t off = 0;
     for (const Segment &seg : vi.segments) {
         Subarray &sub = device_.bank(seg.bank).subarray(seg.sub);
         tunit_.storeVertical(sub, seg.baseRow, vi.bits,
-                             data.data() + off, seg.lanes);
+                             data + off, seg.lanes);
         off += seg.lanes;
     }
 }
@@ -216,16 +224,23 @@ Processor::shiftRight(const VecHandle &dst, const VecHandle &src,
 std::vector<uint64_t>
 Processor::load(const VecHandle &v)
 {
+    std::vector<uint64_t> out(info(v).elements);
+    loadInto(v, out.data());
+    return out;
+}
+
+void
+Processor::loadInto(const VecHandle &v, uint64_t *out)
+{
     const VecInfo &vi = info(v);
-    std::vector<uint64_t> out;
-    out.reserve(vi.elements);
+    size_t off = 0;
     for (const Segment &seg : vi.segments) {
         Subarray &sub = device_.bank(seg.bank).subarray(seg.sub);
-        auto part = tunit_.loadVertical(sub, seg.baseRow, vi.bits,
-                                        seg.lanes);
-        out.insert(out.end(), part.begin(), part.end());
+        const auto part = tunit_.loadVertical(sub, seg.baseRow,
+                                              vi.bits, seg.lanes);
+        std::copy(part.begin(), part.end(), out + off);
+        off += seg.lanes;
     }
-    return out;
 }
 
 const MicroProgram &

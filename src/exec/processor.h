@@ -102,6 +102,14 @@ class Processor
     void store(const VecHandle &v, const std::vector<uint64_t> &data);
 
     /**
+     * Stores @p n elements from @p data into @p v (pointer variant:
+     * lets callers stage slices of a larger host buffer — e.g. one
+     * shard of a DeviceGroup vector — without copying into a
+     * temporary). @p n must equal the vector's element count.
+     */
+    void store(const VecHandle &v, const uint64_t *data, size_t n);
+
+    /**
      * Fills every element of @p v with @p value using in-DRAM row
      * initialization: each bit row is RowCloned from the matching
      * constant row (C0/C1), one AAP per row per segment, with no
@@ -128,6 +136,13 @@ class Processor
 
     /** Loads a vector back into host (horizontal) layout. */
     std::vector<uint64_t> load(const VecHandle &v);
+
+    /**
+     * Loads a vector into @p out, which must have room for the
+     * vector's element count (pointer variant of load(), for writing
+     * straight into a slice of a larger host buffer).
+     */
+    void loadInto(const VecHandle &v, uint64_t *out);
 
     /** Executes a unary operation: dst = op(a). */
     void run(OpKind op, const VecHandle &dst, const VecHandle &a);

@@ -113,10 +113,23 @@ encodeBbop(const BbopInstr &instr)
 BbopInstr
 decodeBbop(uint64_t w)
 {
+    const uint64_t opcode_bits = w & 0xf;
+    if (opcode_bits > static_cast<uint64_t>(BbopOpcode::ShiftR))
+        bbopError("decodeBbop: unknown opcode " +
+                  std::to_string(opcode_bits));
+
     BbopInstr i;
-    i.opcode = static_cast<BbopOpcode>(w & 0xf);
-    i.op = static_cast<OpKind>((w >> 4) & 0x1f);
+    i.opcode = static_cast<BbopOpcode>(opcode_bits);
+    const uint64_t op_bits = (w >> 4) & 0x1f;
+    if (i.opcode == BbopOpcode::Op && op_bits >= kOpKindCount)
+        bbopError("decodeBbop: unknown operation " +
+                  std::to_string(op_bits));
+    i.op = static_cast<OpKind>(op_bits);
     i.width = static_cast<uint8_t>((w >> 9) & 0x7f);
+    if (i.width == 0 || i.width > 64)
+        bbopError("decodeBbop: element width " +
+                  std::to_string(int{i.width}) +
+                  " outside [1, 64]");
     i.dst = static_cast<uint16_t>((w >> 16) & 0xfff);
     i.src1 = static_cast<uint16_t>((w >> 28) & 0xfff);
     i.src2 = static_cast<uint16_t>((w >> 40) & 0xfff);

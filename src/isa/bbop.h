@@ -33,10 +33,32 @@
 #include <cstdint>
 #include <string>
 
+#include "common/error.h"
 #include "ops/op_kind.h"
 
 namespace simdram
 {
+
+/**
+ * Error raised for malformed bbop instructions: unknown opcodes or
+ * operations, out-of-range widths, unknown object ids, or operands in
+ * the wrong layout state. A subtype of FatalError so existing
+ * catch-all handling keeps working, while stream-level machinery
+ * (StreamExecutor) can reject exactly the offending instruction
+ * stream and keep serving others.
+ */
+class BbopError : public FatalError
+{
+  public:
+    explicit BbopError(const std::string &what) : FatalError(what) {}
+};
+
+/** Reports a malformed bbop instruction. */
+[[noreturn]] inline void
+bbopError(const std::string &what)
+{
+    throw BbopError(what);
+}
 
 /** Top-level bbop opcodes. */
 enum class BbopOpcode : uint8_t
@@ -101,7 +123,13 @@ struct BbopInstr
 /** @return The 64-bit encoding of @p instr. */
 uint64_t encodeBbop(const BbopInstr &instr);
 
-/** @return The instruction decoded from @p word. */
+/**
+ * @return The instruction decoded from @p word.
+ *
+ * Throws BbopError on malformed encodings: an opcode outside the
+ * BbopOpcode range, an element width outside [1, 64], or (for Op
+ * instructions) an operation field outside the OpKind range.
+ */
 BbopInstr decodeBbop(uint64_t word);
 
 /** @return Assembly text, e.g. "bbop_add.32 d3, d1, d2". */

@@ -42,11 +42,15 @@ BbopDispatcher::readObject(uint16_t id) const
 void
 BbopDispatcher::exec(const BbopInstr &instr)
 {
+    if (instr.width == 0 || instr.width > 64)
+        bbopError("bbop: element width " +
+                  std::to_string(int{instr.width}) +
+                  " outside [1, 64]");
     switch (instr.opcode) {
       case BbopOpcode::Trsp: {
         ObjectInfo &obj = object(instr.dst);
         if (instr.width != obj.bits)
-            fatal("bbop_trsp: width mismatch with object");
+            bbopError("bbop_trsp: width mismatch with object");
         if (!obj.vertical) {
             obj.vec = proc_->alloc(obj.elements, obj.bits);
             obj.vertical = true;
@@ -57,15 +61,19 @@ BbopDispatcher::exec(const BbopInstr &instr)
       case BbopOpcode::TrspInv: {
         ObjectInfo &obj = object(instr.dst);
         if (!obj.vertical)
-            fatal("bbop_trsp_inv: object is not vertical");
+            bbopError("bbop_trsp_inv: object is not vertical");
+        if (instr.width != obj.bits)
+            bbopError("bbop_trsp_inv: width mismatch with object");
         obj.hostImage = proc_->load(obj.vec);
         return;
       }
       case BbopOpcode::Init: {
         ObjectInfo &obj = object(instr.dst);
         if (!obj.vertical)
-            fatal("bbop_init: object is not vertical");
+            bbopError("bbop_init: object is not vertical");
         const uint64_t imm = instr.initImmediate();
+        if (obj.bits < 64 && (imm >> obj.bits) != 0)
+            bbopError("bbop_init: immediate wider than the object");
         proc_->fillConstant(obj.vec, imm);
         obj.hostImage.assign(obj.elements, imm);
         return;
@@ -75,7 +83,14 @@ BbopDispatcher::exec(const BbopInstr &instr)
         ObjectInfo &dst_o = object(instr.dst);
         ObjectInfo &src_o = object(instr.src1);
         if (!dst_o.vertical || !src_o.vertical)
-            fatal("bbop_sh*: objects must be vertical");
+            bbopError("bbop_sh*: objects must be vertical");
+        if (instr.dst == instr.src1)
+            bbopError("bbop_sh*: in-place shift is not supported");
+        if (dst_o.bits != src_o.bits ||
+            dst_o.elements != src_o.elements)
+            bbopError("bbop_sh*: shape mismatch");
+        if (instr.width != dst_o.bits)
+            bbopError("bbop_sh*: width mismatch with objects");
         const auto amount = static_cast<size_t>(instr.sel);
         if (instr.opcode == BbopOpcode::ShiftL)
             proc_->shiftLeft(dst_o.vec, src_o.vec, amount);
@@ -85,29 +100,64 @@ BbopDispatcher::exec(const BbopInstr &instr)
       }
       case BbopOpcode::Op:
         break;
+      default:
+        // A BbopInstr built from a raw opcode value (decodeBbop
+        // rejects these already) must not fall through to the Op
+        // path below as the seed code did.
+        bbopError("bbop: unknown opcode " +
+                  std::to_string(static_cast<int>(instr.opcode)));
     }
+
+    if (static_cast<size_t>(instr.op) >= kOpKindCount)
+        bbopError("bbop: unknown operation " +
+                  std::to_string(static_cast<int>(instr.op)));
 
     ObjectInfo &dst = object(instr.dst);
     ObjectInfo &src1 = object(instr.src1);
     if (!dst.vertical)
-        fatal("bbop: destination object is not vertical; "
-              "issue bbop_trsp first");
+        bbopError("bbop: destination object is not vertical; "
+                  "issue bbop_trsp first");
     if (!src1.vertical)
-        fatal("bbop: source object is not vertical");
+        bbopError("bbop: source object is not vertical");
+    if (instr.width != src1.bits)
+        bbopError("bbop: instruction width " +
+                  std::to_string(int{instr.width}) +
+                  " does not match source object width " +
+                  std::to_string(src1.bits));
 
     const auto sig = signatureOf(instr.op, instr.width);
+    if (dst.bits != sig.outWidth)
+        bbopError("bbop: destination object must be " +
+                  std::to_string(sig.outWidth) + " bits wide");
+    if (instr.dst == instr.src1 ||
+        (sig.numInputs == 2 && instr.dst == instr.src2) ||
+        (sig.hasSel && instr.dst == instr.sel))
+        bbopError("bbop: in-place execution is not supported");
+    if (src1.elements != dst.elements)
+        bbopError("bbop: operand element counts differ");
     if (sig.numInputs == 1) {
         proc_->run(instr.op, dst.vec, src1.vec);
     } else if (!sig.hasSel) {
         ObjectInfo &src2 = object(instr.src2);
         if (!src2.vertical)
-            fatal("bbop: source object is not vertical");
+            bbopError("bbop: source object is not vertical");
+        if (src2.bits != instr.width)
+            bbopError("bbop: operand width mismatch");
+        if (src2.elements != dst.elements)
+            bbopError("bbop: operand element counts differ");
         proc_->run(instr.op, dst.vec, src1.vec, src2.vec);
     } else {
         ObjectInfo &src2 = object(instr.src2);
         ObjectInfo &sel = object(instr.sel);
         if (!src2.vertical || !sel.vertical)
-            fatal("bbop: source object is not vertical");
+            bbopError("bbop: source object is not vertical");
+        if (src2.bits != instr.width)
+            bbopError("bbop: operand width mismatch");
+        if (src2.elements != dst.elements ||
+            sel.elements != dst.elements)
+            bbopError("bbop: operand element counts differ");
+        if (sel.bits != 1)
+            bbopError("bbop: predicate must be 1 bit wide");
         proc_->run(instr.op, dst.vec, src1.vec, src2.vec, sel.vec);
     }
 }
@@ -123,7 +173,8 @@ BbopDispatcher::ObjectInfo &
 BbopDispatcher::object(uint16_t id)
 {
     if (id >= objects_.size())
-        fatal("BbopDispatcher: bad object id");
+        bbopError("BbopDispatcher: unknown object id d" +
+                  std::to_string(id));
     return objects_[id];
 }
 
@@ -131,7 +182,8 @@ const BbopDispatcher::ObjectInfo &
 BbopDispatcher::object(uint16_t id) const
 {
     if (id >= objects_.size())
-        fatal("BbopDispatcher: bad object id");
+        bbopError("BbopDispatcher: unknown object id d" +
+                  std::to_string(id));
     return objects_[id];
 }
 

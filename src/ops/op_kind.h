@@ -58,6 +58,14 @@ enum class OpKind : uint8_t
     BitXor,
 };
 
+/**
+ * Number of OpKind enumerators (paper set + extensions). Enumerator
+ * values are contiguous from 0, so a decoded operation field is valid
+ * iff it is below this count.
+ */
+constexpr size_t kOpKindCount =
+    static_cast<size_t>(OpKind::BitXor) + 1;
+
 /** The paper's 16 example operations, in a stable order. */
 constexpr std::array<OpKind, 16> kAllOps = {
     OpKind::Abs,    OpKind::Add, OpKind::AndRed, OpKind::Bitcount,

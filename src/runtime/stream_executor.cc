@@ -1,0 +1,512 @@
+#include "runtime/stream_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+namespace detail
+{
+
+/** Shared completion state of one submitted stream. */
+struct StreamState
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    /** Devices that have not finished this stream yet. */
+    size_t remaining = 0;
+    StreamResult result;
+    /** First error raised during execution, if any. */
+    std::exception_ptr error;
+    /** Submission time (for wall-clock accounting). */
+    std::chrono::steady_clock::time_point t0;
+};
+
+} // namespace detail
+
+/** One entry of the group-wide bbop object table. */
+struct StreamExecutor::Object
+{
+    size_t elements = 0;
+    size_t bits = 0;
+    std::vector<uint64_t> hostImage;
+    /** Sharded vertical storage, reserved at defineObject(). */
+    ShardedVec vec;
+    /** Layout shadow state, guarded by submit_mu_. */
+    bool vertical = false;
+};
+
+/**
+ * One validated instruction with its operands resolved: the Object
+ * (for host-image access) and, per device, the ShardView of every
+ * operand. Views are resolved once at submission, so a worker's hot
+ * path drives its Processor directly — no group bookkeeping, no
+ * locks beyond the device mutex it already holds.
+ */
+struct StreamExecutor::PreparedInstr
+{
+    BbopInstr instr;
+    Object *dst = nullptr;
+    Object *src1 = nullptr;
+    Object *src2 = nullptr;
+    Object *sel = nullptr;
+    /** Per-device views of each operand, shared per object. */
+    using Views =
+        std::shared_ptr<const std::vector<DeviceGroup::ShardView>>;
+    Views dstV, src1V, src2V, selV;
+};
+
+/** Per-device worker thread and its FIFO of stream jobs. */
+struct StreamExecutor::Worker
+{
+    struct Job
+    {
+        std::shared_ptr<detail::StreamState> state;
+        std::shared_ptr<const std::vector<PreparedInstr>> prog;
+    };
+
+    std::thread th;
+    std::mutex mu;
+    std::condition_variable cv;      ///< New work or stop.
+    std::condition_variable idle_cv; ///< Queue drained and not busy.
+    std::deque<Job> q;
+    bool busy = false;
+    bool stop = false;
+};
+
+StreamExecutor::StreamExecutor(DeviceGroup &group) : group_(&group)
+{
+    const size_t devices = group.deviceCount();
+    workers_.reserve(devices);
+    for (size_t d = 0; d < devices; ++d)
+        workers_.push_back(std::make_unique<Worker>());
+    for (size_t d = 0; d < devices; ++d)
+        workers_[d]->th =
+            std::thread([this, d] { workerMain(d); });
+}
+
+StreamExecutor::~StreamExecutor()
+{
+    sync();
+    for (auto &w : workers_) {
+        std::lock_guard<std::mutex> lock(w->mu);
+        w->stop = true;
+        w->cv.notify_all();
+    }
+    for (auto &w : workers_)
+        w->th.join();
+}
+
+size_t
+StreamExecutor::workerCount() const
+{
+    return workers_.size();
+}
+
+StreamExecutor::Object &
+StreamExecutor::object(uint16_t id)
+{
+    if (id >= objects_.size())
+        bbopError("StreamExecutor: unknown object id d" +
+                  std::to_string(id));
+    return *objects_[id];
+}
+
+uint16_t
+StreamExecutor::defineObject(size_t elements, size_t bits)
+{
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    if (objects_.size() >= kNoObject)
+        fatal("StreamExecutor: object table full");
+    auto obj = std::make_unique<Object>();
+    obj->elements = elements;
+    obj->bits = bits;
+    obj->hostImage.assign(elements, 0);
+    // Reserving the vertical storage up front keeps workers free of
+    // allocation: bbop_trsp only moves data. Rows in the functional
+    // model exist either way, so this costs no extra memory.
+    obj->vec = group_->alloc(elements, bits);
+    objects_.push_back(std::move(obj));
+    return static_cast<uint16_t>(objects_.size() - 1);
+}
+
+void
+StreamExecutor::writeObject(uint16_t id,
+                            const std::vector<uint64_t> &data)
+{
+    // Take submit_mu_ BEFORE draining: a submit() sneaking in
+    // between sync() and the host-image write would put workers back
+    // in flight while we mutate hostImage. Workers never take
+    // submit_mu_, so they can still drain while we hold it.
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    sync();
+    Object &obj = object(id);
+    if (data.size() != obj.elements)
+        fatal("StreamExecutor::writeObject: element count mismatch");
+    obj.hostImage = data;
+    if (obj.vertical) {
+        // Keep the vertical copy coherent, as the dispatcher does on
+        // a horizontal write to a transposed object.
+        group_->store(obj.vec, obj.hostImage);
+    }
+}
+
+std::vector<uint64_t>
+StreamExecutor::readObject(uint16_t id)
+{
+    // Same ordering as writeObject: exclude submitters, then drain.
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    sync();
+    return object(id).hostImage;
+}
+
+std::shared_ptr<const std::vector<StreamExecutor::PreparedInstr>>
+StreamExecutor::prepare(const std::vector<BbopInstr> &stream)
+{
+    // Validate against a scratch copy of the layout state so a
+    // rejected stream leaves the object table untouched.
+    std::vector<bool> vert(objects_.size());
+    for (size_t i = 0; i < objects_.size(); ++i)
+        vert[i] = objects_[i]->vertical;
+
+    // Shard geometry is immutable after alloc(), so resolve each
+    // distinct object's per-device views once per submit; the
+    // instructions share them by pointer.
+    const size_t devices = workers_.size();
+    std::map<const Object *, PreparedInstr::Views> view_cache;
+    auto viewsOf = [&](const Object *o) -> PreparedInstr::Views {
+        auto it = view_cache.find(o);
+        if (it == view_cache.end()) {
+            std::vector<DeviceGroup::ShardView> v;
+            v.reserve(devices);
+            for (size_t d = 0; d < devices; ++d)
+                v.push_back(group_->shardView(o->vec, d));
+            it = view_cache
+                     .emplace(o,
+                              std::make_shared<const std::vector<
+                                  DeviceGroup::ShardView>>(
+                                  std::move(v)))
+                     .first;
+        }
+        return it->second;
+    };
+
+    auto obj = [&](uint16_t id) -> Object * {
+        if (id >= objects_.size())
+            bbopError("StreamExecutor: unknown object id d" +
+                      std::to_string(id));
+        return objects_[id].get();
+    };
+
+    std::vector<PreparedInstr> out;
+    out.reserve(stream.size());
+    for (const BbopInstr &in : stream) {
+        if (in.width == 0 || in.width > 64)
+            bbopError("StreamExecutor: element width " +
+                      std::to_string(int{in.width}) +
+                      " outside [1, 64]");
+        PreparedInstr pi;
+        pi.instr = in;
+        switch (in.opcode) {
+          case BbopOpcode::Trsp: {
+            pi.dst = obj(in.dst);
+            if (in.width != pi.dst->bits)
+                bbopError("bbop_trsp: width mismatch with object");
+            vert[in.dst] = true;
+            break;
+          }
+          case BbopOpcode::TrspInv: {
+            pi.dst = obj(in.dst);
+            if (!vert[in.dst])
+                bbopError("bbop_trsp_inv: object is not vertical");
+            if (in.width != pi.dst->bits)
+                bbopError("bbop_trsp_inv: width mismatch with "
+                          "object");
+            break;
+          }
+          case BbopOpcode::Init: {
+            pi.dst = obj(in.dst);
+            if (!vert[in.dst])
+                bbopError("bbop_init: object is not vertical");
+            const uint64_t imm = in.initImmediate();
+            if (pi.dst->bits < 64 && (imm >> pi.dst->bits) != 0)
+                bbopError("bbop_init: immediate wider than the "
+                          "object");
+            break;
+          }
+          case BbopOpcode::ShiftL:
+          case BbopOpcode::ShiftR: {
+            pi.dst = obj(in.dst);
+            pi.src1 = obj(in.src1);
+            if (!vert[in.dst] || !vert[in.src1])
+                bbopError("bbop_sh*: objects must be vertical");
+            if (in.dst == in.src1)
+                bbopError("bbop_sh*: in-place shift is not "
+                          "supported");
+            if (pi.dst->bits != pi.src1->bits ||
+                pi.dst->elements != pi.src1->elements)
+                bbopError("bbop_sh*: shape mismatch");
+            if (in.width != pi.dst->bits)
+                bbopError("bbop_sh*: width mismatch with objects");
+            break;
+          }
+          case BbopOpcode::Op: {
+            if (static_cast<size_t>(in.op) >= kOpKindCount)
+                bbopError("bbop: unknown operation " +
+                          std::to_string(static_cast<int>(in.op)));
+            const auto sig = signatureOf(in.op, in.width);
+            pi.dst = obj(in.dst);
+            pi.src1 = obj(in.src1);
+            if (!vert[in.dst])
+                bbopError("bbop: destination object is not "
+                          "vertical; issue bbop_trsp first");
+            if (!vert[in.src1])
+                bbopError("bbop: source object is not vertical");
+            if (in.width != pi.src1->bits)
+                bbopError("bbop: instruction width " +
+                          std::to_string(int{in.width}) +
+                          " does not match source object width " +
+                          std::to_string(pi.src1->bits));
+            if (pi.dst->bits != sig.outWidth)
+                bbopError("bbop: destination object must be " +
+                          std::to_string(sig.outWidth) +
+                          " bits wide");
+            if (pi.dst->elements != pi.src1->elements)
+                bbopError("bbop: operand element counts differ");
+            if (in.dst == in.src1)
+                bbopError("bbop: in-place execution is not "
+                          "supported");
+            if (sig.numInputs == 2) {
+                pi.src2 = obj(in.src2);
+                if (!vert[in.src2])
+                    bbopError("bbop: source object is not vertical");
+                if (pi.src2->bits != in.width)
+                    bbopError("bbop: operand width mismatch");
+                if (pi.src2->elements != pi.dst->elements)
+                    bbopError("bbop: operand element counts differ");
+                if (in.dst == in.src2)
+                    bbopError("bbop: in-place execution is not "
+                              "supported");
+            }
+            if (sig.hasSel) {
+                pi.sel = obj(in.sel);
+                if (!vert[in.sel])
+                    bbopError("bbop: predicate object is not "
+                              "vertical");
+                if (pi.sel->bits != 1)
+                    bbopError("bbop: predicate must be 1 bit wide");
+                if (pi.sel->elements != pi.dst->elements)
+                    bbopError("bbop: operand element counts differ");
+                if (in.dst == in.sel)
+                    bbopError("bbop: in-place execution is not "
+                              "supported");
+            }
+            break;
+          }
+          default:
+            bbopError("bbop: unknown opcode " +
+                      std::to_string(
+                          static_cast<int>(in.opcode)));
+        }
+
+        // Attach every operand's per-device shard views, so the
+        // workers never touch group bookkeeping.
+        if (pi.dst != nullptr)
+            pi.dstV = viewsOf(pi.dst);
+        if (pi.src1 != nullptr)
+            pi.src1V = viewsOf(pi.src1);
+        if (pi.src2 != nullptr)
+            pi.src2V = viewsOf(pi.src2);
+        if (pi.sel != nullptr)
+            pi.selV = viewsOf(pi.sel);
+        out.push_back(std::move(pi));
+    }
+
+    // The whole stream is valid: commit the layout-state updates.
+    for (size_t i = 0; i < objects_.size(); ++i)
+        objects_[i]->vertical = vert[i];
+    return std::make_shared<const std::vector<PreparedInstr>>(
+        std::move(out));
+}
+
+StreamHandle
+StreamExecutor::submit(const std::vector<BbopInstr> &stream)
+{
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    auto prog = prepare(stream); // throws BbopError; nothing enqueued
+
+    auto st = std::make_shared<detail::StreamState>();
+    st->remaining = workers_.size();
+    st->result.instructions = prog->size();
+    st->t0 = std::chrono::steady_clock::now();
+
+    for (auto &w : workers_) {
+        std::lock_guard<std::mutex> wl(w->mu);
+        w->q.push_back(Worker::Job{st, prog});
+        w->cv.notify_one();
+    }
+
+    StreamHandle h;
+    h.state_ = std::move(st);
+    return h;
+}
+
+StreamHandle
+StreamExecutor::submit(const std::vector<uint64_t> &encoded)
+{
+    std::vector<BbopInstr> stream;
+    stream.reserve(encoded.size());
+    for (uint64_t w : encoded)
+        stream.push_back(decodeBbop(w)); // throws BbopError
+    return submit(stream);
+}
+
+void
+StreamExecutor::sync()
+{
+    for (auto &w : workers_) {
+        std::unique_lock<std::mutex> lock(w->mu);
+        w->idle_cv.wait(lock,
+                        [&] { return w->q.empty() && !w->busy; });
+    }
+}
+
+void
+StreamExecutor::workerMain(size_t d)
+{
+    Worker &w = *workers_[d];
+    for (;;) {
+        Worker::Job job;
+        {
+            std::unique_lock<std::mutex> lock(w.mu);
+            w.cv.wait(lock,
+                      [&] { return w.stop || !w.q.empty(); });
+            if (w.q.empty())
+                return; // stop requested and queue drained
+            job = std::move(w.q.front());
+            w.q.pop_front();
+            w.busy = true;
+        }
+
+        std::exception_ptr err;
+        DramStats dcompute, dtransfer;
+        {
+            auto devlock = group_->lockDevice(d);
+            const DramStats c0 = group_->deviceComputeStats(d);
+            const DramStats t0 = group_->deviceTransferStats(d);
+            try {
+                for (const PreparedInstr &pi : *job.prog)
+                    execOn(d, pi);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            dcompute = diff(group_->deviceComputeStats(d), c0);
+            dtransfer = diff(group_->deviceTransferStats(d), t0);
+        }
+
+        {
+            detail::StreamState &st = *job.state;
+            std::lock_guard<std::mutex> lock(st.mu);
+            st.result.compute = merge(st.result.compute, dcompute);
+            st.result.transfer =
+                merge(st.result.transfer, dtransfer);
+            if (err && !st.error)
+                st.error = err;
+            if (--st.remaining == 0) {
+                st.result.wallNs =
+                    std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - st.t0)
+                        .count();
+                st.cv.notify_all();
+            }
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(w.mu);
+            w.busy = false;
+            if (w.q.empty())
+                w.idle_cv.notify_all();
+        }
+    }
+}
+
+void
+StreamExecutor::execOn(size_t d, const PreparedInstr &pi)
+{
+    const BbopInstr &in = pi.instr;
+    const DeviceGroup::ShardView &dst = (*pi.dstV)[d];
+    if (dst.count == 0)
+        return; // this device holds no shard of the destination
+    switch (in.opcode) {
+      case BbopOpcode::Trsp:
+        dst.proc->store(dst.handle,
+                        pi.dst->hostImage.data() + dst.offset,
+                        dst.count);
+        return;
+      case BbopOpcode::TrspInv:
+        dst.proc->loadInto(dst.handle,
+                           pi.dst->hostImage.data() + dst.offset);
+        return;
+      case BbopOpcode::Init: {
+        const uint64_t imm = in.initImmediate();
+        dst.proc->fillConstant(dst.handle, imm);
+        // Each worker refreshes its own disjoint slice of the
+        // horizontal image, so the whole image is coherent once the
+        // stream completes on every device.
+        std::fill_n(pi.dst->hostImage.data() + dst.offset,
+                    dst.count, imm);
+        return;
+      }
+      case BbopOpcode::ShiftL:
+        dst.proc->shiftLeft(dst.handle, (*pi.src1V)[d].handle,
+                            static_cast<size_t>(in.sel));
+        return;
+      case BbopOpcode::ShiftR:
+        dst.proc->shiftRight(dst.handle, (*pi.src1V)[d].handle,
+                             static_cast<size_t>(in.sel));
+        return;
+      case BbopOpcode::Op:
+        break;
+    }
+
+    const auto sig = signatureOf(in.op, in.width);
+    if (sig.numInputs == 1)
+        dst.proc->run(in.op, dst.handle, (*pi.src1V)[d].handle);
+    else if (!sig.hasSel)
+        dst.proc->run(in.op, dst.handle, (*pi.src1V)[d].handle,
+                      (*pi.src2V)[d].handle);
+    else
+        dst.proc->run(in.op, dst.handle, (*pi.src1V)[d].handle,
+                      (*pi.src2V)[d].handle, (*pi.selV)[d].handle);
+}
+
+StreamResult
+StreamHandle::wait()
+{
+    if (!state_)
+        fatal("StreamHandle::wait: empty handle");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->remaining == 0; });
+    if (state_->error)
+        std::rethrow_exception(state_->error);
+    return state_->result;
+}
+
+bool
+StreamHandle::done() const
+{
+    if (!state_)
+        return false;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->remaining == 0;
+}
+
+} // namespace simdram

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Multi-device runtime, part 2: asynchronous bbop-stream execution.
+ *
+ * The StreamExecutor is the memory-controller-side service the
+ * paper's bbop ISA assumes: the host enqueues encoded bbop
+ * instruction streams and continues; the controller executes them
+ * behind the scenes. Here, a group-wide object table maps bbop object
+ * ids to ShardedVecs, and one worker thread per device replays each
+ * submitted stream against that device's shards:
+ *
+ *   DeviceGroup g(cfg, 4);
+ *   StreamExecutor ex(g);
+ *   auto a = ex.defineObject(n, 32);
+ *   auto y = ex.defineObject(n, 32);
+ *   ex.writeObject(a, data);
+ *   auto h = ex.submit({BbopInstr::trsp(a, 32),
+ *                       BbopInstr::trsp(y, 32),
+ *                       BbopInstr::unary(OpKind::Abs, 32, y, a),
+ *                       BbopInstr::trspInv(y, 32)});
+ *   ... overlap host work, submit more streams ...
+ *   StreamResult r = h.wait();   // merged stats + wall clock
+ *   auto out = ex.readObject(y);
+ *
+ * Semantics and guarantees:
+ *  - Submission order is execution order on every device, so results
+ *    are bit-exact with running the same streams sequentially on a
+ *    single Processor holding the whole (unsharded) vectors.
+ *  - submit() validates the whole stream against the object table
+ *    (ids, widths, layout state, signatures) and throws BbopError
+ *    without enqueuing anything if any instruction is malformed:
+ *    a bad stream is rejected as a unit and never reaches a device.
+ *  - Each completed stream reports its own DramStats deltas, merged
+ *    across devices with merge() (latency = max: devices execute
+ *    concurrently), plus submit-to-completion wall time.
+ *  - writeObject()/readObject() synchronize (drain all pending
+ *    streams) before touching host images.
+ */
+
+#ifndef SIMDRAM_RUNTIME_STREAM_EXECUTOR_H
+#define SIMDRAM_RUNTIME_STREAM_EXECUTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "isa/bbop.h"
+#include "runtime/device_group.h"
+
+namespace simdram
+{
+
+namespace detail
+{
+struct StreamState;
+} // namespace detail
+
+/** Completion data for one executed stream. */
+struct StreamResult
+{
+    /** Compute stats of this stream, merged over devices. */
+    DramStats compute;
+    /** Host-transfer (transposition) stats of this stream. */
+    DramStats transfer;
+    /** Submit-to-last-device-completion wall time (host ns). */
+    double wallNs = 0.0;
+    /** Number of instructions in the stream. */
+    size_t instructions = 0;
+};
+
+/** Future-style handle to a submitted stream. */
+class StreamHandle
+{
+  public:
+    StreamHandle() = default;
+
+    /** @return True if the handle refers to a submitted stream. */
+    bool valid() const { return state_ != nullptr; }
+
+    /**
+     * Blocks until the stream completes on every device and returns
+     * its result. Rethrows any error raised during execution.
+     */
+    StreamResult wait();
+
+    /** @return True once the stream has completed (non-blocking). */
+    bool done() const;
+
+  private:
+    friend class StreamExecutor;
+    std::shared_ptr<detail::StreamState> state_;
+};
+
+/** Asynchronous bbop-stream service over a DeviceGroup. */
+class StreamExecutor
+{
+  public:
+    /**
+     * Spawns one worker thread per device of @p group (borrowed;
+     * must outlive the executor).
+     */
+    explicit StreamExecutor(DeviceGroup &group);
+
+    /** Drains pending streams and joins the workers. */
+    ~StreamExecutor();
+
+    StreamExecutor(const StreamExecutor &) = delete;
+    StreamExecutor &operator=(const StreamExecutor &) = delete;
+
+    /** @return The device group driven by this executor. */
+    DeviceGroup &group() { return *group_; }
+
+    /**
+     * Registers a memory object of @p elements elements of @p bits
+     * bits and returns its object id. The vertical (sharded) storage
+     * is reserved up front; bbop_trsp populates it.
+     */
+    uint16_t defineObject(size_t elements, size_t bits);
+
+    /** Writes host data into an object's horizontal image (syncs). */
+    void writeObject(uint16_t id, const std::vector<uint64_t> &data);
+
+    /** @return The object's current horizontal image (syncs). */
+    std::vector<uint64_t> readObject(uint16_t id);
+
+    /**
+     * Validates and enqueues a decoded instruction stream. Throws
+     * BbopError (enqueuing nothing) if any instruction is malformed.
+     * Thread-safe: streams may be submitted from multiple threads;
+     * the submission order defines the execution order.
+     */
+    StreamHandle submit(const std::vector<BbopInstr> &stream);
+
+    /** Decodes a stream of 64-bit bbop words and submits it. */
+    StreamHandle submit(const std::vector<uint64_t> &encoded);
+
+    /** Blocks until every submitted stream has completed. */
+    void sync();
+
+    /** @return The number of worker threads (= devices). */
+    size_t workerCount() const;
+
+  private:
+    struct Object;
+    struct PreparedInstr;
+    struct Worker;
+
+    Object &object(uint16_t id);
+
+    /**
+     * Validates @p stream against the object table and resolves it
+     * into per-instruction object pointers. Mutates layout state
+     * (vertical flags) only if the whole stream is valid.
+     */
+    std::shared_ptr<const std::vector<PreparedInstr>>
+    prepare(const std::vector<BbopInstr> &stream);
+
+    void workerMain(size_t d);
+    void execOn(size_t d, const PreparedInstr &pi);
+
+    DeviceGroup *group_;
+    std::vector<std::unique_ptr<Object>> objects_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    /** Serializes submit()/defineObject() and the object table. */
+    std::mutex submit_mu_;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_RUNTIME_STREAM_EXECUTOR_H

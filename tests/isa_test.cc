@@ -122,9 +122,103 @@ TEST_F(DispatcherTest, TrspWidthMismatchRejected)
     EXPECT_THROW(disp_.exec(BbopInstr::trsp(a, 16)), FatalError);
 }
 
-TEST_F(DispatcherTest, BadObjectIdRejected)
+TEST_F(DispatcherTest, BadObjectIdRejectedTyped)
 {
-    EXPECT_THROW(disp_.exec(BbopInstr::trsp(999, 8)), FatalError);
+    // Unknown object ids surface as the typed BbopError (a subtype
+    // of FatalError), so stream-level machinery can tell a malformed
+    // stream apart from other fatal conditions.
+    EXPECT_THROW(disp_.exec(BbopInstr::trsp(999, 8)), BbopError);
+    EXPECT_THROW(disp_.exec(BbopInstr::binary(OpKind::Add, 8, 0,
+                                              500, 501)),
+                 BbopError);
+}
+
+TEST_F(DispatcherTest, UnknownOpcodeRejectedNotSilentlyRun)
+{
+    // The seed dispatcher fell through to the Op path on opcodes it
+    // did not know; they must be rejected instead.
+    const uint16_t a = disp_.defineObject(8, 8);
+    const uint16_t y = disp_.defineObject(8, 8);
+    disp_.exec(BbopInstr::trsp(a, 8));
+    disp_.exec(BbopInstr::trsp(y, 8));
+    BbopInstr bogus = BbopInstr::unary(OpKind::Relu, 8, y, a);
+    bogus.opcode = static_cast<BbopOpcode>(9);
+    EXPECT_THROW(disp_.exec(bogus), BbopError);
+    BbopInstr bad_op = BbopInstr::unary(OpKind::Relu, 8, y, a);
+    bad_op.op = static_cast<OpKind>(31);
+    EXPECT_THROW(disp_.exec(bad_op), BbopError);
+}
+
+TEST_F(DispatcherTest, OpWidthMismatchRejected)
+{
+    const uint16_t a = disp_.defineObject(8, 8);
+    const uint16_t y = disp_.defineObject(8, 8);
+    disp_.exec(BbopInstr::trsp(a, 8));
+    disp_.exec(BbopInstr::trsp(y, 8));
+    // The instruction width must match the source object; the seed
+    // silently priced the program at the object's width instead.
+    EXPECT_THROW(disp_.exec(BbopInstr::unary(OpKind::Relu, 16, y,
+                                             a)),
+                 BbopError);
+    // And the destination must match the operation's output width:
+    // a comparison writes a 1-bit mask, not an 8-bit object.
+    const uint16_t b = disp_.defineObject(8, 8);
+    disp_.exec(BbopInstr::trsp(b, 8));
+    EXPECT_THROW(disp_.exec(BbopInstr::binary(OpKind::Gt, 8, y, a,
+                                              b)),
+                 BbopError);
+    // A second-source width mismatch is typed too.
+    const uint16_t c16 = disp_.defineObject(8, 16);
+    disp_.exec(BbopInstr::trsp(c16, 16));
+    EXPECT_THROW(disp_.exec(BbopInstr::binary(OpKind::Add, 8, y, a,
+                                              c16)),
+                 BbopError);
+}
+
+TEST_F(DispatcherTest, InitShiftAndInPlaceValidated)
+{
+    const uint16_t a = disp_.defineObject(8, 8);
+    const uint16_t b = disp_.defineObject(8, 8);
+    const uint16_t w16 = disp_.defineObject(8, 16);
+    disp_.exec(BbopInstr::trsp(a, 8));
+    disp_.exec(BbopInstr::trsp(b, 8));
+    disp_.exec(BbopInstr::trsp(w16, 16));
+    // Init immediate wider than the object.
+    EXPECT_THROW(disp_.exec(BbopInstr::init(a, 8, 0x100)),
+                 BbopError);
+    // Shift shape mismatch, in-place shift, and width mismatch.
+    EXPECT_THROW(disp_.exec(BbopInstr::shift(true, 8, w16, a, 1)),
+                 BbopError);
+    EXPECT_THROW(disp_.exec(BbopInstr::shift(true, 8, a, a, 1)),
+                 BbopError);
+    EXPECT_THROW(disp_.exec(BbopInstr::shift(true, 16, a, b, 1)),
+                 BbopError);
+    // In-place operation.
+    EXPECT_THROW(disp_.exec(BbopInstr::binary(OpKind::Add, 8, a,
+                                              a, b)),
+                 BbopError);
+    // TrspInv width mismatch.
+    EXPECT_THROW(disp_.exec(BbopInstr::trspInv(a, 16)), BbopError);
+}
+
+TEST(BbopDecode, MalformedEncodingsRejectedTyped)
+{
+    // Unknown opcode bits.
+    EXPECT_THROW(decodeBbop(0xf), BbopError);
+    // Op instruction with an operation field beyond OpKind.
+    const uint64_t bad_op =
+        encodeBbop(BbopInstr::binary(OpKind::Add, 8, 0, 1, 2)) |
+        (uint64_t{0x1f} << 4);
+    EXPECT_THROW(decodeBbop(bad_op), BbopError);
+    // Width 0 and width > 64.
+    uint64_t w = encodeBbop(BbopInstr::trsp(3, 16));
+    w &= ~(uint64_t{0x7f} << 9);
+    EXPECT_THROW(decodeBbop(w), BbopError);
+    w |= uint64_t{100} << 9;
+    EXPECT_THROW(decodeBbop(w), BbopError);
+    // Valid encodings still round-trip.
+    const BbopInstr ok = BbopInstr::binary(OpKind::Add, 8, 0, 1, 2);
+    EXPECT_EQ(decodeBbop(encodeBbop(ok)), ok);
 }
 
 TEST_F(DispatcherTest, WriteKeepsVerticalCoherent)

@@ -106,6 +106,67 @@ TEST(DramStats, ParallelMergeTakesMaxLatency)
     EXPECT_DOUBLE_EQ(a.energyPj, 9.0);
 }
 
+TEST(DramStats, FreeOperatorPlusIsSerial)
+{
+    DramStats a, b;
+    a.aaps = 3;
+    a.reads = 1;
+    a.latencyNs = 10;
+    a.energyPj = 5;
+    b.aaps = 2;
+    b.writes = 4;
+    b.latencyNs = 7;
+    b.energyPj = 4;
+    const DramStats c = a + b;
+    EXPECT_EQ(c.aaps, 5u);
+    EXPECT_EQ(c.reads, 1u);
+    EXPECT_EQ(c.writes, 4u);
+    EXPECT_DOUBLE_EQ(c.latencyNs, 17.0);
+    EXPECT_DOUBLE_EQ(c.energyPj, 9.0);
+    // Operands untouched.
+    EXPECT_EQ(a.aaps, 3u);
+    EXPECT_EQ(b.aaps, 2u);
+}
+
+TEST(DramStats, FreeMergeIsParallel)
+{
+    DramStats a, b;
+    a.aaps = 3;
+    a.latencyNs = 10;
+    a.energyPj = 5;
+    b.aaps = 2;
+    b.latencyNs = 7;
+    b.energyPj = 4;
+    const DramStats c = merge(a, b);
+    EXPECT_EQ(c.aaps, 5u);
+    EXPECT_DOUBLE_EQ(c.latencyNs, 10.0);
+    EXPECT_DOUBLE_EQ(c.energyPj, 9.0);
+    // Merging with a default object is the identity.
+    const DramStats d = merge(DramStats{}, b);
+    EXPECT_EQ(d.aaps, 2u);
+    EXPECT_DOUBLE_EQ(d.latencyNs, 7.0);
+}
+
+TEST(DramStats, DiffRecoversSnapshotDelta)
+{
+    DramStats before, delta;
+    before.aaps = 3;
+    before.activates = 9;
+    before.latencyNs = 10;
+    before.energyPj = 5;
+    delta.aaps = 4;
+    delta.precharges = 2;
+    delta.latencyNs = 2.5;
+    delta.energyPj = 1.5;
+    const DramStats after = before + delta;
+    const DramStats d = diff(after, before);
+    EXPECT_EQ(d.aaps, 4u);
+    EXPECT_EQ(d.activates, 0u);
+    EXPECT_EQ(d.precharges, 2u);
+    EXPECT_DOUBLE_EQ(d.latencyNs, 2.5);
+    EXPECT_DOUBLE_EQ(d.energyPj, 1.5);
+}
+
 TEST(DramStats, ResetClears)
 {
     DramStats a;

@@ -1,0 +1,519 @@
+/**
+ * @file
+ * Tests for the multi-device runtime: DeviceGroup sharding geometry,
+ * bit-exact equivalence of sharded (sync and async) execution with a
+ * single-Processor reference for every OpKind x width x backend,
+ * stats equality against per-shard runs, the StreamExecutor's typed
+ * per-stream rejection, and a concurrency stress test (run under
+ * ThreadSanitizer in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "apps/brightness.h"
+#include "apps/tpch.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "runtime/stream_executor.h"
+
+namespace simdram
+{
+namespace
+{
+
+DramConfig
+testCfg()
+{
+    return DramConfig::forTesting(256, 512);
+}
+
+/** Compares DramStats: counters exactly, doubles to the last ulps. */
+void
+expectSameStats(const DramStats &a, const DramStats &b)
+{
+    EXPECT_EQ(a.activates, b.activates);
+    EXPECT_EQ(a.multiActivates, b.multiActivates);
+    EXPECT_EQ(a.precharges, b.precharges);
+    EXPECT_EQ(a.aaps, b.aaps);
+    EXPECT_EQ(a.aps, b.aps);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_DOUBLE_EQ(a.latencyNs, b.latencyNs);
+    EXPECT_DOUBLE_EQ(a.energyPj, b.energyPj);
+}
+
+std::vector<uint64_t>
+randomData(size_t n, uint64_t mask, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint64_t> v(n);
+    for (auto &x : v)
+        x = rng.next() & mask;
+    return v;
+}
+
+// ---------------------------------------------------------------
+// DeviceGroup: sharding geometry and synchronous operation
+// ---------------------------------------------------------------
+
+TEST(DeviceGroup, ShardGeometryIsSegmentAligned)
+{
+    DeviceGroup g(testCfg(), 3);
+    // 300 elements over 256-lane segments = 2 segments: device 0
+    // takes the full first segment, device 1 the 44-lane remainder,
+    // device 2 is empty.
+    const auto v = g.alloc(300, 16);
+    EXPECT_EQ(g.shardOffset(v, 0), 0u);
+    EXPECT_EQ(g.shardElements(v, 0), 256u);
+    EXPECT_EQ(g.shardOffset(v, 1), 256u);
+    EXPECT_EQ(g.shardElements(v, 1), 44u);
+    EXPECT_EQ(g.shardElements(v, 2), 0u);
+
+    // 1000 elements = 4 segments: one per device plus one extra on
+    // device 0 (front-loaded distribution).
+    DeviceGroup g3(testCfg(), 3);
+    const auto w = g3.alloc(1000, 8);
+    EXPECT_EQ(g3.shardElements(w, 0), 512u);
+    EXPECT_EQ(g3.shardElements(w, 1), 256u);
+    EXPECT_EQ(g3.shardElements(w, 2), 232u);
+    EXPECT_EQ(g3.shardOffset(w, 2), 768u);
+}
+
+TEST(DeviceGroup, RejectsMisuse)
+{
+    EXPECT_THROW(DeviceGroup(testCfg(), 0), FatalError);
+    DeviceGroup g(testCfg(), 2);
+    EXPECT_THROW(g.alloc(0, 8), FatalError);
+    EXPECT_THROW(g.device(2), FatalError);
+    ShardedVec bogus;
+    EXPECT_THROW(g.load(bogus), FatalError);
+}
+
+TEST(DeviceGroup, StoreLoadRoundTripAcrossDevices)
+{
+    DeviceGroup g(testCfg(), 4);
+    const auto v = g.alloc(700, 16); // 3 segments over 4 devices
+    const auto data = randomData(700, 0xffff, 0x11);
+    g.store(v, data);
+    EXPECT_EQ(g.load(v), data);
+    EXPECT_GT(g.transferStats().energyPj, 0.0);
+}
+
+TEST(DeviceGroup, FillConstantAndShift)
+{
+    DeviceGroup g(testCfg(), 2);
+    const auto a = g.alloc(300, 16);
+    const auto b = g.alloc(300, 16);
+    g.fillConstant(a, 0x2d);
+    g.shiftLeft(b, a, 3);
+    for (uint64_t x : g.load(b))
+        EXPECT_EQ(x, uint64_t{0x2d} << 3);
+    g.shiftRight(b, a, 2);
+    for (uint64_t x : g.load(b))
+        EXPECT_EQ(x, uint64_t{0x2d} >> 2);
+}
+
+TEST(DeviceGroup, StatsEqualSumOfPerShardRuns)
+{
+    const size_t n = 300;
+    const auto da = randomData(n, 0xffff, 1);
+    const auto db = randomData(n, 0xffff, 2);
+
+    DeviceGroup g(testCfg(), 2);
+    const auto a = g.alloc(n, 16);
+    const auto b = g.alloc(n, 16);
+    const auto y = g.alloc(n, 16);
+    g.store(a, da);
+    g.store(b, db);
+    g.resetStats();
+    g.run(OpKind::Add, y, a, b);
+
+    // The same shards on standalone processors: the group's merged
+    // stats must equal the merge of the per-shard runs exactly.
+    DramStats expect_compute;
+    for (size_t d = 0; d < 2; ++d) {
+        const size_t off = g.shardOffset(a, d);
+        const size_t cnt = g.shardElements(a, d);
+        ASSERT_GT(cnt, 0u);
+        Processor p(testCfg());
+        const auto pa = p.alloc(cnt, 16);
+        const auto pb = p.alloc(cnt, 16);
+        const auto py = p.alloc(cnt, 16);
+        p.store(pa, da.data() + off, cnt);
+        p.store(pb, db.data() + off, cnt);
+        p.resetStats();
+        p.run(OpKind::Add, py, pa, pb);
+        expect_compute = merge(expect_compute, p.computeStats());
+    }
+    expectSameStats(g.computeStats(), expect_compute);
+}
+
+// ---------------------------------------------------------------
+// Sharded determinism: sync and async execution vs one Processor
+// ---------------------------------------------------------------
+
+class ShardedDeterminismTest
+    : public ::testing::TestWithParam<
+          std::tuple<OpKind, size_t, Backend>>
+{
+};
+
+TEST_P(ShardedDeterminismTest, MatchesSingleProcessor)
+{
+    const auto [op, width, backend] = GetParam();
+    const auto sig = signatureOf(op, width);
+    const size_t n = 300; // crosses a segment boundary
+    const uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    const auto da = randomData(n, mask, 0x5eed + width);
+    const auto db = randomData(n, mask, 0xfeed + width);
+    const auto ds = randomData(n, 1, 0xd5 + width);
+
+    // Reference: the whole vector on one processor.
+    Processor pref(testCfg(), backend);
+    std::vector<uint64_t> out_ref;
+    {
+        const auto a = pref.alloc(n, width);
+        const auto b = pref.alloc(n, width);
+        const auto sel = pref.alloc(n, 1);
+        const auto y = pref.alloc(n, sig.outWidth);
+        pref.store(a, da);
+        if (sig.numInputs == 2)
+            pref.store(b, db);
+        if (sig.hasSel)
+            pref.store(sel, ds);
+        if (sig.numInputs == 1)
+            pref.run(op, y, a);
+        else if (!sig.hasSel)
+            pref.run(op, y, a, b);
+        else
+            pref.run(op, y, a, b, sel);
+        out_ref = pref.load(y);
+    }
+
+    // Sharded, synchronous: 3 devices (shards of 256, 44, and 0
+    // elements) through DeviceGroup::run.
+    DeviceGroup group(testCfg(), 3, backend);
+    {
+        const auto a = group.alloc(n, width);
+        const auto b = group.alloc(n, width);
+        const auto sel = group.alloc(n, 1);
+        const auto y = group.alloc(n, sig.outWidth);
+        group.store(a, da);
+        if (sig.numInputs == 2)
+            group.store(b, db);
+        if (sig.hasSel)
+            group.store(sel, ds);
+        if (sig.numInputs == 1)
+            group.run(op, y, a);
+        else if (!sig.hasSel)
+            group.run(op, y, a, b);
+        else
+            group.run(op, y, a, b, sel);
+        EXPECT_EQ(group.load(y), out_ref) << "sync path";
+    }
+
+    // Sharded, asynchronous: the same operation as a bbop stream
+    // through the StreamExecutor's worker threads.
+    {
+        StreamExecutor ex(group);
+        const auto w8 = static_cast<uint8_t>(width);
+        const uint16_t a = ex.defineObject(n, width);
+        const uint16_t b = ex.defineObject(n, width);
+        const uint16_t sel = ex.defineObject(n, 1);
+        const uint16_t y = ex.defineObject(n, sig.outWidth);
+        ex.writeObject(a, da);
+        std::vector<BbopInstr> stream;
+        stream.push_back(BbopInstr::trsp(a, w8));
+        stream.push_back(BbopInstr::trsp(
+            y, static_cast<uint8_t>(sig.outWidth)));
+        if (sig.numInputs == 1) {
+            stream.push_back(BbopInstr::unary(op, w8, y, a));
+        } else if (!sig.hasSel) {
+            ex.writeObject(b, db);
+            stream.push_back(BbopInstr::trsp(b, w8));
+            stream.push_back(BbopInstr::binary(op, w8, y, a, b));
+        } else {
+            ex.writeObject(b, db);
+            ex.writeObject(sel, ds);
+            stream.push_back(BbopInstr::trsp(b, w8));
+            stream.push_back(BbopInstr::trsp(sel, 1));
+            stream.push_back(
+                BbopInstr::predicated(op, w8, y, a, b, sel));
+        }
+        stream.push_back(BbopInstr::trspInv(
+            y, static_cast<uint8_t>(sig.outWidth)));
+        const StreamResult r = ex.submit(stream).wait();
+        EXPECT_GT(r.compute.latencyNs, 0.0);
+        EXPECT_EQ(ex.readObject(y), out_ref) << "async path";
+    }
+}
+
+std::vector<OpKind>
+everyOpKind()
+{
+    std::vector<OpKind> ops;
+    ops.reserve(kAllOps.size() + kExtensionOps.size());
+    ops.insert(ops.end(), kAllOps.begin(), kAllOps.end());
+    ops.insert(ops.end(), kExtensionOps.begin(),
+               kExtensionOps.end());
+    return ops;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, ShardedDeterminismTest,
+    ::testing::Combine(::testing::ValuesIn(everyOpKind()),
+                       ::testing::Values(size_t{8}, size_t{16}),
+                       ::testing::Values(Backend::Simdram,
+                                         Backend::SimdramNaive,
+                                         Backend::Ambit)),
+    [](const auto &info) {
+        const Backend b = std::get<2>(info.param);
+        return toString(std::get<0>(info.param)) + "_w" +
+               std::to_string(std::get<1>(info.param)) + "_" +
+               (b == Backend::Simdram
+                    ? "simdram"
+                    : (b == Backend::SimdramNaive ? "naive"
+                                                  : "ambit"));
+    });
+
+// ---------------------------------------------------------------
+// StreamExecutor: asynchronous semantics
+// ---------------------------------------------------------------
+
+TEST(StreamExecutor, PipelinesManyStreams)
+{
+    DeviceGroup g(testCfg(), 2);
+    StreamExecutor ex(g);
+    const size_t n = 300;
+    const auto da = randomData(n, 0xff, 3);
+    const uint16_t a = ex.defineObject(n, 8);
+    const uint16_t y = ex.defineObject(n, 8);
+    ex.writeObject(a, da);
+
+    // Submit a chain y = a + a + ... without waiting in between.
+    std::vector<StreamHandle> handles;
+    handles.push_back(ex.submit({BbopInstr::trsp(a, 8),
+                                 BbopInstr::trsp(y, 8),
+                                 BbopInstr::binary(OpKind::Add, 8,
+                                                   y, a, a)}));
+    for (int i = 0; i < 8; ++i)
+        handles.push_back(ex.submit(
+            {BbopInstr::binary(OpKind::Add, 8, y, a, a)}));
+    handles.push_back(ex.submit({BbopInstr::trspInv(y, 8)}));
+    for (auto &h : handles) {
+        const StreamResult r = h.wait();
+        EXPECT_TRUE(h.done());
+        EXPECT_GE(r.wallNs, 0.0);
+    }
+    const auto out = ex.readObject(y);
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], (da[i] * 2) & 0xff) << i;
+}
+
+TEST(StreamExecutor, EncodedRoundTripAndInitShift)
+{
+    DeviceGroup g(testCfg(), 2);
+    StreamExecutor ex(g);
+    const size_t n = 300;
+    const uint16_t a = ex.defineObject(n, 16);
+    const uint16_t y = ex.defineObject(n, 16);
+
+    std::vector<uint64_t> words;
+    words.push_back(encodeBbop(BbopInstr::trsp(a, 16)));
+    words.push_back(encodeBbop(BbopInstr::init(a, 16, 0x2d)));
+    words.push_back(encodeBbop(BbopInstr::trsp(y, 16)));
+    words.push_back(encodeBbop(BbopInstr::shift(true, 16, y, a, 4)));
+    words.push_back(encodeBbop(BbopInstr::trspInv(y, 16)));
+    ex.submit(words).wait();
+    for (uint64_t v : ex.readObject(y))
+        ASSERT_EQ(v, uint64_t{0x2d} << 4);
+}
+
+TEST(StreamExecutor, PerStreamStatsMatchGroupDelta)
+{
+    DeviceGroup g(testCfg(), 2);
+    StreamExecutor ex(g);
+    const size_t n = 300;
+    const uint16_t a = ex.defineObject(n, 16);
+    const uint16_t b = ex.defineObject(n, 16);
+    const uint16_t y = ex.defineObject(n, 16);
+    ex.writeObject(a, randomData(n, 0xffff, 5));
+    ex.writeObject(b, randomData(n, 0xffff, 6));
+    ex.submit({BbopInstr::trsp(a, 16), BbopInstr::trsp(b, 16),
+               BbopInstr::trsp(y, 16)})
+        .wait();
+
+    g.resetStats();
+    const StreamResult r =
+        ex.submit({BbopInstr::binary(OpKind::Add, 16, y, a, b)})
+            .wait();
+    // The only work since resetStats is this one stream, so its
+    // merged per-stream accounting must equal the group's stats.
+    expectSameStats(r.compute, g.computeStats());
+    EXPECT_EQ(r.instructions, 1u);
+    EXPECT_GT(r.compute.aaps, 0u);
+    EXPECT_GT(r.wallNs, 0.0);
+}
+
+TEST(StreamExecutor, RejectsBadStreamsTyped)
+{
+    DeviceGroup g(testCfg(), 2);
+    StreamExecutor ex(g);
+    const uint16_t a = ex.defineObject(100, 16);
+    const uint16_t y = ex.defineObject(100, 16);
+
+    // Unknown object id.
+    EXPECT_THROW(ex.submit({BbopInstr::trsp(77, 16)}), BbopError);
+    // Malformed encoding (garbage opcode bits).
+    EXPECT_THROW(ex.submit(std::vector<uint64_t>{0xffffffffull}),
+                 BbopError);
+    // Operation on an object still in horizontal layout.
+    EXPECT_THROW(
+        ex.submit({BbopInstr::unary(OpKind::Abs, 16, y, a)}),
+        BbopError);
+    // Width mismatch with the object table.
+    EXPECT_THROW(ex.submit({BbopInstr::trsp(a, 8)}), BbopError);
+    // In-place execution.
+    EXPECT_THROW(ex.submit({BbopInstr::trsp(a, 16),
+                            BbopInstr::binary(OpKind::Add, 16, a,
+                                              a, a)}),
+                 BbopError);
+}
+
+TEST(StreamExecutor, RejectedStreamIsAtomic)
+{
+    DeviceGroup g(testCfg(), 2);
+    StreamExecutor ex(g);
+    const uint16_t a = ex.defineObject(100, 16);
+    const uint16_t y = ex.defineObject(100, 16);
+
+    // The trsp(a) inside the rejected stream must not leak: a stays
+    // horizontal, so using it afterwards is still an error.
+    EXPECT_THROW(ex.submit({BbopInstr::trsp(a, 16),
+                            BbopInstr::trsp(77, 16)}),
+                 BbopError);
+    EXPECT_THROW(
+        ex.submit({BbopInstr::trsp(y, 16),
+                   BbopInstr::unary(OpKind::Abs, 16, y, a)}),
+        BbopError);
+
+    // And the executor keeps serving valid streams.
+    ex.writeObject(a, std::vector<uint64_t>(100, 7));
+    ex.submit({BbopInstr::trsp(a, 16), BbopInstr::trsp(y, 16),
+               BbopInstr::unary(OpKind::Abs, 16, y, a),
+               BbopInstr::trspInv(y, 16)})
+        .wait();
+    for (uint64_t v : ex.readObject(y))
+        ASSERT_EQ(v, 7u);
+}
+
+TEST(StreamExecutor, WaitOnEmptyHandleRejected)
+{
+    StreamHandle h;
+    EXPECT_FALSE(h.valid());
+    EXPECT_FALSE(h.done());
+    EXPECT_THROW(h.wait(), FatalError);
+}
+
+// ---------------------------------------------------------------
+// Concurrency stress (run under ThreadSanitizer in CI)
+// ---------------------------------------------------------------
+
+TEST(StreamExecutor, ConcurrentSubmittersStress)
+{
+    constexpr size_t kThreads = 4;
+    constexpr size_t kStreamsPerThread = 25;
+    constexpr size_t n = 1000; // 4 segments: every device active
+
+    DeviceGroup g(testCfg(), 4);
+    StreamExecutor ex(g);
+
+    struct Triple
+    {
+        uint16_t a, b, y;
+        std::vector<uint64_t> da, db;
+    };
+    std::vector<Triple> triples(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+        triples[t].a = ex.defineObject(n, 16);
+        triples[t].b = ex.defineObject(n, 16);
+        triples[t].y = ex.defineObject(n, 16);
+        triples[t].da = randomData(n, 0xffff, 100 + t);
+        triples[t].db = randomData(n, 0xffff, 200 + t);
+        ex.writeObject(triples[t].a, triples[t].da);
+        ex.writeObject(triples[t].b, triples[t].db);
+        ex.submit({BbopInstr::trsp(triples[t].a, 16),
+                   BbopInstr::trsp(triples[t].b, 16),
+                   BbopInstr::trsp(triples[t].y, 16)})
+            .wait();
+    }
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            const Triple &tr = triples[t];
+            std::vector<StreamHandle> handles;
+            for (size_t s = 0; s < kStreamsPerThread; ++s)
+                handles.push_back(ex.submit(
+                    {BbopInstr::binary(OpKind::Add, 16, tr.y,
+                                       tr.a, tr.b)}));
+            // Every identical stream must report identical,
+            // correctly isolated per-stream stats.
+            uint64_t aaps = 0;
+            for (auto &h : handles) {
+                const StreamResult r = h.wait();
+                if (aaps == 0)
+                    aaps = r.compute.aaps;
+                if (r.compute.aaps != aaps ||
+                    r.compute.latencyNs <= 0.0)
+                    ++failures;
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    for (size_t t = 0; t < kThreads; ++t) {
+        ex.submit({BbopInstr::trspInv(triples[t].y, 16)}).wait();
+        const auto out = ex.readObject(triples[t].y);
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(out[i],
+                      (triples[t].da[i] + triples[t].db[i]) &
+                          0xffff)
+                << "thread " << t << " element " << i;
+    }
+}
+
+// ---------------------------------------------------------------
+// Paper workloads through the group
+// ---------------------------------------------------------------
+
+TEST(RuntimeApps, TpchRunsShardedAcrossDevices)
+{
+    DeviceGroup g(testCfg(), 3);
+    EXPECT_TRUE(tpchVerify(g));
+}
+
+TEST(RuntimeApps, BrightnessRunsShardedAcrossDevices)
+{
+    DeviceGroup g(testCfg(), 3);
+    EXPECT_TRUE(brightnessVerify(g));
+}
+
+TEST(RuntimeApps, AppsWorkOnSingleDeviceGroup)
+{
+    // A 1-device group degenerates to the plain Processor path.
+    DeviceGroup gt(testCfg(), 1);
+    EXPECT_TRUE(tpchVerify(gt));
+    DeviceGroup gb(testCfg(), 1);
+    EXPECT_TRUE(brightnessVerify(gb));
+}
+
+} // namespace
+} // namespace simdram

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fail CI when a benchmark speedup regresses below its floor.
+
+Usage:
+    check_bench_floor.py BENCH_kernels.json tools/bench_floors.json
+                         [--allow-smoke]
+
+The first argument is the artifact written by a harness-based bench
+driver (bench/harness.h); the second maps speedup names (the "name"
+field of the artifact's "speedups" entries) to minimum acceptable
+factors. Floors are deliberately far below locally observed numbers
+so only genuine regressions -- not shared-runner noise -- trip them.
+
+Exit status: 0 if every configured floor holds, 1 on any violation or
+missing speedup, 2 on usage/artifact errors. Artifacts produced with
+--smoke (one timing iteration) are rejected unless --allow-smoke is
+given, because their timings are meaningless.
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = {a for a in argv[1:] if a.startswith("--")}
+    unknown = flags - {"--allow-smoke"}
+    if len(args) != 2 or unknown:
+        sys.stderr.write(__doc__)
+        return 2
+
+    bench_path, floors_path = args
+    try:
+        with open(bench_path) as f:
+            bench = json.load(f)
+        with open(floors_path) as f:
+            floors = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    if bench.get("mode") == "smoke" and "--allow-smoke" not in flags:
+        print(
+            "error: artifact was produced with --smoke; its timings "
+            "are meaningless for floor checks (pass --allow-smoke "
+            "to override)",
+            file=sys.stderr,
+        )
+        return 2
+
+    measured = {s["name"]: s["speedup"] for s in bench.get("speedups", [])}
+    failures = 0
+    print(f"{'speedup':<50} {'floor':>8} {'actual':>8}")
+    for name, floor in sorted(floors.items()):
+        actual = measured.get(name)
+        if actual is None:
+            print(f"{name:<50} {floor:>8.2f}  MISSING")
+            failures += 1
+            continue
+        status = "ok" if actual >= floor else "REGRESSED"
+        print(f"{name:<50} {floor:>8.2f} {actual:>8.2f}  {status}")
+        if actual < floor:
+            failures += 1
+
+    if failures:
+        print(f"\n{failures} floor violation(s)", file=sys.stderr)
+        return 1
+    print("\nall floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
