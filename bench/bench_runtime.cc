@@ -53,9 +53,10 @@ struct RuntimeFixture
     StreamExecutor ex;
     uint16_t a, b, y;
 
-    explicit RuntimeFixture(size_t devices)
+    explicit RuntimeFixture(size_t devices,
+                            StreamExecutorOptions opts = {})
         : group(deviceCfg(), devices),
-          ex(group),
+          ex(group, opts),
           a(ex.defineObject(kElements, 32)),
           b(ex.defineObject(kElements, 32)),
           y(ex.defineObject(kElements, 32))
@@ -100,6 +101,34 @@ benchWideRow(bench::Harness &h, size_t devices)
     // Wall clock: how fast the simulator executes the stream.
     h.run("runtime/add32-wide/wall/" + tag, items,
           [&] { f.ex.submit(stream).wait(); });
+}
+
+void
+benchBoundedPipeline(bench::Harness &h, size_t devices)
+{
+    // Backpressure path: a deep pipeline of streams against bounded
+    // per-device queues (depth 4, Block). Submission runs ahead of
+    // the devices until it hits the bound, so this times the steady
+    // saturated state of the service rather than one stream at a
+    // time.
+    RuntimeFixture f(devices,
+                     {/*maxQueuedStreams=*/4,
+                      BackpressurePolicy::Block});
+    const std::vector<BbopInstr> stream = f.addStream();
+    constexpr size_t kPipeline = 8;
+    const size_t items = kElements * kOpsPerStream * kPipeline;
+    h.run("runtime/add32-wide/wall-bounded-q4/d" +
+              std::to_string(devices),
+          items, [&] {
+              std::vector<StreamHandle> hs;
+              hs.reserve(kPipeline);
+              for (size_t i = 0; i < kPipeline; ++i)
+                  hs.push_back(f.ex.submit(stream));
+              for (auto &x : hs)
+                  x.wait();
+          });
+    std::printf("   bounded queue high watermark: %zu\n",
+                f.ex.queueHighWatermark());
 }
 
 void
@@ -158,6 +187,8 @@ main(int argc, char **argv)
                     devices == 1 ? "" : "s");
         benchWideRow(h, devices);
         benchBrightnessStream(h, devices);
+        if (devices == 1 || devices == 4)
+            benchBoundedPipeline(h, devices);
     }
 
     h.speedup("runtime wide-row throughput 2 devices vs 1",

@@ -1,9 +1,41 @@
 #include "apps/bitweaving.h"
 
 #include "common/rng.h"
+#include "runtime/stream_executor.h"
 
 namespace simdram
 {
+
+namespace
+{
+
+// Shared shape of the small verification scan.
+constexpr size_t kScanRows = 400, kScanBits = 12;
+constexpr uint64_t kScanLo = 500, kScanHi = 3000;
+
+std::vector<uint64_t>
+randomColumn(uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint64_t> col(kScanRows);
+    for (auto &v : col)
+        v = rng.below(1 << kScanBits);
+    return col;
+}
+
+bool
+bitmapMatchesHost(const std::vector<uint64_t> &col,
+                  const std::vector<uint64_t> &match)
+{
+    for (size_t i = 0; i < kScanRows; ++i) {
+        const bool expect = col[i] >= kScanLo && col[i] < kScanHi;
+        if ((match[i] & 1) != (expect ? 1u : 0u))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
 
 KernelCost
 bitweavingCost(BulkEngine &engine, const BitweavingSpec &spec)
@@ -18,36 +50,63 @@ bitweavingCost(BulkEngine &engine, const BitweavingSpec &spec)
 bool
 bitweavingVerify(Processor &proc, uint64_t seed)
 {
-    constexpr size_t rows = 400, bits = 12;
-    const uint64_t lo = 500, hi = 3000;
+    const std::vector<uint64_t> col = randomColumn(seed);
 
-    Rng rng(seed);
-    std::vector<uint64_t> col(rows);
-    for (auto &v : col)
-        v = rng.below(1 << bits);
-
-    auto vcol = proc.alloc(rows, bits);
-    auto vconst = proc.alloc(rows, bits);
-    auto m1 = proc.alloc(rows, 1);
-    auto m2 = proc.alloc(rows, 1);
-    auto mout = proc.alloc(rows, 1);
+    auto vcol = proc.alloc(kScanRows, kScanBits);
+    auto vconst = proc.alloc(kScanRows, kScanBits);
+    auto m1 = proc.alloc(kScanRows, 1);
+    auto m2 = proc.alloc(kScanRows, 1);
+    auto mout = proc.alloc(kScanRows, 1);
 
     proc.store(vcol, col);
 
     // Predicate constants come from in-DRAM initialization.
-    proc.fillConstant(vconst, lo);
+    proc.fillConstant(vconst, kScanLo);
     proc.run(OpKind::Ge, m1, vcol, vconst);
-    proc.fillConstant(vconst, hi);
+    proc.fillConstant(vconst, kScanHi);
     proc.run(OpKind::Gt, m2, vconst, vcol);
     proc.run(OpKind::BitAnd, mout, m1, m2);
 
-    const auto match = proc.load(mout);
-    for (size_t i = 0; i < rows; ++i) {
-        const bool expect = col[i] >= lo && col[i] < hi;
-        if ((match[i] & 1) != (expect ? 1u : 0u))
-            return false;
-    }
-    return true;
+    return bitmapMatchesHost(col, proc.load(mout));
+}
+
+bool
+bitweavingVerify(DeviceGroup &group, uint64_t seed)
+{
+    constexpr auto w = static_cast<uint8_t>(kScanBits);
+    const std::vector<uint64_t> col = randomColumn(seed);
+
+    StreamExecutor ex(group,
+                      {/*maxQueuedStreams=*/2,
+                       BackpressurePolicy::Block});
+    const uint16_t ocol = ex.defineObject(kScanRows, kScanBits);
+    const uint16_t oconst = ex.defineObject(kScanRows, kScanBits);
+    const uint16_t om1 = ex.defineObject(kScanRows, 1);
+    const uint16_t om2 = ex.defineObject(kScanRows, 1);
+    const uint16_t omout = ex.defineObject(kScanRows, 1);
+    ex.writeObject(ocol, col);
+
+    // The whole scan as one stream of encoded 64-bit bbop words —
+    // exactly what a host core would write to the controller.
+    std::vector<uint64_t> words;
+    for (const BbopInstr &i :
+         {BbopInstr::trsp(ocol, w), BbopInstr::trsp(oconst, w),
+          BbopInstr::trsp(om1, 1), BbopInstr::trsp(om2, 1),
+          BbopInstr::trsp(omout, 1),
+          BbopInstr::init(oconst, w, kScanLo),
+          BbopInstr::binary(OpKind::Ge, w, om1, ocol, oconst),
+          BbopInstr::init(oconst, w, kScanHi),
+          BbopInstr::binary(OpKind::Gt, w, om2, oconst, ocol),
+          BbopInstr::binary(OpKind::BitAnd, 1, omout, om1, om2),
+          BbopInstr::trspInv(omout, 1)})
+        words.push_back(encodeBbop(i));
+
+    const StreamResult r = ex.submit(words).wait();
+    if (r.instructions != words.size() ||
+        r.compute.latencyNs <= 0.0)
+        return false;
+
+    return bitmapMatchesHost(col, ex.readObject(omout));
 }
 
 } // namespace simdram

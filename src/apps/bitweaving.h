@@ -16,6 +16,7 @@
 
 #include "apps/engine.h"
 #include "exec/processor.h"
+#include "runtime/device_group.h"
 
 namespace simdram
 {
@@ -36,6 +37,16 @@ KernelCost bitweavingCost(BulkEngine &engine,
  * in-DRAM match bitmap to a host evaluation.
  */
 bool bitweavingVerify(Processor &proc, uint64_t seed = 11);
+
+/**
+ * Multi-device variant: the whole scan (range-predicate constants
+ * materialized in DRAM by bbop_init, two comparisons, mask combine)
+ * is submitted as a single *encoded* bbop word stream to a
+ * StreamExecutor over @p group (bounded queues enabled), with the
+ * column sharded across the group's devices. Verifies the match
+ * bitmap against the same host evaluation.
+ */
+bool bitweavingVerify(DeviceGroup &group, uint64_t seed = 11);
 
 } // namespace simdram
 

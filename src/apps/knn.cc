@@ -1,6 +1,7 @@
 #include "apps/knn.h"
 
 #include "common/rng.h"
+#include "runtime/stream_executor.h"
 
 namespace simdram
 {
@@ -16,55 +17,54 @@ knnCost(BulkEngine &engine, const KnnSpec &spec)
     return cost;
 }
 
-bool
-knnVerify(Processor &proc, uint64_t seed)
+namespace
 {
-    constexpr size_t refs = 200, dims = 8, bits = 16;
-    constexpr uint64_t mask = (1ULL << bits) - 1;
 
+// Shared shape of the small verification instance; both verifies run
+// the same data and compare against the same host argmin.
+constexpr size_t kRefs = 200, kDims = 8, kBits = 16;
+constexpr uint64_t kMask = (1ULL << kBits) - 1;
+
+struct KnnInstance
+{
+    std::vector<std::vector<uint64_t>> ref; ///< [dim][point].
+    std::vector<uint64_t> query;            ///< [dim].
+};
+
+KnnInstance
+makeInstance(uint64_t seed)
+{
     Rng rng(seed);
-    std::vector<std::vector<uint64_t>> ref(dims,
-                                           std::vector<uint64_t>(refs));
-    std::vector<uint64_t> query(dims);
-    for (auto &col : ref)
+    KnnInstance in;
+    in.ref.assign(kDims, std::vector<uint64_t>(kRefs));
+    in.query.resize(kDims);
+    for (auto &col : in.ref)
         for (auto &v : col)
             v = rng.below(200);
-    for (auto &v : query)
+    for (auto &v : in.query)
         v = rng.below(200);
+    return in;
+}
 
-    auto vref = proc.alloc(refs, bits);
-    auto vq = proc.alloc(refs, bits);
-    auto vdiff = proc.alloc(refs, bits);
-    auto vabs = proc.alloc(refs, bits);
-    auto va = proc.alloc(refs, bits);
-    auto vb = proc.alloc(refs, bits);
-
-    proc.fillConstant(va, 0);
-    bool into_b = true;
-    for (size_t d = 0; d < dims; ++d) {
-        proc.store(vref, ref[d]);
-        proc.fillConstant(vq, query[d]); // broadcast via bbop_init
-        proc.run(OpKind::Sub, vdiff, vref, vq);
-        proc.run(OpKind::Abs, vabs, vdiff);
-        if (into_b)
-            proc.run(OpKind::Add, vb, va, vabs);
-        else
-            proc.run(OpKind::Add, va, vb, vabs);
-        into_b = !into_b;
-    }
-    const auto dist = proc.load(into_b ? va : vb);
-
-    // Host reference + argmin comparison.
+/**
+ * Checks the simulated L1 distances element-wise against the host
+ * and compares the argmins.
+ */
+bool
+distancesMatchHost(const KnnInstance &in,
+                   const std::vector<uint64_t> &dist)
+{
     size_t best_sim = 0, best_host = 0;
     uint64_t best_sim_d = ~0ULL, best_host_d = ~0ULL;
-    for (size_t i = 0; i < refs; ++i) {
+    for (size_t i = 0; i < kRefs; ++i) {
         uint64_t d_host = 0;
-        for (size_t d = 0; d < dims; ++d) {
-            const int64_t diff = static_cast<int64_t>(ref[d][i]) -
-                                 static_cast<int64_t>(query[d]);
+        for (size_t d = 0; d < kDims; ++d) {
+            const int64_t diff =
+                static_cast<int64_t>(in.ref[d][i]) -
+                static_cast<int64_t>(in.query[d]);
             d_host += static_cast<uint64_t>(diff < 0 ? -diff : diff);
         }
-        d_host &= mask;
+        d_host &= kMask;
         if (dist[i] != d_host)
             return false;
         if (dist[i] < best_sim_d) {
@@ -77,6 +77,103 @@ knnVerify(Processor &proc, uint64_t seed)
         }
     }
     return best_sim == best_host;
+}
+
+} // namespace
+
+bool
+knnVerify(Processor &proc, uint64_t seed)
+{
+    const KnnInstance in = makeInstance(seed);
+
+    auto vref = proc.alloc(kRefs, kBits);
+    auto vq = proc.alloc(kRefs, kBits);
+    auto vdiff = proc.alloc(kRefs, kBits);
+    auto vabs = proc.alloc(kRefs, kBits);
+    auto va = proc.alloc(kRefs, kBits);
+    auto vb = proc.alloc(kRefs, kBits);
+
+    proc.fillConstant(va, 0);
+    bool into_b = true;
+    for (size_t d = 0; d < kDims; ++d) {
+        proc.store(vref, in.ref[d]);
+        proc.fillConstant(vq, in.query[d]); // broadcast via bbop_init
+        proc.run(OpKind::Sub, vdiff, vref, vq);
+        proc.run(OpKind::Abs, vabs, vdiff);
+        if (into_b)
+            proc.run(OpKind::Add, vb, va, vabs);
+        else
+            proc.run(OpKind::Add, va, vb, vabs);
+        into_b = !into_b;
+    }
+    return distancesMatchHost(in, proc.load(into_b ? va : vb));
+}
+
+bool
+knnVerify(DeviceGroup &group, uint64_t seed)
+{
+    constexpr auto w = static_cast<uint8_t>(kBits);
+    const KnnInstance in = makeInstance(seed);
+
+    // Bounded queues: the per-dimension streams below are submitted
+    // without waiting, so submission runs ahead of the devices and
+    // the Block policy throttles it.
+    StreamExecutor ex(group,
+                      {/*maxQueuedStreams=*/2,
+                       BackpressurePolicy::Block});
+
+    // One sharded object per reference dimension, so every distance
+    // stream is independent of host writes once set up.
+    std::vector<uint16_t> oref(kDims);
+    for (size_t d = 0; d < kDims; ++d)
+        oref[d] = ex.defineObject(kRefs, kBits);
+    const uint16_t oq = ex.defineObject(kRefs, kBits);
+    const uint16_t odiff = ex.defineObject(kRefs, kBits);
+    const uint16_t oabs = ex.defineObject(kRefs, kBits);
+    const uint16_t oa = ex.defineObject(kRefs, kBits);
+    const uint16_t ob = ex.defineObject(kRefs, kBits);
+    for (size_t d = 0; d < kDims; ++d)
+        ex.writeObject(oref[d], in.ref[d]);
+
+    std::vector<BbopInstr> setup;
+    for (size_t d = 0; d < kDims; ++d)
+        setup.push_back(BbopInstr::trsp(oref[d], w));
+    for (uint16_t o : {oq, odiff, oabs, oa, ob})
+        setup.push_back(BbopInstr::trsp(o, w));
+    setup.push_back(BbopInstr::init(oa, w, 0));
+
+    std::vector<StreamHandle> handles;
+    handles.push_back(ex.submit(setup));
+
+    // One stream per dimension: broadcast the query coordinate in
+    // DRAM (bbop_init), subtract, absolute value, accumulate into
+    // the ping-pong accumulator. FIFO order keeps this correct even
+    // though nothing waits in between.
+    bool into_b = true;
+    for (size_t d = 0; d < kDims; ++d) {
+        const uint16_t acc_src = into_b ? oa : ob;
+        const uint16_t acc_dst = into_b ? ob : oa;
+        handles.push_back(ex.submit(
+            {BbopInstr::init(oq, w, in.query[d]),
+             BbopInstr::binary(OpKind::Sub, w, odiff, oref[d], oq),
+             BbopInstr::unary(OpKind::Abs, w, oabs, odiff),
+             BbopInstr::binary(OpKind::Add, w, acc_dst, acc_src,
+                               oabs)}));
+        into_b = !into_b;
+    }
+    const uint16_t oacc = into_b ? oa : ob;
+    handles.push_back(ex.submit({BbopInstr::trspInv(oacc, w)}));
+
+    for (auto &h : handles) {
+        const StreamResult r = h.wait();
+        if (r.instructions == 0)
+            return false;
+    }
+    // The bound must have been honored by every submit.
+    if (ex.queueHighWatermark() == 0 || ex.queueHighWatermark() > 2)
+        return false;
+
+    return distancesMatchHost(in, ex.readObject(oacc));
 }
 
 } // namespace simdram

@@ -17,6 +17,7 @@
 
 #include "apps/engine.h"
 #include "exec/processor.h"
+#include "runtime/device_group.h"
 
 namespace simdram
 {
@@ -38,6 +39,17 @@ KernelCost knnCost(BulkEngine &engine, const KnnSpec &spec);
  * neighbor, and compares against a host computation.
  */
 bool knnVerify(Processor &proc, uint64_t seed = 321);
+
+/**
+ * Multi-device variant: the distance pipeline runs as bbop
+ * instruction streams (one per dimension, pipelined without waiting)
+ * through a StreamExecutor over @p group, with the reference columns
+ * sharded across the group's devices and the query coordinates
+ * broadcast by bbop_init. Bounded per-device queues are enabled, so
+ * the per-dimension streams exercise backpressure. The final top-k
+ * selection stays on the host, as in the paper.
+ */
+bool knnVerify(DeviceGroup &group, uint64_t seed = 321);
 
 } // namespace simdram
 

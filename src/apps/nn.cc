@@ -2,6 +2,7 @@
 
 #include "baseline/host_kernels.h"
 #include "common/rng.h"
+#include "runtime/stream_executor.h"
 
 namespace simdram
 {
@@ -106,57 +107,113 @@ nnCost(BulkEngine &engine, const NnModel &model)
     return cost;
 }
 
+namespace
+{
+
+// Shared shape of the verification tile: a 2-in-channel, 2-filter,
+// 4x4-output, 3x3 convolution with ReLU, lane-per-output-pixel.
+constexpr size_t kInC = 2, kOutC = 2, kOutH = 4, kOutW = 4, kK = 3;
+constexpr size_t kInH = kOutH + kK - 1, kInW = kOutW + kK - 1;
+constexpr size_t kLanes = kOutH * kOutW;
+constexpr size_t kConvBits = 16;
+constexpr uint64_t kConvMask = (1ULL << kConvBits) - 1;
+
+struct ConvTile
+{
+    std::vector<int64_t> input;
+    std::vector<int64_t> weight;
+
+    int64_t
+    inAt(size_t c, size_t y, size_t x) const
+    {
+        return input[(c * kInH + y) * kInW + x];
+    }
+
+    int64_t
+    wAt(size_t f, size_t c, size_t ky, size_t kx) const
+    {
+        return weight[((f * kInC + c) * kK + ky) * kK + kx];
+    }
+
+    /** Activations of one kernel tap, gathered lane-per-pixel. */
+    std::vector<uint64_t>
+    taps(size_t c, size_t ky, size_t kx) const
+    {
+        std::vector<uint64_t> xs(kLanes);
+        for (size_t oy = 0; oy < kOutH; ++oy)
+            for (size_t ox = 0; ox < kOutW; ++ox)
+                xs[oy * kOutW + ox] =
+                    static_cast<uint64_t>(inAt(c, oy + ky, ox + kx)) &
+                    kConvMask;
+        return xs;
+    }
+
+    /** Host reference for filter @p f, post-ReLU and masked. */
+    bool
+    matchesHost(size_t f, const std::vector<uint64_t> &got) const
+    {
+        for (size_t oy = 0; oy < kOutH; ++oy) {
+            for (size_t ox = 0; ox < kOutW; ++ox) {
+                int64_t sum = 0;
+                for (size_t c = 0; c < kInC; ++c)
+                    for (size_t ky = 0; ky < kK; ++ky)
+                        for (size_t kx = 0; kx < kK; ++kx)
+                            sum += inAt(c, oy + ky, ox + kx) *
+                                   wAt(f, c, ky, kx);
+                const uint64_t expect =
+                    sum < 0 ? 0
+                            : (static_cast<uint64_t>(sum) &
+                               kConvMask);
+                if (got[oy * kOutW + ox] != expect)
+                    return false;
+            }
+        }
+        return true;
+    }
+};
+
+ConvTile
+makeTile(uint64_t seed)
+{
+    Rng rng(seed);
+    ConvTile t;
+    // Small magnitudes keep the int16 accumulator exact.
+    t.input.resize(kInC * kInH * kInW);
+    for (auto &v : t.input)
+        v = static_cast<int64_t>(rng.below(8));
+    t.weight.resize(kOutC * kInC * kK * kK);
+    for (auto &v : t.weight)
+        v = static_cast<int64_t>(rng.below(8)) - 4;
+    return t;
+}
+
+} // namespace
+
 bool
 nnVerifyConvTile(Processor &proc, uint64_t seed)
 {
-    // A 2-in-channel, 2-filter, 4x4-output, 3x3 convolution with
-    // ReLU, executed on the SIMDRAM substrate lane-per-output-pixel.
-    constexpr size_t in_c = 2, out_c = 2, out_h = 4, out_w = 4, k = 3;
-    constexpr size_t in_h = out_h + k - 1, in_w = out_w + k - 1;
-    constexpr size_t lanes = out_h * out_w;
-    constexpr size_t w_bits = 16;
-    constexpr uint64_t mask = (1ULL << w_bits) - 1;
-
-    Rng rng(seed);
-    // Small magnitudes keep the int16 accumulator exact.
-    std::vector<int64_t> input(in_c * in_h * in_w);
-    for (auto &v : input)
-        v = static_cast<int64_t>(rng.below(8));
-    std::vector<int64_t> weight(out_c * in_c * k * k);
-    for (auto &v : weight)
-        v = static_cast<int64_t>(rng.below(8)) - 4;
-
-    auto in_at = [&](size_t c, size_t y, size_t x) {
-        return input[(c * in_h + y) * in_w + x];
-    };
-    auto w_at = [&](size_t f, size_t c, size_t ky, size_t kx) {
-        return weight[((f * in_c + c) * k + ky) * k + kx];
-    };
+    const ConvTile tile = makeTile(seed);
 
     // Vectors: activation gather, broadcast weight, product, two
     // ping-pong accumulators, and the result.
-    auto vx = proc.alloc(lanes, w_bits);
-    auto vw = proc.alloc(lanes, w_bits);
-    auto vp = proc.alloc(lanes, w_bits);
-    auto va = proc.alloc(lanes, w_bits);
-    auto vb = proc.alloc(lanes, w_bits);
-    auto vy = proc.alloc(lanes, w_bits);
+    auto vx = proc.alloc(kLanes, kConvBits);
+    auto vw = proc.alloc(kLanes, kConvBits);
+    auto vp = proc.alloc(kLanes, kConvBits);
+    auto va = proc.alloc(kLanes, kConvBits);
+    auto vb = proc.alloc(kLanes, kConvBits);
+    auto vy = proc.alloc(kLanes, kConvBits);
 
-    for (size_t f = 0; f < out_c; ++f) {
+    for (size_t f = 0; f < kOutC; ++f) {
         proc.fillConstant(va, 0);
         bool into_b = true;
-        for (size_t c = 0; c < in_c; ++c) {
-            for (size_t ky = 0; ky < k; ++ky) {
-                for (size_t kx = 0; kx < k; ++kx) {
-                    std::vector<uint64_t> xs(lanes);
-                    for (size_t oy = 0; oy < out_h; ++oy)
-                        for (size_t ox = 0; ox < out_w; ++ox)
-                            xs[oy * out_w + ox] = static_cast<uint64_t>(
-                                in_at(c, oy + ky, ox + kx)) & mask;
+        for (size_t c = 0; c < kInC; ++c) {
+            for (size_t ky = 0; ky < kK; ++ky) {
+                for (size_t kx = 0; kx < kK; ++kx) {
                     const uint64_t wv =
-                        static_cast<uint64_t>(w_at(f, c, ky, kx)) &
-                        mask;
-                    proc.store(vx, xs);
+                        static_cast<uint64_t>(
+                            tile.wAt(f, c, ky, kx)) &
+                        kConvMask;
+                    proc.store(vx, tile.taps(c, ky, kx));
                     // Broadcast the scalar weight without touching
                     // the channel (bbop_init path).
                     proc.fillConstant(vw, wv);
@@ -171,23 +228,67 @@ nnVerifyConvTile(Processor &proc, uint64_t seed)
         }
         const auto &acc = into_b ? va : vb;
         proc.run(OpKind::Relu, vy, acc);
-        const auto got = proc.load(vy);
+        if (!tile.matchesHost(f, proc.load(vy)))
+            return false;
+    }
+    return true;
+}
 
-        // Host reference.
-        for (size_t oy = 0; oy < out_h; ++oy) {
-            for (size_t ox = 0; ox < out_w; ++ox) {
-                int64_t sum = 0;
-                for (size_t c = 0; c < in_c; ++c)
-                    for (size_t ky = 0; ky < k; ++ky)
-                        for (size_t kx = 0; kx < k; ++kx)
-                            sum += in_at(c, oy + ky, ox + kx) *
-                                   w_at(f, c, ky, kx);
-                const uint64_t expect =
-                    sum < 0 ? 0 : (static_cast<uint64_t>(sum) & mask);
-                if (got[oy * out_w + ox] != expect)
-                    return false;
+bool
+nnVerifyConvTile(DeviceGroup &group, uint64_t seed)
+{
+    constexpr auto w = static_cast<uint8_t>(kConvBits);
+    const ConvTile tile = makeTile(seed);
+
+    StreamExecutor ex(group,
+                      {/*maxQueuedStreams=*/2,
+                       BackpressurePolicy::Block});
+    const uint16_t ox = ex.defineObject(kLanes, kConvBits);
+    const uint16_t ow = ex.defineObject(kLanes, kConvBits);
+    const uint16_t op = ex.defineObject(kLanes, kConvBits);
+    const uint16_t oa = ex.defineObject(kLanes, kConvBits);
+    const uint16_t ob = ex.defineObject(kLanes, kConvBits);
+    const uint16_t oy = ex.defineObject(kLanes, kConvBits);
+
+    ex.submit({BbopInstr::trsp(ox, w), BbopInstr::trsp(ow, w),
+               BbopInstr::trsp(op, w), BbopInstr::trsp(oa, w),
+               BbopInstr::trsp(ob, w), BbopInstr::trsp(oy, w)})
+        .wait();
+
+    for (size_t f = 0; f < kOutC; ++f) {
+        ex.submit({BbopInstr::init(oa, w, 0)});
+        bool into_b = true;
+        for (size_t c = 0; c < kInC; ++c) {
+            for (size_t ky = 0; ky < kK; ++ky) {
+                for (size_t kx = 0; kx < kK; ++kx) {
+                    const uint64_t wv =
+                        static_cast<uint64_t>(
+                            tile.wAt(f, c, ky, kx)) &
+                        kConvMask;
+                    // Activations cross the channel; the scalar
+                    // weight broadcasts in DRAM (bbop_init).
+                    ex.writeObject(ox, tile.taps(c, ky, kx));
+                    const uint16_t acc_src = into_b ? oa : ob;
+                    const uint16_t acc_dst = into_b ? ob : oa;
+                    ex.submit(
+                        {BbopInstr::init(ow, w, wv),
+                         BbopInstr::binary(OpKind::Mul, w, op, ox,
+                                           ow),
+                         BbopInstr::binary(OpKind::Add, w, acc_dst,
+                                           acc_src, op)});
+                    into_b = !into_b;
+                }
             }
         }
+        const uint16_t oacc = into_b ? oa : ob;
+        const StreamResult r =
+            ex.submit({BbopInstr::unary(OpKind::Relu, w, oy, oacc),
+                       BbopInstr::trspInv(oy, w)})
+                .wait();
+        if (r.instructions != 2)
+            return false;
+        if (!tile.matchesHost(f, ex.readObject(oy)))
+            return false;
     }
     return true;
 }

@@ -25,6 +25,7 @@
 
 #include "apps/engine.h"
 #include "exec/processor.h"
+#include "runtime/device_group.h"
 
 namespace simdram
 {
@@ -86,6 +87,17 @@ KernelCost nnCost(BulkEngine &engine, const NnModel &model);
  * @return True on exact match.
  */
 bool nnVerifyConvTile(Processor &proc, uint64_t seed = 123);
+
+/**
+ * Multi-device variant: the same conv tile through a StreamExecutor
+ * over @p group (bounded queues enabled), lane-per-output-pixel
+ * sharded across the group's devices. Each kernel tap is one bbop
+ * stream — the scalar weight is broadcast in DRAM by bbop_init, the
+ * partial product multiplied and accumulated by bbop ops — and each
+ * filter ends with an in-DRAM ReLU. Compares every output against
+ * the same host reference as the single-device verify.
+ */
+bool nnVerifyConvTile(DeviceGroup &group, uint64_t seed = 123);
 
 } // namespace simdram
 

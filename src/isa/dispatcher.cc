@@ -39,18 +39,28 @@ BbopDispatcher::readObject(uint16_t id) const
     return object(id).hostImage;
 }
 
+BbopObjectShape
+BbopDispatcher::shape(uint16_t id) const
+{
+    const ObjectInfo &obj = objects_[id];
+    return {obj.elements, obj.bits, obj.vertical};
+}
+
 void
 BbopDispatcher::exec(const BbopInstr &instr)
 {
-    if (instr.width == 0 || instr.width > 64)
-        bbopError("bbop: element width " +
-                  std::to_string(int{instr.width}) +
-                  " outside [1, 64]");
+    // All rule checking lives in the shared validator.
+    BbopValidator validator(*this);
+    validator.check(instr);
+    execValidated(instr);
+}
+
+void
+BbopDispatcher::execValidated(const BbopInstr &instr)
+{
     switch (instr.opcode) {
       case BbopOpcode::Trsp: {
         ObjectInfo &obj = object(instr.dst);
-        if (instr.width != obj.bits)
-            bbopError("bbop_trsp: width mismatch with object");
         if (!obj.vertical) {
             obj.vec = proc_->alloc(obj.elements, obj.bits);
             obj.vertical = true;
@@ -60,20 +70,12 @@ BbopDispatcher::exec(const BbopInstr &instr)
       }
       case BbopOpcode::TrspInv: {
         ObjectInfo &obj = object(instr.dst);
-        if (!obj.vertical)
-            bbopError("bbop_trsp_inv: object is not vertical");
-        if (instr.width != obj.bits)
-            bbopError("bbop_trsp_inv: width mismatch with object");
         obj.hostImage = proc_->load(obj.vec);
         return;
       }
       case BbopOpcode::Init: {
         ObjectInfo &obj = object(instr.dst);
-        if (!obj.vertical)
-            bbopError("bbop_init: object is not vertical");
         const uint64_t imm = instr.initImmediate();
-        if (obj.bits < 64 && (imm >> obj.bits) != 0)
-            bbopError("bbop_init: immediate wider than the object");
         proc_->fillConstant(obj.vec, imm);
         obj.hostImage.assign(obj.elements, imm);
         return;
@@ -82,15 +84,6 @@ BbopDispatcher::exec(const BbopInstr &instr)
       case BbopOpcode::ShiftR: {
         ObjectInfo &dst_o = object(instr.dst);
         ObjectInfo &src_o = object(instr.src1);
-        if (!dst_o.vertical || !src_o.vertical)
-            bbopError("bbop_sh*: objects must be vertical");
-        if (instr.dst == instr.src1)
-            bbopError("bbop_sh*: in-place shift is not supported");
-        if (dst_o.bits != src_o.bits ||
-            dst_o.elements != src_o.elements)
-            bbopError("bbop_sh*: shape mismatch");
-        if (instr.width != dst_o.bits)
-            bbopError("bbop_sh*: width mismatch with objects");
         const auto amount = static_cast<size_t>(instr.sel);
         if (instr.opcode == BbopOpcode::ShiftL)
             proc_->shiftLeft(dst_o.vec, src_o.vec, amount);
@@ -100,64 +93,19 @@ BbopDispatcher::exec(const BbopInstr &instr)
       }
       case BbopOpcode::Op:
         break;
-      default:
-        // A BbopInstr built from a raw opcode value (decodeBbop
-        // rejects these already) must not fall through to the Op
-        // path below as the seed code did.
-        bbopError("bbop: unknown opcode " +
-                  std::to_string(static_cast<int>(instr.opcode)));
     }
-
-    if (static_cast<size_t>(instr.op) >= kOpKindCount)
-        bbopError("bbop: unknown operation " +
-                  std::to_string(static_cast<int>(instr.op)));
 
     ObjectInfo &dst = object(instr.dst);
     ObjectInfo &src1 = object(instr.src1);
-    if (!dst.vertical)
-        bbopError("bbop: destination object is not vertical; "
-                  "issue bbop_trsp first");
-    if (!src1.vertical)
-        bbopError("bbop: source object is not vertical");
-    if (instr.width != src1.bits)
-        bbopError("bbop: instruction width " +
-                  std::to_string(int{instr.width}) +
-                  " does not match source object width " +
-                  std::to_string(src1.bits));
-
     const auto sig = signatureOf(instr.op, instr.width);
-    if (dst.bits != sig.outWidth)
-        bbopError("bbop: destination object must be " +
-                  std::to_string(sig.outWidth) + " bits wide");
-    if (instr.dst == instr.src1 ||
-        (sig.numInputs == 2 && instr.dst == instr.src2) ||
-        (sig.hasSel && instr.dst == instr.sel))
-        bbopError("bbop: in-place execution is not supported");
-    if (src1.elements != dst.elements)
-        bbopError("bbop: operand element counts differ");
     if (sig.numInputs == 1) {
         proc_->run(instr.op, dst.vec, src1.vec);
     } else if (!sig.hasSel) {
         ObjectInfo &src2 = object(instr.src2);
-        if (!src2.vertical)
-            bbopError("bbop: source object is not vertical");
-        if (src2.bits != instr.width)
-            bbopError("bbop: operand width mismatch");
-        if (src2.elements != dst.elements)
-            bbopError("bbop: operand element counts differ");
         proc_->run(instr.op, dst.vec, src1.vec, src2.vec);
     } else {
         ObjectInfo &src2 = object(instr.src2);
         ObjectInfo &sel = object(instr.sel);
-        if (!src2.vertical || !sel.vertical)
-            bbopError("bbop: source object is not vertical");
-        if (src2.bits != instr.width)
-            bbopError("bbop: operand width mismatch");
-        if (src2.elements != dst.elements ||
-            sel.elements != dst.elements)
-            bbopError("bbop: operand element counts differ");
-        if (sel.bits != 1)
-            bbopError("bbop: predicate must be 1 bit wide");
         proc_->run(instr.op, dst.vec, src1.vec, src2.vec, sel.vec);
     }
 }
@@ -165,8 +113,18 @@ BbopDispatcher::exec(const BbopInstr &instr)
 void
 BbopDispatcher::exec(const std::vector<BbopInstr> &stream)
 {
-    for (const auto &i : stream)
-        exec(i);
+    // One validator for the whole stream: its layout scratch tracks
+    // the same trsp effects execution applies, so each instruction
+    // is checked against the state it will actually observe —
+    // without re-snapshotting the object table per instruction.
+    // Per-instruction semantics are unchanged: a malformed
+    // instruction throws after its predecessors executed, exactly
+    // like issuing the bbops one at a time.
+    BbopValidator validator(*this);
+    for (const auto &i : stream) {
+        validator.check(i);
+        execValidated(i);
+    }
 }
 
 BbopDispatcher::ObjectInfo &

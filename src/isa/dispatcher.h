@@ -26,12 +26,19 @@
 
 #include "exec/processor.h"
 #include "isa/bbop.h"
+#include "isa/validate.h"
 
 namespace simdram
 {
 
-/** Executes bbop instructions against a Processor. */
-class BbopDispatcher
+/**
+ * Executes bbop instructions against a Processor.
+ *
+ * Every instruction is validated by the shared BbopValidator
+ * (src/isa/validate.cc) before it touches the machine — the same
+ * rules the StreamExecutor enforces at stream submission.
+ */
+class BbopDispatcher : private BbopObjectView
 {
   public:
     /** @param proc Processor to drive (borrowed; must outlive). */
@@ -67,6 +74,13 @@ class BbopDispatcher
 
     ObjectInfo &object(uint16_t id);
     const ObjectInfo &object(uint16_t id) const;
+
+    /** Executes an instruction the validator has already accepted. */
+    void execValidated(const BbopInstr &instr);
+
+    // BbopObjectView over the object table (for the validator).
+    size_t objectCount() const override { return objects_.size(); }
+    BbopObjectShape shape(uint16_t id) const override;
 
     Processor *proc_;
     std::vector<ObjectInfo> objects_;

@@ -77,12 +77,15 @@ struct StreamExecutor::Worker
     std::mutex mu;
     std::condition_variable cv;      ///< New work or stop.
     std::condition_variable idle_cv; ///< Queue drained and not busy.
+    std::condition_variable space_cv; ///< A queued job was popped.
     std::deque<Job> q;
     bool busy = false;
     bool stop = false;
 };
 
-StreamExecutor::StreamExecutor(DeviceGroup &group) : group_(&group)
+StreamExecutor::StreamExecutor(DeviceGroup &group,
+                               StreamExecutorOptions opts)
+    : group_(&group), opts_(opts)
 {
     const size_t devices = group.deviceCount();
     workers_.reserve(devices);
@@ -111,6 +114,13 @@ StreamExecutor::workerCount() const
     return workers_.size();
 }
 
+size_t
+StreamExecutor::queueHighWatermark() const
+{
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    return high_watermark_;
+}
+
 StreamExecutor::Object &
 StreamExecutor::object(uint16_t id)
 {
@@ -120,20 +130,29 @@ StreamExecutor::object(uint16_t id)
     return *objects_[id];
 }
 
+BbopObjectShape
+StreamExecutor::shape(uint16_t id) const
+{
+    const Object &obj = *objects_[id];
+    return {obj.elements, obj.bits, obj.vertical};
+}
+
 uint16_t
 StreamExecutor::defineObject(size_t elements, size_t bits)
 {
-    std::lock_guard<std::mutex> lock(submit_mu_);
-    if (objects_.size() >= kNoObject)
-        fatal("StreamExecutor: object table full");
     auto obj = std::make_unique<Object>();
     obj->elements = elements;
     obj->bits = bits;
     obj->hostImage.assign(elements, 0);
     // Reserving the vertical storage up front keeps workers free of
     // allocation: bbop_trsp only moves data. Rows in the functional
-    // model exist either way, so this costs no extra memory.
+    // model exist either way, so this costs no extra memory. The
+    // alloc happens before submit_mu_ so defineObject never nests
+    // the device mutexes inside the submit lock.
     obj->vec = group_->alloc(elements, bits);
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    if (objects_.size() >= kNoObject)
+        fatal("StreamExecutor: object table full");
     objects_.push_back(std::move(obj));
     return static_cast<uint16_t>(objects_.size() - 1);
 }
@@ -168,14 +187,14 @@ StreamExecutor::readObject(uint16_t id)
     return object(id).hostImage;
 }
 
-std::shared_ptr<const std::vector<StreamExecutor::PreparedInstr>>
+StreamExecutor::Prepared
 StreamExecutor::prepare(const std::vector<BbopInstr> &stream)
 {
-    // Validate against a scratch copy of the layout state so a
-    // rejected stream leaves the object table untouched.
-    std::vector<bool> vert(objects_.size());
-    for (size_t i = 0; i < objects_.size(); ++i)
-        vert[i] = objects_[i]->vertical;
+    // All rule checking lives in the shared validator (the same one
+    // the BbopDispatcher uses); it validates against a scratch copy
+    // of the layout state, so a rejected stream leaves the object
+    // table untouched and the caller commits layout() on acceptance.
+    BbopValidator validator(*this);
 
     // Shard geometry is immutable after alloc(), so resolve each
     // distinct object's per-device views once per submit; the
@@ -199,122 +218,35 @@ StreamExecutor::prepare(const std::vector<BbopInstr> &stream)
         return it->second;
     };
 
-    auto obj = [&](uint16_t id) -> Object * {
-        if (id >= objects_.size())
-            bbopError("StreamExecutor: unknown object id d" +
-                      std::to_string(id));
-        return objects_[id].get();
-    };
-
     std::vector<PreparedInstr> out;
     out.reserve(stream.size());
     for (const BbopInstr &in : stream) {
-        if (in.width == 0 || in.width > 64)
-            bbopError("StreamExecutor: element width " +
-                      std::to_string(int{in.width}) +
-                      " outside [1, 64]");
+        validator.check(in); // throws BbopError on the first bad one
+
+        // The instruction is well-formed: resolve its operands.
         PreparedInstr pi;
         pi.instr = in;
         switch (in.opcode) {
-          case BbopOpcode::Trsp: {
-            pi.dst = obj(in.dst);
-            if (in.width != pi.dst->bits)
-                bbopError("bbop_trsp: width mismatch with object");
-            vert[in.dst] = true;
+          case BbopOpcode::Trsp:
+          case BbopOpcode::TrspInv:
+          case BbopOpcode::Init:
+            pi.dst = objects_[in.dst].get();
             break;
-          }
-          case BbopOpcode::TrspInv: {
-            pi.dst = obj(in.dst);
-            if (!vert[in.dst])
-                bbopError("bbop_trsp_inv: object is not vertical");
-            if (in.width != pi.dst->bits)
-                bbopError("bbop_trsp_inv: width mismatch with "
-                          "object");
-            break;
-          }
-          case BbopOpcode::Init: {
-            pi.dst = obj(in.dst);
-            if (!vert[in.dst])
-                bbopError("bbop_init: object is not vertical");
-            const uint64_t imm = in.initImmediate();
-            if (pi.dst->bits < 64 && (imm >> pi.dst->bits) != 0)
-                bbopError("bbop_init: immediate wider than the "
-                          "object");
-            break;
-          }
           case BbopOpcode::ShiftL:
-          case BbopOpcode::ShiftR: {
-            pi.dst = obj(in.dst);
-            pi.src1 = obj(in.src1);
-            if (!vert[in.dst] || !vert[in.src1])
-                bbopError("bbop_sh*: objects must be vertical");
-            if (in.dst == in.src1)
-                bbopError("bbop_sh*: in-place shift is not "
-                          "supported");
-            if (pi.dst->bits != pi.src1->bits ||
-                pi.dst->elements != pi.src1->elements)
-                bbopError("bbop_sh*: shape mismatch");
-            if (in.width != pi.dst->bits)
-                bbopError("bbop_sh*: width mismatch with objects");
+          case BbopOpcode::ShiftR:
+            pi.dst = objects_[in.dst].get();
+            pi.src1 = objects_[in.src1].get();
             break;
-          }
           case BbopOpcode::Op: {
-            if (static_cast<size_t>(in.op) >= kOpKindCount)
-                bbopError("bbop: unknown operation " +
-                          std::to_string(static_cast<int>(in.op)));
             const auto sig = signatureOf(in.op, in.width);
-            pi.dst = obj(in.dst);
-            pi.src1 = obj(in.src1);
-            if (!vert[in.dst])
-                bbopError("bbop: destination object is not "
-                          "vertical; issue bbop_trsp first");
-            if (!vert[in.src1])
-                bbopError("bbop: source object is not vertical");
-            if (in.width != pi.src1->bits)
-                bbopError("bbop: instruction width " +
-                          std::to_string(int{in.width}) +
-                          " does not match source object width " +
-                          std::to_string(pi.src1->bits));
-            if (pi.dst->bits != sig.outWidth)
-                bbopError("bbop: destination object must be " +
-                          std::to_string(sig.outWidth) +
-                          " bits wide");
-            if (pi.dst->elements != pi.src1->elements)
-                bbopError("bbop: operand element counts differ");
-            if (in.dst == in.src1)
-                bbopError("bbop: in-place execution is not "
-                          "supported");
-            if (sig.numInputs == 2) {
-                pi.src2 = obj(in.src2);
-                if (!vert[in.src2])
-                    bbopError("bbop: source object is not vertical");
-                if (pi.src2->bits != in.width)
-                    bbopError("bbop: operand width mismatch");
-                if (pi.src2->elements != pi.dst->elements)
-                    bbopError("bbop: operand element counts differ");
-                if (in.dst == in.src2)
-                    bbopError("bbop: in-place execution is not "
-                              "supported");
-            }
-            if (sig.hasSel) {
-                pi.sel = obj(in.sel);
-                if (!vert[in.sel])
-                    bbopError("bbop: predicate object is not "
-                              "vertical");
-                if (pi.sel->bits != 1)
-                    bbopError("bbop: predicate must be 1 bit wide");
-                if (pi.sel->elements != pi.dst->elements)
-                    bbopError("bbop: operand element counts differ");
-                if (in.dst == in.sel)
-                    bbopError("bbop: in-place execution is not "
-                              "supported");
-            }
+            pi.dst = objects_[in.dst].get();
+            pi.src1 = objects_[in.src1].get();
+            if (sig.numInputs == 2)
+                pi.src2 = objects_[in.src2].get();
+            if (sig.hasSel)
+                pi.sel = objects_[in.sel].get();
             break;
           }
-          default:
-            bbopError("bbop: unknown opcode " +
-                      std::to_string(
-                          static_cast<int>(in.opcode)));
         }
 
         // Attach every operand's per-device shard views, so the
@@ -330,29 +262,74 @@ StreamExecutor::prepare(const std::vector<BbopInstr> &stream)
         out.push_back(std::move(pi));
     }
 
-    // The whole stream is valid: commit the layout-state updates.
-    for (size_t i = 0; i < objects_.size(); ++i)
-        objects_[i]->vertical = vert[i];
-    return std::make_shared<const std::vector<PreparedInstr>>(
+    Prepared p;
+    p.prog = std::make_shared<const std::vector<PreparedInstr>>(
         std::move(out));
+    p.layout = validator.layout();
+    return p;
+}
+
+double
+StreamExecutor::reserveQueueSpace()
+{
+    if (opts_.maxQueuedStreams == 0)
+        return 0.0;
+    // submit_mu_ is held: no other submitter can enqueue, and
+    // workers only ever shrink their queues, so space observed here
+    // still exists when the caller pushes.
+    if (opts_.onFull == BackpressurePolicy::Reject) {
+        for (auto &w : workers_) {
+            std::lock_guard<std::mutex> lock(w->mu);
+            if (w->q.size() >= opts_.maxQueuedStreams)
+                throw StreamRejectedError(
+                    "StreamExecutor: device queue full (" +
+                    std::to_string(opts_.maxQueuedStreams) +
+                    " streams queued)");
+        }
+        return 0.0;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (auto &w : workers_) {
+        std::unique_lock<std::mutex> lock(w->mu);
+        w->space_cv.wait(lock, [&] {
+            return w->q.size() < opts_.maxQueuedStreams;
+        });
+    }
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
 }
 
 StreamHandle
 StreamExecutor::submit(const std::vector<BbopInstr> &stream)
 {
     std::lock_guard<std::mutex> lock(submit_mu_);
-    auto prog = prepare(stream); // throws BbopError; nothing enqueued
+    Prepared p = prepare(stream); // throws BbopError; nothing touched
+
+    // Apply backpressure BEFORE committing anything: a stream turned
+    // away by a full queue (Reject) must be as side-effect-free as a
+    // malformed one.
+    const double blockedNs = reserveQueueSpace();
+
+    // The stream is accepted: commit the layout-state updates.
+    for (size_t i = 0; i < objects_.size(); ++i)
+        objects_[i]->vertical = p.layout[i];
 
     auto st = std::make_shared<detail::StreamState>();
     st->remaining = workers_.size();
-    st->result.instructions = prog->size();
+    st->result.instructions = p.prog->size();
+    st->result.backpressureWaitNs = blockedNs;
     st->t0 = std::chrono::steady_clock::now();
 
+    size_t depth = 0;
     for (auto &w : workers_) {
         std::lock_guard<std::mutex> wl(w->mu);
-        w->q.push_back(Worker::Job{st, prog});
+        w->q.push_back(Worker::Job{st, p.prog});
+        depth = std::max(depth, w->q.size());
         w->cv.notify_one();
     }
+    st->result.queueDepthAtSubmit = depth;
+    high_watermark_ = std::max(high_watermark_, depth);
 
     StreamHandle h;
     h.state_ = std::move(st);
@@ -362,6 +339,9 @@ StreamExecutor::submit(const std::vector<BbopInstr> &stream)
 StreamHandle
 StreamExecutor::submit(const std::vector<uint64_t> &encoded)
 {
+    // Decode the whole stream before validating any of it, so a
+    // stream mixing decode and validation errors is rejected as a
+    // unit either way, with no partial effects.
     std::vector<BbopInstr> stream;
     stream.reserve(encoded.size());
     for (uint64_t w : encoded)
@@ -394,6 +374,7 @@ StreamExecutor::workerMain(size_t d)
             job = std::move(w.q.front());
             w.q.pop_front();
             w.busy = true;
+            w.space_cv.notify_all(); // a blocked submitter may enter
         }
 
         std::exception_ptr err;

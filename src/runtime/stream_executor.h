@@ -10,7 +10,7 @@
  * submitted stream against that device's shards:
  *
  *   DeviceGroup g(cfg, 4);
- *   StreamExecutor ex(g);
+ *   StreamExecutor ex(g, {.maxQueuedStreams = 8});
  *   auto a = ex.defineObject(n, 32);
  *   auto y = ex.defineObject(n, 32);
  *   ex.writeObject(a, data);
@@ -26,10 +26,19 @@
  *  - Submission order is execution order on every device, so results
  *    are bit-exact with running the same streams sequentially on a
  *    single Processor holding the whole (unsharded) vectors.
- *  - submit() validates the whole stream against the object table
- *    (ids, widths, layout state, signatures) and throws BbopError
- *    without enqueuing anything if any instruction is malformed:
- *    a bad stream is rejected as a unit and never reaches a device.
+ *  - submit() validates the whole stream through the shared
+ *    BbopValidator (src/isa/validate.cc — the same rules the
+ *    BbopDispatcher enforces) and throws BbopError without enqueuing
+ *    anything if any instruction is malformed: a bad stream is
+ *    rejected as a unit and never reaches a device or the object
+ *    table.
+ *  - Backpressure: with maxQueuedStreams > 0 each device queue is
+ *    bounded. A submit() that finds a queue full either blocks until
+ *    space frees up (BackpressurePolicy::Block, the default) or
+ *    throws the typed StreamRejectedError without any side effect
+ *    (BackpressurePolicy::Reject) — a rejected stream leaves layout
+ *    state and queues exactly as they were. StreamResult carries the
+ *    per-stream watermarks (queue depth at submit, time blocked).
  *  - Each completed stream reports its own DramStats deltas, merged
  *    across devices with merge() (latency = max: devices execute
  *    concurrently), plus submit-to-completion wall time.
@@ -43,10 +52,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
 #include "isa/bbop.h"
+#include "isa/validate.h"
 #include "runtime/device_group.h"
 
 namespace simdram
@@ -56,6 +67,35 @@ namespace detail
 {
 struct StreamState;
 } // namespace detail
+
+/**
+ * Raised by submit() under BackpressurePolicy::Reject when a bounded
+ * device queue is full. Distinct from BbopError: the stream is
+ * well-formed, the service is just saturated — the caller may retry.
+ */
+class StreamRejectedError : public FatalError
+{
+  public:
+    explicit StreamRejectedError(const std::string &what)
+        : FatalError(what)
+    {}
+};
+
+/** What submit() does when a bounded device queue is full. */
+enum class BackpressurePolicy
+{
+    Block,  ///< Block the submitter until space frees up.
+    Reject, ///< Throw StreamRejectedError (no side effects).
+};
+
+/** Tuning knobs of a StreamExecutor. */
+struct StreamExecutorOptions
+{
+    /** Max streams queued (not yet started) per device; 0 = unbounded. */
+    size_t maxQueuedStreams = 0;
+    /** Behaviour when a bounded queue is full at submit(). */
+    BackpressurePolicy onFull = BackpressurePolicy::Block;
+};
 
 /** Completion data for one executed stream. */
 struct StreamResult
@@ -68,6 +108,13 @@ struct StreamResult
     double wallNs = 0.0;
     /** Number of instructions in the stream. */
     size_t instructions = 0;
+    /**
+     * Deepest per-device queue (this stream included) observed when
+     * the stream was enqueued — the stream's watermark.
+     */
+    size_t queueDepthAtSubmit = 0;
+    /** Host ns submit() spent blocked on backpressure (Block only). */
+    double backpressureWaitNs = 0.0;
 };
 
 /** Future-style handle to a submitted stream. */
@@ -94,14 +141,19 @@ class StreamHandle
 };
 
 /** Asynchronous bbop-stream service over a DeviceGroup. */
-class StreamExecutor
+class StreamExecutor : private BbopObjectView
 {
   public:
     /**
      * Spawns one worker thread per device of @p group (borrowed;
      * must outlive the executor).
      */
-    explicit StreamExecutor(DeviceGroup &group);
+    explicit StreamExecutor(DeviceGroup &group)
+        : StreamExecutor(group, StreamExecutorOptions{})
+    {}
+
+    /** As above, with bounded-queue/backpressure options. */
+    StreamExecutor(DeviceGroup &group, StreamExecutorOptions opts);
 
     /** Drains pending streams and joins the workers. */
     ~StreamExecutor();
@@ -111,6 +163,9 @@ class StreamExecutor
 
     /** @return The device group driven by this executor. */
     DeviceGroup &group() { return *group_; }
+
+    /** @return The executor's options. */
+    const StreamExecutorOptions &options() const { return opts_; }
 
     /**
      * Registers a memory object of @p elements elements of @p bits
@@ -127,7 +182,9 @@ class StreamExecutor
 
     /**
      * Validates and enqueues a decoded instruction stream. Throws
-     * BbopError (enqueuing nothing) if any instruction is malformed.
+     * BbopError (enqueuing nothing) if any instruction is malformed,
+     * and StreamRejectedError (equally without side effects) if a
+     * bounded queue is full under BackpressurePolicy::Reject.
      * Thread-safe: streams may be submitted from multiple threads;
      * the submission order defines the execution order.
      */
@@ -142,29 +199,57 @@ class StreamExecutor
     /** @return The number of worker threads (= devices). */
     size_t workerCount() const;
 
+    /**
+     * @return The deepest per-device queue depth any submit() has
+     *         observed over the executor's lifetime.
+     */
+    size_t queueHighWatermark() const;
+
   private:
     struct Object;
     struct PreparedInstr;
     struct Worker;
 
+    /** A validated stream, resolved but not yet committed. */
+    struct Prepared
+    {
+        std::shared_ptr<const std::vector<PreparedInstr>> prog;
+        /** Post-stream layout state, applied only on acceptance. */
+        std::vector<bool> layout;
+    };
+
     Object &object(uint16_t id);
 
+    // BbopObjectView over the object table (for the validator).
+    size_t objectCount() const override { return objects_.size(); }
+    BbopObjectShape shape(uint16_t id) const override;
+
     /**
-     * Validates @p stream against the object table and resolves it
-     * into per-instruction object pointers. Mutates layout state
-     * (vertical flags) only if the whole stream is valid.
+     * Validates @p stream through the shared BbopValidator and
+     * resolves it into per-instruction object pointers and shard
+     * views. Touches no executor state: the caller commits
+     * Prepared::layout once the stream is accepted for execution.
      */
-    std::shared_ptr<const std::vector<PreparedInstr>>
-    prepare(const std::vector<BbopInstr> &stream);
+    Prepared prepare(const std::vector<BbopInstr> &stream);
+
+    /**
+     * Applies the backpressure policy: returns (ns blocked) once
+     * every device queue has room, or throws StreamRejectedError.
+     * Called with submit_mu_ held, before any state is committed.
+     */
+    double reserveQueueSpace();
 
     void workerMain(size_t d);
     void execOn(size_t d, const PreparedInstr &pi);
 
     DeviceGroup *group_;
+    StreamExecutorOptions opts_;
     std::vector<std::unique_ptr<Object>> objects_;
     std::vector<std::unique_ptr<Worker>> workers_;
     /** Serializes submit()/defineObject() and the object table. */
-    std::mutex submit_mu_;
+    mutable std::mutex submit_mu_;
+    /** Lifetime queue-depth high watermark; guarded by submit_mu_. */
+    size_t high_watermark_ = 0;
 };
 
 } // namespace simdram

@@ -9,6 +9,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "isa/dispatcher.h"
+#include "runtime/stream_executor.h"
 
 namespace simdram
 {
@@ -219,6 +220,155 @@ TEST(BbopDecode, MalformedEncodingsRejectedTyped)
     // Valid encodings still round-trip.
     const BbopInstr ok = BbopInstr::binary(OpKind::Add, 8, 0, 1, 2);
     EXPECT_EQ(decodeBbop(encodeBbop(ok)), ok);
+}
+
+// ---------------------------------------------------------------
+// Validator unification: both entry points (the dispatcher and the
+// stream executor) run the same BbopValidator, so every malformed
+// stream must be rejected with the same typed BbopError by both.
+// ---------------------------------------------------------------
+
+/**
+ * Runs @p stream through both paths against identically shaped
+ * object tables (two 8-bit, one 16-bit, one 1-bit object of @p n
+ * elements, plus one 8-bit object of n/2 elements) and returns
+ * {dispatcher error, executor error} ("" = accepted).
+ */
+std::pair<std::string, std::string>
+rejectionOnBothPaths(const std::vector<BbopInstr> &stream)
+{
+    const size_t n = 16;
+    const DramConfig cfg = DramConfig::forTesting(256, 512);
+
+    Processor proc(cfg);
+    BbopDispatcher disp(proc);
+    DeviceGroup group(cfg, 2);
+    StreamExecutor ex(group);
+    for (auto [elements, bits] :
+         {std::pair<size_t, size_t>{n, 8},
+          {n, 8},
+          {n, 16},
+          {n, 1},
+          {n / 2, 8}}) {
+        disp.defineObject(elements, bits);
+        ex.defineObject(elements, bits);
+    }
+
+    std::string disp_err, ex_err;
+    try {
+        for (const BbopInstr &i : stream)
+            disp.exec(i);
+    } catch (const BbopError &e) {
+        disp_err = e.what();
+    }
+    try {
+        ex.submit(stream).wait();
+    } catch (const BbopError &e) {
+        ex_err = e.what();
+    }
+    return {disp_err, ex_err};
+}
+
+TEST(ValidatorUnification, MalformedStreamsRejectIdenticallyTyped)
+{
+    // Objects: d0/d1 8-bit, d2 16-bit, d3 1-bit (n elements),
+    // d4 8-bit (n/2 elements). One malformed stream per rule family;
+    // both paths must throw a BbopError with the same message.
+    const std::vector<std::vector<BbopInstr>> bad = {
+        // Width range (width 0 / width > 64).
+        {[] { auto i = BbopInstr::trsp(0, 8); i.width = 0; return i; }()},
+        {[] { auto i = BbopInstr::trsp(0, 8); i.width = 65; return i; }()},
+        // Unknown ids in every operand position.
+        {BbopInstr::trsp(99, 8)},
+        {BbopInstr::trsp(0, 8), BbopInstr::unary(OpKind::Relu, 8, 0, 99)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::binary(OpKind::Add, 8, 0, 1, 99)},
+        // Trsp / trsp_inv width and layout.
+        {BbopInstr::trsp(0, 16)},
+        {BbopInstr::trspInv(0, 8)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trspInv(0, 16)},
+        // Init layout, width (the unification fix), and immediate.
+        {BbopInstr::init(0, 8, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::init(0, 8, 0x100)},
+        // Shift shape / in-place / width.
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(2, 16),
+         BbopInstr::shift(true, 8, 2, 0, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::shift(true, 8, 0, 0, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::shift(false, 16, 0, 1, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(4, 8),
+         BbopInstr::shift(true, 8, 0, 4, 1)},
+        // Op signature: layout, widths, in-place, element counts,
+        // predicate width, unknown operation / opcode.
+        {BbopInstr::trsp(0, 8), BbopInstr::unary(OpKind::Relu, 8, 0, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::unary(OpKind::Relu, 16, 0, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::binary(OpKind::Gt, 8, 0, 1, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::binary(OpKind::Add, 8, 0, 0, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::trsp(2, 16),
+         BbopInstr::binary(OpKind::Add, 8, 0, 1, 2)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(4, 8),
+         BbopInstr::unary(OpKind::Relu, 8, 0, 4)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::trsp(2, 16),
+         BbopInstr::predicated(OpKind::IfElse, 8, 0, 1, 1, 2)},
+        {[] {
+            auto i = BbopInstr::unary(OpKind::Relu, 8, 0, 1);
+            i.op = static_cast<OpKind>(31);
+            return i;
+        }()},
+        {[] {
+            auto i = BbopInstr::trsp(0, 8);
+            i.opcode = static_cast<BbopOpcode>(9);
+            return i;
+        }()},
+    };
+
+    for (size_t s = 0; s < bad.size(); ++s) {
+        const auto [disp_err, ex_err] = rejectionOnBothPaths(bad[s]);
+        EXPECT_FALSE(disp_err.empty())
+            << "stream " << s << " accepted by the dispatcher";
+        EXPECT_FALSE(ex_err.empty())
+            << "stream " << s << " accepted by the stream executor";
+        EXPECT_EQ(disp_err, ex_err) << "stream " << s;
+    }
+}
+
+TEST(ValidatorUnification, InitWidthMismatchRejectedByBothPaths)
+{
+    // Regression for the gap unification surfaced: bbop_init was the
+    // only opcode whose width field was never checked against the
+    // object, so both paths accepted a bbop_init.8 on a 16-bit
+    // object. They must now throw the same BbopError.
+    const std::vector<BbopInstr> stream = {
+        BbopInstr::trsp(2, 16), // d2 is the 16-bit object
+        BbopInstr::init(2, 8, 5),
+    };
+    const auto [disp_err, ex_err] = rejectionOnBothPaths(stream);
+    EXPECT_FALSE(disp_err.empty());
+    EXPECT_EQ(disp_err, ex_err);
+    EXPECT_NE(disp_err.find("bbop_init: width mismatch"),
+              std::string::npos)
+        << disp_err;
+}
+
+TEST(ValidatorUnification, ValidStreamsAcceptedByBothPaths)
+{
+    const std::vector<BbopInstr> ok = {
+        BbopInstr::trsp(0, 8),    BbopInstr::trsp(1, 8),
+        BbopInstr::trsp(3, 1),    BbopInstr::init(0, 8, 0x2d),
+        BbopInstr::binary(OpKind::Add, 8, 1, 0, 0),
+        BbopInstr::binary(OpKind::Gt, 8, 3, 0, 1),
+        BbopInstr::shift(true, 8, 1, 0, 2),
+        BbopInstr::predicated(OpKind::IfElse, 8, 1, 0, 0, 3),
+        BbopInstr::trspInv(1, 8),
+    };
+    const auto [disp_err, ex_err] = rejectionOnBothPaths(ok);
+    EXPECT_EQ(disp_err, "");
+    EXPECT_EQ(ex_err, "");
 }
 
 TEST_F(DispatcherTest, WriteKeepsVerticalCoherent)

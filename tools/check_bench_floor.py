@@ -2,13 +2,16 @@
 """Fail CI when a benchmark speedup regresses below its floor.
 
 Usage:
-    check_bench_floor.py BENCH_kernels.json tools/bench_floors.json
+    check_bench_floor.py BENCH_artifact.json tools/bench_floors.json
                          [--allow-smoke]
 
-The first argument is the artifact written by a harness-based bench
-driver (bench/harness.h); the second maps speedup names (the "name"
-field of the artifact's "speedups" entries) to minimum acceptable
-factors. Floors are deliberately far below locally observed numbers
+The first argument is an artifact written by a harness-based bench
+driver (bench/harness.h): BENCH_kernels.json or BENCH_runtime.json.
+The second maps speedup names (the "name" field of the artifact's
+"speedups" entries) to minimum acceptable factors, either flat
+({name: floor}) or sectioned by the artifact's "schema" field
+({schema: {name: floor}}) so one floors file can gate several bench
+drivers. Floors are deliberately far below locally observed numbers
 so only genuine regressions -- not shared-runner noise -- trip them.
 
 Exit status: 0 if every configured floor holds, 1 on any violation or
@@ -47,6 +50,19 @@ def main(argv):
             file=sys.stderr,
         )
         return 2
+
+    if floors and all(isinstance(v, dict) for v in floors.values()):
+        # Sectioned floors file: select the artifact's section by its
+        # schema so one file can gate several bench drivers.
+        schema = bench.get("schema")
+        if schema not in floors:
+            print(
+                f"error: no floors section for schema '{schema}' in "
+                f"{floors_path} (sections: {sorted(floors)})",
+                file=sys.stderr,
+            )
+            return 2
+        floors = floors[schema]
 
     measured = {s["name"]: s["speedup"] for s in bench.get("speedups", [])}
     failures = 0
