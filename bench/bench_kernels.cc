@@ -142,7 +142,7 @@ benchTranspose(bench::Harness &h)
 struct ReplayFixture
 {
     Processor proc;
-    Processor::VecHandle a, b, y;
+    Processor::VecHandle a, b, y, w, s;
 
     ReplayFixture(DramConfig cfg, ReplayMode mode, size_t n)
         : proc(cfg)
@@ -157,6 +157,8 @@ struct ReplayFixture
         a = proc.alloc(n, 32);
         b = proc.alloc(n, 32);
         y = proc.alloc(n, 32);
+        w = proc.alloc(n, 32);
+        s = proc.alloc(n, 32);
         proc.store(a, da);
         proc.store(b, db);
     }
@@ -194,6 +196,22 @@ benchReplay(bench::Harness &h)
         sfast.proc.run(OpKind::Add, sfast.y, sfast.a, sfast.b);
     });
 
+    // Zero-copy staging path: the RowClone-dominated work around a
+    // kernel — broadcast a constant (C0/C1 interning), shift (pure
+    // row copies), then the add. The batched path aliases CoW
+    // payloads for every plain AAP; the reference path pays the
+    // seed's eager row copies.
+    h.run("replay/add32-cow/reference", kN, [&] {
+        ref.proc.fillConstant(ref.w, 0x55aa55aaULL);
+        ref.proc.shiftLeft(ref.s, ref.a, 1);
+        ref.proc.run(OpKind::Add, ref.y, ref.s, ref.w);
+    });
+    h.run("replay/add32-cow/batched", kN, [&] {
+        fast.proc.fillConstant(fast.w, 0x55aa55aaULL);
+        fast.proc.shiftLeft(fast.s, fast.a, 1);
+        fast.proc.run(OpKind::Add, fast.y, fast.s, fast.w);
+    });
+
     h.run("processor/e2e/add32", kN, [&] {
         fast.proc.run(OpKind::Add, fast.y, fast.a, fast.b);
         const auto out = fast.proc.load(fast.y);
@@ -205,6 +223,8 @@ benchReplay(bench::Harness &h)
     h.speedup("uprog replay batched vs reference (narrow)",
               "replay/add32-narrow/reference",
               "replay/add32-narrow/batched");
+    h.speedup("replay/add32-cow", "replay/add32-cow/reference",
+              "replay/add32-cow/batched");
 }
 
 } // namespace

@@ -19,8 +19,10 @@
  * 32-bit elements (16 segments), streams of 4 chained adds.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "harness.h"
@@ -170,6 +172,87 @@ benchBrightnessStream(bench::Harness &h, size_t devices)
              kElements * kernel.size(), r.compute.latencyNs);
 }
 
+void
+benchStreamCache(bench::Harness &h, size_t devices)
+{
+    // knn-shaped pipeline: kQ queries against one resident reference
+    // set of kDims columns, each per-(query, dimension) stream
+    // self-contained (it re-transposes its reference column). The
+    // stream cache elides every re-transpose after the first query;
+    // the recorded metric is the *modeled* transposition-unit
+    // latency summed over the distance streams, which is
+    // deterministic — the cached/uncached ratio is exactly kQ.
+    constexpr size_t kE = 8 * 4096; // 8 segments
+    constexpr size_t kDims = 8, kQ = 4;
+    constexpr uint8_t w = 16;
+    const std::string tag = "d" + std::to_string(devices);
+
+    for (int cached = 0; cached <= 1; ++cached) {
+        DeviceGroup group(deviceCfg(), devices);
+        StreamExecutorOptions opts;
+        opts.enableStreamCache = cached != 0;
+        StreamExecutor ex(group, opts);
+
+        Rng rng(0xca4e);
+        std::vector<uint16_t> oref(kDims);
+        for (auto &o : oref)
+            o = ex.defineObject(kE, w);
+        const uint16_t oq = ex.defineObject(kE, w);
+        const uint16_t od = ex.defineObject(kE, w);
+        const uint16_t oabs = ex.defineObject(kE, w);
+        const uint16_t oa = ex.defineObject(kE, w);
+        const uint16_t ob = ex.defineObject(kE, w);
+        std::vector<uint64_t> col(kE);
+        for (size_t d = 0; d < kDims; ++d) {
+            for (auto &v : col)
+                v = rng.below(1000);
+            ex.writeObject(oref[d], col);
+        }
+        ex.submit({BbopInstr::trsp(oq, w), BbopInstr::trsp(od, w),
+                   BbopInstr::trsp(oabs, w), BbopInstr::trsp(oa, w),
+                   BbopInstr::trsp(ob, w)})
+            .wait();
+
+        std::vector<StreamHandle> handles;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (size_t q = 0; q < kQ; ++q) {
+            handles.push_back(ex.submit({BbopInstr::init(oa, w, 0)}));
+            bool into_b = true;
+            for (size_t d = 0; d < kDims; ++d) {
+                const uint16_t acc_src = into_b ? oa : ob;
+                const uint16_t acc_dst = into_b ? ob : oa;
+                handles.push_back(ex.submit(
+                    {BbopInstr::trsp(oref[d], w),
+                     BbopInstr::init(oq, w, 13 + 17 * q + d),
+                     BbopInstr::binary(OpKind::Sub, w, od, oref[d],
+                                       oq),
+                     BbopInstr::unary(OpKind::Abs, w, oabs, od),
+                     BbopInstr::binary(OpKind::Add, w, acc_dst,
+                                       acc_src, oabs)}));
+                into_b = !into_b;
+            }
+        }
+        double trsp_ns = 0.0;
+        size_t hits = 0;
+        for (auto &x : handles) {
+            const StreamResult r = x.wait();
+            trsp_ns += r.transfer.latencyNs;
+            hits += r.cachedInstructions;
+        }
+        const double wall_ns =
+            std::chrono::duration<double, std::nano>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        const char *mode = cached != 0 ? "cached" : "uncached";
+        h.record("stream/knn-trsp/" + std::string(mode) + "/" + tag,
+                 kE * kDims * kQ, trsp_ns);
+        h.record("stream/knn-wall/" + std::string(mode) + "/" + tag,
+                 kE * kDims * kQ, wall_ns);
+        std::printf("   %s: %zu stream-cache hits\n", mode, hits);
+    }
+}
+
 } // namespace
 
 int
@@ -187,8 +270,10 @@ main(int argc, char **argv)
                     devices == 1 ? "" : "s");
         benchWideRow(h, devices);
         benchBrightnessStream(h, devices);
-        if (devices == 1 || devices == 4)
+        if (devices == 1 || devices == 4) {
             benchBoundedPipeline(h, devices);
+            benchStreamCache(h, devices);
+        }
     }
 
     h.speedup("runtime wide-row throughput 2 devices vs 1",
@@ -206,5 +291,12 @@ main(int argc, char **argv)
     h.speedup("runtime wide-row wall clock 4 devices vs 1",
               "runtime/add32-wide/wall/d1",
               "runtime/add32-wide/wall/d4");
+    // Deterministic: modeled transposition work of the knn-shaped
+    // pipeline, uncached vs cached (= the query count, exactly).
+    h.speedup("stream/knn-cached", "stream/knn-trsp/uncached/d4",
+              "stream/knn-trsp/cached/d4");
+    h.speedup("stream/knn-cached wall 4 devices",
+              "stream/knn-wall/uncached/d4",
+              "stream/knn-wall/cached/d4");
     return h.finish();
 }

@@ -21,14 +21,17 @@ namespace
 {
 
 // Shared shape of the small verification instance; both verifies run
-// the same data and compare against the same host argmin.
-constexpr size_t kRefs = 200, kDims = 8, kBits = 16;
+// the same data and compare against the same host argmins. Several
+// queries run against one reference set — the realistic kNN serving
+// pattern, and the one where the stream cache pays off (the
+// reference columns are identical from query to query).
+constexpr size_t kRefs = 200, kDims = 8, kBits = 16, kQueries = 2;
 constexpr uint64_t kMask = (1ULL << kBits) - 1;
 
 struct KnnInstance
 {
-    std::vector<std::vector<uint64_t>> ref; ///< [dim][point].
-    std::vector<uint64_t> query;            ///< [dim].
+    std::vector<std::vector<uint64_t>> ref;   ///< [dim][point].
+    std::vector<std::vector<uint64_t>> query; ///< [query][dim].
 };
 
 KnnInstance
@@ -37,21 +40,22 @@ makeInstance(uint64_t seed)
     Rng rng(seed);
     KnnInstance in;
     in.ref.assign(kDims, std::vector<uint64_t>(kRefs));
-    in.query.resize(kDims);
+    in.query.assign(kQueries, std::vector<uint64_t>(kDims));
     for (auto &col : in.ref)
         for (auto &v : col)
             v = rng.below(200);
-    for (auto &v : in.query)
-        v = rng.below(200);
+    for (auto &q : in.query)
+        for (auto &v : q)
+            v = rng.below(200);
     return in;
 }
 
 /**
- * Checks the simulated L1 distances element-wise against the host
- * and compares the argmins.
+ * Checks the simulated L1 distances of query @p q element-wise
+ * against the host and compares the argmins.
  */
 bool
-distancesMatchHost(const KnnInstance &in,
+distancesMatchHost(const KnnInstance &in, size_t q,
                    const std::vector<uint64_t> &dist)
 {
     size_t best_sim = 0, best_host = 0;
@@ -61,7 +65,7 @@ distancesMatchHost(const KnnInstance &in,
         for (size_t d = 0; d < kDims; ++d) {
             const int64_t diff =
                 static_cast<int64_t>(in.ref[d][i]) -
-                static_cast<int64_t>(in.query[d]);
+                static_cast<int64_t>(in.query[q][d]);
             d_host += static_cast<uint64_t>(diff < 0 ? -diff : diff);
         }
         d_host &= kMask;
@@ -93,24 +97,30 @@ knnVerify(Processor &proc, uint64_t seed)
     auto va = proc.alloc(kRefs, kBits);
     auto vb = proc.alloc(kRefs, kBits);
 
-    proc.fillConstant(va, 0);
-    bool into_b = true;
-    for (size_t d = 0; d < kDims; ++d) {
-        proc.store(vref, in.ref[d]);
-        proc.fillConstant(vq, in.query[d]); // broadcast via bbop_init
-        proc.run(OpKind::Sub, vdiff, vref, vq);
-        proc.run(OpKind::Abs, vabs, vdiff);
-        if (into_b)
-            proc.run(OpKind::Add, vb, va, vabs);
-        else
-            proc.run(OpKind::Add, va, vb, vabs);
-        into_b = !into_b;
+    for (size_t q = 0; q < kQueries; ++q) {
+        proc.fillConstant(va, 0);
+        bool into_b = true;
+        for (size_t d = 0; d < kDims; ++d) {
+            proc.store(vref, in.ref[d]);
+            // Broadcast the coordinate via bbop_init.
+            proc.fillConstant(vq, in.query[q][d]);
+            proc.run(OpKind::Sub, vdiff, vref, vq);
+            proc.run(OpKind::Abs, vabs, vdiff);
+            if (into_b)
+                proc.run(OpKind::Add, vb, va, vabs);
+            else
+                proc.run(OpKind::Add, va, vb, vabs);
+            into_b = !into_b;
+        }
+        if (!distancesMatchHost(in, q, proc.load(into_b ? va : vb)))
+            return false;
     }
-    return distancesMatchHost(in, proc.load(into_b ? va : vb));
+    return true;
 }
 
 bool
-knnVerify(DeviceGroup &group, uint64_t seed)
+knnVerify(DeviceGroup &group, uint64_t seed, bool stream_cache,
+          KnnStreamReport *report)
 {
     constexpr auto w = static_cast<uint8_t>(kBits);
     const KnnInstance in = makeInstance(seed);
@@ -118,9 +128,10 @@ knnVerify(DeviceGroup &group, uint64_t seed)
     // Bounded queues: the per-dimension streams below are submitted
     // without waiting, so submission runs ahead of the devices and
     // the Block policy throttles it.
-    StreamExecutor ex(group,
-                      {/*maxQueuedStreams=*/2,
-                       BackpressurePolicy::Block});
+    StreamExecutorOptions opts{/*maxQueuedStreams=*/2,
+                               BackpressurePolicy::Block};
+    opts.enableStreamCache = stream_cache;
+    StreamExecutor ex(group, opts);
 
     // One sharded object per reference dimension, so every distance
     // stream is independent of host writes once set up.
@@ -135,45 +146,71 @@ knnVerify(DeviceGroup &group, uint64_t seed)
     for (size_t d = 0; d < kDims; ++d)
         ex.writeObject(oref[d], in.ref[d]);
 
+    // Setup covers only the working objects; every reference column
+    // is transposed by the distance stream that uses it, keeping
+    // those streams self-contained.
     std::vector<BbopInstr> setup;
-    for (size_t d = 0; d < kDims; ++d)
-        setup.push_back(BbopInstr::trsp(oref[d], w));
     for (uint16_t o : {oq, odiff, oabs, oa, ob})
         setup.push_back(BbopInstr::trsp(o, w));
-    setup.push_back(BbopInstr::init(oa, w, 0));
 
-    std::vector<StreamHandle> handles;
-    handles.push_back(ex.submit(setup));
+    KnnStreamReport rep;
+    std::vector<uint64_t> dist[kQueries];
+    StreamHandle setup_h = ex.submit(setup);
 
-    // One stream per dimension: broadcast the query coordinate in
-    // DRAM (bbop_init), subtract, absolute value, accumulate into
-    // the ping-pong accumulator. FIFO order keeps this correct even
-    // though nothing waits in between.
-    bool into_b = true;
-    for (size_t d = 0; d < kDims; ++d) {
-        const uint16_t acc_src = into_b ? oa : ob;
-        const uint16_t acc_dst = into_b ? ob : oa;
-        handles.push_back(ex.submit(
-            {BbopInstr::init(oq, w, in.query[d]),
-             BbopInstr::binary(OpKind::Sub, w, odiff, oref[d], oq),
-             BbopInstr::unary(OpKind::Abs, w, oabs, odiff),
-             BbopInstr::binary(OpKind::Add, w, acc_dst, acc_src,
-                               oabs)}));
-        into_b = !into_b;
+    for (size_t q = 0; q < kQueries; ++q) {
+        // Reset the ping-pong accumulator, then pipeline one stream
+        // per dimension: transpose the reference column (elided by
+        // the stream cache for every query after the first),
+        // broadcast the query coordinate in DRAM (bbop_init),
+        // subtract, absolute value, accumulate. FIFO order keeps
+        // this correct even though nothing waits in between.
+        std::vector<StreamHandle> handles;
+        handles.push_back(ex.submit({BbopInstr::init(oa, w, 0)}));
+        bool into_b = true;
+        for (size_t d = 0; d < kDims; ++d) {
+            const uint16_t acc_src = into_b ? oa : ob;
+            const uint16_t acc_dst = into_b ? ob : oa;
+            handles.push_back(ex.submit(
+                {BbopInstr::trsp(oref[d], w),
+                 BbopInstr::init(oq, w, in.query[q][d]),
+                 BbopInstr::binary(OpKind::Sub, w, odiff, oref[d],
+                                   oq),
+                 BbopInstr::unary(OpKind::Abs, w, oabs, odiff),
+                 BbopInstr::binary(OpKind::Add, w, acc_dst, acc_src,
+                                   oabs)}));
+            into_b = !into_b;
+        }
+        const uint16_t oacc = into_b ? oa : ob;
+        handles.push_back(ex.submit({BbopInstr::trspInv(oacc, w)}));
+
+        for (auto &h : handles) {
+            const StreamResult r = h.wait();
+            if (r.instructions == 0)
+                return false;
+            rep.streams += 1;
+            rep.cachedInstructions += r.cachedInstructions;
+            rep.transferActivates += r.transfer.activates;
+        }
+        dist[q] = ex.readObject(oacc);
     }
-    const uint16_t oacc = into_b ? oa : ob;
-    handles.push_back(ex.submit({BbopInstr::trspInv(oacc, w)}));
+    setup_h.wait();
 
-    for (auto &h : handles) {
-        const StreamResult r = h.wait();
-        if (r.instructions == 0)
-            return false;
-    }
     // The bound must have been honored by every submit.
     if (ex.queueHighWatermark() == 0 || ex.queueHighWatermark() > 2)
         return false;
+    // With the cache on, the second query's reference columns are
+    // already resident: its trsp instructions must have been elided.
+    if (stream_cache && ex.cacheHits() < kDims)
+        return false;
+    if (!stream_cache && ex.cacheHits() != 0)
+        return false;
 
-    return distancesMatchHost(in, ex.readObject(oacc));
+    if (report != nullptr)
+        *report = rep;
+    for (size_t q = 0; q < kQueries; ++q)
+        if (!distancesMatchHost(in, q, dist[q]))
+            return false;
+    return true;
 }
 
 } // namespace simdram

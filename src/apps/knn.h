@@ -35,21 +35,48 @@ KernelCost knnCost(BulkEngine &engine, const KnnSpec &spec);
 
 /**
  * Functionally verifies the kNN mapping on a small instance: runs
- * the L1-distance pipeline through @p proc, picks the nearest
- * neighbor, and compares against a host computation.
+ * the L1-distance pipeline through @p proc for a batch of queries
+ * against one reference set, picks each query's nearest neighbor,
+ * and compares against a host computation.
  */
 bool knnVerify(Processor &proc, uint64_t seed = 321);
 
+/** Stream accounting of the DeviceGroup knn path (see knnVerify). */
+struct KnnStreamReport
+{
+    /**
+     * Streams submitted across all queries: per-dimension distance
+     * streams plus each query's accumulator-init and trsp-inv
+     * streams.
+     */
+    size_t streams = 0;
+    /** Instructions elided by the stream cache (0 when disabled). */
+    size_t cachedInstructions = 0;
+    /** Transposition-unit row activates paid by all streams. */
+    uint64_t transferActivates = 0;
+};
+
 /**
  * Multi-device variant: the distance pipeline runs as bbop
- * instruction streams (one per dimension, pipelined without waiting)
- * through a StreamExecutor over @p group, with the reference columns
- * sharded across the group's devices and the query coordinates
- * broadcast by bbop_init. Bounded per-device queues are enabled, so
- * the per-dimension streams exercise backpressure. The final top-k
- * selection stays on the host, as in the paper.
+ * instruction streams through a StreamExecutor over @p group, with
+ * the reference columns sharded across the group's devices and the
+ * query coordinates broadcast by bbop_init. Each per-(query,
+ * dimension) stream is self-contained — it re-transposes its
+ * reference column before using it — which is exactly the pattern
+ * the stream cache exists for: with @p stream_cache enabled (the
+ * default) every query after the first reuses the already-resident
+ * reference columns instead of re-transposing them, bit-exact with
+ * the cache disabled. Streams are pipelined without waiting against
+ * bounded per-device queues, so they also exercise backpressure.
+ * The final top-k selection stays on the host, as in the paper.
+ *
+ * @param report Optional out-parameter receiving the per-stream
+ *        accounting (trsp work paid, cache hits) for tests and
+ *        benchmarks comparing cached vs uncached runs.
  */
-bool knnVerify(DeviceGroup &group, uint64_t seed = 321);
+bool knnVerify(DeviceGroup &group, uint64_t seed = 321,
+               bool stream_cache = true,
+               KnnStreamReport *report = nullptr);
 
 } // namespace simdram
 

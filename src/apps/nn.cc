@@ -235,14 +235,16 @@ nnVerifyConvTile(Processor &proc, uint64_t seed)
 }
 
 bool
-nnVerifyConvTile(DeviceGroup &group, uint64_t seed)
+nnVerifyConvTile(DeviceGroup &group, uint64_t seed,
+                 bool stream_cache, NnStreamReport *report)
 {
     constexpr auto w = static_cast<uint8_t>(kConvBits);
     const ConvTile tile = makeTile(seed);
 
-    StreamExecutor ex(group,
-                      {/*maxQueuedStreams=*/2,
-                       BackpressurePolicy::Block});
+    StreamExecutorOptions opts{/*maxQueuedStreams=*/2,
+                               BackpressurePolicy::Block};
+    opts.enableStreamCache = stream_cache;
+    StreamExecutor ex(group, opts);
     const uint16_t ox = ex.defineObject(kLanes, kConvBits);
     const uint16_t ow = ex.defineObject(kLanes, kConvBits);
     const uint16_t op = ex.defineObject(kLanes, kConvBits);
@@ -255,6 +257,7 @@ nnVerifyConvTile(DeviceGroup &group, uint64_t seed)
                BbopInstr::trsp(ob, w), BbopInstr::trsp(oy, w)})
         .wait();
 
+    NnStreamReport rep;
     for (size_t f = 0; f < kOutC; ++f) {
         ex.submit({BbopInstr::init(oa, w, 0)});
         bool into_b = true;
@@ -266,16 +269,26 @@ nnVerifyConvTile(DeviceGroup &group, uint64_t seed)
                             tile.wAt(f, c, ky, kx)) &
                         kConvMask;
                     // Activations cross the channel; the scalar
-                    // weight broadcasts in DRAM (bbop_init).
+                    // weight broadcasts in DRAM (bbop_init). The
+                    // stream is self-contained: it transposes its
+                    // own input, which the stream cache elides
+                    // because writeObject already left the vertical
+                    // image coherent.
                     ex.writeObject(ox, tile.taps(c, ky, kx));
                     const uint16_t acc_src = into_b ? oa : ob;
                     const uint16_t acc_dst = into_b ? ob : oa;
-                    ex.submit(
-                        {BbopInstr::init(ow, w, wv),
-                         BbopInstr::binary(OpKind::Mul, w, op, ox,
-                                           ow),
-                         BbopInstr::binary(OpKind::Add, w, acc_dst,
-                                           acc_src, op)});
+                    const StreamResult r =
+                        ex.submit({BbopInstr::trsp(ox, w),
+                                   BbopInstr::init(ow, w, wv),
+                                   BbopInstr::binary(OpKind::Mul, w,
+                                                     op, ox, ow),
+                                   BbopInstr::binary(OpKind::Add, w,
+                                                     acc_dst,
+                                                     acc_src, op)})
+                            .wait();
+                    rep.streams += 1;
+                    rep.cachedInstructions += r.cachedInstructions;
+                    rep.transferActivates += r.transfer.activates;
                     into_b = !into_b;
                 }
             }
@@ -290,6 +303,14 @@ nnVerifyConvTile(DeviceGroup &group, uint64_t seed)
         if (!tile.matchesHost(f, ex.readObject(oy)))
             return false;
     }
+    // Every per-tap transpose must have been elided when the cache
+    // is on, and none when it is off.
+    if (stream_cache && ex.cacheHits() < rep.streams)
+        return false;
+    if (!stream_cache && ex.cacheHits() != 0)
+        return false;
+    if (report != nullptr)
+        *report = rep;
     return true;
 }
 

@@ -88,16 +88,33 @@ KernelCost nnCost(BulkEngine &engine, const NnModel &model);
  */
 bool nnVerifyConvTile(Processor &proc, uint64_t seed = 123);
 
+/** Stream accounting of the DeviceGroup conv path. */
+struct NnStreamReport
+{
+    /** Per-tap streams submitted across all tiles and filters. */
+    size_t streams = 0;
+    /** Instructions elided by the stream cache (0 when disabled). */
+    size_t cachedInstructions = 0;
+    /** Transposition-unit row activates paid by all streams. */
+    uint64_t transferActivates = 0;
+};
+
 /**
  * Multi-device variant: the same conv tile through a StreamExecutor
  * over @p group (bounded queues enabled), lane-per-output-pixel
- * sharded across the group's devices. Each kernel tap is one bbop
- * stream — the scalar weight is broadcast in DRAM by bbop_init, the
- * partial product multiplied and accumulated by bbop ops — and each
- * filter ends with an in-DRAM ReLU. Compares every output against
- * the same host reference as the single-device verify.
+ * sharded across the group's devices. Each kernel tap is one
+ * self-contained bbop stream: it transposes the freshly written
+ * activation gather (writeObject already keeps the vertical image
+ * coherent, so with @p stream_cache enabled — the default — every
+ * one of these per-tap transposes is elided; with it disabled they
+ * re-run, bit-exact), broadcasts the tap's scalar weight in DRAM by
+ * bbop_init, multiplies, and accumulates; each filter ends with an
+ * in-DRAM ReLU. Compares every output against the same host
+ * reference as the single-device verify.
  */
-bool nnVerifyConvTile(DeviceGroup &group, uint64_t seed = 123);
+bool nnVerifyConvTile(DeviceGroup &group, uint64_t seed = 123,
+                      bool stream_cache = true,
+                      NnStreamReport *report = nullptr);
 
 } // namespace simdram
 

@@ -1,5 +1,6 @@
 #include "common/bitrow.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -11,10 +12,50 @@
 namespace simdram
 {
 
-BitRow::BitRow(size_t width, bool value)
-    : width_(width), words_((width + 63) / 64, value ? ~0ULL : 0ULL)
+std::shared_ptr<uint64_t[]>
+BitRow::allocWords(size_t n)
 {
-    trimLast();
+    // Single allocation (control block + array), uninitialized:
+    // every caller either fills the words or copies over them.
+#if defined(__cpp_lib_smart_ptr_for_overwrite)
+    return std::make_shared_for_overwrite<uint64_t[]>(n);
+#else
+    return std::shared_ptr<uint64_t[]>(new uint64_t[n]);
+#endif
+}
+
+void
+BitRow::detachCopy()
+{
+    const size_t n = wordCount();
+    auto fresh = allocWords(n);
+    std::copy_n(words_.get(), n, fresh.get());
+    words_ = std::move(fresh);
+}
+
+void
+BitRow::prepareOverwrite(size_t new_width)
+{
+    const size_t old_n = wordCount();
+    width_ = new_width;
+    const size_t new_n = wordCount();
+    if (new_n == 0) {
+        words_.reset();
+        return;
+    }
+    if (words_ == nullptr || old_n != new_n ||
+        words_.use_count() > 1)
+        words_ = allocWords(new_n);
+}
+
+BitRow::BitRow(size_t width, bool value) : width_(width)
+{
+    const size_t n = wordCount();
+    if (n == 0)
+        return;
+    words_ = allocWords(n);
+    std::fill_n(words_.get(), n, value ? ~0ULL : 0ULL);
+    words_[n - 1] &= lastWordMask();
 }
 
 bool
@@ -28,6 +69,7 @@ void
 BitRow::set(size_t i, bool value)
 {
     assert(i < width_);
+    detach();
     const uint64_t mask = 1ULL << (i % 64);
     if (value)
         words_[i / 64] |= mask;
@@ -38,9 +80,12 @@ BitRow::set(size_t i, bool value)
 void
 BitRow::fill(bool value)
 {
-    for (auto &w : words_)
-        w = value ? ~0ULL : 0ULL;
-    trimLast();
+    prepareOverwrite(width_);
+    const size_t n = wordCount();
+    if (n == 0)
+        return;
+    std::fill_n(words_.get(), n, value ? ~0ULL : 0ULL);
+    words_[n - 1] &= lastWordMask();
 }
 
 size_t
@@ -49,8 +94,8 @@ BitRow::popcount() const
     // Four independent accumulators break the loop-carried dependency
     // so the popcounts pipeline (and vectorize with AVX-512 VPOPCNTQ
     // where available).
-    const uint64_t *w = words_.data();
-    const size_t n = words_.size();
+    const uint64_t *w = words_.get();
+    const size_t n = wordCount();
     size_t n0 = 0, n1 = 0, n2 = 0, n3 = 0;
     size_t i = 0;
     for (; i + 4 <= n; i += 4) {
@@ -67,8 +112,10 @@ BitRow::popcount() const
 bool
 BitRow::allZero() const
 {
-    for (uint64_t w : words_)
-        if (w != 0)
+    const uint64_t *w = words_.get();
+    const size_t n = wordCount();
+    for (size_t i = 0; i < n; ++i)
+        if (w[i] != 0)
             return false;
     return true;
 }
@@ -82,18 +129,23 @@ BitRow::allOne() const
 void
 BitRow::invert()
 {
-    uint64_t *w = words_.data();
-    const size_t n = words_.size();
+    const size_t n = wordCount();
+    if (n == 0)
+        return;
+    // Read-modify-write through the (possibly fresh) unique payload.
+    const uint64_t *s = words_.get();
+    prepareOverwrite(width_);
+    uint64_t *d = words_.get();
     for (size_t i = 0; i < n; ++i)
-        w[i] = ~w[i];
-    trimLast();
+        d[i] = ~s[i];
+    d[n - 1] &= lastWordMask();
 }
 
 BitRow
 BitRow::operator~() const
 {
-    BitRow r = *this;
-    r.invert();
+    BitRow r;
+    r.assignNot(*this);
     return r;
 }
 
@@ -101,11 +153,15 @@ BitRow &
 BitRow::operator&=(const BitRow &other)
 {
     assert(width_ == other.width_);
-    uint64_t *a = words_.data();
-    const uint64_t *b = other.words_.data();
-    const size_t n = words_.size();
+    const size_t n = wordCount();
+    if (n == 0)
+        return *this;
+    const uint64_t *s = words_.get();
+    const uint64_t *b = other.words_.get();
+    prepareOverwrite(width_);
+    uint64_t *a = words_.get();
     for (size_t i = 0; i < n; ++i)
-        a[i] &= b[i];
+        a[i] = s[i] & b[i];
     return *this;
 }
 
@@ -113,11 +169,15 @@ BitRow &
 BitRow::operator|=(const BitRow &other)
 {
     assert(width_ == other.width_);
-    uint64_t *a = words_.data();
-    const uint64_t *b = other.words_.data();
-    const size_t n = words_.size();
+    const size_t n = wordCount();
+    if (n == 0)
+        return *this;
+    const uint64_t *s = words_.get();
+    const uint64_t *b = other.words_.get();
+    prepareOverwrite(width_);
+    uint64_t *a = words_.get();
     for (size_t i = 0; i < n; ++i)
-        a[i] |= b[i];
+        a[i] = s[i] | b[i];
     return *this;
 }
 
@@ -125,53 +185,77 @@ BitRow &
 BitRow::operator^=(const BitRow &other)
 {
     assert(width_ == other.width_);
-    uint64_t *a = words_.data();
-    const uint64_t *b = other.words_.data();
-    const size_t n = words_.size();
+    const size_t n = wordCount();
+    if (n == 0)
+        return *this;
+    const uint64_t *s = words_.get();
+    const uint64_t *b = other.words_.get();
+    prepareOverwrite(width_);
+    uint64_t *a = words_.get();
     for (size_t i = 0; i < n; ++i)
-        a[i] ^= b[i];
+        a[i] = s[i] ^ b[i];
     return *this;
 }
 
-void
-BitRow::adoptShape(const BitRow &other)
+bool
+BitRow::operator==(const BitRow &other) const
 {
-    width_ = other.width_;
-    words_.resize(other.words_.size());
+    if (width_ != other.width_)
+        return false;
+    if (words_ == other.words_)
+        return true; // shared payload (or both width 0)
+    const uint64_t *a = words_.get();
+    const uint64_t *b = other.words_.get();
+    const size_t n = wordCount();
+    for (size_t i = 0; i < n; ++i)
+        if (a[i] != b[i])
+            return false;
+    return true;
+}
+
+BitRow
+BitRow::clone() const
+{
+    BitRow r;
+    r.copyFrom(*this);
+    return r;
 }
 
 void
-BitRow::aapInto(BitRow &dst) const
+BitRow::copyFrom(const BitRow &src)
 {
-    dst.adoptShape(*this);
-    uint64_t *d = dst.words_.data();
-    const uint64_t *s = words_.data();
-    const size_t n = words_.size();
-    for (size_t i = 0; i < n; ++i)
-        d[i] = s[i];
+    if (&src == this) {
+        detach();
+        return;
+    }
+    const uint64_t *s = src.words_.get();
+    prepareOverwrite(src.width_);
+    std::copy_n(s, wordCount(), words_.get());
 }
 
 void
 BitRow::assignNot(const BitRow &src)
 {
-    adoptShape(src);
-    uint64_t *d = words_.data();
-    const uint64_t *s = src.words_.data();
-    const size_t n = words_.size();
+    const uint64_t *s = src.words_.get();
+    prepareOverwrite(src.width_);
+    const size_t n = wordCount();
+    if (n == 0)
+        return;
+    uint64_t *d = words_.get();
     for (size_t i = 0; i < n; ++i)
         d[i] = ~s[i];
-    trimLast();
+    d[n - 1] &= lastWordMask();
 }
 
 void
 BitRow::andNotInto(BitRow &out, const BitRow &a, const BitRow &b)
 {
     assert(a.width_ == b.width_);
-    out.adoptShape(a);
-    uint64_t *o = out.words_.data();
-    const uint64_t *x = a.words_.data();
-    const uint64_t *y = b.words_.data();
-    const size_t n = out.words_.size();
+    const uint64_t *x = a.words_.get();
+    const uint64_t *y = b.words_.get();
+    out.prepareOverwrite(a.width_);
+    uint64_t *o = out.words_.get();
+    const size_t n = out.wordCount();
     for (size_t i = 0; i < n; ++i)
         o[i] = x[i] & ~y[i];
 }
@@ -181,12 +265,15 @@ BitRow::majority3Into(BitRow &out, const BitRow &a, const BitRow &b,
                       const BitRow &c)
 {
     assert(a.width_ == b.width_ && b.width_ == c.width_);
-    out.adoptShape(a);
-    uint64_t *o = out.words_.data();
-    const uint64_t *x = a.words_.data();
-    const uint64_t *y = b.words_.data();
-    const uint64_t *z = c.words_.data();
-    const size_t n = out.words_.size();
+    // Capture input pointers before preparing the destination: if a
+    // shared payload is dropped by `out`, its co-owners (the operand
+    // rows) keep it alive.
+    const uint64_t *x = a.words_.get();
+    const uint64_t *y = b.words_.get();
+    const uint64_t *z = c.words_.get();
+    out.prepareOverwrite(a.width_);
+    uint64_t *o = out.words_.get();
+    const size_t n = out.wordCount();
     size_t i = 0;
 #ifdef SIMDRAM_HAVE_AVX2_KERNELS
     for (; i + 4 <= n; i += 4) {
@@ -212,12 +299,12 @@ BitRow::selectInto(BitRow &out, const BitRow &sel, const BitRow &t,
                    const BitRow &f)
 {
     assert(sel.width_ == t.width_ && t.width_ == f.width_);
-    out.adoptShape(sel);
-    uint64_t *o = out.words_.data();
-    const uint64_t *s = sel.words_.data();
-    const uint64_t *vt = t.words_.data();
-    const uint64_t *vf = f.words_.data();
-    const size_t n = out.words_.size();
+    const uint64_t *s = sel.words_.get();
+    const uint64_t *vt = t.words_.get();
+    const uint64_t *vf = f.words_.get();
+    out.prepareOverwrite(sel.width_);
+    uint64_t *o = out.words_.get();
+    const size_t n = out.wordCount();
     size_t i = 0;
 #ifdef SIMDRAM_HAVE_AVX2_KERNELS
     for (; i + 4 <= n; i += 4) {
@@ -240,7 +327,7 @@ BitRow::selectInto(BitRow &out, const BitRow &sel, const BitRow &t,
 BitRow
 BitRow::majority3(const BitRow &a, const BitRow &b, const BitRow &c)
 {
-    BitRow r(a.width());
+    BitRow r;
     majority3Into(r, a, b, c);
     return r;
 }
@@ -248,7 +335,7 @@ BitRow::majority3(const BitRow &a, const BitRow &b, const BitRow &c)
 BitRow
 BitRow::select(const BitRow &sel, const BitRow &t, const BitRow &f)
 {
-    BitRow r(sel.width());
+    BitRow r;
     selectInto(r, sel, t, f);
     return r;
 }

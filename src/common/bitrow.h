@@ -3,9 +3,21 @@
  * Packed bit-vector used to model one DRAM row (one bit per bitline).
  *
  * A BitRow is the functional unit of the whole simulator: DRAM rows,
- * sense-amplifier row buffers, and logic-simulation signal values are all
- * BitRows. Bit i of the row corresponds to DRAM column i, i.e. SIMD
- * lane i. All bulk operations are word-parallel over 64-bit words.
+ * sense-amplifier row buffers, and logic-simulation signal values are
+ * all BitRows. Bit i of the row corresponds to DRAM column i, i.e.
+ * SIMD lane i. All bulk operations are word-parallel over 64-bit
+ * words.
+ *
+ * Storage is copy-on-write: the backing words live in a refcounted
+ * payload that copies and copy-assignment *share* in O(1), and every
+ * mutating entry point detaches (uniquifies) the payload first. Value
+ * semantics are fully preserved — mutating one row never changes
+ * another — but the row copies that dominate μProgram replay
+ * (RowClone AAPs, C0/C1 constant clones) collapse to a refcount
+ * bump: repeated clones of one row intern a single payload until
+ * somebody writes. Eager copies remain available through clone() /
+ * copyFrom() for the retained seed ("reference") paths whose cost
+ * model must not silently improve.
  *
  * The bulk kernels come in two flavours:
  *
@@ -13,14 +25,26 @@
  *    convenient, but each call allocates a fresh result row;
  *  - fused "Into" operations (majority3Into, selectInto, aapInto,
  *    andNotInto, assignNot): write into an existing destination row
- *    with a single pass over the backing words and no allocation.
+ *    with a single pass over the backing words and no allocation
+ *    while the destination's payload is unshared (a shared
+ *    destination detaches to a fresh payload first, leaving the
+ *    co-owners untouched). aapInto is the exception: under CoW a
+ *    row-clone copy IS payload sharing, so it is O(1).
  *    These are the hot path of μProgram replay; the word loops are
  *    written over raw pointers so compilers auto-vectorize them, and
  *    an AVX2 intrinsic path is available behind SIMDRAM_USE_AVX2.
  *
- * Semantics of every kernel are defined by the bit-at-a-time reference
- * implementations in common/kernels_ref.h; tests/kernel_diff_test.cc
- * checks the word-parallel paths bit-exact against them.
+ * Thread-safety of the sharing: payload refcounts are atomic
+ * (std::shared_ptr), readers never write, and writers always detach,
+ * so rows whose payloads happen to be shared may be read and mutated
+ * from different threads as long as each *row object* has one owner
+ * (the DeviceGroup per-device locking discipline).
+ *
+ * Semantics of every kernel are defined by the bit-at-a-time
+ * reference implementations in common/kernels_ref.h;
+ * tests/kernel_diff_test.cc checks the word-parallel paths bit-exact
+ * against them, and tests/property_test.cc checks the CoW aliasing
+ * invariants (detach-on-write never leaks shared state).
  */
 
 #ifndef SIMDRAM_COMMON_BITROW_H
@@ -29,14 +53,16 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <vector>
+#include <utility>
 
 namespace simdram
 {
 
 /**
- * A fixed-width packed vector of bits with word-parallel bulk logic.
+ * A fixed-width packed vector of bits with word-parallel bulk logic
+ * over copy-on-write storage.
  *
  * Width is set at construction and never changes. Unused bits in the
  * final word are kept at zero as a class invariant so that whole-word
@@ -56,17 +82,41 @@ class BitRow
      */
     explicit BitRow(size_t width, bool value = false);
 
+    // Copies share the payload in O(1) (copy-on-write); moves steal
+    // it and leave the source empty (zero-width).
+    BitRow(const BitRow &) = default;
+    BitRow &operator=(const BitRow &) = default;
+
+    BitRow(BitRow &&other) noexcept
+        : width_(other.width_), words_(std::move(other.words_))
+    {
+        other.width_ = 0;
+    }
+
+    BitRow &
+    operator=(BitRow &&other) noexcept
+    {
+        width_ = other.width_;
+        words_ = std::move(other.words_);
+        other.width_ = 0;
+        return *this;
+    }
+
     /** @return The number of bits in the row. */
     size_t width() const { return width_; }
 
     /** @return The number of 64-bit backing words. */
-    size_t wordCount() const { return words_.size(); }
+    size_t wordCount() const { return (width_ + 63) / 64; }
 
     /** Direct word access (for high-throughput kernels). */
-    uint64_t word(size_t i) const { return words_[i]; }
+    uint64_t word(size_t i) const
+    {
+        assert(i < wordCount());
+        return words_[i];
+    }
 
     /**
-     * Sets backing word @p i to @p w.
+     * Sets backing word @p i to @p w (detaching a shared payload).
      *
      * Writing the last word must not set padding bits above width();
      * that would silently break the invariant operator== and
@@ -77,8 +127,9 @@ class BitRow
     void
     setWord(size_t i, uint64_t w)
     {
-        assert(i < words_.size());
-        assert(i + 1 < words_.size() || (w & ~lastWordMask()) == 0);
+        assert(i < wordCount());
+        assert(i + 1 < wordCount() || (w & ~lastWordMask()) == 0);
+        detach();
         words_[i] = w;
     }
 
@@ -100,8 +151,14 @@ class BitRow
     void
     trimLast()
     {
-        if (!words_.empty())
-            words_.back() &= lastWordMask();
+        const size_t n = wordCount();
+        if (n == 0)
+            return;
+        const uint64_t mask = lastWordMask();
+        if ((words_[n - 1] & ~mask) == 0)
+            return; // invariant already holds; don't detach
+        detach();
+        words_[n - 1] &= mask;
     }
 
     /** @return Bit @p i (lane i). */
@@ -136,18 +193,61 @@ class BitRow
     friend BitRow operator|(BitRow a, const BitRow &b) { return a |= b; }
     friend BitRow operator^(BitRow a, const BitRow &b) { return a ^= b; }
 
-    bool operator==(const BitRow &other) const = default;
+    bool operator==(const BitRow &other) const;
+
+    // ---- Copy-on-write introspection and eager copies ---------------
+
+    /**
+     * @return True if this row and @p other share one payload (a
+     *         write to either would detach it). Width-0 rows never
+     *         share. Test/diagnostic hook for the CoW invariants.
+     */
+    bool
+    sharesStorageWith(const BitRow &other) const
+    {
+        return words_ != nullptr && words_ == other.words_;
+    }
+
+    /**
+     * Uniquifies the payload now (copying if shared), preserving
+     * contents. The retained seed "reference" paths call this to keep
+     * their cost model an honest eager-copy baseline; it is never
+     * required for correctness.
+     */
+    void
+    detach()
+    {
+        if (words_ != nullptr && words_.use_count() > 1)
+            detachCopy();
+    }
+
+    /** @return A deep copy with its own unshared payload. */
+    BitRow clone() const;
+
+    /**
+     * Eagerly copies @p src into this row (shape and contents),
+     * always performing a word-for-word copy into unshared storage —
+     * the explicit non-CoW assignment for seed-cost paths.
+     */
+    void copyFrom(const BitRow &src);
 
     // ---- Fused in-place kernels (the μProgram replay hot path) ------
 
     /**
      * Row-clone copy: @p dst takes this row's width and contents.
      *
-     * Named after the AAP command it models; unlike plain assignment
-     * it is guaranteed allocation-free once @p dst has matching
-     * capacity, which makes it safe inside replay inner loops.
+     * Named after the AAP command it models. Under CoW this is O(1):
+     * @p dst drops its payload and shares this row's; the actual word
+     * copy happens only if one of the aliases is later written.
      */
-    void aapInto(BitRow &dst) const;
+    void
+    aapInto(BitRow &dst) const
+    {
+        if (&dst == this)
+            return;
+        dst.width_ = width_;
+        dst.words_ = words_;
+    }
 
     /** *this = ~src, fused (no temporary). */
     void assignNot(const BitRow &src);
@@ -159,7 +259,8 @@ class BitRow
     /**
      * out[i] = MAJ(a[i], b[i], c[i]), fused into @p out.
      *
-     * @p out may alias any operand (pure element-wise).
+     * @p out may alias any operand (pure element-wise), whether as
+     * the same object or through a shared payload.
      */
     static void majority3Into(BitRow &out, const BitRow &a,
                               const BitRow &b, const BitRow &c);
@@ -190,11 +291,25 @@ class BitRow
     std::string toString(size_t max_bits = 64) const;
 
   private:
-    /** Resizes to @p other's shape without initializing contents. */
-    void adoptShape(const BitRow &other);
+    /** Allocates an uninitialized payload of @p n words. */
+    static std::shared_ptr<uint64_t[]> allocWords(size_t n);
+
+    /** Out-of-line copy half of detach() (payload known shared). */
+    void detachCopy();
+
+    /**
+     * Prepares this row to be fully overwritten with @p new_width
+     * bits: adopts the width and ensures an unshared payload of the
+     * right size WITHOUT preserving contents. Callers must capture
+     * their input word pointers *before* calling this; co-owners of a
+     * previously shared payload keep it alive, so those pointers stay
+     * valid even when this row reallocates.
+     */
+    void prepareOverwrite(size_t new_width);
 
     size_t width_ = 0;
-    std::vector<uint64_t> words_;
+    /** Refcounted CoW payload; null iff wordCount() == 0. */
+    std::shared_ptr<uint64_t[]> words_;
 };
 
 } // namespace simdram

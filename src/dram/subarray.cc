@@ -80,6 +80,10 @@ Subarray::activateState(const RowAddr &addr)
         if (reference_path_) {
             buffer_view_ = nullptr;
             buffer_ = readValue(addr);
+            // Keep the retained seed path an honest eager-copy
+            // baseline: a read through a row address materializes a
+            // fresh unshared row even under CoW storage.
+            buffer_.detach();
         } else if (addr.kind == RowAddr::Kind::Triple &&
                    tra_flip_p_ == 0.0) {
             // Fault-free TRA, fully fused: majority straight into the
@@ -293,6 +297,140 @@ Subarray::apFunctional(const RowAddr &addr)
     buffer_open_ = false;
 }
 
+std::pair<const BitRow *, bool>
+Subarray::resolvePort(const RowAddr &addr)
+{
+    switch (addr.kind) {
+      case RowAddr::Kind::Data:
+        if (addr.dataRow >= data_.size())
+            panic("activate: data row out of range");
+        return {&data_[addr.dataRow], false};
+      case RowAddr::Kind::Special: {
+        const auto [cell, negated] = portCell(addr.special);
+        return {cell, negated};
+      }
+      case RowAddr::Kind::Dual:
+      case RowAddr::Kind::Triple:
+      default:
+        panic("resolvePort: not a single-row address");
+    }
+}
+
+void
+Subarray::writeRowsFromCell(const BitRow &src_cell, bool neg,
+                            const RowAddr &dst)
+{
+    // Single-row destinations write straight from the source cell:
+    // the self-aliasing cases are safe without a snapshot (aapInto
+    // onto itself is a no-op; assignNot negates element-wise in
+    // place), and skipping the snapshot saves two refcount round
+    // trips on the hottest path (plain AAP, data row to data row).
+    switch (dst.kind) {
+      case RowAddr::Kind::Data:
+        if (dst.dataRow >= data_.size())
+            panic("activate: data row out of range");
+        if (neg)
+            data_[dst.dataRow].assignNot(src_cell);
+        else
+            src_cell.aapInto(data_[dst.dataRow]);
+        return;
+      case RowAddr::Kind::Special: {
+        if (dst.special == SpecialRow::C0 ||
+            dst.special == SpecialRow::C1)
+            panic("writeSpecial: constant rows are read-only");
+        const auto [cell, pneg] = portCell(dst.special);
+        if (neg != pneg)
+            cell->assignNot(src_cell);
+        else
+            src_cell.aapInto(*cell);
+        return;
+      }
+      case RowAddr::Kind::Dual:
+      case RowAddr::Kind::Triple:
+        break;
+    }
+
+    // Multi-row destinations take an O(1) CoW snapshot first: if one
+    // of the target rows overwrites the source cell itself (a DCC
+    // port among them), the remaining rows must still read the
+    // pre-write value, exactly as the buffered path does.
+    const BitRow snap = src_cell;
+    auto writeOne = [&](SpecialRow s) {
+        if (s == SpecialRow::C0 || s == SpecialRow::C1)
+            panic("writeSpecial: constant rows are read-only");
+        const auto [cell, pneg] = portCell(s);
+        if (neg != pneg)
+            cell->assignNot(snap);
+        else
+            snap.aapInto(*cell);
+    };
+    if (dst.kind == RowAddr::Kind::Dual) {
+        const auto rows = dualRows(dst.dual);
+        for (SpecialRow s : rows)
+            writeOne(s);
+    } else {
+        const auto rows = tripleRows(dst.triple);
+        for (SpecialRow s : rows)
+            writeOne(s);
+    }
+}
+
+void
+Subarray::cloneRowFunctional(const RowAddr &src, const RowAddr &dst)
+{
+    if (reference_path_) {
+        aapFunctional(src, dst);
+        return;
+    }
+    const auto [cell, neg] = resolvePort(src);
+    writeRowsFromCell(*cell, neg, dst);
+    // Leave the lazy row buffer viewing the source, as an AAP does.
+    buffer_view_ = cell;
+    buffer_view_neg_ = neg;
+    buffer_open_ = false;
+}
+
+void
+Subarray::traFunctional(TripleAddr t)
+{
+    if (reference_path_ || tra_flip_p_ > 0.0) {
+        // Fault injection (and the seed baseline) keep the generic
+        // path so RNG consumption and eager-copy costs stay exact.
+        apFunctional(RowAddr::row(t));
+        return;
+    }
+    const auto rows = tripleRows(t);
+    BitRow &r0 = specialCellMut(rows[0]);
+    BitRow &r1 = specialCellMut(rows[1]);
+    BitRow &r2 = specialCellMut(rows[2]);
+    BitRow::majority3Into(r0, r0, r1, r2);
+    r0.aapInto(r1);
+    r0.aapInto(r2);
+    buffer_view_ = &r0;
+    buffer_view_neg_ = false;
+    buffer_open_ = false;
+}
+
+void
+Subarray::traCloneFunctional(TripleAddr t, const RowAddr &dst)
+{
+    if (reference_path_ || tra_flip_p_ > 0.0) {
+        aapFunctional(RowAddr::row(t), dst);
+        return;
+    }
+    const auto rows = tripleRows(t);
+    BitRow &r0 = specialCellMut(rows[0]);
+    BitRow &r1 = specialCellMut(rows[1]);
+    BitRow &r2 = specialCellMut(rows[2]);
+    BitRow::majority3Into(r0, r0, r1, r2);
+    r0.aapInto(r1);
+    r0.aapInto(r2);
+    writeRowsFromCell(r0, false, dst);
+    buffer_view_ = &r0;
+    buffer_view_neg_ = false;
+    buffer_open_ = false;
+}
+
 const BitRow &
 Subarray::peekData(size_t row) const
 {
@@ -338,18 +476,20 @@ Subarray::poke(SpecialRow s, const BitRow &value)
 BitRow
 Subarray::readValue(const RowAddr &addr) const
 {
+    // Reference-path reads materialize eager copies (clone()), as
+    // the seed's by-value reads did before CoW storage.
     switch (addr.kind) {
       case RowAddr::Kind::Data:
         if (addr.dataRow >= data_.size())
             panic("activate: data row out of range");
-        return data_[addr.dataRow];
+        return data_[addr.dataRow].clone();
       case RowAddr::Kind::Special:
-        return readSpecial(addr.special);
+        return readSpecial(addr.special).clone();
       case RowAddr::Kind::Triple: {
         const auto rows = tripleRows(addr.triple);
-        return BitRow::majority3(readSpecial(rows[0]),
-                                 readSpecial(rows[1]),
-                                 readSpecial(rows[2]));
+        return BitRow::majority3(readSpecial(rows[0]).clone(),
+                                 readSpecial(rows[1]).clone(),
+                                 readSpecial(rows[2]).clone());
       }
       case RowAddr::Kind::Dual:
       default:
@@ -407,11 +547,13 @@ Subarray::portCell(SpecialRow s)
 void
 Subarray::writeValue(const RowAddr &addr, const BitRow &v)
 {
+    // Reference-path writes stay eager word-for-word copies
+    // (copyFrom/assignNot), preserving the seed cost model.
     switch (addr.kind) {
       case RowAddr::Kind::Data:
         if (addr.dataRow >= data_.size())
             panic("activate: data row out of range");
-        data_[addr.dataRow] = v;
+        data_[addr.dataRow].copyFrom(v);
         break;
       case RowAddr::Kind::Special:
         writeSpecial(addr.special, v);
@@ -469,28 +611,28 @@ Subarray::writeSpecial(SpecialRow s, const BitRow &v)
         // sense amplifiers; a write here is a compiler bug.
         panic("writeSpecial: constant rows are read-only");
       case SpecialRow::T0:
-        t_[0] = v;
+        t_[0].copyFrom(v);
         return;
       case SpecialRow::T1:
-        t_[1] = v;
+        t_[1].copyFrom(v);
         return;
       case SpecialRow::T2:
-        t_[2] = v;
+        t_[2].copyFrom(v);
         return;
       case SpecialRow::T3:
-        t_[3] = v;
+        t_[3].copyFrom(v);
         return;
       case SpecialRow::DCC0P:
-        dcc_[0] = v;
+        dcc_[0].copyFrom(v);
         return;
       case SpecialRow::DCC0N:
-        dcc_[0] = ~v;
+        dcc_[0].assignNot(v);
         return;
       case SpecialRow::DCC1P:
-        dcc_[1] = v;
+        dcc_[1].copyFrom(v);
         return;
       case SpecialRow::DCC1N:
-        dcc_[1] = ~v;
+        dcc_[1].assignNot(v);
         return;
     }
     panic("writeSpecial: bad row");

@@ -23,6 +23,14 @@
  * Command-count, latency, and energy statistics accumulate into an
  * internal DramStats; latency accumulates serially, which is correct
  * within a subarray (and within a bank, which serializes subarrays).
+ *
+ * Data movement rides on BitRow's copy-on-write storage: a RowClone
+ * copy (plain AAP) aliases the source row's payload in O(1), clones
+ * of the constant rows intern one shared payload per subarray, and a
+ * fault-free TRA materializes exactly one fresh row per activation —
+ * the accounting above is untouched (stats describe the modeled
+ * commands, not host copies). The retained reference path opts out
+ * with explicit eager copies so it remains the seed-cost baseline.
  */
 
 #ifndef SIMDRAM_DRAM_SUBARRAY_H
@@ -105,6 +113,31 @@ class Subarray
     /** State-only AP (see aapFunctional()). */
     void apFunctional(const RowAddr &addr);
 
+    // ---- Classified functional replay entry points -------------------
+    //
+    // Specialized state-only commands emitted by the ReplayPlan once
+    // it has classified a μOp at resolve time (exec/replay_plan.h).
+    // Each is bit-exact with the equivalent aapFunctional() /
+    // apFunctional() call for the address shapes it accepts, but goes
+    // straight to the copy-on-write row engine: a RowClone is a
+    // payload alias (O(1)), a C0/C1 clone interns the constant row's
+    // payload, and a fault-free TRA materializes at most one fresh
+    // row regardless of how many AAPs chain off it.
+
+    /**
+     * Plain RowClone AAP: copies the single row behind @p src into
+     * every row selected by @p dst via CoW aliasing. @p src must be a
+     * data row or special row (including DCC negative ports); @p dst
+     * may be a data, special, dual, or triple address.
+     */
+    void cloneRowFunctional(const RowAddr &src, const RowAddr &dst);
+
+    /** In-place TRA (state-only AP on a triple address). */
+    void traFunctional(TripleAddr t);
+
+    /** TRA followed by a RowClone of the result into @p dst. */
+    void traCloneFunctional(TripleAddr t, const RowAddr &dst);
+
     /** Adds a precomputed statistics aggregate (serial latency). */
     void addStats(const DramStats &s) { stats_ += s; }
 
@@ -173,10 +206,13 @@ class Subarray
     /**
      * Selects the retained seed ("reference") activate path, which
      * materializes every value read through a row address as a fresh
-     * BitRow, instead of the default fused path that computes into
-     * the row buffer in place. Both are bit-exact (the differential
-     * and replay-equivalence tests assert it); the reference path
-     * exists as the semantics baseline and for benchmarking.
+     * *eagerly copied* BitRow and writes rows with eager word-for-word
+     * copies (BitRow::detach()/copyFrom()), instead of the default
+     * zero-copy path that aliases CoW payloads. Both are bit-exact
+     * (the differential and replay-equivalence tests assert it); the
+     * reference path exists as the semantics baseline and as the
+     * honest seed-cost baseline for benchmarking — it must not
+     * silently inherit the CoW speedups.
      */
     void useReferencePath(bool on) { reference_path_ = on; }
 
@@ -203,6 +239,19 @@ class Subarray
      * place the fast path maps DCC negative ports onto their cells.
      */
     std::pair<BitRow *, bool> portCell(SpecialRow s);
+
+    /** @return (cell, negated) behind a single-row address. */
+    std::pair<const BitRow *, bool> resolvePort(const RowAddr &addr);
+
+    /**
+     * Writes @p src_cell (complemented if @p neg) into every row
+     * selected by @p dst. Takes an O(1) CoW snapshot of the source
+     * first, so destinations that overwrite the source cell itself
+     * (a DCC port among the target rows) read the pre-write value,
+     * exactly as the buffered path does.
+     */
+    void writeRowsFromCell(const BitRow &src_cell, bool neg,
+                           const RowAddr &dst);
 
     /** Memory semantics of one ACTIVATE (no statistics). */
     void activateState(const RowAddr &addr);
@@ -250,8 +299,9 @@ class Subarray
     BitRow t_[4];               ///< Compute rows T0..T3.
     BitRow dcc_[2];             ///< DCC cells (true stored value).
     // The row buffer is either materialized in buffer_ or, on the
-    // fast path, a view of a resident cell (saving one row copy per
-    // AAP). Mutable: views collapse lazily from const accessors.
+    // fast path, a view of a resident cell; with CoW rows even the
+    // collapse is an O(1) payload alias. Mutable: views collapse
+    // lazily from const accessors.
     mutable BitRow buffer_;     ///< Sense-amplifier row buffer.
     mutable const BitRow *buffer_view_ = nullptr;
     mutable bool buffer_view_neg_ = false;

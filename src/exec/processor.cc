@@ -136,6 +136,9 @@ Processor::fillConstant(const VecHandle &v, uint64_t value)
         fatal("Processor::fillConstant: value wider than the vector");
     for (const Segment &seg : vi.segments) {
         Subarray &sub = device_.bank(seg.bank).subarray(seg.sub);
+        // C0/C1 clones intern the constant row's payload on the fast
+        // path; keep the reference mode an eager seed baseline.
+        sub.useReferencePath(replay_mode_ == ReplayMode::Reference);
         for (size_t j = 0; j < vi.bits; ++j) {
             const bool bit = j < 64 && ((value >> j) & 1);
             sub.aap(RowAddr::row(bit ? SpecialRow::C1
@@ -197,6 +200,7 @@ Processor::shiftLeft(const VecHandle &dst, const VecHandle &src,
         if (ds.bank != ss.bank || ds.sub != ss.sub)
             fatal("Processor::shift: vectors are not co-located");
         Subarray &sub = device_.bank(ds.bank).subarray(ds.sub);
+        sub.useReferencePath(replay_mode_ == ReplayMode::Reference);
         shiftRows(sub, ds.baseRow, ss.baseRow, d.bits, k, true);
     }
 }
@@ -217,6 +221,7 @@ Processor::shiftRight(const VecHandle &dst, const VecHandle &src,
         if (ds.bank != ss.bank || ds.sub != ss.sub)
             fatal("Processor::shift: vectors are not co-located");
         Subarray &sub = device_.bank(ds.bank).subarray(ds.sub);
+        sub.useReferencePath(replay_mode_ == ReplayMode::Reference);
         shiftRows(sub, ds.baseRow, ss.baseRow, d.bits, k, false);
     }
 }

@@ -60,10 +60,35 @@ ReplayPlan::ReplayPlan(const MicroProgram &prog, const DramConfig &cfg)
         seg_stats_.energyPj += cfg.actEnergyPj(raised);
     };
 
+    // Classify each μOp once: which zero-copy entry point of the CoW
+    // row engine replays it (see the file comment).
+    auto classify = [](const MicroOp &op) {
+        if (op.kind == MicroOp::Kind::Aap) {
+            switch (op.src.kind) {
+              case RowAddr::Kind::Triple:
+                return PlanOp::Form::TraClone;
+              case RowAddr::Kind::Special:
+                if (op.src.special == SpecialRow::C0 ||
+                    op.src.special == SpecialRow::C1)
+                    return PlanOp::Form::ConstClone;
+                return PlanOp::Form::CopyRow;
+              case RowAddr::Kind::Data:
+                return PlanOp::Form::CopyRow;
+              case RowAddr::Kind::Dual:
+              default:
+                return PlanOp::Form::Generic;
+            }
+        }
+        return op.src.kind == RowAddr::Kind::Triple
+                   ? PlanOp::Form::Tra
+                   : PlanOp::Form::Generic;
+    };
+
     ops_.reserve(prog.ops.size());
     for (const MicroOp &op : prog.ops) {
         PlanOp p;
         p.kind = op.kind;
+        p.form = classify(op);
         p.src = resolve(op.src);
         countActivate(op.src);
         if (op.kind == MicroOp::Kind::Aap) {
@@ -81,6 +106,22 @@ ReplayPlan::ReplayPlan(const MicroProgram &prog, const DramConfig &cfg)
     }
 }
 
+ReplayPlan::FormCounts
+ReplayPlan::formCounts() const
+{
+    FormCounts c;
+    for (const PlanOp &op : ops_) {
+        switch (op.form) {
+          case PlanOp::Form::ConstClone: ++c.constClones; break;
+          case PlanOp::Form::CopyRow: ++c.rowCopies; break;
+          case PlanOp::Form::TraClone: ++c.traClones; break;
+          case PlanOp::Form::Tra: ++c.tras; break;
+          case PlanOp::Form::Generic: ++c.generics; break;
+        }
+    }
+    return c;
+}
+
 void
 ReplayPlan::apply(const PlanOp &op, Subarray &sub,
                   const std::vector<uint32_t> &bases)
@@ -89,6 +130,29 @@ ReplayPlan::apply(const PlanOp &op, Subarray &sub,
         op.src.isData
             ? RowAddr::data(bases[op.src.region] + op.src.offset)
             : op.src.fixed;
+    switch (op.form) {
+      case PlanOp::Form::ConstClone:
+      case PlanOp::Form::CopyRow:
+        sub.cloneRowFunctional(
+            src, op.dst.isData
+                     ? RowAddr::data(bases[op.dst.region] +
+                                     op.dst.offset)
+                     : op.dst.fixed);
+        return;
+      case PlanOp::Form::TraClone:
+        sub.traCloneFunctional(
+            op.src.fixed.triple,
+            op.dst.isData
+                ? RowAddr::data(bases[op.dst.region] +
+                                op.dst.offset)
+                : op.dst.fixed);
+        return;
+      case PlanOp::Form::Tra:
+        sub.traFunctional(op.src.fixed.triple);
+        return;
+      case PlanOp::Form::Generic:
+        break;
+    }
     if (op.kind == MicroOp::Kind::Aap) {
         const RowAddr dst =
             op.dst.isData

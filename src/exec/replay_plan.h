@@ -10,6 +10,22 @@
  * segment is then described by nothing but its region base rows, and
  * replaying a segment is a tight loop of base+offset adds.
  *
+ * On top of the address resolution, each μOp is *classified* at plan
+ * build time so replay emits alias/intern operations instead of row
+ * copies on the copy-on-write row engine (dram/subarray.h):
+ *
+ *  - ConstClone — AAP whose source is C0/C1: the destination rows
+ *    intern the constant row's payload (a *constant* operand);
+ *  - CopyRow — plain single-row AAP: the destination aliases the
+ *    source payload, O(1) until someone writes (a *read-shared*
+ *    operand — arbitrarily many aliases of one payload);
+ *  - Tra / TraClone — triple-row activation (the only μOp that
+ *    computes): materializes exactly one fresh row per TRA, the
+ *    *write-once* destination every downstream AAP then aliases;
+ *  - Generic — anything else falls back to the unclassified
+ *    aapFunctional()/apFunctional() path (also used verbatim when
+ *    fault injection or the reference path is active).
+ *
  * replayBatch() additionally replays the whole μOp stream over many
  * segments at once, op-outer / segment-inner, so the per-op decode is
  * amortized across every segment and bank executing the operation.
@@ -64,6 +80,19 @@ class ReplayPlan
     /** @return Number of μOps in the plan. */
     size_t opCount() const { return ops_.size(); }
 
+    /** How the plan classified its μOps (see the file comment). */
+    struct FormCounts
+    {
+        size_t constClones = 0; ///< C0/C1 interns.
+        size_t rowCopies = 0;   ///< Plain RowClone aliases.
+        size_t traClones = 0;   ///< TRA + clone-out.
+        size_t tras = 0;        ///< In-place TRA.
+        size_t generics = 0;    ///< Unclassified fallbacks.
+    };
+
+    /** @return The per-form μOp counts (introspection/tests). */
+    FormCounts formCounts() const;
+
     /** @return The statistics of one full stream replay. */
     const DramStats &segmentStats() const { return seg_stats_; }
 
@@ -90,7 +119,18 @@ class ReplayPlan
     /** One resolved μOp. */
     struct PlanOp
     {
+        /** Resolve-time classification (see the file comment). */
+        enum class Form : uint8_t
+        {
+            ConstClone, ///< AAP C0/C1 -> dst: intern the constant.
+            CopyRow,    ///< AAP single row -> dst: CoW alias.
+            TraClone,   ///< AAP TRA -> dst: majority, clone out.
+            Tra,        ///< AP on a TRA: majority in place.
+            Generic,    ///< Fallback: aapFunctional/apFunctional.
+        };
+
         MicroOp::Kind kind = MicroOp::Kind::Ap;
+        Form form = Form::Generic;
         Operand src;
         Operand dst;
     };

@@ -292,11 +292,18 @@ DeviceGroup::resetStats()
     }
 }
 
+uint64_t
+DeviceGroup::mutationGen(const ShardedVec &v) const
+{
+    return state(v).gen.load(std::memory_order_relaxed);
+}
+
 void
 DeviceGroup::storeShard(size_t d, const ShardedVec &v,
                         const uint64_t *data)
 {
     const VecState &vs = state(v);
+    vs.gen.fetch_add(1, std::memory_order_relaxed);
     if (vs.counts[d] == 0)
         return;
     procs_[d]->store(handleOn(vs, d), data, vs.counts[d]);
@@ -315,6 +322,7 @@ void
 DeviceGroup::fillShard(size_t d, const ShardedVec &v, uint64_t value)
 {
     const VecState &vs = state(v);
+    vs.gen.fetch_add(1, std::memory_order_relaxed);
     if (vs.counts[d] == 0)
         return;
     procs_[d]->fillConstant(handleOn(vs, d), value);
@@ -326,6 +334,7 @@ DeviceGroup::shiftShard(size_t d, bool left, const ShardedVec &dst,
 {
     const VecState &ds = state(dst);
     const VecState &ss = state(src);
+    ds.gen.fetch_add(1, std::memory_order_relaxed);
     if (ds.counts[d] == 0 && ss.counts[d] == 0)
         return;
     if (left)
@@ -339,6 +348,7 @@ DeviceGroup::runShard(size_t d, OpKind op, const ShardedVec &dst,
                       const ShardedVec &a)
 {
     const VecState &ds = state(dst);
+    ds.gen.fetch_add(1, std::memory_order_relaxed);
     if (ds.counts[d] == 0)
         return;
     procs_[d]->run(op, handleOn(ds, d), handleOn(state(a), d));
@@ -349,6 +359,7 @@ DeviceGroup::runShard(size_t d, OpKind op, const ShardedVec &dst,
                       const ShardedVec &a, const ShardedVec &b)
 {
     const VecState &ds = state(dst);
+    ds.gen.fetch_add(1, std::memory_order_relaxed);
     if (ds.counts[d] == 0)
         return;
     procs_[d]->run(op, handleOn(ds, d), handleOn(state(a), d),
@@ -361,6 +372,7 @@ DeviceGroup::runShard(size_t d, OpKind op, const ShardedVec &dst,
                       const ShardedVec &sel)
 {
     const VecState &ds = state(dst);
+    ds.gen.fetch_add(1, std::memory_order_relaxed);
     if (ds.counts[d] == 0)
         return;
     procs_[d]->run(op, handleOn(ds, d), handleOn(state(a), d),

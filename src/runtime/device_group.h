@@ -40,6 +40,7 @@
 #ifndef SIMDRAM_RUNTIME_DEVICE_GROUP_H
 #define SIMDRAM_RUNTIME_DEVICE_GROUP_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -169,6 +170,20 @@ class DeviceGroup
     /** @return The lock guarding device @p d's processor. */
     std::unique_lock<std::mutex> lockDevice(size_t d) const;
 
+    /**
+     * @return The mutation generation of @p v: a counter bumped by
+     *         every DeviceGroup API call that writes the vector
+     *         (store/fillConstant/shift/run and their per-shard
+     *         variants). Callers that cache derived state — e.g. the
+     *         StreamExecutor's trsp/init stream cache — tag their
+     *         entries with this generation and re-validate on use, so
+     *         out-of-band synchronous writes invalidate the cache.
+     *         Writes issued directly against a device's Processor
+     *         bypass the counter (the executor's own workers do this
+     *         deliberately: their effects are tracked stream-side).
+     */
+    uint64_t mutationGen(const ShardedVec &v) const;
+
     /** @return Device @p d's compute statistics (unmerged). */
     DramStats deviceComputeStats(size_t d) const;
 
@@ -214,6 +229,9 @@ class DeviceGroup
         std::vector<size_t> offsets;
         /** Per-device element count. */
         std::vector<size_t> counts;
+        /** Mutation generation (see mutationGen()); metadata, so
+         *  mutable — bumped through const accessors too. */
+        mutable std::atomic<uint64_t> gen{0};
     };
 
     const VecState &state(const ShardedVec &v) const;

@@ -42,6 +42,8 @@ struct StreamExecutor::Object
     ShardedVec vec;
     /** Layout shadow state, guarded by submit_mu_. */
     bool vertical = false;
+    /** Stream-cache shadow state, guarded by submit_mu_. */
+    CacheState cache;
 };
 
 /**
@@ -54,6 +56,8 @@ struct StreamExecutor::Object
 struct StreamExecutor::PreparedInstr
 {
     BbopInstr instr;
+    /** Elided by the stream cache: workers skip it entirely. */
+    bool skip = false;
     Object *dst = nullptr;
     Object *src1 = nullptr;
     Object *src2 = nullptr;
@@ -121,6 +125,13 @@ StreamExecutor::queueHighWatermark() const
     return high_watermark_;
 }
 
+uint64_t
+StreamExecutor::cacheHits() const
+{
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    return cache_hits_;
+}
+
 StreamExecutor::Object &
 StreamExecutor::object(uint16_t id)
 {
@@ -171,10 +182,17 @@ StreamExecutor::writeObject(uint16_t id,
     if (data.size() != obj.elements)
         fatal("StreamExecutor::writeObject: element count mismatch");
     obj.hostImage = data;
+    obj.cache.hasConst = false;
     if (obj.vertical) {
         // Keep the vertical copy coherent, as the dispatcher does on
-        // a horizontal write to a transposed object.
+        // a horizontal write to a transposed object — which also
+        // means a subsequent trsp of this object is redundant and
+        // the stream cache may elide it.
         group_->store(obj.vec, obj.hostImage);
+        obj.cache.vertClean = true;
+        obj.cache.cleanGen = group_->mutationGen(obj.vec);
+    } else {
+        obj.cache.vertClean = false;
     }
 }
 
@@ -218,6 +236,21 @@ StreamExecutor::prepare(const std::vector<BbopInstr> &stream)
         return it->second;
     };
 
+    // Stream-cache decision pass state: a scratch copy of every
+    // object's cache shadow (like the validator's layout scratch),
+    // committed by the caller only if the whole stream is accepted.
+    std::vector<CacheState> cache(objects_.size());
+    for (size_t i = 0; i < objects_.size(); ++i)
+        cache[i] = objects_[i]->cache;
+    size_t cached_count = 0;
+    const bool use_cache = opts_.enableStreamCache;
+    // An entry is only trustworthy while no out-of-band DeviceGroup
+    // write touched the backing vector since it was recorded.
+    auto cacheValid = [&](const Object *o, const CacheState &cs) {
+        return cs.vertClean &&
+               cs.cleanGen == group_->mutationGen(o->vec);
+    };
+
     std::vector<PreparedInstr> out;
     out.reserve(stream.size());
     for (const BbopInstr &in : stream) {
@@ -249,6 +282,57 @@ StreamExecutor::prepare(const std::vector<BbopInstr> &stream)
           }
         }
 
+        // Stream-cache decision (submission order == execution
+        // order, so this pass sees exactly the state each
+        // instruction will observe). A redundant trsp/trsp_inv/init
+        // is marked skip; every executed instruction updates the
+        // scratch shadow.
+        switch (in.opcode) {
+          case BbopOpcode::Trsp:
+          case BbopOpcode::TrspInv: {
+            CacheState &cs = cache[in.dst];
+            if (use_cache && cacheValid(pi.dst, cs)) {
+                // Vertical and horizontal images already coincide:
+                // re-running either transposition rewrites identical
+                // data.
+                pi.skip = true;
+                ++cached_count;
+                break;
+            }
+            if (in.opcode == BbopOpcode::TrspInv)
+                cs.hasConst = false; // host := unknown vertical data
+            cs.vertClean = true;
+            cs.cleanGen = group_->mutationGen(pi.dst->vec);
+            break;
+          }
+          case BbopOpcode::Init: {
+            CacheState &cs = cache[in.dst];
+            const uint64_t imm = in.initImmediate();
+            if (use_cache && cacheValid(pi.dst, cs) && cs.hasConst &&
+                cs.constVal == imm) {
+                pi.skip = true;
+                ++cached_count;
+                break;
+            }
+            cs.hasConst = true;
+            cs.constVal = imm;
+            cs.vertClean = true;
+            cs.cleanGen = group_->mutationGen(pi.dst->vec);
+            break;
+          }
+          case BbopOpcode::ShiftL:
+          case BbopOpcode::ShiftR:
+          case BbopOpcode::Op: {
+            // The op writes the destination's vertical storage only:
+            // the horizontal image goes stale and any constant-ness
+            // is gone.
+            CacheState &cs = cache[in.dst];
+            cs.vertClean = false;
+            cs.hasConst = false;
+            break;
+          }
+        }
+
         // Attach every operand's per-device shard views, so the
         // workers never touch group bookkeeping.
         if (pi.dst != nullptr)
@@ -266,6 +350,8 @@ StreamExecutor::prepare(const std::vector<BbopInstr> &stream)
     p.prog = std::make_shared<const std::vector<PreparedInstr>>(
         std::move(out));
     p.layout = validator.layout();
+    p.cache = std::move(cache);
+    p.cachedCount = cached_count;
     return p;
 }
 
@@ -311,13 +397,17 @@ StreamExecutor::submit(const std::vector<BbopInstr> &stream)
     // malformed one.
     const double blockedNs = reserveQueueSpace();
 
-    // The stream is accepted: commit the layout-state updates.
-    for (size_t i = 0; i < objects_.size(); ++i)
+    // The stream is accepted: commit the layout and cache shadows.
+    for (size_t i = 0; i < objects_.size(); ++i) {
         objects_[i]->vertical = p.layout[i];
+        objects_[i]->cache = p.cache[i];
+    }
+    cache_hits_ += p.cachedCount;
 
     auto st = std::make_shared<detail::StreamState>();
     st->remaining = workers_.size();
     st->result.instructions = p.prog->size();
+    st->result.cachedInstructions = p.cachedCount;
     st->result.backpressureWaitNs = blockedNs;
     st->t0 = std::chrono::steady_clock::now();
 
@@ -422,6 +512,8 @@ StreamExecutor::workerMain(size_t d)
 void
 StreamExecutor::execOn(size_t d, const PreparedInstr &pi)
 {
+    if (pi.skip)
+        return; // elided by the stream cache
     const BbopInstr &in = pi.instr;
     const DeviceGroup::ShardView &dst = (*pi.dstV)[d];
     if (dst.count == 0)

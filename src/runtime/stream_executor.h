@@ -44,6 +44,17 @@
  *    concurrently), plus submit-to-completion wall time.
  *  - writeObject()/readObject() synchronize (drain all pending
  *    streams) before touching host images.
+ *  - Stream cache (StreamExecutorOptions::enableStreamCache, on by
+ *    default): repeated bbop_trsp / bbop_trsp_inv / bbop_init of
+ *    objects whose tracked state proves them redundant are elided at
+ *    submit() time — within one stream and across streams — with
+ *    generation-tagged invalidation on every write (bbop op/shift/
+ *    init outputs, writeObject, and out-of-band DeviceGroup writes
+ *    via mutationGen()). Memory state is bit-exact with the cache
+ *    off; only the per-stream DramStats shrink. Pipelined apps that
+ *    resubmit self-contained streams (knn re-transposing its
+ *    reference set per query, nn re-broadcasting weights per tile)
+ *    stop paying for data that has not changed.
  */
 
 #ifndef SIMDRAM_RUNTIME_STREAM_EXECUTOR_H
@@ -95,6 +106,21 @@ struct StreamExecutorOptions
     size_t maxQueuedStreams = 0;
     /** Behaviour when a bounded queue is full at submit(). */
     BackpressurePolicy onFull = BackpressurePolicy::Block;
+    /**
+     * Stream-level trsp/init cache: when enabled, submit() elides
+     * instructions that are provably redundant against the objects'
+     * tracked layout/content state — a bbop_trsp (or trsp_inv) of an
+     * object whose vertical and horizontal images are already
+     * coherent, or a bbop_init re-broadcasting the value the object
+     * already holds everywhere. Elision is decided in submission
+     * order, tagged with the DeviceGroup mutation generation of the
+     * backing vector (any out-of-band synchronous write invalidates),
+     * and is invisible except in statistics: memory state is
+     * bit-exact with the cache disabled, per-stream DramStats simply
+     * stop paying for re-transposes of unchanged data. Skipped
+     * instructions are reported in StreamResult::cachedInstructions.
+     */
+    bool enableStreamCache = true;
 };
 
 /** Completion data for one executed stream. */
@@ -106,8 +132,14 @@ struct StreamResult
     DramStats transfer;
     /** Submit-to-last-device-completion wall time (host ns). */
     double wallNs = 0.0;
-    /** Number of instructions in the stream. */
+    /** Number of instructions in the stream (as submitted). */
     size_t instructions = 0;
+    /**
+     * Of those, how many the stream cache elided as redundant
+     * (always 0 when the cache is disabled). Elided instructions
+     * contribute nothing to the compute/transfer stats.
+     */
+    size_t cachedInstructions = 0;
     /**
      * Deepest per-device queue (this stream included) observed when
      * the stream was enqueued — the stream's watermark.
@@ -205,10 +237,33 @@ class StreamExecutor : private BbopObjectView
      */
     size_t queueHighWatermark() const;
 
+    /**
+     * @return Total instructions elided by the stream cache over the
+     *         executor's lifetime (0 when the cache is disabled).
+     */
+    uint64_t cacheHits() const;
+
   private:
     struct Object;
     struct PreparedInstr;
     struct Worker;
+
+    /**
+     * Cache-relevant shadow state of one object, tracked in
+     * submission order under submit_mu_ (which matches execution:
+     * every device runs streams in submission order, and host
+     * accesses drain first).
+     */
+    struct CacheState
+    {
+        /** Vertical storage holds exactly the horizontal image. */
+        bool vertClean = false;
+        /** Both images hold the broadcast constant constVal. */
+        bool hasConst = false;
+        uint64_t constVal = 0;
+        /** DeviceGroup::mutationGen() when vertClean was set. */
+        uint64_t cleanGen = 0;
+    };
 
     /** A validated stream, resolved but not yet committed. */
     struct Prepared
@@ -216,6 +271,10 @@ class StreamExecutor : private BbopObjectView
         std::shared_ptr<const std::vector<PreparedInstr>> prog;
         /** Post-stream layout state, applied only on acceptance. */
         std::vector<bool> layout;
+        /** Post-stream cache states, applied only on acceptance. */
+        std::vector<CacheState> cache;
+        /** Instructions elided by the stream cache. */
+        size_t cachedCount = 0;
     };
 
     Object &object(uint16_t id);
@@ -250,6 +309,8 @@ class StreamExecutor : private BbopObjectView
     mutable std::mutex submit_mu_;
     /** Lifetime queue-depth high watermark; guarded by submit_mu_. */
     size_t high_watermark_ = 0;
+    /** Lifetime stream-cache hit count; guarded by submit_mu_. */
+    uint64_t cache_hits_ = 0;
 };
 
 } // namespace simdram

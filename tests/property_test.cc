@@ -13,6 +13,7 @@
 #include "bitrow_testutil.h"
 #include "common/bitrow.h"
 #include "common/rng.h"
+#include "dram/subarray.h"
 #include "exec/processor.h"
 #include "layout/transpose.h"
 
@@ -126,6 +127,231 @@ TEST(BitRowProperty, TransposeRoundTripRandomShapes)
         EXPECT_EQ(rowsToElements(rows, n), elems)
             << "lanes=" << lanes << " n=" << n << " bits=" << bits;
     }
+}
+
+// ---- Copy-on-write aliasing invariants -------------------------------
+//
+// BitRow copies share one refcounted payload; every mutator must
+// detach first. These properties pin the contract the zero-copy
+// replay engine is built on: writing through one alias never changes
+// another, and never costs DRAM commands.
+
+TEST(BitRowCow, CopiesShareUntilWritten)
+{
+    Rng rng(0xc04);
+    for (size_t w : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                     size_t{130}}) {
+        const BitRow a = randomRow(w, rng);
+        BitRow b = a;
+        EXPECT_TRUE(a.sharesStorageWith(b)) << "w=" << w;
+        EXPECT_EQ(a, b);
+
+        const BitRow snapshot = a.clone();
+        EXPECT_FALSE(snapshot.sharesStorageWith(a));
+
+        b.set(w / 2, !b.get(w / 2)); // detach-on-write
+        EXPECT_FALSE(a.sharesStorageWith(b)) << "w=" << w;
+        EXPECT_EQ(a, snapshot) << "w=" << w; // alias untouched
+        EXPECT_NE(a, b) << "w=" << w;
+        EXPECT_TRUE(paddingClear(a) && paddingClear(b));
+    }
+    // Width-0 rows: copies are trivially independent and every
+    // operation is a no-op that must not crash.
+    BitRow z0;
+    BitRow z1 = z0;
+    EXPECT_FALSE(z0.sharesStorageWith(z1));
+    z1.fill(true);
+    z1.invert();
+    z1.trimLast();
+    EXPECT_EQ(z0, z1);
+    EXPECT_EQ(z1.popcount(), 0u);
+}
+
+TEST(BitRowCow, RandomizedAliasGraphNeverLeaksWrites)
+{
+    // A pool of rows per width, aliased and mutated at random, is
+    // mirrored against an eager bit-vector model: after every
+    // operation every row must still match its model — a CoW bug
+    // (write through a shared payload without detach) shows up as a
+    // "spooky" change to some other row.
+    Rng rng(0xa11a5);
+    for (size_t w : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                     size_t{65}, size_t{100}, size_t{130}}) {
+        constexpr size_t kPool = 5;
+        std::vector<BitRow> rows;
+        std::vector<std::vector<bool>> model(
+            kPool, std::vector<bool>(w, false));
+        for (size_t i = 0; i < kPool; ++i) {
+            rows.push_back(randomRow(w, rng));
+            for (size_t j = 0; j < w; ++j)
+                model[i][j] = rows[i].get(j);
+        }
+
+        auto check = [&](int round, int op) {
+            for (size_t i = 0; i < kPool; ++i) {
+                ASSERT_TRUE(paddingClear(rows[i]))
+                    << "w=" << w << " round=" << round
+                    << " op=" << op << " row=" << i;
+                ASSERT_EQ(rows[i].width(), w);
+                for (size_t j = 0; j < w; ++j)
+                    ASSERT_EQ(rows[i].get(j), model[i][j])
+                        << "w=" << w << " round=" << round
+                        << " op=" << op << " row=" << i
+                        << " bit=" << j;
+            }
+        };
+
+        for (int round = 0; round < 200; ++round) {
+            const size_t i = rng.below(kPool);
+            const size_t j = rng.below(kPool);
+            const size_t k = rng.below(kPool);
+            const int op = static_cast<int>(rng.below(10));
+            switch (op) {
+              case 0: // copy-assignment aliases
+                rows[i] = rows[j];
+                model[i] = model[j];
+                break;
+              case 1: // aapInto (RowClone) aliases
+                rows[j].aapInto(rows[i]);
+                model[i] = model[j];
+                break;
+              case 2: // eager copy
+                rows[i].copyFrom(rows[j]);
+                model[i] = model[j];
+                break;
+              case 3: // single-bit write detaches
+                if (w > 0) {
+                    const size_t pos = rng.below(w);
+                    const bool v = rng.below(2) != 0;
+                    rows[i].set(pos, v);
+                    model[i][pos] = v;
+                }
+                break;
+              case 4: { // raw word write detaches
+                if (w == 0)
+                    break;
+                const size_t wi = rng.below(rows[i].wordCount());
+                uint64_t v = rng.next();
+                if (wi + 1 == rows[i].wordCount())
+                    v &= rows[i].lastWordMask();
+                rows[i].setWord(wi, v);
+                for (size_t b = 0; b < 64; ++b)
+                    if (wi * 64 + b < w)
+                        model[i][wi * 64 + b] = (v >> b) & 1;
+                break;
+              }
+              case 5: { // fill detaches
+                const bool v = rng.below(2) != 0;
+                rows[i].fill(v);
+                model[i].assign(w, v);
+                break;
+              }
+              case 6: // invert detaches
+                rows[i].invert();
+                for (size_t b = 0; b < w; ++b)
+                    model[i][b] = !model[i][b];
+                break;
+              case 7: // fused NOT into a (possibly aliased) dst
+                rows[i].assignNot(rows[j]);
+                for (size_t b = 0; b < w; ++b)
+                    model[i][b] = !model[j][b];
+                break;
+              case 8: { // fused majority, any aliasing allowed
+                std::vector<bool> out(w);
+                for (size_t b = 0; b < w; ++b) {
+                    const int s = (model[i][b] ? 1 : 0) +
+                                  (model[j][b] ? 1 : 0) +
+                                  (model[k][b] ? 1 : 0);
+                    out[b] = s >= 2;
+                }
+                BitRow::majority3Into(rows[i], rows[i], rows[j],
+                                      rows[k]);
+                model[i] = out;
+                break;
+              }
+              case 9: // bulk XOR read-modify-write
+                rows[i] ^= rows[j];
+                for (size_t b = 0; b < w; ++b)
+                    model[i][b] = model[i][b] != model[j][b];
+                break;
+            }
+            check(round, op);
+        }
+    }
+}
+
+/** DramStats counter equality (counters only; no doubles here). */
+void
+expectStatsUntouched(const DramStats &a, const DramStats &b)
+{
+    EXPECT_EQ(a.activates, b.activates);
+    EXPECT_EQ(a.multiActivates, b.multiActivates);
+    EXPECT_EQ(a.precharges, b.precharges);
+    EXPECT_EQ(a.aaps, b.aaps);
+    EXPECT_EQ(a.aps, b.aps);
+    EXPECT_DOUBLE_EQ(a.latencyNs, b.latencyNs);
+    EXPECT_DOUBLE_EQ(a.energyPj, b.energyPj);
+}
+
+TEST(BitRowCow, SubarrayConstantInternsSurviveAliasMutation)
+{
+    // aap(C0 -> D0) interns the constant row's payload into the data
+    // row. Overwriting the data row afterwards (the transposition
+    // unit's in-place word writes) must detach, leaving C0 pristine
+    // and consuming no DRAM commands.
+    const DramConfig cfg = DramConfig::forTesting(128, 64);
+    Subarray sub(cfg);
+    sub.aap(RowAddr::row(SpecialRow::C0), RowAddr::data(0));
+    sub.aap(RowAddr::row(SpecialRow::C1), RowAddr::data(1));
+    EXPECT_TRUE(sub.peekData(0).allZero());
+    EXPECT_TRUE(sub.peekData(1).allOne());
+
+    const DramStats before = sub.stats();
+    BitRow &d0 = sub.pokeDataRow(0);
+    d0.setWord(0, 0xdeadbeefULL);
+    BitRow &d1 = sub.pokeDataRow(1);
+    d1.setWord(1, 0x3ULL & d1.lastWordMask());
+    // The constants are untouched, and the backdoor writes (CoW
+    // detaches included) issued no commands.
+    EXPECT_TRUE(sub.peek(SpecialRow::C0).allZero());
+    EXPECT_TRUE(sub.peek(SpecialRow::C1).allOne());
+    expectStatsUntouched(sub.stats(), before);
+}
+
+TEST(BitRowCow, SubarrayDccNegativePortAliasing)
+{
+    // A read through a DCC negative port materializes the complement;
+    // cloning it into a data row and then mutating either side must
+    // not leak through the alias graph. (Non-multiple-of-64 widths
+    // are covered at the BitRow level above; subarray rows are
+    // hardware-shaped, i.e. multiples of 64.)
+    const DramConfig cfg = DramConfig::forTesting(128, 64);
+    Subarray sub(cfg);
+    Rng rng(0xdcc);
+    const BitRow v = randomRow(cfg.rowBits, rng);
+    sub.poke(SpecialRow::DCC0P, v);
+
+    // D2 <- DCC0N (complement read), D3 <- D2 (plain RowClone).
+    sub.aap(RowAddr::row(SpecialRow::DCC0N), RowAddr::data(2));
+    sub.aap(RowAddr::data(2), RowAddr::data(3));
+    EXPECT_EQ(sub.peekData(2), ~v);
+    EXPECT_EQ(sub.peekData(3), ~v);
+
+    const DramStats before = sub.stats();
+    // Mutate the middle of the alias chain.
+    BitRow &d2 = sub.pokeDataRow(2);
+    d2.set(99, !d2.get(99));
+    EXPECT_EQ(sub.peek(SpecialRow::DCC0P), v);   // cell untouched
+    EXPECT_EQ(sub.peekData(3), ~v);              // sibling untouched
+    EXPECT_NE(sub.peekData(2), ~v);
+    expectStatsUntouched(sub.stats(), before);
+
+    // And writing through the negative port stores the complement
+    // without disturbing the aliased data rows.
+    sub.poke(SpecialRow::DCC0N, v);
+    EXPECT_EQ(sub.peek(SpecialRow::DCC0P), ~v);
+    EXPECT_EQ(sub.peekData(3), ~v);
+    EXPECT_TRUE(paddingClear(sub.peekData(3)));
 }
 
 /** Fixture providing a device and random operand vectors. */

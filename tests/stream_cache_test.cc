@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Tests for the StreamExecutor's stream-level trsp/init cache:
+ * differential bit-exactness of a cached executor against an
+ * uncached one over identical stream sequences, invalidation after
+ * every kind of write (bbop op/shift/init outputs, writeObject),
+ * the DeviceGroup mutation-generation tag, skip accounting, and the
+ * knn/nn runtime paths' reduced trsp counts. Runs under
+ * ThreadSanitizer in CI (the cache decision path is submit-side, the
+ * skip path is worker-side).
+ */
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "apps/knn.h"
+#include "apps/nn.h"
+#include "common/rng.h"
+#include "runtime/stream_executor.h"
+
+namespace simdram
+{
+namespace
+{
+
+DramConfig
+testCfg()
+{
+    return DramConfig::forTesting(256, 512);
+}
+
+std::vector<uint64_t>
+randomData(size_t n, uint64_t mask, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint64_t> v(n);
+    for (auto &x : v)
+        x = rng.next() & mask;
+    return v;
+}
+
+StreamExecutorOptions
+uncachedOpts()
+{
+    StreamExecutorOptions o;
+    o.enableStreamCache = false;
+    return o;
+}
+
+/**
+ * A pair of executors over independent but identically configured
+ * groups: every action runs on both, and the object images must stay
+ * bit-exact while only the cached side may skip work.
+ */
+struct DiffRig
+{
+    DeviceGroup gc, gu;
+    StreamExecutor cached, uncached;
+    std::vector<uint16_t> ids;
+
+    explicit DiffRig(size_t devices)
+        : gc(testCfg(), devices),
+          gu(testCfg(), devices),
+          cached(gc),
+          uncached(gu, uncachedOpts())
+    {}
+
+    uint16_t
+    define(size_t n, size_t bits)
+    {
+        const uint16_t a = cached.defineObject(n, bits);
+        const uint16_t b = uncached.defineObject(n, bits);
+        EXPECT_EQ(a, b);
+        ids.push_back(a);
+        return a;
+    }
+
+    void
+    write(uint16_t id, const std::vector<uint64_t> &data)
+    {
+        cached.writeObject(id, data);
+        uncached.writeObject(id, data);
+    }
+
+    /** Submits on both; returns (cached, uncached) results. */
+    std::pair<StreamResult, StreamResult>
+    run(const std::vector<BbopInstr> &stream)
+    {
+        StreamResult rc = cached.submit(stream).wait();
+        StreamResult ru = uncached.submit(stream).wait();
+        EXPECT_EQ(ru.cachedInstructions, 0u);
+        EXPECT_EQ(rc.instructions, ru.instructions);
+        return {rc, ru};
+    }
+
+    /** Every object's host image must match bit-exactly. */
+    void
+    expectSameImages()
+    {
+        for (uint16_t id : ids)
+            ASSERT_EQ(cached.readObject(id), uncached.readObject(id))
+                << "object " << id;
+    }
+};
+
+class StreamCacheTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Devices, StreamCacheTest,
+                         ::testing::Values(1, 4),
+                         [](const auto &info) {
+                             return "d" +
+                                    std::to_string(info.param);
+                         });
+
+TEST_P(StreamCacheTest, RepeatedTrspIsElidedBitExact)
+{
+    DiffRig rig(GetParam());
+    const size_t n = 300; // crosses a shard boundary at 4 devices
+    const uint16_t a = rig.define(n, 16);
+    const uint16_t y = rig.define(n, 16);
+    rig.write(a, randomData(n, 0xffff, 1));
+
+    // First transposition of everything: nothing to elide.
+    const auto r0 = rig.run(
+        {BbopInstr::trsp(a, 16), BbopInstr::trsp(y, 16)});
+    EXPECT_EQ(r0.first.cachedInstructions, 0u);
+    EXPECT_GT(r0.first.transfer.activates, 0u);
+
+    // Re-transposing unchanged objects: both elided, zero transfer
+    // work on the cached side, and the op in between still executes.
+    const auto r1 = rig.run(
+        {BbopInstr::trsp(a, 16),
+         BbopInstr::unary(OpKind::Abs, 16, y, a),
+         BbopInstr::trsp(a, 16)});
+    EXPECT_EQ(r1.first.cachedInstructions, 2u);
+    EXPECT_EQ(r1.first.transfer.activates, 0u);
+    EXPECT_GT(r1.second.transfer.activates, 0u);
+    EXPECT_EQ(r1.first.compute.aaps, r1.second.compute.aaps);
+
+    // y was written by the op: its trsp_inv must execute.
+    const auto r2 = rig.run({BbopInstr::trspInv(y, 16)});
+    EXPECT_EQ(r2.first.cachedInstructions, 0u);
+    rig.expectSameImages();
+    EXPECT_EQ(rig.cached.cacheHits(), 2u);
+    EXPECT_EQ(rig.uncached.cacheHits(), 0u);
+}
+
+TEST_P(StreamCacheTest, InitElidedOnlyWhenValueUnchanged)
+{
+    DiffRig rig(GetParam());
+    const size_t n = 300;
+    const uint16_t a = rig.define(n, 16);
+    rig.run({BbopInstr::trsp(a, 16), BbopInstr::init(a, 16, 0x2d)});
+
+    // Same value again: elided. Different value: runs.
+    const auto r0 = rig.run({BbopInstr::init(a, 16, 0x2d)});
+    EXPECT_EQ(r0.first.cachedInstructions, 1u);
+    EXPECT_EQ(r0.first.compute.aaps, 0u);
+    const auto r1 = rig.run({BbopInstr::init(a, 16, 0x2e)});
+    EXPECT_EQ(r1.first.cachedInstructions, 0u);
+    EXPECT_GT(r1.first.compute.aaps, 0u);
+
+    // And a trsp of the freshly initialized object is redundant
+    // (vertical and host images are both the constant).
+    const auto r2 = rig.run({BbopInstr::trsp(a, 16)});
+    EXPECT_EQ(r2.first.cachedInstructions, 1u);
+    rig.expectSameImages();
+    for (uint64_t v : rig.cached.readObject(a))
+        ASSERT_EQ(v, 0x2eu);
+}
+
+TEST_P(StreamCacheTest, EveryWriteKindInvalidates)
+{
+    DiffRig rig(GetParam());
+    const size_t n = 300;
+    const uint16_t a = rig.define(n, 16);
+    const uint16_t y = rig.define(n, 16);
+    rig.write(a, randomData(n, 0xffff, 7));
+    rig.run({BbopInstr::trsp(a, 16), BbopInstr::trsp(y, 16)});
+
+    // 1. bbop op output: the trsp_inv of y must re-run.
+    rig.run({BbopInstr::unary(OpKind::Abs, 16, y, a)});
+    const auto r1 = rig.run({BbopInstr::trspInv(y, 16)});
+    EXPECT_EQ(r1.first.cachedInstructions, 0u);
+
+    // 2. shift output invalidates its destination...
+    rig.run({BbopInstr::shift(true, 16, y, a, 3)});
+    const auto r2 = rig.run({BbopInstr::trspInv(y, 16)});
+    EXPECT_EQ(r2.first.cachedInstructions, 0u);
+    // ...but its *source* stays clean.
+    const auto r2b = rig.run({BbopInstr::trsp(a, 16)});
+    EXPECT_EQ(r2b.first.cachedInstructions, 1u);
+
+    // 3. bbop_init rewrites both images coherently: a trsp after it
+    // is redundant.
+    rig.run({BbopInstr::init(y, 16, 9)});
+    const auto r3 = rig.run({BbopInstr::trsp(y, 16)});
+    EXPECT_EQ(r3.first.cachedInstructions, 1u);
+
+    // 4. writeObject: vertical is kept coherent for a transposed
+    // object, so trsp stays elidable — but the data is new, so an
+    // init of the old constant must run.
+    rig.write(y, randomData(n, 0xffff, 8));
+    const auto r4 = rig.run(
+        {BbopInstr::trsp(y, 16), BbopInstr::init(y, 16, 9)});
+    EXPECT_EQ(r4.first.cachedInstructions, 1u); // the trsp only
+    EXPECT_GT(r4.first.compute.aaps, 0u);
+
+    rig.expectSameImages();
+}
+
+TEST(StreamCache, DeviceGroupMutationGenerationTracksWrites)
+{
+    // The cache tags entries with DeviceGroup::mutationGen(); every
+    // group-level write API must advance it (reads must not), so a
+    // caller writing a vector out-of-band invalidates any cache
+    // entry derived from it.
+    DeviceGroup g(testCfg(), 2);
+    const auto a = g.alloc(300, 16);
+    const auto b = g.alloc(300, 16);
+    const auto y = g.alloc(300, 16);
+    const uint64_t g0 = g.mutationGen(a);
+
+    g.store(a, randomData(300, 0xffff, 2));
+    const uint64_t g1 = g.mutationGen(a);
+    EXPECT_GT(g1, g0);
+
+    (void)g.load(a); // reads don't advance
+    EXPECT_EQ(g.mutationGen(a), g1);
+
+    g.fillConstant(a, 5);
+    const uint64_t g2 = g.mutationGen(a);
+    EXPECT_GT(g2, g1);
+
+    g.store(b, randomData(300, 0xffff, 3));
+    g.shiftLeft(y, a, 2); // dst advances, src does not
+    EXPECT_EQ(g.mutationGen(a), g2);
+    EXPECT_GT(g.mutationGen(y), 0u);
+
+    const uint64_t yg = g.mutationGen(y);
+    g.run(OpKind::Add, y, a, b);
+    EXPECT_GT(g.mutationGen(y), yg);
+    EXPECT_EQ(g.mutationGen(a), g2);
+}
+
+TEST_P(StreamCacheTest, MixedPipelineStaysBitExactUnderChurn)
+{
+    // Randomized differential churn: a pipeline of streams mixing
+    // trsp / trsp_inv / init / ops / shifts / host writes, submitted
+    // without waiting, must leave every object bit-exact between the
+    // cached and uncached executors.
+    DiffRig rig(GetParam());
+    const size_t n = 520; // 3 segments
+    const uint16_t a = rig.define(n, 16);
+    const uint16_t b = rig.define(n, 16);
+    const uint16_t y = rig.define(n, 16);
+    rig.write(a, randomData(n, 0xffff, 21));
+    rig.write(b, randomData(n, 0xffff, 22));
+    rig.run({BbopInstr::trsp(a, 16), BbopInstr::trsp(b, 16),
+             BbopInstr::trsp(y, 16)});
+
+    Rng rng(0xc0ffee);
+    std::vector<StreamHandle> hc, hu;
+    auto submitBoth = [&](const std::vector<BbopInstr> &s) {
+        hc.push_back(rig.cached.submit(s));
+        hu.push_back(rig.uncached.submit(s));
+    };
+    for (int round = 0; round < 60; ++round) {
+        switch (rng.below(6)) {
+          case 0:
+            submitBoth({BbopInstr::trsp(a, 16),
+                        BbopInstr::binary(OpKind::Add, 16, y, a,
+                                          b)});
+            break;
+          case 1:
+            submitBoth({BbopInstr::trsp(b, 16),
+                        BbopInstr::binary(OpKind::Sub, 16, y, a, b),
+                        BbopInstr::trspInv(y, 16)});
+            break;
+          case 2: {
+            const uint64_t imm = rng.below(100);
+            submitBoth({BbopInstr::init(b, 16, imm),
+                        BbopInstr::init(b, 16, imm)}); // dupe
+            break;
+          }
+          case 3:
+            submitBoth({BbopInstr::shift(rng.below(2) != 0, 16, y,
+                                         a, rng.below(8)),
+                        BbopInstr::trspInv(y, 16)});
+            break;
+          case 4:
+            // writeObject drains both executors, then the pipeline
+            // refills.
+            rig.write(a, randomData(n, 0xffff, 1000 + round));
+            break;
+          case 5:
+            submitBoth(
+                {BbopInstr::trsp(y, 16), BbopInstr::trsp(a, 16)});
+            break;
+        }
+    }
+    size_t cached_hits = 0;
+    for (auto &h : hc)
+        cached_hits += h.wait().cachedInstructions;
+    for (auto &h : hu)
+        EXPECT_EQ(h.wait().cachedInstructions, 0u);
+
+    rig.expectSameImages();
+    EXPECT_EQ(rig.cached.cacheHits(), cached_hits);
+    EXPECT_GT(rig.cached.cacheHits(), 0u);
+    EXPECT_EQ(rig.uncached.cacheHits(), 0u);
+}
+
+// ---- App runtime paths: reduced trsp counts, bit-exact --------------
+
+TEST_P(StreamCacheTest, KnnStreamsStopRetransposingTheReferenceSet)
+{
+    const size_t devices = GetParam();
+    DeviceGroup gc(testCfg(), devices);
+    DeviceGroup gu(testCfg(), devices);
+    KnnStreamReport cached, uncached;
+    // knnVerify itself checks result correctness against the host
+    // for every query (hence cached and uncached agree bit-exactly)
+    // and asserts the expected cache-hit floor internally.
+    ASSERT_TRUE(knnVerify(gc, 321, /*stream_cache=*/true, &cached));
+    ASSERT_TRUE(
+        knnVerify(gu, 321, /*stream_cache=*/false, &uncached));
+    EXPECT_EQ(cached.streams, uncached.streams);
+    EXPECT_EQ(uncached.cachedInstructions, 0u);
+    EXPECT_GT(cached.cachedInstructions, 0u);
+    // The cached run pays strictly less transposition-unit work.
+    EXPECT_LT(cached.transferActivates, uncached.transferActivates);
+}
+
+TEST_P(StreamCacheTest, NnTapStreamsStopRetransposingActivations)
+{
+    const size_t devices = GetParam();
+    DeviceGroup gc(testCfg(), devices);
+    DeviceGroup gu(testCfg(), devices);
+    NnStreamReport cached, uncached;
+    ASSERT_TRUE(
+        nnVerifyConvTile(gc, 123, /*stream_cache=*/true, &cached));
+    ASSERT_TRUE(nnVerifyConvTile(gu, 123, /*stream_cache=*/false,
+                                 &uncached));
+    EXPECT_EQ(cached.streams, uncached.streams);
+    EXPECT_EQ(uncached.cachedInstructions, 0u);
+    // Every per-tap trsp is elided on the cached side.
+    EXPECT_GE(cached.cachedInstructions, cached.streams);
+    EXPECT_LT(cached.transferActivates, uncached.transferActivates);
+}
+
+} // namespace
+} // namespace simdram

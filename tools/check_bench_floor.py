@@ -14,6 +14,17 @@ The second maps speedup names (the "name" field of the artifact's
 drivers. Floors are deliberately far below locally observed numbers
 so only genuine regressions -- not shared-runner noise -- trip them.
 
+A floor entry is either a bare number or a dict:
+
+    {"floor": 1.5}                       -- same as the bare number
+    {"floor": 3.0, "ceil": 4.5}          -- two-sided gate, for
+        speedups computed from *deterministic* modeled statistics
+        (e.g. the stream-cache trsp ratios in BENCH_runtime.json):
+        a value above the ceiling means the accounting broke, not
+        that the code got faster
+    {"floor": 0.7, "note": "..."}        -- note is documentation
+        carried next to the number (JSON has no comments)
+
 Exit status: 0 if every configured floor holds, 1 on any violation or
 missing speedup, 2 on usage/artifact errors. Artifacts produced with
 --smoke (one timing iteration) are rejected unless --allow-smoke is
@@ -51,9 +62,14 @@ def main(argv):
         )
         return 2
 
-    if floors and all(isinstance(v, dict) for v in floors.values()):
+    if floors and all(
+        isinstance(v, dict) and "floor" not in v
+        for v in floors.values()
+    ):
         # Sectioned floors file: select the artifact's section by its
-        # schema so one file can gate several bench drivers.
+        # schema so one file can gate several bench drivers. (An
+        # entry dict is recognized by its "floor" key, so a flat file
+        # of dict entries is not mistaken for sections.)
         schema = bench.get("schema")
         if schema not in floors:
             print(
@@ -67,15 +83,25 @@ def main(argv):
     measured = {s["name"]: s["speedup"] for s in bench.get("speedups", [])}
     failures = 0
     print(f"{'speedup':<50} {'floor':>8} {'actual':>8}")
-    for name, floor in sorted(floors.items()):
+    for name, entry in sorted(floors.items()):
+        if isinstance(entry, dict):
+            floor = entry["floor"]
+            ceil = entry.get("ceil")
+        else:
+            floor, ceil = entry, None
         actual = measured.get(name)
         if actual is None:
             print(f"{name:<50} {floor:>8.2f}  MISSING")
             failures += 1
             continue
-        status = "ok" if actual >= floor else "REGRESSED"
-        print(f"{name:<50} {floor:>8.2f} {actual:>8.2f}  {status}")
         if actual < floor:
+            status = "REGRESSED"
+        elif ceil is not None and actual > ceil:
+            status = f"ABOVE CEIL {ceil:.2f} (accounting bug?)"
+        else:
+            status = "ok"
+        print(f"{name:<50} {floor:>8.2f} {actual:>8.2f}  {status}")
+        if status != "ok":
             failures += 1
 
     if failures:
