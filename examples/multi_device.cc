@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "runtime/stream_executor.h"
+#include "stream/stream_builder.h"
 
 using namespace simdram;
 
@@ -61,20 +62,25 @@ main()
     const uint16_t out = ex.defineObject(n, 16);
     ex.writeObject(img, da);
 
-    StreamHandle h = ex.submit({
-        BbopInstr::trsp(img, 16),
-        BbopInstr::trsp(delta, 16),
-        BbopInstr::init(delta, 16, 100), // constant, no channel I/O
-        BbopInstr::trsp(out, 16),
-        BbopInstr::binary(OpKind::Add, 16, out, img, delta),
-        BbopInstr::trspInv(out, 16),
-    });
+    // Streams are built fluently; widths come from the object table.
+    // The optimizer passes (src/stream) run at submit: here
+    // dead-write elimination drops trsp(delta) and trsp(out) — both
+    // vertical images are fully overwritten (by the init and the Add)
+    // before anything reads them.
+    StreamBuilder builder(ex);
+    StreamHandle h = builder.trsp(img)
+                         .trsp(delta)
+                         .init(delta, 100) // constant, no channel I/O
+                         .trsp(out)
+                         .binary(OpKind::Add, out, img, delta)
+                         .trspInv(out)
+                         .submit();
     // ... the host is free here while the stream executes ...
     const StreamResult r = h.wait();
-    std::printf("async: %zu instructions, %.0f ns simulated, "
-                "%.0f us wall\n",
-                r.instructions, r.compute.latencyNs,
-                r.wallNs / 1e3);
+    std::printf("async: %zu instructions (%zu optimized away), "
+                "%.0f ns simulated, %.0f us wall\n",
+                r.instructions, r.optimizedInstructions,
+                r.compute.latencyNs, r.wallNs / 1e3);
     std::printf("async: out[7] = %llu (expect %llu)\n",
                 static_cast<unsigned long long>(
                     ex.readObject(out)[7]),
@@ -101,12 +107,12 @@ main()
         const uint16_t v = bex.defineObject(n, 16);
         const uint16_t w = bex.defineObject(n, 16);
         bex.writeObject(v, da);
+        StreamBuilder bb(bex);
         std::vector<StreamHandle> handles;
-        handles.push_back(bex.submit({BbopInstr::trsp(v, 16),
-                                      BbopInstr::trsp(w, 16)}));
+        handles.push_back(bb.trsp(v).trsp(w).submit());
         for (int i = 0; i < 10; ++i) // runs ahead; Block throttles
-            handles.push_back(bex.submit(
-                {BbopInstr::binary(OpKind::Add, 16, w, v, v)}));
+            handles.push_back(
+                bb.binary(OpKind::Add, w, v, v).submit());
         double blocked_ns = 0.0;
         for (auto &bh : handles)
             blocked_ns += bh.wait().backpressureWaitNs;

@@ -2,6 +2,7 @@
 
 #include "common/rng.h"
 #include "runtime/stream_executor.h"
+#include "stream/stream_builder.h"
 
 namespace simdram
 {
@@ -73,7 +74,6 @@ bitweavingVerify(Processor &proc, uint64_t seed)
 bool
 bitweavingVerify(DeviceGroup &group, uint64_t seed)
 {
-    constexpr auto w = static_cast<uint8_t>(kScanBits);
     const std::vector<uint64_t> col = randomColumn(seed);
 
     StreamExecutor ex(group,
@@ -88,18 +88,16 @@ bitweavingVerify(DeviceGroup &group, uint64_t seed)
 
     // The whole scan as one stream of encoded 64-bit bbop words —
     // exactly what a host core would write to the controller.
-    std::vector<uint64_t> words;
-    for (const BbopInstr &i :
-         {BbopInstr::trsp(ocol, w), BbopInstr::trsp(oconst, w),
-          BbopInstr::trsp(om1, 1), BbopInstr::trsp(om2, 1),
-          BbopInstr::trsp(omout, 1),
-          BbopInstr::init(oconst, w, kScanLo),
-          BbopInstr::binary(OpKind::Ge, w, om1, ocol, oconst),
-          BbopInstr::init(oconst, w, kScanHi),
-          BbopInstr::binary(OpKind::Gt, w, om2, oconst, ocol),
-          BbopInstr::binary(OpKind::BitAnd, 1, omout, om1, om2),
-          BbopInstr::trspInv(omout, 1)})
-        words.push_back(encodeBbop(i));
+    StreamBuilder b(ex);
+    b.trsp(ocol).trsp(oconst).trsp(om1).trsp(om2).trsp(omout);
+    b.init(oconst, kScanLo)
+        .binary(OpKind::Ge, om1, ocol, oconst)
+        .init(oconst, kScanHi)
+        .binary(OpKind::Gt, om2, oconst, ocol)
+        .binary(OpKind::BitAnd, omout, om1, om2)
+        .trspInv(omout);
+    const std::vector<uint64_t> words = b.encodeStream();
+    b.clear();
 
     const StreamResult r = ex.submit(words).wait();
     if (r.instructions != words.size() ||

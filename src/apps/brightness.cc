@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "runtime/stream_executor.h"
+#include "stream/stream_builder.h"
 
 namespace simdram
 {
@@ -92,22 +93,20 @@ brightnessVerify(DeviceGroup &group, uint64_t seed)
 
     // The whole kernel as one stream: layout conversion, in-DRAM
     // constant materialization, saturating add, and readback.
-    auto h = ex.submit({
-        BbopInstr::trsp(oimg, bits),
-        BbopInstr::trsp(odelta, bits),
-        BbopInstr::init(odelta, bits, kDelta),
-        BbopInstr::trsp(ocap, bits),
-        BbopInstr::init(ocap, bits, kCap),
-        BbopInstr::trsp(osum, bits),
-        BbopInstr::trsp(oovf, 1),
-        BbopInstr::trsp(oout, bits),
-        BbopInstr::binary(OpKind::Add, bits, osum, oimg, odelta),
-        BbopInstr::binary(OpKind::Gt, bits, oovf, osum, ocap),
-        BbopInstr::predicated(OpKind::IfElse, bits, oout, ocap,
-                              osum, oovf),
-        BbopInstr::trspInv(oout, bits),
-    });
-    const StreamResult r = h.wait();
+    StreamBuilder b(ex);
+    b.trsp(oimg)
+        .trsp(odelta)
+        .init(odelta, kDelta)
+        .trsp(ocap)
+        .init(ocap, kCap)
+        .trsp(osum)
+        .trsp(oovf)
+        .trsp(oout)
+        .binary(OpKind::Add, osum, oimg, odelta)
+        .binary(OpKind::Gt, oovf, osum, ocap)
+        .predicated(OpKind::IfElse, oout, ocap, osum, oovf)
+        .trspInv(oout);
+    const StreamResult r = b.submit().wait();
     if (r.instructions != 12 || r.compute.latencyNs <= 0.0)
         return false;
 

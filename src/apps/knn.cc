@@ -2,6 +2,7 @@
 
 #include "common/rng.h"
 #include "runtime/stream_executor.h"
+#include "stream/stream_builder.h"
 
 namespace simdram
 {
@@ -122,7 +123,6 @@ bool
 knnVerify(DeviceGroup &group, uint64_t seed, bool stream_cache,
           KnnStreamReport *report)
 {
-    constexpr auto w = static_cast<uint8_t>(kBits);
     const KnnInstance in = makeInstance(seed);
 
     // Bounded queues: the per-dimension streams below are submitted
@@ -149,13 +149,13 @@ knnVerify(DeviceGroup &group, uint64_t seed, bool stream_cache,
     // Setup covers only the working objects; every reference column
     // is transposed by the distance stream that uses it, keeping
     // those streams self-contained.
-    std::vector<BbopInstr> setup;
+    StreamBuilder b(ex);
     for (uint16_t o : {oq, odiff, oabs, oa, ob})
-        setup.push_back(BbopInstr::trsp(o, w));
+        b.trsp(o);
+    StreamHandle setup_h = b.submit();
 
     KnnStreamReport rep;
     std::vector<uint64_t> dist[kQueries];
-    StreamHandle setup_h = ex.submit(setup);
 
     for (size_t q = 0; q < kQueries; ++q) {
         // Reset the ping-pong accumulator, then pipeline one stream
@@ -165,23 +165,18 @@ knnVerify(DeviceGroup &group, uint64_t seed, bool stream_cache,
         // subtract, absolute value, accumulate. FIFO order keeps
         // this correct even though nothing waits in between.
         std::vector<StreamHandle> handles;
-        handles.push_back(ex.submit({BbopInstr::init(oa, w, 0)}));
-        bool into_b = true;
+        handles.push_back(b.init(oa, 0).submit());
+        PingPong acc{oa, ob};
         for (size_t d = 0; d < kDims; ++d) {
-            const uint16_t acc_src = into_b ? oa : ob;
-            const uint16_t acc_dst = into_b ? ob : oa;
-            handles.push_back(ex.submit(
-                {BbopInstr::trsp(oref[d], w),
-                 BbopInstr::init(oq, w, in.query[q][d]),
-                 BbopInstr::binary(OpKind::Sub, w, odiff, oref[d],
-                                   oq),
-                 BbopInstr::unary(OpKind::Abs, w, oabs, odiff),
-                 BbopInstr::binary(OpKind::Add, w, acc_dst, acc_src,
-                                   oabs)}));
-            into_b = !into_b;
+            b.trsp(oref[d])
+                .init(oq, in.query[q][d])
+                .binary(OpKind::Sub, odiff, oref[d], oq)
+                .unary(OpKind::Abs, oabs, odiff)
+                .accumulate(acc, oabs);
+            handles.push_back(b.submit());
         }
-        const uint16_t oacc = into_b ? oa : ob;
-        handles.push_back(ex.submit({BbopInstr::trspInv(oacc, w)}));
+        const uint16_t oacc = acc.result();
+        handles.push_back(b.trspInv(oacc).submit());
 
         for (auto &h : handles) {
             const StreamResult r = h.wait();

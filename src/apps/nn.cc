@@ -3,6 +3,7 @@
 #include "baseline/host_kernels.h"
 #include "common/rng.h"
 #include "runtime/stream_executor.h"
+#include "stream/stream_builder.h"
 
 namespace simdram
 {
@@ -238,7 +239,6 @@ bool
 nnVerifyConvTile(DeviceGroup &group, uint64_t seed,
                  bool stream_cache, NnStreamReport *report)
 {
-    constexpr auto w = static_cast<uint8_t>(kConvBits);
     const ConvTile tile = makeTile(seed);
 
     StreamExecutorOptions opts{/*maxQueuedStreams=*/2,
@@ -252,15 +252,15 @@ nnVerifyConvTile(DeviceGroup &group, uint64_t seed,
     const uint16_t ob = ex.defineObject(kLanes, kConvBits);
     const uint16_t oy = ex.defineObject(kLanes, kConvBits);
 
-    ex.submit({BbopInstr::trsp(ox, w), BbopInstr::trsp(ow, w),
-               BbopInstr::trsp(op, w), BbopInstr::trsp(oa, w),
-               BbopInstr::trsp(ob, w), BbopInstr::trsp(oy, w)})
-        .wait();
+    StreamBuilder b(ex);
+    for (uint16_t o : {ox, ow, op, oa, ob, oy})
+        b.trsp(o);
+    b.submit().wait();
 
     NnStreamReport rep;
     for (size_t f = 0; f < kOutC; ++f) {
-        ex.submit({BbopInstr::init(oa, w, 0)});
-        bool into_b = true;
+        b.init(oa, 0).submit();
+        PingPong acc{oa, ob};
         for (size_t c = 0; c < kInC; ++c) {
             for (size_t ky = 0; ky < kK; ++ky) {
                 for (size_t kx = 0; kx < kK; ++kx) {
@@ -275,29 +275,24 @@ nnVerifyConvTile(DeviceGroup &group, uint64_t seed,
                     // because writeObject already left the vertical
                     // image coherent.
                     ex.writeObject(ox, tile.taps(c, ky, kx));
-                    const uint16_t acc_src = into_b ? oa : ob;
-                    const uint16_t acc_dst = into_b ? ob : oa;
                     const StreamResult r =
-                        ex.submit({BbopInstr::trsp(ox, w),
-                                   BbopInstr::init(ow, w, wv),
-                                   BbopInstr::binary(OpKind::Mul, w,
-                                                     op, ox, ow),
-                                   BbopInstr::binary(OpKind::Add, w,
-                                                     acc_dst,
-                                                     acc_src, op)})
+                        b.trsp(ox)
+                            .init(ow, wv)
+                            .binary(OpKind::Mul, op, ox, ow)
+                            .accumulate(acc, op)
+                            .submit()
                             .wait();
                     rep.streams += 1;
                     rep.cachedInstructions += r.cachedInstructions;
                     rep.transferActivates += r.transfer.activates;
-                    into_b = !into_b;
                 }
             }
         }
-        const uint16_t oacc = into_b ? oa : ob;
-        const StreamResult r =
-            ex.submit({BbopInstr::unary(OpKind::Relu, w, oy, oacc),
-                       BbopInstr::trspInv(oy, w)})
-                .wait();
+        const uint16_t oacc = acc.result();
+        const StreamResult r = b.unary(OpKind::Relu, oy, oacc)
+                                   .trspInv(oy)
+                                   .submit()
+                                   .wait();
         if (r.instructions != 2)
             return false;
         if (!tile.matchesHost(f, ex.readObject(oy)))

@@ -2,6 +2,7 @@
 
 #include "common/rng.h"
 #include "runtime/stream_executor.h"
+#include "stream/stream_builder.h"
 
 namespace simdram
 {
@@ -151,45 +152,34 @@ tpchVerify(DeviceGroup &group, uint64_t seed)
     // Q6 as one asynchronous stream; the query constants never cross
     // the memory channel (bbop_init), and oconst is re-initialized
     // between predicates — per-device program order makes that safe.
-    auto h = ex.submit({
-        BbopInstr::trsp(oship, kW),
-        BbopInstr::trsp(odisc, kW),
-        BbopInstr::trsp(oqty, kW),
-        BbopInstr::trsp(oprice, kW),
-        BbopInstr::trsp(oconst, kW),
-        BbopInstr::trsp(om1, 1),
-        BbopInstr::trsp(om2, 1),
-        BbopInstr::trsp(omacc, 1),
-        BbopInstr::trsp(orev, kW),
-        BbopInstr::trsp(osel, kW),
-        BbopInstr::trsp(ozero, kW),
-        BbopInstr::init(ozero, kW, 0),
-        // shipdate >= d1
-        BbopInstr::init(oconst, kW, q.d1),
-        BbopInstr::binary(OpKind::Ge, kW, omacc, oship, oconst),
-        // shipdate < d2  (d2 > shipdate)
-        BbopInstr::init(oconst, kW, q.d2),
-        BbopInstr::binary(OpKind::Gt, kW, om1, oconst, oship),
-        BbopInstr::binary(OpKind::BitAnd, 1, om2, om1, omacc),
-        // discount >= lo
-        BbopInstr::init(oconst, kW, q.lo),
-        BbopInstr::binary(OpKind::Ge, kW, om1, odisc, oconst),
-        BbopInstr::binary(OpKind::BitAnd, 1, omacc, om1, om2),
-        // discount <= hi  (hi >= discount)
-        BbopInstr::init(oconst, kW, q.hi),
-        BbopInstr::binary(OpKind::Ge, kW, om1, oconst, odisc),
-        BbopInstr::binary(OpKind::BitAnd, 1, om2, om1, omacc),
-        // quantity < qty  (qty > quantity)
-        BbopInstr::init(oconst, kW, q.qty),
-        BbopInstr::binary(OpKind::Gt, kW, om1, oconst, oqty),
-        BbopInstr::binary(OpKind::BitAnd, 1, omacc, om1, om2),
-        // revenue = price * discount where selected
-        BbopInstr::binary(OpKind::Mul, kW, orev, oprice, odisc),
-        BbopInstr::predicated(OpKind::IfElse, kW, osel, orev,
-                              ozero, omacc),
-        BbopInstr::trspInv(osel, kW),
-    });
-    const StreamResult r = h.wait();
+    StreamBuilder b(ex);
+    for (uint16_t o : {oship, odisc, oqty, oprice, oconst, om1, om2,
+                       omacc, orev, osel, ozero})
+        b.trsp(o);
+    b.init(ozero, 0);
+    // shipdate >= d1
+    b.init(oconst, q.d1).binary(OpKind::Ge, omacc, oship, oconst);
+    // shipdate < d2  (d2 > shipdate)
+    b.init(oconst, q.d2)
+        .binary(OpKind::Gt, om1, oconst, oship)
+        .binary(OpKind::BitAnd, om2, om1, omacc);
+    // discount >= lo
+    b.init(oconst, q.lo)
+        .binary(OpKind::Ge, om1, odisc, oconst)
+        .binary(OpKind::BitAnd, omacc, om1, om2);
+    // discount <= hi  (hi >= discount)
+    b.init(oconst, q.hi)
+        .binary(OpKind::Ge, om1, oconst, odisc)
+        .binary(OpKind::BitAnd, om2, om1, omacc);
+    // quantity < qty  (qty > quantity)
+    b.init(oconst, q.qty)
+        .binary(OpKind::Gt, om1, oconst, oqty)
+        .binary(OpKind::BitAnd, omacc, om1, om2);
+    // revenue = price * discount where selected
+    b.binary(OpKind::Mul, orev, oprice, odisc)
+        .predicated(OpKind::IfElse, osel, orev, ozero, omacc)
+        .trspInv(osel);
+    const StreamResult r = b.submit().wait();
     if (r.compute.latencyNs <= 0.0)
         return false;
 

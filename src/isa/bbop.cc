@@ -94,6 +94,50 @@ BbopInstr::initImmediate() const
            (static_cast<uint64_t>(sel) << 24);
 }
 
+BbopEffects
+effectsOf(const BbopInstr &instr)
+{
+    BbopEffects e;
+    auto read = [&e](uint16_t obj, BbopLoc loc) {
+        e.reads[e.numReads++] = {obj, loc};
+    };
+    auto write = [&e](uint16_t obj, BbopLoc loc) {
+        e.writes[e.numWrites++] = {obj, loc};
+    };
+    switch (instr.opcode) {
+      case BbopOpcode::Trsp:
+        read(instr.dst, BbopLoc::Host);
+        write(instr.dst, BbopLoc::Vert);
+        return e;
+      case BbopOpcode::TrspInv:
+        read(instr.dst, BbopLoc::Vert);
+        write(instr.dst, BbopLoc::Host);
+        return e;
+      case BbopOpcode::Init:
+        // In-DRAM row initialization also refreshes the host image
+        // (the dispatcher and executor both mirror the constant), so
+        // Init is a full write of both locations.
+        write(instr.dst, BbopLoc::Vert);
+        write(instr.dst, BbopLoc::Host);
+        return e;
+      case BbopOpcode::ShiftL:
+      case BbopOpcode::ShiftR:
+        read(instr.src1, BbopLoc::Vert);
+        write(instr.dst, BbopLoc::Vert);
+        return e;
+      case BbopOpcode::Op:
+        break;
+    }
+    const OpSignature sig = signatureOf(instr.op, instr.width);
+    read(instr.src1, BbopLoc::Vert);
+    if (sig.numInputs == 2)
+        read(instr.src2, BbopLoc::Vert);
+    if (sig.hasSel)
+        read(instr.sel, BbopLoc::Vert);
+    write(instr.dst, BbopLoc::Vert);
+    return e;
+}
+
 uint64_t
 encodeBbop(const BbopInstr &instr)
 {

@@ -120,6 +120,50 @@ struct BbopInstr
     bool operator==(const BbopInstr &o) const = default;
 };
 
+/**
+ * The two storage locations a bbop instruction can touch per object:
+ * the vertical (bit-serial, in-DRAM) image and the horizontal host
+ * image. The transposition opcodes move data between them; everything
+ * else computes on vertical images only.
+ */
+enum class BbopLoc : uint8_t
+{
+    Vert, ///< The transposed, bit-serial image.
+    Host, ///< The host-side horizontal image.
+};
+
+/** One (object, location) access of a bbop instruction. */
+struct BbopAccess
+{
+    uint16_t obj = kNoObject;
+    BbopLoc loc = BbopLoc::Vert;
+};
+
+/**
+ * The read/write set of one bbop instruction, the dataflow facts the
+ * stream optimizer passes (src/stream) reason about. Every write is a
+ * FULL write of the named location (this is what makes dead-write
+ * elimination and the relaxed layout rules in BbopValidator sound).
+ */
+struct BbopEffects
+{
+    BbopAccess reads[4];
+    size_t numReads = 0;
+    BbopAccess writes[2];
+    size_t numWrites = 0;
+};
+
+/**
+ * @return The read/write set of @p instr:
+ *         trsp d      reads host(d), writes vert(d);
+ *         trsp_inv d  reads vert(d), writes host(d);
+ *         init d      writes vert(d) and host(d), reads nothing;
+ *         shl/shr     read vert(src1), write vert(dst);
+ *         op          reads vert(src1[, src2][, sel]), writes
+ *                     vert(dst).
+ */
+BbopEffects effectsOf(const BbopInstr &instr);
+
 /** @return The 64-bit encoding of @p instr. */
 uint64_t encodeBbop(const BbopInstr &instr);
 

@@ -56,15 +56,25 @@ BbopDispatcher::exec(const BbopInstr &instr)
 }
 
 void
+BbopDispatcher::ensureVec(ObjectInfo &obj)
+{
+    // Instructions that fully write a destination's vertical image
+    // (trsp, init, operation and shift dsts) establish the vertical
+    // layout themselves — see the layout rules in isa/validate.h —
+    // so the backing vector is allocated on first such write.
+    if (!obj.vertical) {
+        obj.vec = proc_->alloc(obj.elements, obj.bits);
+        obj.vertical = true;
+    }
+}
+
+void
 BbopDispatcher::execValidated(const BbopInstr &instr)
 {
     switch (instr.opcode) {
       case BbopOpcode::Trsp: {
         ObjectInfo &obj = object(instr.dst);
-        if (!obj.vertical) {
-            obj.vec = proc_->alloc(obj.elements, obj.bits);
-            obj.vertical = true;
-        }
+        ensureVec(obj);
         proc_->store(obj.vec, obj.hostImage);
         return;
       }
@@ -75,6 +85,7 @@ BbopDispatcher::execValidated(const BbopInstr &instr)
       }
       case BbopOpcode::Init: {
         ObjectInfo &obj = object(instr.dst);
+        ensureVec(obj);
         const uint64_t imm = instr.initImmediate();
         proc_->fillConstant(obj.vec, imm);
         obj.hostImage.assign(obj.elements, imm);
@@ -84,6 +95,7 @@ BbopDispatcher::execValidated(const BbopInstr &instr)
       case BbopOpcode::ShiftR: {
         ObjectInfo &dst_o = object(instr.dst);
         ObjectInfo &src_o = object(instr.src1);
+        ensureVec(dst_o);
         const auto amount = static_cast<size_t>(instr.sel);
         if (instr.opcode == BbopOpcode::ShiftL)
             proc_->shiftLeft(dst_o.vec, src_o.vec, amount);
@@ -97,6 +109,7 @@ BbopDispatcher::execValidated(const BbopInstr &instr)
 
     ObjectInfo &dst = object(instr.dst);
     ObjectInfo &src1 = object(instr.src1);
+    ensureVec(dst);
     const auto sig = signatureOf(instr.op, instr.width);
     if (sig.numInputs == 1) {
         proc_->run(instr.op, dst.vec, src1.vec);

@@ -75,6 +75,9 @@ class BbopDispatcher : private BbopObjectView
     ObjectInfo &object(uint16_t id);
     const ObjectInfo &object(uint16_t id) const;
 
+    /** Allocates @p obj's vertical backing vector on first write. */
+    void ensureVec(ObjectInfo &obj);
+
     /** Executes an instruction the validator has already accepted. */
     void execValidated(const BbopInstr &instr);
 

@@ -47,8 +47,6 @@ BbopValidator::check(const BbopInstr &in)
       }
       case BbopOpcode::Init: {
         const BbopObjectShape dst = shapeOf(in.dst);
-        if (!vert_[in.dst])
-            bbopError("bbop_init: object is not vertical");
         // Unification fix: bbop_init was the only opcode that never
         // checked its width field against the object — both the
         // dispatcher and the stream executor accepted e.g. a
@@ -59,20 +57,22 @@ BbopValidator::check(const BbopInstr &in)
         const uint64_t imm = in.initImmediate();
         if (dst.bits < 64 && (imm >> dst.bits) != 0)
             bbopError("bbop_init: immediate wider than the object");
+        vert_[in.dst] = true;
         return;
       }
       case BbopOpcode::ShiftL:
       case BbopOpcode::ShiftR: {
         const BbopObjectShape dst = shapeOf(in.dst);
         const BbopObjectShape src = shapeOf(in.src1);
-        if (!vert_[in.dst] || !vert_[in.src1])
-            bbopError("bbop_sh*: objects must be vertical");
+        if (!vert_[in.src1])
+            bbopError("bbop_sh*: source object is not vertical");
         if (in.dst == in.src1)
             bbopError("bbop_sh*: in-place shift is not supported");
         if (dst.bits != src.bits || dst.elements != src.elements)
             bbopError("bbop_sh*: shape mismatch");
         if (in.width != dst.bits)
             bbopError("bbop_sh*: width mismatch with objects");
+        vert_[in.dst] = true;
         return;
       }
       case BbopOpcode::Op:
@@ -92,9 +92,6 @@ BbopValidator::check(const BbopInstr &in)
     const OpSignature sig = signatureOf(in.op, in.width);
     const BbopObjectShape dst = shapeOf(in.dst);
     const BbopObjectShape src1 = shapeOf(in.src1);
-    if (!vert_[in.dst])
-        bbopError("bbop: destination object is not vertical; "
-                  "issue bbop_trsp first");
     if (!vert_[in.src1])
         bbopError("bbop: source object is not vertical");
     if (in.width != src1.bits)
@@ -130,6 +127,7 @@ BbopValidator::check(const BbopInstr &in)
         if (sel.elements != dst.elements)
             bbopError("bbop: operand element counts differ");
     }
+    vert_[in.dst] = true;
 }
 
 } // namespace simdram

@@ -14,11 +14,20 @@
  * interface (id -> {elements, bits, vertical}), so it does not care
  * whether objects live on one Processor or are sharded across a
  * DeviceGroup. It is stateful: layout effects of validated
- * instructions (bbop_trsp marks an object vertical) are tracked in a
- * scratch copy seeded from the view, which lets a caller validate a
- * whole stream atomically — against the state each instruction will
- * actually observe — and commit the resulting layout only if every
- * instruction passed.
+ * instructions are tracked in a scratch copy seeded from the view,
+ * which lets a caller validate a whole stream atomically — against
+ * the state each instruction will actually observe — and commit the
+ * resulting layout only if every instruction passed.
+ *
+ * Layout rules: every instruction that READS a vertical image
+ * (bbop_trsp_inv, operation/shift sources, predicates) requires its
+ * operand to be vertical, but any instruction that fully WRITES a
+ * destination's vertical image (bbop_trsp, bbop_init, operation and
+ * shift destinations) establishes the vertical layout itself — the
+ * write covers every bit of the image, so a later vertical read can
+ * never observe untransposed data. This is what lets the stream
+ * optimizer passes (src/stream) drop a bbop_trsp whose result is
+ * overwritten before any read without invalidating the program.
  */
 
 #ifndef SIMDRAM_ISA_VALIDATE_H

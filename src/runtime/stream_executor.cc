@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "stream/passes.h"
 
 namespace simdram
 {
@@ -63,8 +64,7 @@ struct StreamExecutor::PreparedInstr
     Object *src2 = nullptr;
     Object *sel = nullptr;
     /** Per-device views of each operand, shared per object. */
-    using Views =
-        std::shared_ptr<const std::vector<DeviceGroup::ShardView>>;
+    using Views = PreparedInstrViews;
     Views dstV, src1V, src2V, selV;
 };
 
@@ -129,7 +129,28 @@ uint64_t
 StreamExecutor::cacheHits() const
 {
     std::lock_guard<std::mutex> lock(submit_mu_);
-    return cache_hits_;
+    return cache_trsp_hits_ + cache_init_hits_;
+}
+
+uint64_t
+StreamExecutor::cacheTrspHits() const
+{
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    return cache_trsp_hits_;
+}
+
+uint64_t
+StreamExecutor::cacheInitHits() const
+{
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    return cache_init_hits_;
+}
+
+uint64_t
+StreamExecutor::optimizedInstructionCount() const
+{
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    return optimized_count_;
 }
 
 StreamExecutor::Object &
@@ -146,6 +167,16 @@ StreamExecutor::shape(uint16_t id) const
 {
     const Object &obj = *objects_[id];
     return {obj.elements, obj.bits, obj.vertical};
+}
+
+BbopObjectShape
+StreamExecutor::objectShape(uint16_t id) const
+{
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    if (id >= objects_.size())
+        bbopError("StreamExecutor: unknown object id d" +
+                  std::to_string(id));
+    return shape(id);
 }
 
 uint16_t
@@ -205,20 +236,20 @@ StreamExecutor::readObject(uint16_t id)
     return object(id).hostImage;
 }
 
-StreamExecutor::Prepared
-StreamExecutor::prepare(const std::vector<BbopInstr> &stream)
+StreamExecutor::PreparedSegment
+StreamExecutor::resolveSegment(
+    const std::vector<BbopInstr> &seg,
+    std::vector<CacheState> &cache,
+    std::map<const Object *, PreparedInstrViews> &view_cache)
 {
-    // All rule checking lives in the shared validator (the same one
-    // the BbopDispatcher uses); it validates against a scratch copy
-    // of the layout state, so a rejected stream leaves the object
-    // table untouched and the caller commits layout() on acceptance.
-    BbopValidator validator(*this);
+    // The segment has already been validated (twice: the original
+    // program, then the optimized lowering — see submitLocked); this
+    // only resolves operands and decides stream-cache elisions.
 
     // Shard geometry is immutable after alloc(), so resolve each
-    // distinct object's per-device views once per submit; the
-    // instructions share them by pointer.
+    // distinct object's per-device views once per submission; the
+    // instructions share them by pointer, across segments too.
     const size_t devices = workers_.size();
-    std::map<const Object *, PreparedInstr::Views> view_cache;
     auto viewsOf = [&](const Object *o) -> PreparedInstr::Views {
         auto it = view_cache.find(o);
         if (it == view_cache.end()) {
@@ -236,13 +267,8 @@ StreamExecutor::prepare(const std::vector<BbopInstr> &stream)
         return it->second;
     };
 
-    // Stream-cache decision pass state: a scratch copy of every
-    // object's cache shadow (like the validator's layout scratch),
-    // committed by the caller only if the whole stream is accepted.
-    std::vector<CacheState> cache(objects_.size());
-    for (size_t i = 0; i < objects_.size(); ++i)
-        cache[i] = objects_[i]->cache;
-    size_t cached_count = 0;
+    size_t cached_trsp = 0;
+    size_t cached_init = 0;
     const bool use_cache = opts_.enableStreamCache;
     // An entry is only trustworthy while no out-of-band DeviceGroup
     // write touched the backing vector since it was recorded.
@@ -252,11 +278,9 @@ StreamExecutor::prepare(const std::vector<BbopInstr> &stream)
     };
 
     std::vector<PreparedInstr> out;
-    out.reserve(stream.size());
-    for (const BbopInstr &in : stream) {
-        validator.check(in); // throws BbopError on the first bad one
-
-        // The instruction is well-formed: resolve its operands.
+    out.reserve(seg.size());
+    for (const BbopInstr &in : seg) {
+        // Resolve the well-formed instruction's operands.
         PreparedInstr pi;
         pi.instr = in;
         switch (in.opcode) {
@@ -296,7 +320,7 @@ StreamExecutor::prepare(const std::vector<BbopInstr> &stream)
                 // re-running either transposition rewrites identical
                 // data.
                 pi.skip = true;
-                ++cached_count;
+                ++cached_trsp;
                 break;
             }
             if (in.opcode == BbopOpcode::TrspInv)
@@ -311,7 +335,7 @@ StreamExecutor::prepare(const std::vector<BbopInstr> &stream)
             if (use_cache && cacheValid(pi.dst, cs) && cs.hasConst &&
                 cs.constVal == imm) {
                 pi.skip = true;
-                ++cached_count;
+                ++cached_init;
                 break;
             }
             cs.hasConst = true;
@@ -346,84 +370,179 @@ StreamExecutor::prepare(const std::vector<BbopInstr> &stream)
         out.push_back(std::move(pi));
     }
 
-    Prepared p;
+    PreparedSegment p;
     p.prog = std::make_shared<const std::vector<PreparedInstr>>(
         std::move(out));
-    p.layout = validator.layout();
-    p.cache = std::move(cache);
-    p.cachedCount = cached_count;
+    p.cachedTrsp = cached_trsp;
+    p.cachedInit = cached_init;
     return p;
 }
 
-double
-StreamExecutor::reserveQueueSpace()
+void
+StreamExecutor::reserveQueueSpace(size_t segments)
 {
-    if (opts_.maxQueuedStreams == 0)
-        return 0.0;
+    if (opts_.maxQueuedStreams == 0 ||
+        opts_.onFull != BackpressurePolicy::Reject)
+        return;
     // submit_mu_ is held: no other submitter can enqueue, and
     // workers only ever shrink their queues, so space observed here
-    // still exists when the caller pushes.
-    if (opts_.onFull == BackpressurePolicy::Reject) {
-        for (auto &w : workers_) {
-            std::lock_guard<std::mutex> lock(w->mu);
-            if (w->q.size() >= opts_.maxQueuedStreams)
-                throw StreamRejectedError(
-                    "StreamExecutor: device queue full (" +
-                    std::to_string(opts_.maxQueuedStreams) +
-                    " streams queued)");
-        }
-        return 0.0;
-    }
-    const auto t0 = std::chrono::steady_clock::now();
+    // still exists when the caller pushes. The whole submission is
+    // rejected unless ALL of its segments fit — a partially enqueued
+    // program would not be side-effect-free.
     for (auto &w : workers_) {
-        std::unique_lock<std::mutex> lock(w->mu);
-        w->space_cv.wait(lock, [&] {
-            return w->q.size() < opts_.maxQueuedStreams;
-        });
+        std::lock_guard<std::mutex> lock(w->mu);
+        if (w->q.size() + segments > opts_.maxQueuedStreams)
+            throw StreamRejectedError(
+                "StreamExecutor: device queue full (" +
+                std::to_string(opts_.maxQueuedStreams) +
+                " streams queued)");
     }
-    return std::chrono::duration<double, std::nano>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
 }
 
 StreamHandle
 StreamExecutor::submit(const std::vector<BbopInstr> &stream)
 {
     std::lock_guard<std::mutex> lock(submit_mu_);
-    Prepared p = prepare(stream); // throws BbopError; nothing touched
+    // A raw stream is a one-segment program: lift, optimize,
+    // dispatch. Fusion has nothing to merge, so exactly one handle
+    // comes back.
+    return submitLocked(StreamIR::lift(stream)).front();
+}
 
-    // Apply backpressure BEFORE committing anything: a stream turned
-    // away by a full queue (Reject) must be as side-effect-free as a
-    // malformed one.
-    const double blockedNs = reserveQueueSpace();
+std::vector<StreamHandle>
+StreamExecutor::submit(const StreamIR &ir)
+{
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    return submitLocked(ir);
+}
 
-    // The stream is accepted: commit the layout and cache shadows.
+std::vector<StreamHandle>
+StreamExecutor::submitLocked(const StreamIR &ir)
+{
+    if (ir.segments == 0)
+        bbopError("StreamExecutor: program has no segments");
+    for (const auto &n : ir.nodes)
+        if (n.segment >= ir.segments)
+            bbopError("StreamExecutor: node segment out of range");
+
+    // Validate the ORIGINAL program as a unit: a malformed
+    // instruction anywhere rejects the whole submission with nothing
+    // touched. All rule checking lives in the shared validator (the
+    // same one the BbopDispatcher uses); it validates against a
+    // scratch copy of the layout state, committed only on acceptance.
+    BbopValidator validator(*this);
+    for (const auto &n : ir.nodes)
+        validator.check(n.instr);
+
+    // Run the enabled optimizer passes on a copy.
+    StreamIR opt = ir;
+    const PassStats pstats =
+        runPasses(opt, PassOptions{
+                           .trspHoist = opts_.enableTrspHoist,
+                           .deadWriteElim = opts_.enableDeadWriteElim,
+                           .fusion = opts_.enableFusion,
+                       });
+
+    // Lower and re-validate the optimized concatenation: passes must
+    // preserve validity and the final layout state (see passes.h), so
+    // this is purely a safety net against pass bugs.
+    const auto segs = opt.lower();
+    {
+        BbopValidator recheck(*this);
+        for (const auto &seg : segs)
+            for (const auto &in : seg)
+                recheck.check(in);
+    }
+
+    // Per-final-segment as-submitted and pass-removed counts. A fused
+    // segment's handle covers every original node folded into it.
+    std::vector<size_t> original(opt.segments, 0);
+    std::vector<size_t> removed(opt.segments, 0);
+    for (const auto &n : opt.nodes) {
+        ++original[n.segment];
+        if (n.dead)
+            ++removed[n.segment];
+    }
+
+    // Resolve every segment against one shared stream-cache scratch
+    // (committed only on acceptance) and one shared view cache.
+    std::vector<CacheState> cache(objects_.size());
+    for (size_t i = 0; i < objects_.size(); ++i)
+        cache[i] = objects_[i]->cache;
+    std::map<const Object *, PreparedInstrViews> views;
+    std::vector<PreparedSegment> prepared;
+    prepared.reserve(segs.size());
+    for (const auto &seg : segs)
+        prepared.push_back(resolveSegment(seg, cache, views));
+
+    // Apply Reject backpressure BEFORE committing anything: a
+    // submission turned away by a full queue must be as
+    // side-effect-free as a malformed one. (Block waits per segment
+    // below instead: committing first is invisible — every observer
+    // of the shadow state takes submit_mu_, which we hold.)
+    reserveQueueSpace(segs.size());
+
+    // Accepted: commit the layout of the ORIGINAL program (passes
+    // preserve the final layout state) and the cache shadows.
+    const std::vector<bool> &layout = validator.layout();
     for (size_t i = 0; i < objects_.size(); ++i) {
-        objects_[i]->vertical = p.layout[i];
-        objects_[i]->cache = p.cache[i];
+        objects_[i]->vertical = layout[i];
+        objects_[i]->cache = cache[i];
     }
-    cache_hits_ += p.cachedCount;
-
-    auto st = std::make_shared<detail::StreamState>();
-    st->remaining = workers_.size();
-    st->result.instructions = p.prog->size();
-    st->result.cachedInstructions = p.cachedCount;
-    st->result.backpressureWaitNs = blockedNs;
-    st->t0 = std::chrono::steady_clock::now();
-
-    size_t depth = 0;
-    for (auto &w : workers_) {
-        std::lock_guard<std::mutex> wl(w->mu);
-        w->q.push_back(Worker::Job{st, p.prog});
-        depth = std::max(depth, w->q.size());
-        w->cv.notify_one();
+    for (const auto &p : prepared) {
+        cache_trsp_hits_ += p.cachedTrsp;
+        cache_init_hits_ += p.cachedInit;
     }
-    st->result.queueDepthAtSubmit = depth;
-    high_watermark_ = std::max(high_watermark_, depth);
+    optimized_count_ += pstats.removed();
 
-    StreamHandle h;
-    h.state_ = std::move(st);
-    return h;
+    // One job per final segment, pushed in submission order. Under
+    // Block, wait for room before each push — workers drain their
+    // FIFOs independently of submit_mu_, so this cannot deadlock.
+    const bool block = opts_.maxQueuedStreams > 0 &&
+                       opts_.onFull == BackpressurePolicy::Block;
+    std::vector<StreamHandle> handles;
+    handles.reserve(segs.size());
+    for (size_t s = 0; s < segs.size(); ++s) {
+        double blockedNs = 0.0;
+        if (block) {
+            const auto t0 = std::chrono::steady_clock::now();
+            for (auto &w : workers_) {
+                std::unique_lock<std::mutex> wl(w->mu);
+                w->space_cv.wait(wl, [&] {
+                    return w->q.size() < opts_.maxQueuedStreams;
+                });
+            }
+            blockedNs = std::chrono::duration<double, std::nano>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        }
+
+        auto st = std::make_shared<detail::StreamState>();
+        st->remaining = workers_.size();
+        st->result.instructions = original[s];
+        st->result.optimizedInstructions = removed[s];
+        st->result.cachedTrspInstructions = prepared[s].cachedTrsp;
+        st->result.cachedInitInstructions = prepared[s].cachedInit;
+        st->result.cachedInstructions =
+            prepared[s].cachedTrsp + prepared[s].cachedInit;
+        st->result.backpressureWaitNs = blockedNs;
+        st->t0 = std::chrono::steady_clock::now();
+
+        size_t depth = 0;
+        for (auto &w : workers_) {
+            std::lock_guard<std::mutex> wl(w->mu);
+            w->q.push_back(Worker::Job{st, prepared[s].prog});
+            depth = std::max(depth, w->q.size());
+            w->cv.notify_one();
+        }
+        st->result.queueDepthAtSubmit = depth;
+        high_watermark_ = std::max(high_watermark_, depth);
+
+        StreamHandle h;
+        h.state_ = std::move(st);
+        handles.push_back(std::move(h));
+    }
+    return handles;
 }
 
 StreamHandle

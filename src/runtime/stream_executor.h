@@ -55,6 +55,16 @@
  *    resubmit self-contained streams (knn re-transposing its
  *    reference set per query, nn re-broadcasting weights per tile)
  *    stop paying for data that has not changed.
+ *  - Optimizer passes (src/stream/passes.h): every submitted program
+ *    — a raw instruction vector lifted to a one-segment StreamIR, or
+ *    a multi-segment IR from StreamBuilder — runs through the pass
+ *    pipeline (trsp/init hoisting, dead-write elimination, segment
+ *    fusion) before dispatch. Each pass has its own toggle in
+ *    StreamExecutorOptions; removed instructions are reported in
+ *    StreamResult::optimizedInstructions and never reach a device.
+ *    The ORIGINAL program is what submit() validates (atomic reject),
+ *    and passes preserve both memory state and final layout state,
+ *    so optimization is invisible except in statistics.
  */
 
 #ifndef SIMDRAM_RUNTIME_STREAM_EXECUTOR_H
@@ -62,6 +72,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,6 +81,7 @@
 #include "isa/bbop.h"
 #include "isa/validate.h"
 #include "runtime/device_group.h"
+#include "stream/stream_ir.h"
 
 namespace simdram
 {
@@ -121,6 +133,19 @@ struct StreamExecutorOptions
      * instructions are reported in StreamResult::cachedInstructions.
      */
     bool enableStreamCache = true;
+    /**
+     * Optimizer pass toggles (src/stream/passes.h), each independent:
+     * fusion merges adjacent submitted segments sharing an operand
+     * into one device pass; dead-write elimination drops writes
+     * overwritten before any read; trsp hoisting statically removes
+     * transposes/inits whose effect is already in place within the
+     * submitted program (the stream cache above remains the dynamic,
+     * cross-submission backstop). All three preserve memory state and
+     * final layout bit-exactly.
+     */
+    bool enableFusion = true;
+    bool enableDeadWriteElim = true;
+    bool enableTrspHoist = true;
 };
 
 /** Completion data for one executed stream. */
@@ -137,9 +162,20 @@ struct StreamResult
     /**
      * Of those, how many the stream cache elided as redundant
      * (always 0 when the cache is disabled). Elided instructions
-     * contribute nothing to the compute/transfer stats.
+     * contribute nothing to the compute/transfer stats. Always
+     * cachedTrspInstructions + cachedInitInstructions.
      */
     size_t cachedInstructions = 0;
+    /** Transposition elisions (bbop_trsp / bbop_trsp_inv) of those. */
+    size_t cachedTrspInstructions = 0;
+    /** Constant-fill elisions (bbop_init) of those. */
+    size_t cachedInitInstructions = 0;
+    /**
+     * Instructions of this stream removed by the optimizer passes
+     * (hoisting + dead-write elimination) before dispatch — distinct
+     * from cachedInstructions, which attributes the runtime cache.
+     */
+    size_t optimizedInstructions = 0;
     /**
      * Deepest per-device queue (this stream included) observed when
      * the stream was enqueued — the stream's watermark.
@@ -225,6 +261,26 @@ class StreamExecutor : private BbopObjectView
     /** Decodes a stream of 64-bit bbop words and submits it. */
     StreamHandle submit(const std::vector<uint64_t> &encoded);
 
+    /**
+     * Validates and enqueues a multi-segment program (typically built
+     * with StreamBuilder). The ORIGINAL program is validated as a
+     * unit — a malformed instruction anywhere rejects the whole
+     * program atomically — then the enabled optimizer passes run and
+     * one stream per surviving segment is dispatched, in order.
+     * Returns one handle per final segment (fusion merges handles:
+     * a fused segment's handle covers every original segment folded
+     * into it). Same backpressure semantics as submit(stream), with
+     * Reject requiring room for ALL segments up front.
+     */
+    std::vector<StreamHandle> submit(const StreamIR &ir);
+
+    /**
+     * @return Shape and layout state of object @p id, for callers
+     *         (StreamBuilder) that derive instruction widths from the
+     *         object table. Throws BbopError on unknown ids.
+     */
+    BbopObjectShape objectShape(uint16_t id) const;
+
     /** Blocks until every submitted stream has completed. */
     void sync();
 
@@ -240,13 +296,30 @@ class StreamExecutor : private BbopObjectView
     /**
      * @return Total instructions elided by the stream cache over the
      *         executor's lifetime (0 when the cache is disabled).
+     *         Always cacheTrspHits() + cacheInitHits().
      */
     uint64_t cacheHits() const;
+
+    /** @return Lifetime trsp/trsp_inv elisions by the stream cache. */
+    uint64_t cacheTrspHits() const;
+
+    /** @return Lifetime bbop_init elisions by the stream cache. */
+    uint64_t cacheInitHits() const;
+
+    /**
+     * @return Total instructions removed by the optimizer passes over
+     *         the executor's lifetime (0 with all passes disabled).
+     */
+    uint64_t optimizedInstructionCount() const;
 
   private:
     struct Object;
     struct PreparedInstr;
     struct Worker;
+
+    /** Per-device shard views of one operand, shared per object. */
+    using PreparedInstrViews =
+        std::shared_ptr<const std::vector<DeviceGroup::ShardView>>;
 
     /**
      * Cache-relevant shadow state of one object, tracked in
@@ -265,16 +338,14 @@ class StreamExecutor : private BbopObjectView
         uint64_t cleanGen = 0;
     };
 
-    /** A validated stream, resolved but not yet committed. */
-    struct Prepared
+    /** One lowered segment, resolved but not yet committed. */
+    struct PreparedSegment
     {
         std::shared_ptr<const std::vector<PreparedInstr>> prog;
-        /** Post-stream layout state, applied only on acceptance. */
-        std::vector<bool> layout;
-        /** Post-stream cache states, applied only on acceptance. */
-        std::vector<CacheState> cache;
-        /** Instructions elided by the stream cache. */
-        size_t cachedCount = 0;
+        /** trsp/trsp_inv elisions by the stream cache. */
+        size_t cachedTrsp = 0;
+        /** bbop_init elisions by the stream cache. */
+        size_t cachedInit = 0;
     };
 
     Object &object(uint16_t id);
@@ -284,19 +355,29 @@ class StreamExecutor : private BbopObjectView
     BbopObjectShape shape(uint16_t id) const override;
 
     /**
-     * Validates @p stream through the shared BbopValidator and
-     * resolves it into per-instruction object pointers and shard
-     * views. Touches no executor state: the caller commits
-     * Prepared::layout once the stream is accepted for execution.
+     * Resolves one already-validated segment into per-instruction
+     * object pointers and shard views, deciding stream-cache elisions
+     * against @p cache (a scratch copy of the per-object shadows,
+     * shared across a submission's segments and committed by the
+     * caller only on acceptance). Touches no executor state.
      */
-    Prepared prepare(const std::vector<BbopInstr> &stream);
+    PreparedSegment resolveSegment(
+        const std::vector<BbopInstr> &seg,
+        std::vector<CacheState> &cache,
+        std::map<const Object *, PreparedInstrViews> &views);
+
+    /** Whole submit path for one program; submit_mu_ held. */
+    std::vector<StreamHandle> submitLocked(const StreamIR &ir);
 
     /**
-     * Applies the backpressure policy: returns (ns blocked) once
-     * every device queue has room, or throws StreamRejectedError.
-     * Called with submit_mu_ held, before any state is committed.
+     * Applies the Reject backpressure policy for a @p segments-job
+     * submission: throws StreamRejectedError unless every device
+     * queue has room for ALL of them (all-or-nothing — workers only
+     * shrink queues, so room observed here still exists at push).
+     * Under Block this is a no-op; the per-segment push waits
+     * instead. Called with submit_mu_ held, before any commit.
      */
-    double reserveQueueSpace();
+    void reserveQueueSpace(size_t segments);
 
     void workerMain(size_t d);
     void execOn(size_t d, const PreparedInstr &pi);
@@ -309,8 +390,11 @@ class StreamExecutor : private BbopObjectView
     mutable std::mutex submit_mu_;
     /** Lifetime queue-depth high watermark; guarded by submit_mu_. */
     size_t high_watermark_ = 0;
-    /** Lifetime stream-cache hit count; guarded by submit_mu_. */
-    uint64_t cache_hits_ = 0;
+    /** Lifetime stream-cache hit counts; guarded by submit_mu_. */
+    uint64_t cache_trsp_hits_ = 0;
+    uint64_t cache_init_hits_ = 0;
+    /** Lifetime pass-removed instructions; guarded by submit_mu_. */
+    uint64_t optimized_count_ = 0;
 };
 
 } // namespace simdram

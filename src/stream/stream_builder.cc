@@ -1,0 +1,145 @@
+#include "stream/stream_builder.h"
+
+namespace simdram
+{
+
+uint8_t
+StreamBuilder::widthOf(uint16_t id) const
+{
+    // objectShape throws the usual typed BbopError on unknown ids, so
+    // a misaddressed builder call fails at build time, not submit.
+    return static_cast<uint8_t>(ex_->objectShape(id).bits);
+}
+
+StreamBuilder &
+StreamBuilder::append(const BbopInstr &instr)
+{
+    ir_.nodes.push_back({instr, ir_.segments - 1, false});
+    return *this;
+}
+
+StreamBuilder &
+StreamBuilder::trsp(uint16_t obj)
+{
+    return append(BbopInstr::trsp(obj, widthOf(obj)));
+}
+
+StreamBuilder &
+StreamBuilder::trspInv(uint16_t obj)
+{
+    return append(BbopInstr::trspInv(obj, widthOf(obj)));
+}
+
+StreamBuilder &
+StreamBuilder::init(uint16_t obj, uint64_t imm)
+{
+    return append(BbopInstr::init(obj, widthOf(obj), imm));
+}
+
+StreamBuilder &
+StreamBuilder::unary(OpKind op, uint16_t dst, uint16_t src1)
+{
+    return append(BbopInstr::unary(op, widthOf(src1), dst, src1));
+}
+
+StreamBuilder &
+StreamBuilder::binary(OpKind op, uint16_t dst, uint16_t src1,
+                      uint16_t src2)
+{
+    return append(
+        BbopInstr::binary(op, widthOf(src1), dst, src1, src2));
+}
+
+StreamBuilder &
+StreamBuilder::predicated(OpKind op, uint16_t dst, uint16_t src1,
+                          uint16_t src2, uint16_t sel)
+{
+    return append(BbopInstr::predicated(op, widthOf(src1), dst, src1,
+                                        src2, sel));
+}
+
+StreamBuilder &
+StreamBuilder::shiftLeft(uint16_t dst, uint16_t src, uint8_t amount)
+{
+    return append(
+        BbopInstr::shift(true, widthOf(dst), dst, src, amount));
+}
+
+StreamBuilder &
+StreamBuilder::shiftRight(uint16_t dst, uint16_t src, uint8_t amount)
+{
+    return append(
+        BbopInstr::shift(false, widthOf(dst), dst, src, amount));
+}
+
+StreamBuilder &
+StreamBuilder::accumulate(PingPong &acc, uint16_t value)
+{
+    binary(OpKind::Add, acc.dst(), acc.src(), value);
+    acc.flip();
+    return *this;
+}
+
+StreamBuilder &
+StreamBuilder::nextStream()
+{
+    // An empty segment would dispatch an empty stream; treat repeated
+    // boundaries (and a leading one) as one.
+    bool currentEmpty = true;
+    for (const auto &n : ir_.nodes)
+        if (n.segment == ir_.segments - 1) {
+            currentEmpty = false;
+            break;
+        }
+    if (!currentEmpty)
+        ++ir_.segments;
+    return *this;
+}
+
+std::vector<uint64_t>
+StreamBuilder::encodeStream() const
+{
+    if (ir_.segments != 1)
+        bbopError("StreamBuilder: cannot encode a multi-stream "
+                  "program (encoded words carry no boundaries)");
+    std::vector<uint64_t> words;
+    words.reserve(ir_.nodes.size());
+    for (const auto &n : ir_.nodes)
+        words.push_back(encodeBbop(n.instr));
+    return words;
+}
+
+StreamHandle
+StreamBuilder::submit()
+{
+    if (ir_.segments != 1)
+        bbopError("StreamBuilder: submit() is for single-stream "
+                  "programs; use submitAll()");
+    return submitAll().front();
+}
+
+std::vector<StreamHandle>
+StreamBuilder::submitAll()
+{
+    // Drop a trailing empty segment (a nextStream() with nothing
+    // after it) so no empty stream is dispatched.
+    bool lastEmpty = ir_.segments > 1;
+    for (const auto &n : ir_.nodes)
+        if (n.segment == ir_.segments - 1) {
+            lastEmpty = false;
+            break;
+        }
+    if (lastEmpty)
+        --ir_.segments;
+    auto handles = ex_->submit(ir_);
+    clear();
+    return handles;
+}
+
+void
+StreamBuilder::clear()
+{
+    ir_ = StreamIR{};
+}
+
+} // namespace simdram

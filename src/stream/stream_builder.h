@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Fluent construction of bbop stream programs.
+ *
+ * StreamBuilder replaces hand-rolled std::vector<BbopInstr> assembly:
+ * it derives every instruction's element width from the executor's
+ * object table (one less thing each call site can get wrong), lets a
+ * program span multiple streams with nextStream(), and submits the
+ * whole thing through the optimizer pass pipeline:
+ *
+ *   StreamBuilder b(ex);
+ *   b.trsp(a).trsp(w)
+ *    .binary(OpKind::Mul, p, a, w)
+ *    .nextStream()
+ *    .unary(OpKind::Relu, y, p)
+ *    .trspInv(y);
+ *   auto handles = b.submitAll();   // one handle per final segment
+ *
+ * The accumulate() helper captures the ping-pong accumulator pattern
+ * knn and the nn conv tile share: reductions alternate between two
+ * scratch objects because in-place bbop execution is not supported.
+ */
+
+#ifndef SIMDRAM_STREAM_STREAM_BUILDER_H
+#define SIMDRAM_STREAM_STREAM_BUILDER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/stream_executor.h"
+#include "stream/stream_ir.h"
+
+namespace simdram
+{
+
+/**
+ * Accumulator state for ping-pong reductions: partial sums alternate
+ * between two same-shaped scratch objects (dst must differ from src —
+ * the ISA forbids in-place execution). src() is the current partial
+ * sum, dst() the one the next step writes; StreamBuilder::accumulate
+ * emits the step and flips. After the loop, result() names the object
+ * holding the final sum.
+ */
+struct PingPong
+{
+    uint16_t ping = kNoObject;
+    uint16_t pong = kNoObject;
+    bool intoPong = true;
+
+    /** @return The object holding the partial sum so far. */
+    uint16_t src() const { return intoPong ? ping : pong; }
+    /** @return The object the next accumulation step writes. */
+    uint16_t dst() const { return intoPong ? pong : ping; }
+    /** Advances after a step: the written object becomes src(). */
+    void flip() { intoPong = !intoPong; }
+    /** @return The object holding the final sum (same as src()). */
+    uint16_t result() const { return src(); }
+};
+
+/** Builds multi-stream bbop programs against a StreamExecutor. */
+class StreamBuilder
+{
+  public:
+    /** @param ex Executor whose object table defines widths
+     *            (borrowed; must outlive the builder). */
+    explicit StreamBuilder(StreamExecutor &ex) : ex_(&ex) {}
+
+    /** Appends bbop_trsp of @p obj (width from the object table). */
+    StreamBuilder &trsp(uint16_t obj);
+
+    /** Appends bbop_trsp_inv of @p obj. */
+    StreamBuilder &trspInv(uint16_t obj);
+
+    /** Appends bbop_init of @p obj with immediate @p imm. */
+    StreamBuilder &init(uint16_t obj, uint64_t imm);
+
+    /** Appends a unary operation (width from @p src1). */
+    StreamBuilder &unary(OpKind op, uint16_t dst, uint16_t src1);
+
+    /** Appends a binary operation (width from @p src1). */
+    StreamBuilder &binary(OpKind op, uint16_t dst, uint16_t src1,
+                          uint16_t src2);
+
+    /** Appends a predicated operation (width from @p src1). */
+    StreamBuilder &predicated(OpKind op, uint16_t dst, uint16_t src1,
+                              uint16_t src2, uint16_t sel);
+
+    /** Appends bbop_shl dst = src << amount (width from @p dst). */
+    StreamBuilder &shiftLeft(uint16_t dst, uint16_t src,
+                             uint8_t amount);
+
+    /** Appends bbop_shr dst = src >> amount (width from @p dst). */
+    StreamBuilder &shiftRight(uint16_t dst, uint16_t src,
+                              uint8_t amount);
+
+    /**
+     * Appends one ping-pong accumulation step
+     * (acc.dst() = acc.src() + value) and flips @p acc.
+     */
+    StreamBuilder &accumulate(PingPong &acc, uint16_t value);
+
+    /**
+     * Ends the current stream: subsequent instructions go into a new
+     * segment, dispatched as its own device pass (unless fusion
+     * merges it back). A no-op while the current stream is empty.
+     */
+    StreamBuilder &nextStream();
+
+    /** @return The program built so far (the builder keeps its own). */
+    StreamIR build() const { return ir_; }
+
+    /** @return Number of instructions appended so far. */
+    size_t size() const { return ir_.nodes.size(); }
+
+    /**
+     * @return The current program encoded as 64-bit bbop words, for
+     *         the encoded-submission path. Single-stream programs
+     *         only (encoded words carry no segment boundaries);
+     *         throws BbopError after nextStream().
+     */
+    std::vector<uint64_t> encodeStream() const;
+
+    /**
+     * Submits a single-stream program and resets the builder for the
+     * next one. Throws BbopError if nextStream() split the program —
+     * use submitAll() for multi-segment submissions.
+     */
+    StreamHandle submit();
+
+    /**
+     * Submits the whole program (one handle per final segment, in
+     * order) and resets the builder.
+     */
+    std::vector<StreamHandle> submitAll();
+
+    /** Discards everything built so far. */
+    void clear();
+
+  private:
+    /** Appends @p instr to the current segment. */
+    StreamBuilder &append(const BbopInstr &instr);
+
+    /** @return Object @p id's element width as an encodable uint8_t. */
+    uint8_t widthOf(uint16_t id) const;
+
+    StreamExecutor *ex_;
+    StreamIR ir_;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_STREAM_STREAM_BUILDER_H

@@ -1,0 +1,37 @@
+#include "stream/stream_ir.h"
+
+namespace simdram
+{
+
+StreamIR
+StreamIR::lift(const std::vector<BbopInstr> &stream)
+{
+    StreamIR ir;
+    ir.nodes.reserve(stream.size());
+    for (const auto &in : stream)
+        ir.nodes.push_back({in, 0, false});
+    ir.segments = 1;
+    return ir;
+}
+
+std::vector<std::vector<BbopInstr>>
+StreamIR::lower() const
+{
+    std::vector<std::vector<BbopInstr>> out(segments);
+    for (const auto &n : nodes)
+        if (!n.dead)
+            out[n.segment].push_back(n.instr);
+    return out;
+}
+
+size_t
+StreamIR::liveCount() const
+{
+    size_t live = 0;
+    for (const auto &n : nodes)
+        if (!n.dead)
+            ++live;
+    return live;
+}
+
+} // namespace simdram

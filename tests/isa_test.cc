@@ -287,8 +287,9 @@ TEST(ValidatorUnification, MalformedStreamsRejectIdenticallyTyped)
         {BbopInstr::trsp(0, 16)},
         {BbopInstr::trspInv(0, 8)},
         {BbopInstr::trsp(0, 8), BbopInstr::trspInv(0, 16)},
-        // Init layout, width (the unification fix), and immediate.
-        {BbopInstr::init(0, 8, 1)},
+        // Init width (the unification fix) and immediate. (A bare
+        // init needs no preceding trsp: full vertical writes
+        // establish the layout — see FullVerticalWritesEstablishLayout.)
         {BbopInstr::trsp(0, 8), BbopInstr::init(0, 8, 0x100)},
         // Shift shape / in-place / width.
         {BbopInstr::trsp(0, 8), BbopInstr::trsp(2, 16),
@@ -369,6 +370,51 @@ TEST(ValidatorUnification, ValidStreamsAcceptedByBothPaths)
     const auto [disp_err, ex_err] = rejectionOnBothPaths(ok);
     EXPECT_EQ(disp_err, "");
     EXPECT_EQ(ex_err, "");
+}
+
+TEST(ValidatorUnification, FullVerticalWritesEstablishLayout)
+{
+    // Relaxed layout rules (isa/validate.h): init, op and shift
+    // destinations fully write the vertical image, so they ESTABLISH
+    // the vertical layout rather than requiring it — that is what
+    // lets the stream optimizer drop a trsp whose image is
+    // overwritten before being read. Reads still require it, so a
+    // stream whose first touch of an object is a READ stays rejected
+    // (see the trspInv / op-source cases in the bad list above).
+    // Every destination below is an object nothing transposed:
+    // d0 via a shift, d3 via an op, d2 via an init; trsp_inv then
+    // READS the op-established d3.
+    const std::vector<BbopInstr> ok = {
+        BbopInstr::trsp(1, 8),
+        BbopInstr::shift(true, 8, 0, 1, 2),
+        BbopInstr::binary(OpKind::Gt, 8, 3, 0, 1),
+        BbopInstr::init(2, 16, 7),
+        BbopInstr::trspInv(3, 1),
+    };
+    const auto [disp_err, ex_err] = rejectionOnBothPaths(ok);
+    EXPECT_EQ(disp_err, "");
+    EXPECT_EQ(ex_err, "");
+
+    // Both paths produce the written image, not stale data: an
+    // init-first object reads back its constant on the dispatcher
+    // and the executor alike.
+    const size_t n = 12;
+    const DramConfig cfg = DramConfig::forTesting(256, 512);
+    Processor proc(cfg);
+    BbopDispatcher disp(proc);
+    DeviceGroup group(cfg, 2);
+    StreamExecutor ex(group);
+    disp.defineObject(n, 8);
+    ex.defineObject(n, 8);
+    const std::vector<BbopInstr> s = {
+        BbopInstr::init(0, 8, 42),
+        BbopInstr::trspInv(0, 8),
+    };
+    for (const BbopInstr &i : s)
+        disp.exec(i);
+    ex.submit(s).wait();
+    EXPECT_EQ(disp.readObject(0), std::vector<uint64_t>(n, 42));
+    EXPECT_EQ(ex.readObject(0), std::vector<uint64_t>(n, 42));
 }
 
 TEST_F(DispatcherTest, WriteKeepsVerticalCoherent)

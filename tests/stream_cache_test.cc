@@ -19,91 +19,31 @@
 #include "apps/nn.h"
 #include "common/rng.h"
 #include "runtime/stream_executor.h"
+#include "stream_testutil.h"
 
 namespace simdram
 {
 namespace
 {
 
-DramConfig
-testCfg()
-{
-    return DramConfig::forTesting(256, 512);
-}
-
-std::vector<uint64_t>
-randomData(size_t n, uint64_t mask, uint64_t seed)
-{
-    Rng rng(seed);
-    std::vector<uint64_t> v(n);
-    for (auto &x : v)
-        x = rng.next() & mask;
-    return v;
-}
-
-StreamExecutorOptions
-uncachedOpts()
-{
-    StreamExecutorOptions o;
-    o.enableStreamCache = false;
-    return o;
-}
+using testutil::DiffRig;
+using testutil::noPassesOpts;
+using testutil::randomData;
+using testutil::testCfg;
 
 /**
- * A pair of executors over independent but identically configured
- * groups: every action runs on both, and the object images must stay
- * bit-exact while only the cached side may skip work.
+ * Cache on vs cache off, with the optimizer passes disabled on both
+ * sides: these tests assert exact elision counts per instruction, and
+ * a pass removing (say) a duplicate init would change which
+ * instructions the runtime cache ever sees. The pass-vs-no-pass
+ * differential lives in stream_ir_test.
  */
-struct DiffRig
+DiffRig
+cacheRig(size_t devices)
 {
-    DeviceGroup gc, gu;
-    StreamExecutor cached, uncached;
-    std::vector<uint16_t> ids;
-
-    explicit DiffRig(size_t devices)
-        : gc(testCfg(), devices),
-          gu(testCfg(), devices),
-          cached(gc),
-          uncached(gu, uncachedOpts())
-    {}
-
-    uint16_t
-    define(size_t n, size_t bits)
-    {
-        const uint16_t a = cached.defineObject(n, bits);
-        const uint16_t b = uncached.defineObject(n, bits);
-        EXPECT_EQ(a, b);
-        ids.push_back(a);
-        return a;
-    }
-
-    void
-    write(uint16_t id, const std::vector<uint64_t> &data)
-    {
-        cached.writeObject(id, data);
-        uncached.writeObject(id, data);
-    }
-
-    /** Submits on both; returns (cached, uncached) results. */
-    std::pair<StreamResult, StreamResult>
-    run(const std::vector<BbopInstr> &stream)
-    {
-        StreamResult rc = cached.submit(stream).wait();
-        StreamResult ru = uncached.submit(stream).wait();
-        EXPECT_EQ(ru.cachedInstructions, 0u);
-        EXPECT_EQ(rc.instructions, ru.instructions);
-        return {rc, ru};
-    }
-
-    /** Every object's host image must match bit-exactly. */
-    void
-    expectSameImages()
-    {
-        for (uint16_t id : ids)
-            ASSERT_EQ(cached.readObject(id), uncached.readObject(id))
-                << "object " << id;
-    }
-};
+    return DiffRig(devices, noPassesOpts(/*cache=*/true),
+                   noPassesOpts(/*cache=*/false));
+}
 
 class StreamCacheTest : public ::testing::TestWithParam<size_t>
 {
@@ -118,7 +58,7 @@ INSTANTIATE_TEST_SUITE_P(Devices, StreamCacheTest,
 
 TEST_P(StreamCacheTest, RepeatedTrspIsElidedBitExact)
 {
-    DiffRig rig(GetParam());
+    DiffRig rig = cacheRig(GetParam());
     const size_t n = 300; // crosses a shard boundary at 4 devices
     const uint16_t a = rig.define(n, 16);
     const uint16_t y = rig.define(n, 16);
@@ -145,13 +85,13 @@ TEST_P(StreamCacheTest, RepeatedTrspIsElidedBitExact)
     const auto r2 = rig.run({BbopInstr::trspInv(y, 16)});
     EXPECT_EQ(r2.first.cachedInstructions, 0u);
     rig.expectSameImages();
-    EXPECT_EQ(rig.cached.cacheHits(), 2u);
-    EXPECT_EQ(rig.uncached.cacheHits(), 0u);
+    EXPECT_EQ(rig.opt.cacheHits(), 2u);
+    EXPECT_EQ(rig.ref.cacheHits(), 0u);
 }
 
 TEST_P(StreamCacheTest, InitElidedOnlyWhenValueUnchanged)
 {
-    DiffRig rig(GetParam());
+    DiffRig rig = cacheRig(GetParam());
     const size_t n = 300;
     const uint16_t a = rig.define(n, 16);
     rig.run({BbopInstr::trsp(a, 16), BbopInstr::init(a, 16, 0x2d)});
@@ -169,13 +109,13 @@ TEST_P(StreamCacheTest, InitElidedOnlyWhenValueUnchanged)
     const auto r2 = rig.run({BbopInstr::trsp(a, 16)});
     EXPECT_EQ(r2.first.cachedInstructions, 1u);
     rig.expectSameImages();
-    for (uint64_t v : rig.cached.readObject(a))
+    for (uint64_t v : rig.opt.readObject(a))
         ASSERT_EQ(v, 0x2eu);
 }
 
 TEST_P(StreamCacheTest, EveryWriteKindInvalidates)
 {
-    DiffRig rig(GetParam());
+    DiffRig rig = cacheRig(GetParam());
     const size_t n = 300;
     const uint16_t a = rig.define(n, 16);
     const uint16_t y = rig.define(n, 16);
@@ -253,7 +193,7 @@ TEST_P(StreamCacheTest, MixedPipelineStaysBitExactUnderChurn)
     // trsp / trsp_inv / init / ops / shifts / host writes, submitted
     // without waiting, must leave every object bit-exact between the
     // cached and uncached executors.
-    DiffRig rig(GetParam());
+    DiffRig rig = cacheRig(GetParam());
     const size_t n = 520; // 3 segments
     const uint16_t a = rig.define(n, 16);
     const uint16_t b = rig.define(n, 16);
@@ -266,8 +206,8 @@ TEST_P(StreamCacheTest, MixedPipelineStaysBitExactUnderChurn)
     Rng rng(0xc0ffee);
     std::vector<StreamHandle> hc, hu;
     auto submitBoth = [&](const std::vector<BbopInstr> &s) {
-        hc.push_back(rig.cached.submit(s));
-        hu.push_back(rig.uncached.submit(s));
+        hc.push_back(rig.opt.submit(s));
+        hu.push_back(rig.ref.submit(s));
     };
     for (int round = 0; round < 60; ++round) {
         switch (rng.below(6)) {
@@ -310,9 +250,9 @@ TEST_P(StreamCacheTest, MixedPipelineStaysBitExactUnderChurn)
         EXPECT_EQ(h.wait().cachedInstructions, 0u);
 
     rig.expectSameImages();
-    EXPECT_EQ(rig.cached.cacheHits(), cached_hits);
-    EXPECT_GT(rig.cached.cacheHits(), 0u);
-    EXPECT_EQ(rig.uncached.cacheHits(), 0u);
+    EXPECT_EQ(rig.opt.cacheHits(), cached_hits);
+    EXPECT_GT(rig.opt.cacheHits(), 0u);
+    EXPECT_EQ(rig.ref.cacheHits(), 0u);
 }
 
 // ---- App runtime paths: reduced trsp counts, bit-exact --------------
