@@ -27,7 +27,8 @@ struct StreamState
     StreamResult result;
     /** First error raised during execution, if any. */
     std::exception_ptr error;
-    /** Submission time (for wall-clock accounting). */
+    /** Submit-ENTRY time: origin of the end-to-end wall clock
+     *  (set before the submit lock and any backpressure wait). */
     std::chrono::steady_clock::time_point t0;
 };
 
@@ -118,39 +119,41 @@ StreamExecutor::workerCount() const
     return workers_.size();
 }
 
+// The lifetime counters are written only under submit_mu_ but read
+// lock-free: a getter must never queue behind (or race with) a
+// submitter that holds the lock across a Block-mode backpressure
+// wait. Relaxed ordering is enough — each counter is an independent
+// monotonic statistic, not a synchronization point.
+
 size_t
 StreamExecutor::queueHighWatermark() const
 {
-    std::lock_guard<std::mutex> lock(submit_mu_);
-    return high_watermark_;
+    return high_watermark_.load(std::memory_order_relaxed);
 }
 
 uint64_t
 StreamExecutor::cacheHits() const
 {
-    std::lock_guard<std::mutex> lock(submit_mu_);
-    return cache_trsp_hits_ + cache_init_hits_;
+    return cache_trsp_hits_.load(std::memory_order_relaxed) +
+           cache_init_hits_.load(std::memory_order_relaxed);
 }
 
 uint64_t
 StreamExecutor::cacheTrspHits() const
 {
-    std::lock_guard<std::mutex> lock(submit_mu_);
-    return cache_trsp_hits_;
+    return cache_trsp_hits_.load(std::memory_order_relaxed);
 }
 
 uint64_t
 StreamExecutor::cacheInitHits() const
 {
-    std::lock_guard<std::mutex> lock(submit_mu_);
-    return cache_init_hits_;
+    return cache_init_hits_.load(std::memory_order_relaxed);
 }
 
 uint64_t
 StreamExecutor::optimizedInstructionCount() const
 {
-    std::lock_guard<std::mutex> lock(submit_mu_);
-    return optimized_count_;
+    return optimized_count_.load(std::memory_order_relaxed);
 }
 
 StreamExecutor::Object &
@@ -402,22 +405,29 @@ StreamExecutor::reserveQueueSpace(size_t segments)
 StreamHandle
 StreamExecutor::submit(const std::vector<BbopInstr> &stream)
 {
+    // The end-to-end clock starts HERE, before the submit lock: lock
+    // contention and the Block-mode backpressure wait are time the
+    // caller's request spends in the service, and wallNs promises
+    // submit-to-last-device-completion.
+    const auto entry = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(submit_mu_);
     // A raw stream is a one-segment program: lift, optimize,
     // dispatch. Fusion has nothing to merge, so exactly one handle
     // comes back.
-    return submitLocked(StreamIR::lift(stream)).front();
+    return submitLocked(StreamIR::lift(stream), entry).front();
 }
 
 std::vector<StreamHandle>
 StreamExecutor::submit(const StreamIR &ir)
 {
+    const auto entry = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(submit_mu_);
-    return submitLocked(ir);
+    return submitLocked(ir, entry);
 }
 
 std::vector<StreamHandle>
-StreamExecutor::submitLocked(const StreamIR &ir)
+StreamExecutor::submitLocked(const StreamIR &ir,
+                             std::chrono::steady_clock::time_point entry)
 {
     if (ir.segments == 0)
         bbopError("StreamExecutor: program has no segments");
@@ -489,11 +499,16 @@ StreamExecutor::submitLocked(const StreamIR &ir)
         objects_[i]->vertical = layout[i];
         objects_[i]->cache = cache[i];
     }
+    // Single writer (submit_mu_ held), lock-free readers: relaxed
+    // read-modify-writes are race-free and never lost.
     for (const auto &p : prepared) {
-        cache_trsp_hits_ += p.cachedTrsp;
-        cache_init_hits_ += p.cachedInit;
+        cache_trsp_hits_.fetch_add(p.cachedTrsp,
+                                   std::memory_order_relaxed);
+        cache_init_hits_.fetch_add(p.cachedInit,
+                                   std::memory_order_relaxed);
     }
-    optimized_count_ += pstats.removed();
+    optimized_count_.fetch_add(pstats.removed(),
+                               std::memory_order_relaxed);
 
     // One job per final segment, pushed in submission order. Under
     // Block, wait for room before each push — workers drain their
@@ -526,7 +541,13 @@ StreamExecutor::submitLocked(const StreamIR &ir)
         st->result.cachedInstructions =
             prepared[s].cachedTrsp + prepared[s].cachedInit;
         st->result.backpressureWaitNs = blockedNs;
-        st->t0 = std::chrono::steady_clock::now();
+        // Every segment's stream clock is anchored at the SUBMIT
+        // ENTRY instant, not "now": by this point the submission may
+        // already have waited for the lock and (Block mode) for
+        // queue space, and a later segment's e2e latency legitimately
+        // includes its predecessors' — that is what the submitter
+        // experiences.
+        st->t0 = entry;
 
         size_t depth = 0;
         for (auto &w : workers_) {
@@ -536,7 +557,8 @@ StreamExecutor::submitLocked(const StreamIR &ir)
             w->cv.notify_one();
         }
         st->result.queueDepthAtSubmit = depth;
-        high_watermark_ = std::max(high_watermark_, depth);
+        if (depth > high_watermark_.load(std::memory_order_relaxed))
+            high_watermark_.store(depth, std::memory_order_relaxed);
 
         StreamHandle h;
         h.state_ = std::move(st);
@@ -548,6 +570,7 @@ StreamExecutor::submitLocked(const StreamIR &ir)
 StreamHandle
 StreamExecutor::submit(const std::vector<uint64_t> &encoded)
 {
+    const auto entry = std::chrono::steady_clock::now();
     // Decode the whole stream before validating any of it, so a
     // stream mixing decode and validation errors is rejected as a
     // unit either way, with no partial effects.
@@ -555,7 +578,8 @@ StreamExecutor::submit(const std::vector<uint64_t> &encoded)
     stream.reserve(encoded.size());
     for (uint64_t w : encoded)
         stream.push_back(decodeBbop(w)); // throws BbopError
-    return submit(stream);
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    return submitLocked(StreamIR::lift(stream), entry).front();
 }
 
 void

@@ -70,6 +70,8 @@
 #ifndef SIMDRAM_RUNTIME_STREAM_EXECUTOR_H
 #define SIMDRAM_RUNTIME_STREAM_EXECUTOR_H
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -155,7 +157,16 @@ struct StreamResult
     DramStats compute;
     /** Host-transfer (transposition) stats of this stream. */
     DramStats transfer;
-    /** Submit-to-last-device-completion wall time (host ns). */
+    /**
+     * End-to-end wall time (host ns): from ENTRY into submit() —
+     * before the submit lock, validation, and any Block-mode
+     * backpressure wait — to the last device completing the stream.
+     * This is the number a serving SLO observes; the backpressure
+     * share of it is broken out in backpressureWaitNs. (Historical
+     * note: before PR 7 the clock restarted after the backpressure
+     * wait, so wallNs silently excluded exactly the time a loaded
+     * service spends queueing — see e2eNs()/serviceNs().)
+     */
     double wallNs = 0.0;
     /** Number of instructions in the stream (as submitted). */
     size_t instructions = 0;
@@ -183,6 +194,27 @@ struct StreamResult
     size_t queueDepthAtSubmit = 0;
     /** Host ns submit() spent blocked on backpressure (Block only). */
     double backpressureWaitNs = 0.0;
+
+    /**
+     * @return The true end-to-end latency of the stream: submit entry
+     *         to last device completion, backpressure wait included.
+     *         An explicit accessor so call sites reading an SLO
+     *         number cannot accidentally pick up a partial clock;
+     *         always >= backpressureWaitNs.
+     */
+    double e2eNs() const { return wallNs; }
+
+    /**
+     * @return The post-admission share of e2eNs(): queue + execute
+     *         time once the stream had secured queue space (the
+     *         quantity wallNs used to report before PR 7).
+     */
+    double serviceNs() const
+    {
+        return wallNs > backpressureWaitNs
+                   ? wallNs - backpressureWaitNs
+                   : 0.0;
+    }
 };
 
 /** Future-style handle to a submitted stream. */
@@ -290,13 +322,22 @@ class StreamExecutor : private BbopObjectView
     /**
      * @return The deepest per-device queue depth any submit() has
      *         observed over the executor's lifetime.
+     *
+     * This and the counters below are wait-free: they read atomics
+     * and never touch submit_mu_, so a monitoring thread (e.g. the
+     * serving harness polling for its stats roll-up) cannot be
+     * starved by a submitter that holds the submit lock across a
+     * long Block-mode backpressure wait.
      */
     size_t queueHighWatermark() const;
 
     /**
      * @return Total instructions elided by the stream cache over the
      *         executor's lifetime (0 when the cache is disabled).
-     *         Always cacheTrspHits() + cacheInitHits().
+     *         Always cacheTrspHits() + cacheInitHits(). Wait-free,
+     *         but the two addends are read independently: a sum
+     *         racing a concurrent submit may briefly exclude its
+     *         newest hits.
      */
     uint64_t cacheHits() const;
 
@@ -366,8 +407,16 @@ class StreamExecutor : private BbopObjectView
         std::vector<CacheState> &cache,
         std::map<const Object *, PreparedInstrViews> &views);
 
-    /** Whole submit path for one program; submit_mu_ held. */
-    std::vector<StreamHandle> submitLocked(const StreamIR &ir);
+    /**
+     * Whole submit path for one program; submit_mu_ held. @p entry
+     * is the wall-clock instant the public submit() was entered —
+     * the origin of every resulting stream's end-to-end clock
+     * (StreamResult::wallNs), captured BEFORE the submit lock and
+     * any backpressure wait.
+     */
+    std::vector<StreamHandle> submitLocked(
+        const StreamIR &ir,
+        std::chrono::steady_clock::time_point entry);
 
     /**
      * Applies the Reject backpressure policy for a @p segments-job
@@ -388,13 +437,18 @@ class StreamExecutor : private BbopObjectView
     std::vector<std::unique_ptr<Worker>> workers_;
     /** Serializes submit()/defineObject() and the object table. */
     mutable std::mutex submit_mu_;
-    /** Lifetime queue-depth high watermark; guarded by submit_mu_. */
-    size_t high_watermark_ = 0;
-    /** Lifetime stream-cache hit counts; guarded by submit_mu_. */
-    uint64_t cache_trsp_hits_ = 0;
-    uint64_t cache_init_hits_ = 0;
-    /** Lifetime pass-removed instructions; guarded by submit_mu_. */
-    uint64_t optimized_count_ = 0;
+    /**
+     * Lifetime counters. Writers are serialized by submit_mu_ (so
+     * plain read-modify-write under the lock is single-writer), but
+     * they are atomics so the getters can read them WITHOUT the
+     * lock: a Block-mode submit() holds submit_mu_ for its whole
+     * backpressure wait, and a monitoring getter must not block (or
+     * race, under TSan) behind it.
+     */
+    std::atomic<size_t> high_watermark_{0};
+    std::atomic<uint64_t> cache_trsp_hits_{0};
+    std::atomic<uint64_t> cache_init_hits_{0};
+    std::atomic<uint64_t> optimized_count_{0};
 };
 
 } // namespace simdram

@@ -1,0 +1,105 @@
+#include "serve/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace simdram
+{
+
+size_t
+LatencyHistogram::bucketOf(uint64_t ns)
+{
+    if (ns < (1ULL << kSubBits))
+        return static_cast<size_t>(ns);
+    const int msb = 63 - std::countl_zero(ns);
+    const uint64_t sub = (ns >> (msb - kSubBits)) &
+                         ((1ULL << kSubBits) - 1);
+    return ((static_cast<size_t>(msb) - kSubBits + 1) << kSubBits) +
+           static_cast<size_t>(sub);
+}
+
+uint64_t
+LatencyHistogram::bucketLowNs(size_t idx)
+{
+    if (idx < (1ULL << kSubBits))
+        return idx;
+    const size_t msb = (idx >> kSubBits) + kSubBits - 1;
+    const uint64_t sub = idx & ((1ULL << kSubBits) - 1);
+    return (1ULL << msb) | (sub << (msb - kSubBits));
+}
+
+uint64_t
+LatencyHistogram::bucketHighNs(size_t idx)
+{
+    if (idx < (1ULL << kSubBits))
+        return idx + 1;
+    const size_t msb = (idx >> kSubBits) + kSubBits - 1;
+    const uint64_t low = bucketLowNs(idx);
+    const uint64_t width = 1ULL << (msb - kSubBits);
+    // The very top bucket's bound would wrap past 2^64; saturate.
+    return low + width >= low
+               ? low + width
+               : std::numeric_limits<uint64_t>::max();
+}
+
+void
+LatencyHistogram::record(double ns)
+{
+    uint64_t v = 0;
+    if (ns > 0.0) {
+        // Saturate instead of overflowing for absurd inputs.
+        const double max64 =
+            static_cast<double>(std::numeric_limits<uint64_t>::max());
+        v = ns >= max64 ? std::numeric_limits<uint64_t>::max()
+                        : static_cast<uint64_t>(ns);
+    }
+    buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev && !max_.compare_exchange_weak(
+                           prev, v, std::memory_order_relaxed))
+        ;
+}
+
+double
+LatencyHistogram::quantileNs(double q) const
+{
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Snapshot first so the rank and the walk agree on one total.
+    std::array<uint64_t, kBuckets> snap;
+    uint64_t total = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        snap[i] = buckets_[i].load(std::memory_order_relaxed);
+        total += snap[i];
+    }
+    if (total == 0)
+        return 0.0;
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(q * static_cast<double>(total))));
+    uint64_t cum = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        cum += snap[i];
+        if (cum >= rank)
+            return (static_cast<double>(bucketLowNs(i)) +
+                    static_cast<double>(bucketHighNs(i))) /
+                   2.0;
+    }
+    return static_cast<double>(bucketHighNs(kBuckets - 1));
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace simdram

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Concurrent log-linear latency histogram for the serving harness.
+ *
+ * The coalescer records one end-to-end latency per completed request
+ * (queue + coalesce + execute, on the corrected StreamResult clock)
+ * and the harness reads p50/p99/p999 while traffic is in flight, so
+ * the histogram must be cheap and contention-free on the record path:
+ * buckets are relaxed atomics (no locks anywhere), and a record() is
+ * one fetch_add on a bucket plus one on the total.
+ *
+ * Buckets are log-linear (HdrHistogram-style): values below
+ * 2^kSubBits ns get exact unit buckets; above that, each power-of-two
+ * octave is split into 2^kSubBits linear sub-buckets, bounding the
+ * relative quantile error at 2^-kSubBits (12.5%) — plenty for SLO
+ * percentiles, with a fixed 496-bucket footprint covering the full
+ * uint64 ns range (~584 years).
+ *
+ * Quantile reads snapshot the buckets non-atomically: concurrent
+ * records may or may not be included (each bucket is internally
+ * consistent, the set is not a point-in-time cut). That is the usual
+ * monitoring contract; reset() has the same caveat.
+ */
+
+#ifndef SIMDRAM_SERVE_LATENCY_HISTOGRAM_H
+#define SIMDRAM_SERVE_LATENCY_HISTOGRAM_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace simdram
+{
+
+/** Lock-free log-linear histogram of nanosecond latencies. */
+class LatencyHistogram
+{
+  public:
+    /** Linear sub-buckets per octave = 2^kSubBits (12.5% error). */
+    static constexpr size_t kSubBits = 3;
+    /** Total buckets covering [0, 2^64) ns. */
+    static constexpr size_t kBuckets =
+        ((64 - kSubBits) << kSubBits) + (1 << kSubBits);
+
+    /** Records one latency (negative values clamp to 0). */
+    void record(double ns);
+
+    /** @return Number of recorded latencies. */
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * @return The @p q quantile (q in [0, 1]) as the midpoint of the
+     *         bucket holding the ceil(q * count)-th smallest sample;
+     *         0 when empty. quantile(1.0) is the top non-empty
+     *         bucket's midpoint — see maxNs() for the exact maximum.
+     */
+    double quantileNs(double q) const;
+
+    /** Convenience quantiles. */
+    double p50() const { return quantileNs(0.50); }
+    double p99() const { return quantileNs(0.99); }
+    double p999() const { return quantileNs(0.999); }
+
+    /** @return The exact largest recorded latency (0 when empty). */
+    double maxNs() const
+    {
+        return static_cast<double>(
+            max_.load(std::memory_order_relaxed));
+    }
+
+    /** Clears all counts (racy vs concurrent record, see above). */
+    void reset();
+
+    /** @return The bucket index of @p ns (exposed for tests). */
+    static size_t bucketOf(uint64_t ns);
+
+    /** @return The inclusive lower bound of bucket @p idx in ns. */
+    static uint64_t bucketLowNs(size_t idx);
+
+    /** @return The exclusive upper bound of bucket @p idx in ns. */
+    static uint64_t bucketHighNs(size_t idx);
+
+  private:
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> max_{0};
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_SERVE_LATENCY_HISTOGRAM_H

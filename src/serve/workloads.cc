@@ -1,0 +1,187 @@
+#include "serve/workloads.h"
+
+#include "common/error.h"
+
+namespace simdram
+{
+
+namespace
+{
+
+uint64_t
+maskOf(size_t bits)
+{
+    return bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+}
+
+std::vector<uint64_t>
+broadcast(uint64_t v, size_t lanes)
+{
+    return std::vector<uint64_t>(lanes, v);
+}
+
+} // namespace
+
+RequestClassSpec
+knnQueryClass(const KnnServeSpec &spec,
+              const std::vector<std::vector<uint64_t>> &refColumns)
+{
+    if (spec.dims == 0)
+        fatal("knnQueryClass: zero dims");
+    if (refColumns.size() != spec.dims)
+        fatal("knnQueryClass: expected one reference column per dim");
+    for (const auto &col : refColumns)
+        if (col.size() != spec.refs)
+            fatal("knnQueryClass: reference column has wrong size");
+
+    RequestClassSpec cls;
+    cls.name = "knn-query";
+    cls.elements = spec.refs;
+    cls.bits = spec.bits;
+    cls.requestInputs = spec.dims; // one broadcast coord per dim
+    cls.shared = refColumns;
+    const size_t dims = spec.dims;
+    const size_t bits = spec.bits;
+    cls.emit = [dims, bits](StreamBuilder &b, const BatchLayout &L) {
+        const uint16_t diff = L.scratch(0, bits);
+        if (dims == 1) {
+            b.binary(OpKind::Sub, diff, L.shared[0], L.request[0]);
+            b.unary(OpKind::Abs, L.output, diff);
+            return;
+        }
+        const uint16_t abs = L.scratch(1, bits);
+        // Ping-pong L1 accumulation, exactly the knn app pipeline;
+        // the LAST step adds straight into the output object.
+        PingPong acc{L.scratch(2, bits), L.scratch(3, bits)};
+        b.init(acc.src(), 0);
+        for (size_t d = 0; d < dims; ++d) {
+            b.binary(OpKind::Sub, diff, L.shared[d], L.request[d]);
+            b.unary(OpKind::Abs, abs, diff);
+            if (d + 1 == dims)
+                b.binary(OpKind::Add, L.output, acc.src(), abs);
+            else
+                b.accumulate(acc, abs);
+        }
+    };
+    return cls;
+}
+
+std::vector<std::vector<uint64_t>>
+knnQueryRequest(const KnnServeSpec &spec,
+                const std::vector<uint64_t> &coords)
+{
+    if (coords.size() != spec.dims)
+        fatal("knnQueryRequest: wrong coordinate count");
+    std::vector<std::vector<uint64_t>> slots;
+    slots.reserve(spec.dims);
+    for (uint64_t c : coords)
+        slots.push_back(broadcast(c & maskOf(spec.bits), spec.refs));
+    return slots;
+}
+
+std::vector<uint64_t>
+knnQueryHost(const KnnServeSpec &spec,
+             const std::vector<std::vector<uint64_t>> &refColumns,
+             const std::vector<uint64_t> &coords)
+{
+    const uint64_t mask = maskOf(spec.bits);
+    std::vector<uint64_t> dist(spec.refs, 0);
+    for (size_t i = 0; i < spec.refs; ++i) {
+        uint64_t d = 0;
+        for (size_t k = 0; k < spec.dims; ++k) {
+            const int64_t diff =
+                static_cast<int64_t>(refColumns[k][i]) -
+                static_cast<int64_t>(coords[k]);
+            d += static_cast<uint64_t>(diff < 0 ? -diff : diff);
+        }
+        dist[i] = d & mask;
+    }
+    return dist;
+}
+
+RequestClassSpec
+brightnessTileClass(const BrightnessTileSpec &spec)
+{
+    RequestClassSpec cls;
+    cls.name = "brightness-tile";
+    cls.elements = spec.pixels;
+    cls.bits = spec.bits;
+    cls.requestInputs = 2; // {pixels, broadcast delta}
+    cls.shared = {broadcast(spec.cap & maskOf(spec.bits),
+                            spec.pixels)};
+    const size_t bits = spec.bits;
+    cls.emit = [bits](StreamBuilder &b, const BatchLayout &L) {
+        const uint16_t sum = L.scratch(0, bits);
+        const uint16_t ovf = L.scratch(1, 1); // relational mask
+        b.binary(OpKind::Add, sum, L.request[0], L.request[1]);
+        b.binary(OpKind::Gt, ovf, sum, L.shared[0]);
+        b.predicated(OpKind::IfElse, L.output, L.shared[0], sum,
+                     ovf);
+    };
+    return cls;
+}
+
+std::vector<std::vector<uint64_t>>
+brightnessTileRequest(const BrightnessTileSpec &spec,
+                      const std::vector<uint64_t> &pixels,
+                      uint64_t delta)
+{
+    if (pixels.size() != spec.pixels)
+        fatal("brightnessTileRequest: wrong tile size");
+    return {pixels, broadcast(delta & maskOf(spec.bits),
+                              spec.pixels)};
+}
+
+std::vector<uint64_t>
+brightnessTileHost(const BrightnessTileSpec &spec,
+                   const std::vector<uint64_t> &pixels,
+                   uint64_t delta)
+{
+    const uint64_t mask = maskOf(spec.bits);
+    std::vector<uint64_t> out(pixels.size());
+    for (size_t i = 0; i < pixels.size(); ++i) {
+        const uint64_t sum = (pixels[i] + delta) & mask;
+        out[i] = sum > (spec.cap & mask) ? (spec.cap & mask) : sum;
+    }
+    return out;
+}
+
+RequestClassSpec
+tpchFilterClass(const TpchFilterSpec &spec)
+{
+    RequestClassSpec cls;
+    cls.name = "tpch-filter";
+    cls.elements = spec.rows;
+    cls.bits = spec.bits;
+    cls.outputBits = 1; // the result is a relational mask
+    cls.requestInputs = 2; // {column, broadcast threshold}
+    cls.emit = [](StreamBuilder &b, const BatchLayout &L) {
+        b.binary(OpKind::Gt, L.output, L.request[0], L.request[1]);
+    };
+    return cls;
+}
+
+std::vector<std::vector<uint64_t>>
+tpchFilterRequest(const TpchFilterSpec &spec,
+                  const std::vector<uint64_t> &column,
+                  uint64_t threshold)
+{
+    if (column.size() != spec.rows)
+        fatal("tpchFilterRequest: wrong chunk size");
+    return {column,
+            broadcast(threshold & maskOf(spec.bits), spec.rows)};
+}
+
+std::vector<uint64_t>
+tpchFilterHost(const TpchFilterSpec &spec,
+               const std::vector<uint64_t> &column,
+               uint64_t threshold)
+{
+    const uint64_t mask = maskOf(spec.bits);
+    std::vector<uint64_t> out(column.size());
+    for (size_t i = 0; i < column.size(); ++i)
+        out[i] = (column[i] & mask) > (threshold & mask) ? 1 : 0;
+    return out;
+}
+
+} // namespace simdram

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Canned request classes for the serving harness.
+ *
+ * Each factory wraps one of the repo's app pipelines as a
+ * RequestClassSpec the RequestCoalescer can batch: knn queries
+ * against a shared reference set, brightness tiles, and tpch-style
+ * filter rows. Alongside each class come a request-builder helper
+ * (turning the natural request payload into the class's lane-vector
+ * input slots) and a host reference (for bit-exactness checks in
+ * tests and benches).
+ *
+ * The common trick: anything that varies per request — a knn query
+ * coordinate, a brightness delta, a filter threshold — is
+ * materialized as a BROADCAST LANE VECTOR request input rather than
+ * a bbop_init immediate, because an init would apply one request's
+ * value to every slot of the batch (see RequestClassSpec::emit).
+ */
+
+#ifndef SIMDRAM_SERVE_WORKLOADS_H
+#define SIMDRAM_SERVE_WORKLOADS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/request_coalescer.h"
+
+namespace simdram
+{
+
+/** Shape of the knn-query serving class. */
+struct KnnServeSpec
+{
+    size_t refs = 0; ///< Reference points (lanes per request).
+    size_t dims = 0; ///< Coordinate dimensions.
+    size_t bits = 16;
+};
+
+/**
+ * Request class computing per-reference L1 distances for one query:
+ * request inputs = dims broadcast coordinate vectors (use
+ * knnQueryRequest), shared inputs = the dims reference columns
+ * (@p refColumns, each spec.refs lanes), output = masked L1
+ * distances per reference point.
+ */
+RequestClassSpec knnQueryClass(
+    const KnnServeSpec &spec,
+    const std::vector<std::vector<uint64_t>> &refColumns);
+
+/** @return The class's input slots for query @p coords (dims values,
+ *          each broadcast across spec.refs lanes). */
+std::vector<std::vector<uint64_t>>
+knnQueryRequest(const KnnServeSpec &spec,
+                const std::vector<uint64_t> &coords);
+
+/** @return Host-computed L1 distances, masked to spec.bits. */
+std::vector<uint64_t>
+knnQueryHost(const KnnServeSpec &spec,
+             const std::vector<std::vector<uint64_t>> &refColumns,
+             const std::vector<uint64_t> &coords);
+
+/** Shape of the brightness-tile serving class. */
+struct BrightnessTileSpec
+{
+    size_t pixels = 0; ///< Pixels per tile (lanes per request).
+    size_t bits = 16;
+    uint64_t cap = 0; ///< Saturation cap (class-wide).
+};
+
+/**
+ * Request class applying saturating brightening to one tile:
+ * request inputs = {pixel vector, broadcast delta} (use
+ * brightnessTileRequest), shared input = the broadcast cap,
+ * output = min(pixel + delta, cap) per pixel.
+ */
+RequestClassSpec brightnessTileClass(const BrightnessTileSpec &spec);
+
+/** @return The class's input slots for one tile + delta. */
+std::vector<std::vector<uint64_t>>
+brightnessTileRequest(const BrightnessTileSpec &spec,
+                      const std::vector<uint64_t> &pixels,
+                      uint64_t delta);
+
+/** @return Host-computed saturated brightening. */
+std::vector<uint64_t>
+brightnessTileHost(const BrightnessTileSpec &spec,
+                   const std::vector<uint64_t> &pixels,
+                   uint64_t delta);
+
+/** Shape of the tpch-filter serving class. */
+struct TpchFilterSpec
+{
+    size_t rows = 0; ///< Rows per request (lanes).
+    size_t bits = 32;
+};
+
+/**
+ * Request class evaluating `col > threshold` over one row chunk:
+ * request inputs = {column values, broadcast threshold} (use
+ * tpchFilterRequest), no shared inputs, output = 0/1 selection mask.
+ */
+RequestClassSpec tpchFilterClass(const TpchFilterSpec &spec);
+
+/** @return The class's input slots for one chunk + threshold. */
+std::vector<std::vector<uint64_t>>
+tpchFilterRequest(const TpchFilterSpec &spec,
+                  const std::vector<uint64_t> &column,
+                  uint64_t threshold);
+
+/** @return Host-computed 0/1 mask for col > threshold. */
+std::vector<uint64_t>
+tpchFilterHost(const TpchFilterSpec &spec,
+               const std::vector<uint64_t> &column,
+               uint64_t threshold);
+
+} // namespace simdram
+
+#endif // SIMDRAM_SERVE_WORKLOADS_H

@@ -11,6 +11,12 @@ StreamBuilder::widthOf(uint16_t id) const
     return static_cast<uint8_t>(ex_->objectShape(id).bits);
 }
 
+void
+StreamBuilder::requireKnown(uint16_t id) const
+{
+    (void)ex_->objectShape(id); // throws BbopError on unknown ids
+}
+
 StreamBuilder &
 StreamBuilder::append(const BbopInstr &instr)
 {
@@ -39,37 +45,52 @@ StreamBuilder::init(uint16_t obj, uint64_t imm)
 StreamBuilder &
 StreamBuilder::unary(OpKind op, uint16_t dst, uint16_t src1)
 {
-    return append(BbopInstr::unary(op, widthOf(src1), dst, src1));
+    // Check every operand BEFORE the append mutates the program:
+    // widthOf covers only the width-source operand (src1 here), but
+    // a bad dst must fail just as eagerly and just as atomically.
+    const uint8_t w = widthOf(src1);
+    requireKnown(dst);
+    return append(BbopInstr::unary(op, w, dst, src1));
 }
 
 StreamBuilder &
 StreamBuilder::binary(OpKind op, uint16_t dst, uint16_t src1,
                       uint16_t src2)
 {
-    return append(
-        BbopInstr::binary(op, widthOf(src1), dst, src1, src2));
+    const uint8_t w = widthOf(src1);
+    requireKnown(dst);
+    requireKnown(src2);
+    return append(BbopInstr::binary(op, w, dst, src1, src2));
 }
 
 StreamBuilder &
 StreamBuilder::predicated(OpKind op, uint16_t dst, uint16_t src1,
                           uint16_t src2, uint16_t sel)
 {
-    return append(BbopInstr::predicated(op, widthOf(src1), dst, src1,
-                                        src2, sel));
+    const uint8_t w = widthOf(src1);
+    requireKnown(dst);
+    requireKnown(src2);
+    requireKnown(sel);
+    return append(
+        BbopInstr::predicated(op, w, dst, src1, src2, sel));
 }
 
 StreamBuilder &
 StreamBuilder::shiftLeft(uint16_t dst, uint16_t src, uint8_t amount)
 {
-    return append(
-        BbopInstr::shift(true, widthOf(dst), dst, src, amount));
+    // Shifts take their width from DST (operations take src1's) —
+    // so the explicit check covers src.
+    const uint8_t w = widthOf(dst);
+    requireKnown(src);
+    return append(BbopInstr::shift(true, w, dst, src, amount));
 }
 
 StreamBuilder &
 StreamBuilder::shiftRight(uint16_t dst, uint16_t src, uint8_t amount)
 {
-    return append(
-        BbopInstr::shift(false, widthOf(dst), dst, src, amount));
+    const uint8_t w = widthOf(dst);
+    requireKnown(src);
+    return append(BbopInstr::shift(false, w, dst, src, amount));
 }
 
 StreamBuilder &

@@ -57,7 +57,16 @@ struct PingPong
     uint16_t result() const { return src(); }
 };
 
-/** Builds multi-stream bbop programs against a StreamExecutor. */
+/**
+ * Builds multi-stream bbop programs against a StreamExecutor.
+ *
+ * Every fluent method validates ALL of its operand ids against the
+ * executor's object table eagerly: an unknown id throws the typed
+ * BbopError at build time with the program unmutated (strong
+ * guarantee — the builder remains usable). Note the width-source
+ * asymmetry the ISA imposes: operations take their element width
+ * from src1, shifts from dst.
+ */
 class StreamBuilder
 {
   public:
@@ -142,6 +151,15 @@ class StreamBuilder
 
     /** @return Object @p id's element width as an encodable uint8_t. */
     uint8_t widthOf(uint16_t id) const;
+
+    /**
+     * Throws the typed BbopError for an unknown object id. Every
+     * fluent method checks ALL of its operand ids (not just the one
+     * its width derives from) BEFORE appending anything, so a
+     * misaddressed call fails at build time and leaves the
+     * partially-built program untouched — the builder stays usable.
+     */
+    void requireKnown(uint16_t id) const;
 
     StreamExecutor *ex_;
     StreamIR ir_;

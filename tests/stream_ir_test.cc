@@ -276,6 +276,98 @@ TEST(StreamBuilderTest, PingPongAccumulateAlternatesScratch)
     EXPECT_EQ(acc.result(), ob);
 }
 
+TEST(StreamBuilderTest, UnknownIdsThrowTypedWithoutMutating)
+{
+    DeviceGroup g(testCfg(), 1);
+    StreamExecutor ex(g);
+    const uint16_t a = ex.defineObject(100, 16);
+    const uint16_t c = ex.defineObject(100, 16);
+    const uint16_t d = ex.defineObject(100, 16);
+    const uint16_t bad = 999; // never defined
+
+    StreamBuilder b(ex);
+    b.trsp(a); // a known prefix the failures must not disturb
+
+    // Every fluent method, every operand position: the typed
+    // BbopError fires at BUILD time and the program is unmutated —
+    // not just the width-source operand (src1 for ops, dst for
+    // shifts), which widthOf() already covered, but every other
+    // operand too.
+    const auto unchanged = [&] { return b.size() == 1; };
+    EXPECT_THROW(b.trsp(bad), BbopError);
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.trspInv(bad), BbopError);
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.init(bad, 7), BbopError);
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.unary(OpKind::Abs, bad, a), BbopError); // dst
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.unary(OpKind::Abs, a, bad), BbopError); // src1
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.binary(OpKind::Add, bad, a, c), BbopError);
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.binary(OpKind::Add, a, bad, c), BbopError);
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.binary(OpKind::Add, a, c, bad), BbopError);
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.predicated(OpKind::IfElse, bad, a, c, d),
+                 BbopError);
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.predicated(OpKind::IfElse, a, bad, c, d),
+                 BbopError);
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.predicated(OpKind::IfElse, a, c, bad, d),
+                 BbopError);
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.predicated(OpKind::IfElse, a, c, d, bad),
+                 BbopError);
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.shiftLeft(bad, a, 1), BbopError); // dst
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.shiftLeft(a, bad, 1), BbopError); // src
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.shiftRight(bad, a, 1), BbopError);
+    EXPECT_TRUE(unchanged());
+    EXPECT_THROW(b.shiftRight(a, bad, 1), BbopError);
+    EXPECT_TRUE(unchanged());
+    PingPong acc{a, c};
+    EXPECT_THROW(b.accumulate(acc, bad), BbopError);
+    EXPECT_TRUE(unchanged());
+    EXPECT_EQ(acc.src(), a); // a failed step must not flip
+
+    // The builder stays fully usable: finish a real program on it.
+    b.trsp(c)
+        .trsp(d)
+        .binary(OpKind::Add, d, a, c)
+        .trspInv(d);
+    EXPECT_EQ(b.build().nodes.size(), 5u);
+    ex.writeObject(a, std::vector<uint64_t>(100, 5));
+    ex.writeObject(c, std::vector<uint64_t>(100, 2));
+    b.submit().wait();
+    for (uint64_t v : ex.readObject(d))
+        ASSERT_EQ(v, 7u);
+}
+
+TEST(StreamBuilderTest, WidthSourceAsymmetryOpsFromSrc1ShiftsFromDst)
+{
+    DeviceGroup g(testCfg(), 1);
+    StreamExecutor ex(g);
+    const uint16_t wide = ex.defineObject(100, 16);
+    const uint16_t narrow = ex.defineObject(100, 8);
+
+    StreamBuilder b(ex);
+    // Operations take their element width from src1...
+    b.binary(OpKind::Add, narrow, wide, wide);
+    // ...shifts take it from dst.
+    b.shiftLeft(narrow, wide, 1);
+    b.shiftRight(wide, narrow, 1);
+    const StreamIR ir = b.build();
+    ASSERT_EQ(ir.nodes.size(), 3u);
+    EXPECT_EQ(ir.nodes[0].instr.width, 16); // src1 = wide
+    EXPECT_EQ(ir.nodes[1].instr.width, 8);  // dst = narrow
+    EXPECT_EQ(ir.nodes[2].instr.width, 16); // dst = wide
+}
+
 // ---- Executor integration: toggles, counters, handles ---------------
 
 TEST(StreamExecutorPasses, TogglesSelectWhichPassesRun)

@@ -1,32 +1,38 @@
 #!/usr/bin/env python3
-"""Fail CI when a benchmark speedup regresses below its floor.
+"""Fail CI when a benchmark speedup or latency regresses past its gate.
 
 Usage:
     check_bench_floor.py BENCH_artifact.json tools/bench_floors.json
                          [--allow-smoke]
 
 The first argument is an artifact written by a harness-based bench
-driver (bench/harness.h): BENCH_kernels.json or BENCH_runtime.json.
-The second maps speedup names (the "name" field of the artifact's
-"speedups" entries) to minimum acceptable factors, either flat
-({name: floor}) or sectioned by the artifact's "schema" field
+driver (bench/harness.h): BENCH_kernels.json, BENCH_runtime.json, or
+BENCH_serving.json. The second maps gate names to thresholds, either
+flat ({name: floor}) or sectioned by the artifact's "schema" field
 ({schema: {name: floor}}) so one floors file can gate several bench
-drivers. Floors are deliberately far below locally observed numbers
-so only genuine regressions -- not shared-runner noise -- trip them.
+drivers. Thresholds are deliberately far from locally observed
+numbers so only genuine regressions -- not shared-runner noise --
+trip them.
 
-A floor entry is either a bare number or a dict:
+A gate entry is either a bare number or a dict:
 
-    {"floor": 1.5}                       -- same as the bare number
+    {"floor": 1.5}                       -- same as the bare number;
+        gates the artifact's "speedups" entry of that name: actual
+        speedup must be >= floor
     {"floor": 3.0, "ceil": 4.5}          -- two-sided gate, for
         speedups computed from *deterministic* modeled statistics
         (e.g. the stream-cache trsp ratios in BENCH_runtime.json):
         a value above the ceiling means the accounting broke, not
         that the code got faster
+    {"max_ns": 5e7}                      -- gates the artifact's
+        "results" entry of that name instead: its ns_per_op must be
+        <= max_ns. Used for latency SLOs (serving p99 under load)
+        and per-request throughput floors
     {"floor": 0.7, "note": "..."}        -- note is documentation
         carried next to the number (JSON has no comments)
 
-Exit status: 0 if every configured floor holds, 1 on any violation or
-missing speedup, 2 on usage/artifact errors. Artifacts produced with
+Exit status: 0 if every configured gate holds, 1 on any violation or
+missing entry, 2 on usage/artifact errors. Artifacts produced with
 --smoke (one timing iteration) are rejected unless --allow-smoke is
 given, because their timings are meaningless.
 """
@@ -63,13 +69,13 @@ def main(argv):
         return 2
 
     if floors and all(
-        isinstance(v, dict) and "floor" not in v
+        isinstance(v, dict) and "floor" not in v and "max_ns" not in v
         for v in floors.values()
     ):
         # Sectioned floors file: select the artifact's section by its
         # schema so one file can gate several bench drivers. (An
-        # entry dict is recognized by its "floor" key, so a flat file
-        # of dict entries is not mistaken for sections.)
+        # entry dict is recognized by its "floor"/"max_ns" key, so a
+        # flat file of dict entries is not mistaken for sections.)
         schema = bench.get("schema")
         if schema not in floors:
             print(
@@ -81,9 +87,26 @@ def main(argv):
         floors = floors[schema]
 
     measured = {s["name"]: s["speedup"] for s in bench.get("speedups", [])}
+    results = {r["name"]: r["ns_per_op"] for r in bench.get("results", [])}
     failures = 0
-    print(f"{'speedup':<50} {'floor':>8} {'actual':>8}")
+    print(f"{'gate':<50} {'bound':>12} {'actual':>12}")
     for name, entry in sorted(floors.items()):
+        if isinstance(entry, dict) and "max_ns" in entry:
+            # Latency gate against the "results" table.
+            max_ns = entry["max_ns"]
+            actual = results.get(name)
+            if actual is None:
+                print(f"{name:<50} {max_ns:>12.0f}  MISSING")
+                failures += 1
+                continue
+            status = "ok" if actual <= max_ns else "REGRESSED"
+            print(
+                f"{name:<50} {max_ns:>12.0f} {actual:>12.0f}  "
+                f"{status}"
+            )
+            if status != "ok":
+                failures += 1
+            continue
         if isinstance(entry, dict):
             floor = entry["floor"]
             ceil = entry.get("ceil")
@@ -91,7 +114,7 @@ def main(argv):
             floor, ceil = entry, None
         actual = measured.get(name)
         if actual is None:
-            print(f"{name:<50} {floor:>8.2f}  MISSING")
+            print(f"{name:<50} {floor:>12.2f}  MISSING")
             failures += 1
             continue
         if actual < floor:
@@ -100,7 +123,7 @@ def main(argv):
             status = f"ABOVE CEIL {ceil:.2f} (accounting bug?)"
         else:
             status = "ok"
-        print(f"{name:<50} {floor:>8.2f} {actual:>8.2f}  {status}")
+        print(f"{name:<50} {floor:>12.2f} {actual:>12.2f}  {status}")
         if status != "ok":
             failures += 1
 
