@@ -82,12 +82,30 @@ Processor::reserveSegment(size_t seg_idx, size_t rows, size_t lanes)
     if (rows > data_limit)
         fatal("Processor: vector wider than a subarray data region");
 
+    // Recycle an identically-shaped freed segment first, FIFO: a
+    // teardown-and-recreate sequence that reallocates the same shapes
+    // in the same order lands on the same subarray rows, preserving
+    // the co-location the bump allocator would have produced.
+    for (size_t i = 0; i < free_segs_.size(); ++i) {
+        if (free_segs_[i].rows == rows &&
+            free_segs_[i].seg.bank == bank) {
+            Segment seg = free_segs_[i].seg;
+            seg.lanes = lanes;
+            free_segs_.erase(free_segs_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            return seg;
+        }
+    }
+
     if (next_row_[bank] + rows > data_limit) {
-        ++cur_sub_[bank];
-        next_row_[bank] = 0;
-        if (cur_sub_[bank] >= cfg.subarraysPerBank)
+        // Check BEFORE advancing: a failed alloc must leave the bump
+        // state intact, or the next alloc would hand out a segment in
+        // a subarray that does not exist.
+        if (cur_sub_[bank] + 1 >= cfg.subarraysPerBank)
             fatal("Processor: out of subarrays in bank " +
                   std::to_string(bank));
+        ++cur_sub_[bank];
+        next_row_[bank] = 0;
     }
 
     Segment seg;
@@ -99,11 +117,28 @@ Processor::reserveSegment(size_t seg_idx, size_t rows, size_t lanes)
     return seg;
 }
 
+void
+Processor::free(const VecHandle &v)
+{
+    if (!v.valid() || v.id >= vectors_.size())
+        fatal("Processor: invalid vector handle");
+    VecInfo &vi = vectors_[v.id];
+    if (vi.freed)
+        fatal("Processor::free: vector already freed");
+    for (const Segment &seg : vi.segments)
+        free_segs_.push_back(FreeSeg{seg, vi.bits});
+    vi.freed = true;
+    vi.segments.clear();
+    vi.segments.shrink_to_fit();
+}
+
 const Processor::VecInfo &
 Processor::info(const VecHandle &v) const
 {
     if (!v.valid() || v.id >= vectors_.size())
         fatal("Processor: invalid vector handle");
+    if (vectors_[v.id].freed)
+        fatal("Processor: use of freed vector handle");
     return vectors_[v.id];
 }
 

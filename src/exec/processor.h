@@ -94,9 +94,24 @@ class Processor
     /**
      * Allocates a vertical vector of @p elements elements of
      * @p bits bits each. Rows are reserved in segment order across
-     * the compute banks.
+     * the compute banks, recycling identically-shaped freed segments
+     * (see free()) before extending the bump allocation.
      */
     VecHandle alloc(size_t elements, size_t bits);
+
+    /**
+     * Frees @p v: its handle becomes invalid (any further use is
+     * fatal) and its subarray segments join a free list that alloc()
+     * recycles for segments of the same bank and row count, FIFO. A
+     * teardown-and-recreate sequence that reallocates the same shapes
+     * in the same order therefore lands on the same subarray rows —
+     * preserving the co-location guarantees the bump allocator gives
+     * groups allocated back to back. Mixed-shape reuse may place a
+     * recycled segment in a different subarray than its (fresh)
+     * operand partners; such operands fail the usual co-location
+     * check at execution.
+     */
+    void free(const VecHandle &v);
 
     /** Stores host data into a vector through the transposition unit. */
     void store(const VecHandle &v, const std::vector<uint64_t> &data);
@@ -211,6 +226,15 @@ class Processor
         size_t elements = 0;
         size_t bits = 0;
         std::vector<Segment> segments;
+        /** Set by free(); any further use of the handle is fatal. */
+        bool freed = false;
+    };
+
+    /** One recycled subarray segment, keyed by its row count. */
+    struct FreeSeg
+    {
+        Segment seg;
+        size_t rows = 0;
     };
 
     const VecInfo &info(const VecHandle &v) const;
@@ -237,6 +261,8 @@ class Processor
     // Per-bank bump allocation state.
     std::vector<size_t> cur_sub_;
     std::vector<uint32_t> next_row_;
+    /** Freed segments awaiting reuse (FIFO per shape; see free()). */
+    std::vector<FreeSeg> free_segs_;
 
     std::map<std::pair<OpKind, size_t>,
              std::unique_ptr<MicroProgram>>

@@ -81,12 +81,37 @@ DeviceGroup::alloc(size_t elements, size_t bits)
     return h;
 }
 
+void
+DeviceGroup::release(const ShardedVec &v)
+{
+    VecState *vs = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(vec_mu_);
+        if (!v.valid() || v.id >= vecs_.size())
+            fatal("DeviceGroup: invalid sharded-vector handle");
+        vs = vecs_[v.id].get();
+        if (vs->released)
+            fatal("DeviceGroup::release: vector already released");
+        vs->released = true;
+    }
+    vs->gen.fetch_add(1, std::memory_order_relaxed);
+    for (size_t d = 0; d < procs_.size(); ++d) {
+        if (vs->counts[d] == 0)
+            continue;
+        auto lock = lockDevice(d);
+        procs_[d]->free(vs->handles[d]);
+        vs->handles[d] = Processor::VecHandle{};
+    }
+}
+
 const DeviceGroup::VecState &
 DeviceGroup::state(const ShardedVec &v) const
 {
     std::lock_guard<std::mutex> lock(vec_mu_);
     if (!v.valid() || v.id >= vecs_.size())
         fatal("DeviceGroup: invalid sharded-vector handle");
+    if (vecs_[v.id]->released)
+        fatal("DeviceGroup: use of released sharded-vector handle");
     return *vecs_[v.id];
 }
 

@@ -94,6 +94,16 @@ class DeviceGroup
      */
     ShardedVec alloc(size_t elements, size_t bits);
 
+    /**
+     * Releases @p v: every per-device shard is freed back to its
+     * Processor (identically-shaped reallocations recycle the rows;
+     * see Processor::free) and the handle becomes invalid — any
+     * further use is fatal. The caller must guarantee no stream is
+     * in flight against the vector (StreamExecutor::releaseObject
+     * syncs first). Double release is fatal.
+     */
+    void release(const ShardedVec &v);
+
     /** Stores host data into every shard of @p v. */
     void store(const ShardedVec &v, const std::vector<uint64_t> &data);
 
@@ -229,6 +239,8 @@ class DeviceGroup
         std::vector<size_t> offsets;
         /** Per-device element count. */
         std::vector<size_t> counts;
+        /** Set by release(); any further use of the handle is fatal. */
+        bool released = false;
         /** Mutation generation (see mutationGen()); metadata, so
          *  mutable — bumped through const accessors too. */
         mutable std::atomic<uint64_t> gen{0};

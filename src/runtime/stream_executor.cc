@@ -46,6 +46,11 @@ struct StreamExecutor::Object
     bool vertical = false;
     /** Stream-cache shadow state, guarded by submit_mu_. */
     CacheState cache;
+    /**
+     * Tombstone set by releaseObject(): the group allocation is gone
+     * and every further reference to the id is a typed BbopError.
+     */
+    bool released = false;
 };
 
 /**
@@ -162,6 +167,9 @@ StreamExecutor::object(uint16_t id)
     if (id >= objects_.size())
         bbopError("StreamExecutor: unknown object id d" +
                   std::to_string(id));
+    if (objects_[id]->released)
+        bbopError("StreamExecutor: released object id d" +
+                  std::to_string(id));
     return *objects_[id];
 }
 
@@ -169,6 +177,12 @@ BbopObjectShape
 StreamExecutor::shape(uint16_t id) const
 {
     const Object &obj = *objects_[id];
+    // The validator seeds itself from every table entry, so a
+    // tombstone must not throw here; its zero shape instead fails
+    // any instruction that references the released id (typed
+    // BbopError, stream rejected as a unit).
+    if (obj.released)
+        return BbopObjectShape{};
     return {obj.elements, obj.bits, obj.vertical};
 }
 
@@ -178,6 +192,9 @@ StreamExecutor::objectShape(uint16_t id) const
     std::lock_guard<std::mutex> lock(submit_mu_);
     if (id >= objects_.size())
         bbopError("StreamExecutor: unknown object id d" +
+                  std::to_string(id));
+    if (objects_[id]->released)
+        bbopError("StreamExecutor: released object id d" +
                   std::to_string(id));
     return shape(id);
 }
@@ -200,6 +217,23 @@ StreamExecutor::defineObject(size_t elements, size_t bits)
         fatal("StreamExecutor: object table full");
     objects_.push_back(std::move(obj));
     return static_cast<uint16_t>(objects_.size() - 1);
+}
+
+void
+StreamExecutor::releaseObject(uint16_t id)
+{
+    // Same ordering as writeObject: exclude submitters first, then
+    // drain, so no stream referencing the object can be in flight or
+    // sneak in while we free the storage.
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    sync();
+    Object &obj = object(id); // BbopError on unknown/double release
+    group_->release(obj.vec);
+    obj.released = true;
+    obj.vec = ShardedVec{};
+    obj.hostImage = std::vector<uint64_t>();
+    obj.vertical = false;
+    obj.cache = CacheState{};
 }
 
 void

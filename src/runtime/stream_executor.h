@@ -240,8 +240,53 @@ class StreamHandle
     std::shared_ptr<detail::StreamState> state_;
 };
 
+/**
+ * The abstract bbop-stream service surface: everything a client
+ * (StreamBuilder assembling programs, RequestCoalescer batching
+ * requests, a tenant's virtual view of a shared executor) needs to
+ * define objects, move data, and run streams — without naming the
+ * concrete executor. StreamExecutor is the physical implementation;
+ * TenantExecutor::view() returns a per-tenant virtualization whose
+ * object ids live in that tenant's namespace.
+ */
+class StreamService
+{
+  public:
+    virtual ~StreamService() = default;
+
+    /** Registers an object of @p elements × @p bits; returns its id. */
+    virtual uint16_t defineObject(size_t elements, size_t bits) = 0;
+
+    /**
+     * Releases object @p id: its group allocation is freed (after any
+     * in-flight streams complete) and every further use of the id is
+     * rejected with a typed BbopError.
+     */
+    virtual void releaseObject(uint16_t id) = 0;
+
+    /** Writes host data into the object's horizontal image. */
+    virtual void writeObject(uint16_t id,
+                             const std::vector<uint64_t> &data) = 0;
+
+    /** @return The object's current horizontal image. */
+    virtual std::vector<uint64_t> readObject(uint16_t id) = 0;
+
+    /** @return Shape/layout of object @p id (BbopError if unknown). */
+    virtual BbopObjectShape objectShape(uint16_t id) const = 0;
+
+    /** Validates and enqueues a decoded instruction stream. */
+    virtual StreamHandle
+    submit(const std::vector<BbopInstr> &stream) = 0;
+
+    /** Validates and enqueues a multi-segment program. */
+    virtual std::vector<StreamHandle> submit(const StreamIR &ir) = 0;
+
+    /** Blocks until every stream this service submitted completed. */
+    virtual void sync() = 0;
+};
+
 /** Asynchronous bbop-stream service over a DeviceGroup. */
-class StreamExecutor : private BbopObjectView
+class StreamExecutor : public StreamService, private BbopObjectView
 {
   public:
     /**
@@ -256,7 +301,7 @@ class StreamExecutor : private BbopObjectView
     StreamExecutor(DeviceGroup &group, StreamExecutorOptions opts);
 
     /** Drains pending streams and joins the workers. */
-    ~StreamExecutor();
+    ~StreamExecutor() override;
 
     StreamExecutor(const StreamExecutor &) = delete;
     StreamExecutor &operator=(const StreamExecutor &) = delete;
@@ -272,13 +317,24 @@ class StreamExecutor : private BbopObjectView
      * bits and returns its object id. The vertical (sharded) storage
      * is reserved up front; bbop_trsp populates it.
      */
-    uint16_t defineObject(size_t elements, size_t bits);
+    uint16_t defineObject(size_t elements, size_t bits) override;
+
+    /**
+     * Releases object @p id: drains in-flight streams (so none can
+     * still reference the storage), frees the group allocation back
+     * to the devices (identically-shaped re-definitions recycle the
+     * rows), and marks the id dead — any further bbop reference,
+     * read/write, or objectShape() of it raises a typed BbopError.
+     * Ids are never reused; the table slot stays as a tombstone.
+     */
+    void releaseObject(uint16_t id) override;
 
     /** Writes host data into an object's horizontal image (syncs). */
-    void writeObject(uint16_t id, const std::vector<uint64_t> &data);
+    void writeObject(uint16_t id,
+                     const std::vector<uint64_t> &data) override;
 
     /** @return The object's current horizontal image (syncs). */
-    std::vector<uint64_t> readObject(uint16_t id);
+    std::vector<uint64_t> readObject(uint16_t id) override;
 
     /**
      * Validates and enqueues a decoded instruction stream. Throws
@@ -288,7 +344,7 @@ class StreamExecutor : private BbopObjectView
      * Thread-safe: streams may be submitted from multiple threads;
      * the submission order defines the execution order.
      */
-    StreamHandle submit(const std::vector<BbopInstr> &stream);
+    StreamHandle submit(const std::vector<BbopInstr> &stream) override;
 
     /** Decodes a stream of 64-bit bbop words and submits it. */
     StreamHandle submit(const std::vector<uint64_t> &encoded);
@@ -304,17 +360,17 @@ class StreamExecutor : private BbopObjectView
      * into it). Same backpressure semantics as submit(stream), with
      * Reject requiring room for ALL segments up front.
      */
-    std::vector<StreamHandle> submit(const StreamIR &ir);
+    std::vector<StreamHandle> submit(const StreamIR &ir) override;
 
     /**
      * @return Shape and layout state of object @p id, for callers
      *         (StreamBuilder) that derive instruction widths from the
      *         object table. Throws BbopError on unknown ids.
      */
-    BbopObjectShape objectShape(uint16_t id) const;
+    BbopObjectShape objectShape(uint16_t id) const override;
 
     /** Blocks until every submitted stream has completed. */
-    void sync();
+    void sync() override;
 
     /** @return The number of worker threads (= devices). */
     size_t workerCount() const;

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/error.h"
+
 namespace simdram
 {
 
@@ -91,6 +93,36 @@ LatencyHistogram::quantileNs(double q) const
                    2.0;
     }
     return static_cast<double>(bucketHighNs(kBuckets - 1));
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (&other == this)
+        fatal("LatencyHistogram::merge: cannot merge into itself");
+    uint64_t added = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        const uint64_t n =
+            other.buckets_[i].load(std::memory_order_relaxed);
+        if (n == 0)
+            continue;
+        buckets_[i].fetch_add(n, std::memory_order_relaxed);
+        added += n;
+    }
+    // Add the summed bucket counts, not other.count_: the two could
+    // disagree mid-record, and quantileNs ranks against the buckets.
+    count_.fetch_add(added, std::memory_order_relaxed);
+    const uint64_t omax = other.max_.load(std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (omax > prev && !max_.compare_exchange_weak(
+                              prev, omax, std::memory_order_relaxed))
+        ;
+}
+
+LatencyHistogram
+LatencyHistogram::snapshot() const
+{
+    return LatencyHistogram(*this);
 }
 
 void

@@ -43,6 +43,15 @@ class LatencyHistogram
     static constexpr size_t kBuckets =
         ((64 - kSubBits) << kSubBits) + (1 << kSubBits);
 
+    LatencyHistogram() = default;
+
+    /**
+     * Copies @p other's counts (per-bucket relaxed reads — not an
+     * atomic cut; see the class comment). This is what snapshot()
+     * returns; assignment stays deleted (the members are atomics).
+     */
+    LatencyHistogram(const LatencyHistogram &other) { merge(other); }
+
     /** Records one latency (negative values clamp to 0). */
     void record(double ns);
 
@@ -74,6 +83,25 @@ class LatencyHistogram
 
     /** Clears all counts (racy vs concurrent record, see above). */
     void reset();
+
+    /**
+     * Adds every bucket of @p other into this histogram (and folds
+     * its max), so per-tenant histograms roll up into fleet-wide
+     * quantiles: the merged quantiles are exactly those of the
+     * concatenated sample sets (both sides bucket identically).
+     * Reads of @p other are relaxed per bucket — concurrent records
+     * there may or may not be included, the usual monitoring
+     * contract. Self-merge is rejected (fatal).
+     */
+    void merge(const LatencyHistogram &other);
+
+    /**
+     * @return A copy of the current counts (same per-bucket caveat
+     *         as quantileNs: buckets are read one by one, not as an
+     *         atomic cut). The copy is a plain value — quantiles on
+     *         it are stable while the original keeps recording.
+     */
+    LatencyHistogram snapshot() const;
 
     /** @return The bucket index of @p ns (exposed for tests). */
     static size_t bucketOf(uint64_t ns);

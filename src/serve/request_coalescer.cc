@@ -58,7 +58,7 @@ ServeFuture::done() const
     return state_->done;
 }
 
-RequestCoalescer::RequestCoalescer(StreamExecutor &ex,
+RequestCoalescer::RequestCoalescer(StreamService &ex,
                                    CoalescerOptions opts)
     : ex_(&ex), opts_(opts)
 {
@@ -151,8 +151,11 @@ RequestCoalescer::submit(uint32_t cls,
                 // never joined a batch and no future exists.
                 shed_.fetch_add(1, std::memory_order_relaxed);
                 throw RequestShedError(
-                    "RequestCoalescer: pending-request budget "
-                    "exhausted (" +
+                    "RequestCoalescer" +
+                    (opts_.tenantTag.empty()
+                         ? std::string()
+                         : " [tenant " + opts_.tenantTag + "]") +
+                    ": pending-request budget exhausted (" +
                     std::to_string(opts_.maxPending) +
                     " requests in flight)");
             }

@@ -114,6 +114,14 @@ struct CoalescerOptions
     size_t maxPending = 0;
     /** Behaviour when the admission budget is exhausted. */
     AdmissionPolicy onFull = AdmissionPolicy::Shed;
+    /**
+     * Optional tenant tag, for a coalescer front-ending one tenant's
+     * view of a shared TenantExecutor: purely diagnostic — it names
+     * the tenant in RequestShedError messages so a multi-tenant
+     * service can attribute shed traffic. Admission (maxPending) and
+     * the tenant's own quotas compose independently either way.
+     */
+    std::string tenantTag{};
 };
 
 /**
@@ -227,20 +235,25 @@ class ServeFuture
     std::shared_ptr<detail::RequestState> state_;
 };
 
-/** SLO-aware request-coalescing front-end over a StreamExecutor. */
+/**
+ * SLO-aware request-coalescing front-end over a StreamService —
+ * the physical StreamExecutor, or one tenant's view of a shared
+ * TenantExecutor (every object the coalescer defines then lives in
+ * that tenant's namespace and counts against its quotas).
+ */
 class RequestCoalescer
 {
   public:
     /**
-     * @param ex Executor the batches run through (borrowed; must
+     * @param ex Service the batches run through (borrowed; must
      *           outlive the coalescer).
      */
-    explicit RequestCoalescer(StreamExecutor &ex)
+    explicit RequestCoalescer(StreamService &ex)
         : RequestCoalescer(ex, CoalescerOptions{})
     {}
 
     /** As above, with batching/admission options. */
-    RequestCoalescer(StreamExecutor &ex, CoalescerOptions opts);
+    RequestCoalescer(StreamService &ex, CoalescerOptions opts);
 
     /** Flushes and completes every admitted request, then joins the
      *  dispatcher. Do not call submit() concurrently with this. */
@@ -343,7 +356,7 @@ class RequestCoalescer
     /** Moves due/flushed open batches to ready_; mu_ held. */
     void closeDueLocked(bool force);
 
-    StreamExecutor *ex_;
+    StreamService *ex_;
     CoalescerOptions opts_;
     LatencyHistogram latency_;
 

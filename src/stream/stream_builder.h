@@ -58,10 +58,12 @@ struct PingPong
 };
 
 /**
- * Builds multi-stream bbop programs against a StreamExecutor.
+ * Builds multi-stream bbop programs against any StreamService — the
+ * physical StreamExecutor or a tenant's virtualized view (in which
+ * case every id the builder sees lives in that tenant's namespace).
  *
  * Every fluent method validates ALL of its operand ids against the
- * executor's object table eagerly: an unknown id throws the typed
+ * service's object table eagerly: an unknown id throws the typed
  * BbopError at build time with the program unmutated (strong
  * guarantee — the builder remains usable). Note the width-source
  * asymmetry the ISA imposes: operations take their element width
@@ -70,9 +72,9 @@ struct PingPong
 class StreamBuilder
 {
   public:
-    /** @param ex Executor whose object table defines widths
+    /** @param ex Service whose object table defines widths
      *            (borrowed; must outlive the builder). */
-    explicit StreamBuilder(StreamExecutor &ex) : ex_(&ex) {}
+    explicit StreamBuilder(StreamService &ex) : ex_(&ex) {}
 
     /** Appends bbop_trsp of @p obj (width from the object table). */
     StreamBuilder &trsp(uint16_t obj);
@@ -161,7 +163,7 @@ class StreamBuilder
      */
     void requireKnown(uint16_t id) const;
 
-    StreamExecutor *ex_;
+    StreamService *ex_;
     StreamIR ir_;
 };
 

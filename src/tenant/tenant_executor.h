@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Multi-tenant stream service: one physical StreamExecutor shared
+ * safely by many tenants.
+ *
+ * The TenantExecutor virtualizes a StreamExecutor the way a
+ * hypervisor virtualizes parallel hardware: each registered tenant
+ * gets
+ *
+ *  - an isolated OBJECT NAMESPACE — per-tenant virtual ids, mapped
+ *    to physical executor ids at submit time. A tenant cannot name
+ *    another tenant's objects at all (its map only contains its
+ *    own), and an unknown or released virtual id is rejected with a
+ *    typed BbopError synchronously, before the stream reaches
+ *    validation, with nothing enqueued;
+ *
+ *  - OBJECT QUOTAS — maxObjects / maxObjectBits budgets enforced at
+ *    defineObject() with a typed, side-effect-free TenantQuotaError;
+ *
+ *  - STREAM QUOTAS — maxPendingStreams bounds the tenant's admitted
+ *    but not yet completed streams, layered above the executor's
+ *    per-device bounded queues. Per tenant, a full quota either
+ *    blocks the submitter (TenantQuotaPolicy::Block) or throws the
+ *    typed TenantQuotaError with zero side effects
+ *    (TenantQuotaPolicy::Shed);
+ *
+ *  - WEIGHTED-FAIR SCHEDULING — submitted streams first land in the
+ *    tenant's own pending queue and are drained into the executor by
+ *    deficit-weighted round-robin (deficit round robin with
+ *    per-visit grant weight × quantumInstructions, cost = stream
+ *    instruction count): a tenant of weight 3 gets 3× the
+ *    instruction share of a weight-1 tenant while both are
+ *    backlogged, and a flooding tenant cannot starve anyone. NOTE
+ *    the semantics change vs raw StreamExecutor use: streams of
+ *    DIFFERENT tenants execute in weighted-fair order, not global
+ *    FIFO submission order (one tenant's own streams still run in
+ *    its submission order);
+ *
+ *  - OBSERVABILITY ROLL-UPS — per-tenant DramStats deltas,
+ *    queued/executed/shed/failed counters, live-object usage, and a
+ *    per-tenant LatencyHistogram, all summing to the independently
+ *    accumulated fleet totals (fleetStats()/fleetLatency()).
+ *
+ * Dispatch modes: by default a scheduler thread drains the pending
+ * queues as streams arrive. With TenantExecutorOptions::
+ * manualDispatch the scheduler thread is not started and dispatch
+ * happens only inside drain()/drainTenant()/view-submit on the
+ * calling thread — fully deterministic for tests and benches (the
+ * DRR pick order depends only on registration order, weights, and
+ * the queued streams).
+ *
+ * Tenant views: view(tid) returns a StreamService facade whose
+ * object ids live in the tenant's namespace, so the whole serving
+ * stack (StreamBuilder, RequestCoalescer) runs unmodified on behalf
+ * of one tenant of a shared executor.
+ *
+ * Lock ordering: the executor's internal mutex is never held across
+ * calls into the underlying StreamExecutor (whose submit lock can be
+ * held across long Block-mode backpressure waits).
+ */
+
+#ifndef SIMDRAM_TENANT_TENANT_EXECUTOR_H
+#define SIMDRAM_TENANT_TENANT_EXECUTOR_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "runtime/stream_executor.h"
+#include "serve/latency_histogram.h"
+
+namespace simdram
+{
+
+/**
+ * Raised when a tenant quota is exhausted: the object budget at
+ * defineObject(), or the pending-stream budget at submit() under
+ * TenantQuotaPolicy::Shed. Distinct from BbopError (malformed or
+ * misaddressed stream) and StreamRejectedError (the executor's
+ * per-device queue bound): the request is well-formed, THIS tenant
+ * is over ITS budget. Always side-effect-free — nothing is defined,
+ * enqueued, or batched.
+ */
+class TenantQuotaError : public FatalError
+{
+  public:
+    explicit TenantQuotaError(const std::string &what)
+        : FatalError(what)
+    {}
+};
+
+/** What submit() does when the tenant's stream quota is full. */
+enum class TenantQuotaPolicy
+{
+    Block, ///< Block the submitter until the tenant's streams drain.
+    Shed,  ///< Throw TenantQuotaError (no side effects).
+};
+
+/** Registration-time configuration of one tenant. */
+struct TenantConfig
+{
+    /** Diagnostic name, used in error messages. */
+    std::string name;
+    /** Weighted-fair share (>= 1): per DRR visit the tenant's
+     *  deficit grows by weight × quantumInstructions. */
+    size_t weight = 1;
+    /** Max live objects (0 = unbounded). */
+    size_t maxObjects = 0;
+    /** Max summed live elements × bits (0 = unbounded). */
+    size_t maxObjectBits = 0;
+    /** Max streams admitted but not yet completed (0 = unbounded). */
+    size_t maxPendingStreams = 0;
+    /** Behaviour when maxPendingStreams is reached at submit(). */
+    TenantQuotaPolicy onFull = TenantQuotaPolicy::Shed;
+};
+
+/** Tuning knobs of a TenantExecutor. */
+struct TenantExecutorOptions
+{
+    /**
+     * When true, no scheduler thread is started: pending streams are
+     * dispatched only inside drain()/drainTenant() (and view
+     * submits), on the calling thread, making the DRR dispatch order
+     * fully deterministic. Block-mode quota waits then need another
+     * thread to drive dispatch.
+     */
+    bool manualDispatch = false;
+    /**
+     * DRR quantum: instructions granted per visit per weight unit.
+     * Streams costlier than one grant still dispatch — the deficit
+     * carries over visits — so no stream starves; smaller quanta
+     * interleave tenants more finely at slightly more scheduling
+     * work. Tests pin it to 1 for exact dispatch patterns.
+     */
+    size_t quantumInstructions = 64;
+    /**
+     * Record the tenant id of every dispatched stream, in dispatch
+     * order, retrievable via dispatchOrder() — the fairness tests'
+     * and bench's ground truth. Off by default (unbounded growth).
+     */
+    bool recordDispatchOrder = false;
+};
+
+/** Per-tenant (and fleet-wide) observability roll-up. */
+struct TenantStats
+{
+    /** Compute stats of completed streams, merge()-accumulated. */
+    DramStats compute;
+    /** Host-transfer stats of completed streams. */
+    DramStats transfer;
+    /** Streams admitted (queued or beyond). */
+    uint64_t submitted = 0;
+    /** Streams completed successfully. */
+    uint64_t executed = 0;
+    /** Streams that completed with an error (malformed, ...). */
+    uint64_t failed = 0;
+    /** Streams shed by the pending-stream quota. */
+    uint64_t shed = 0;
+    /** As-submitted instructions of completed streams. */
+    uint64_t instructions = 0;
+    /** Of those, elided by the executor's stream cache. */
+    uint64_t cachedInstructions = 0;
+    /** Of those, removed by the optimizer passes. */
+    uint64_t optimizedInstructions = 0;
+    /** Currently live (defined, not released) objects. */
+    size_t liveObjects = 0;
+    /** Summed elements × bits of the live objects. */
+    size_t liveObjectBits = 0;
+};
+
+/** Completion data for one tenant stream (all its segments). */
+struct TenantStreamResult
+{
+    /** Per-segment results, in segment order. */
+    std::vector<StreamResult> segments;
+    /** Compute stats merged over the segments. */
+    DramStats compute;
+    /** Host-transfer stats merged over the segments. */
+    DramStats transfer;
+    /** Tenant-side end-to-end: submit(tid) entry to completion. */
+    double e2eNs = 0.0;
+    /** As-submitted instructions, summed over segments. */
+    size_t instructions = 0;
+    /** Stream-cache elisions, summed. */
+    size_t cachedInstructions = 0;
+    /** Optimizer-pass removals, summed. */
+    size_t optimizedInstructions = 0;
+};
+
+namespace detail
+{
+struct TenantStreamState;
+} // namespace detail
+
+/**
+ * Future-style handle to a tenant stream. Unlike StreamHandle it
+ * covers the whole submission (every segment) and the time spent in
+ * the tenant's pending queue before dispatch.
+ */
+class TenantStreamHandle
+{
+  public:
+    TenantStreamHandle() = default;
+
+    /** @return True if the handle refers to an admitted stream. */
+    bool valid() const { return state_ != nullptr; }
+
+    /**
+     * Blocks until the stream completed on every device and returns
+     * its result. Rethrows any error raised at dispatch (validation)
+     * or during execution.
+     */
+    TenantStreamResult wait();
+
+    /** @return True once the stream completed (non-blocking). */
+    bool done() const;
+
+  private:
+    friend class TenantExecutor;
+    std::shared_ptr<detail::TenantStreamState> state_;
+};
+
+/** Virtualizes one StreamExecutor across registered tenants. */
+class TenantExecutor
+{
+  public:
+    /**
+     * @param ex Physical executor (borrowed; must outlive this).
+     *           The TenantExecutor assumes it is the executor's only
+     *           client: objects defined out-of-band are invisible to
+     *           every tenant, but out-of-band submits would bypass
+     *           the fair scheduler.
+     */
+    explicit TenantExecutor(StreamExecutor &ex)
+        : TenantExecutor(ex, TenantExecutorOptions{})
+    {}
+
+    /** As above, with scheduling options. */
+    TenantExecutor(StreamExecutor &ex, TenantExecutorOptions opts);
+
+    /** Drains every tenant, then joins the service threads. */
+    ~TenantExecutor();
+
+    TenantExecutor(const TenantExecutor &) = delete;
+    TenantExecutor &operator=(const TenantExecutor &) = delete;
+
+    /** @return The executor's options. */
+    const TenantExecutorOptions &options() const { return opts_; }
+
+    /**
+     * Registers a tenant and returns its id. Weight 0 is rejected
+     * (fatal) — a zero-weight tenant would never dispatch.
+     */
+    uint32_t registerTenant(TenantConfig cfg);
+
+    /**
+     * Tears a tenant down: drains its streams, releases every live
+     * object back to the devices (the leak-free teardown path), and
+     * marks the id dead — any further use is fatal. Does not block
+     * other tenants beyond the shared release sync.
+     */
+    void unregisterTenant(uint32_t tid);
+
+    /**
+     * Defines an object in @p tid's namespace and returns its
+     * VIRTUAL id. Throws the side-effect-free TenantQuotaError when
+     * the tenant's object budget (maxObjects / maxObjectBits) is
+     * exhausted — object quotas always throw; TenantQuotaPolicy
+     * applies to streams only (objects never free up by waiting).
+     */
+    uint16_t defineObject(uint32_t tid, size_t elements, size_t bits);
+
+    /** Releases virtual object @p vid (drains the tenant first). */
+    void releaseObject(uint32_t tid, uint16_t vid);
+
+    /** Writes host data into @p vid (drains the tenant first, so the
+     *  write lands in the tenant's program order). */
+    void writeObject(uint32_t tid, uint16_t vid,
+                     const std::vector<uint64_t> &data);
+
+    /** @return @p vid's horizontal image (drains the tenant first). */
+    std::vector<uint64_t> readObject(uint32_t tid, uint16_t vid);
+
+    /** @return Shape/layout of @p vid (BbopError if unknown). */
+    BbopObjectShape objectShape(uint32_t tid, uint16_t vid) const;
+
+    /**
+     * Admits a stream into @p tid's pending queue. Ids are VIRTUAL:
+     * translation to physical ids happens here, synchronously —
+     * an unknown, foreign, or released id throws the typed BbopError
+     * with nothing enqueued. A full stream quota sheds or blocks per
+     * the tenant's TenantQuotaPolicy. Malformed-but-addressable
+     * streams are NOT rejected here: validation happens at dispatch
+     * and the error arrives through the handle, leaving every other
+     * tenant untouched.
+     */
+    TenantStreamHandle submit(uint32_t tid,
+                              const std::vector<BbopInstr> &stream);
+
+    /** As above for a multi-segment program. */
+    TenantStreamHandle submit(uint32_t tid, const StreamIR &ir);
+
+    /**
+     * @return A StreamService facade for @p tid, for running
+     *         StreamBuilder / RequestCoalescer per tenant. The view
+     *         borrows this executor; its submit() dispatches the
+     *         stream (inline under manualDispatch) and returns the
+     *         physical handles. Valid until the executor dies.
+     */
+    StreamService &view(uint32_t tid);
+
+    /**
+     * Dispatches every pending stream (DRR order) and blocks until
+     * all tenants are idle. THE deterministic driver under
+     * manualDispatch.
+     */
+    void drain();
+
+    /** drain() for one tenant (still dispatches others' pending —
+     *  scheduling order is global). */
+    void drainTenant(uint32_t tid);
+
+    /** @return A copy of @p tid's roll-up. */
+    TenantStats stats(uint32_t tid) const;
+
+    /**
+     * @return The independently accumulated fleet-wide roll-up.
+     *         Under drain() the per-tenant stats sum (counters add,
+     *         DramStats merge) exactly to this.
+     */
+    TenantStats fleetStats() const;
+
+    /** @return @p tid's per-stream e2e latency histogram. */
+    const LatencyHistogram &latency(uint32_t tid) const;
+
+    /** @return Per-tenant histograms merged into fleet quantiles. */
+    LatencyHistogram fleetLatency() const;
+
+    /** @return Dispatched tenant ids in dispatch order (empty unless
+     *          TenantExecutorOptions::recordDispatchOrder). */
+    std::vector<uint32_t> dispatchOrder() const;
+
+    /** @return The number of registered (live) tenants. */
+    size_t tenantCount() const;
+
+  private:
+    friend class TenantView;
+    struct TenantState;
+    struct PendingStream;
+    struct ReapJob;
+
+    TenantState &tenantLocked(uint32_t tid) const;
+    /** Translates @p ir's virtual ids to physical ids (mu_ held). */
+    StreamIR translateLocked(const TenantState &t,
+                             const StreamIR &ir) const;
+    /** Translates one instruction's operand fields in place. */
+    void translateInstr(const TenantState &t, BbopInstr &in) const;
+
+    TenantStreamHandle submitTranslated(uint32_t tid,
+                                        const StreamIR &ir);
+    /** View-submit: dispatch (inline under manualDispatch), then
+     *  return the physical handles (rethrows dispatch errors). */
+    std::vector<StreamHandle> submitForHandles(uint32_t tid,
+                                               const StreamIR &ir);
+
+    /** DRR pick of the next stream to dispatch (mu_ held). */
+    bool pickLocked(uint32_t &tid, PendingStream &job);
+    /** Dispatches one picked stream; true if one was dispatched.
+     *  Caller holds dispatch_mu_ (NOT mu_). */
+    bool dispatchNext();
+    /** Dispatches until every pending queue is empty. */
+    void pump();
+
+    bool anyPendingLocked() const;
+    size_t totalInflightLocked() const;
+
+    void schedulerMain();
+    void reaperMain();
+
+    StreamExecutor *ex_;
+    TenantExecutorOptions opts_;
+
+    /** Serializes dispatchers so executor submission order == DRR
+     *  order. Taken before (never inside) mu_. */
+    std::mutex dispatch_mu_;
+
+    mutable std::mutex mu_;
+    std::condition_variable sched_cv_; ///< Pending work (auto mode).
+    std::condition_variable reap_cv_;  ///< Dispatched work to reap.
+    std::condition_variable drain_cv_; ///< A stream completed.
+
+    /** Tenant table; entries stable behind unique_ptr, never reused. */
+    std::vector<std::unique_ptr<TenantState>> tenants_;
+    /** Dispatched streams awaiting completion, FIFO (streams
+     *  complete in executor submission order). */
+    std::deque<ReapJob> reap_;
+    /** DRR cursor and whether the cursor tenant holds its grant. */
+    size_t cursor_ = 0;
+    bool granted_ = false;
+    /** Fleet roll-up, accumulated alongside the per-tenant stats. */
+    TenantStats fleet_;
+    std::vector<uint32_t> dispatch_order_;
+    bool stop_ = false;
+
+    std::thread scheduler_; ///< Not started under manualDispatch.
+    std::thread reaper_;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_TENANT_TENANT_EXECUTOR_H

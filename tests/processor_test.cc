@@ -397,5 +397,57 @@ INSTANTIATE_TEST_SUITE_P(
                                                   : "ambit"));
     });
 
+// ---------------------------------------------------------------
+// free(): segment recycling and misuse diagnostics
+// ---------------------------------------------------------------
+
+TEST(Processor, FreeRecyclesSegmentsForSameShape)
+{
+    Processor p(testCfg());
+    // Exhaust the data rows with same-shape vectors...
+    std::vector<Processor::VecHandle> held;
+    for (;;) {
+        try {
+            held.push_back(p.alloc(256, 16));
+        } catch (const FatalError &) {
+            break;
+        }
+    }
+    ASSERT_GT(held.size(), 2u);
+    // ... so only recycling can satisfy further allocations: the
+    // bump pointer itself is spent.
+    EXPECT_THROW(p.alloc(256, 16), FatalError);
+    p.free(held.back());
+    held.pop_back();
+    const auto again = p.alloc(256, 16);
+    // The recycled vector is fully usable.
+    std::vector<uint64_t> data(256, 0x1234);
+    p.store(again, data);
+    EXPECT_EQ(p.load(again), data);
+    // A free of shape A does not satisfy shape B (exact row-count
+    // match keeps the co-location guarantee).
+    p.free(held.back());
+    held.pop_back();
+    EXPECT_THROW(p.alloc(256, 32), FatalError);
+    EXPECT_NO_THROW(p.alloc(256, 16));
+}
+
+TEST(Processor, FreedHandleIsPoison)
+{
+    Processor p(testCfg());
+    const auto v = p.alloc(64, 8);
+    const auto w = p.alloc(64, 8);
+    p.free(v);
+    EXPECT_THROW(p.load(v), FatalError);
+    EXPECT_THROW(p.store(v, std::vector<uint64_t>(64, 0)),
+                 FatalError);
+    EXPECT_THROW(p.run(OpKind::Add, w, v, v), FatalError);
+    EXPECT_THROW(p.free(v), FatalError); // double free
+    // The untouched handle keeps working.
+    std::vector<uint64_t> data(64, 9);
+    p.store(w, data);
+    EXPECT_EQ(p.load(w), data);
+}
+
 } // namespace
 } // namespace simdram

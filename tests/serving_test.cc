@@ -23,6 +23,7 @@
 #include "serve/request_coalescer.h"
 #include "serve/workloads.h"
 #include "stream_testutil.h"
+#include "tenant/tenant_executor.h"
 
 namespace simdram
 {
@@ -491,6 +492,156 @@ TEST(Serving, ConcurrentSubmittersEachGetTheirOwnResult)
     EXPECT_EQ(co.latency().count(), kThreads * kPer);
     EXPECT_EQ(co.pendingRequests(), 0u);
     EXPECT_GT(co.latency().p999(), 0.0);
+}
+
+// ---- histogram merge / snapshot -------------------------------------
+
+TEST(LatencyHistogram, MergeEqualsConcatenatedSamples)
+{
+    LatencyHistogram a, b, ref;
+    Rng rng(91);
+    for (int i = 0; i < 400; ++i) {
+        // Spread across many octaves so both the linear and the
+        // log-linear bucket regions carry counts.
+        const double ns =
+            static_cast<double>(rng.next() % (1ull << (i % 30)));
+        (i % 2 ? a : b).record(ns);
+        ref.record(ns);
+    }
+
+    // merge() must be bucket-wise: the merged histogram is
+    // indistinguishable from one that recorded the concatenation.
+    LatencyHistogram merged = a.snapshot();
+    merged.merge(b);
+    EXPECT_EQ(merged.count(), ref.count());
+    EXPECT_EQ(merged.count(), a.count() + b.count());
+    EXPECT_DOUBLE_EQ(merged.maxNs(), ref.maxNs());
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0})
+        EXPECT_DOUBLE_EQ(merged.quantileNs(q), ref.quantileNs(q))
+            << "q=" << q;
+
+    // Merged quantiles stay monotone in q.
+    double prev = 0.0;
+    for (double q = 0.0; q <= 1.0; q += 0.01) {
+        const double v = merged.quantileNs(q);
+        EXPECT_GE(v, prev) << "q=" << q;
+        prev = v;
+    }
+
+    // A snapshot is an independent copy: recording into the source
+    // afterwards must not leak through.
+    const LatencyHistogram snap = a.snapshot();
+    const uint64_t before = snap.count();
+    a.record(1e6);
+    EXPECT_EQ(snap.count(), before);
+    EXPECT_EQ(a.count(), before + 1);
+
+    // Self-merge would double-count in place; it is rejected.
+    EXPECT_THROW(a.merge(a), FatalError);
+}
+
+// ---- coalescer edge cases -------------------------------------------
+
+TEST(Serving, DrainWithNoClassesAndReuseAfterDrain)
+{
+    DeviceGroup g(testCfg(), 2);
+    StreamExecutor ex(g);
+    RequestCoalescer co(
+        ex, CoalescerOptions{/*maxBatch=*/4, /*maxLingerUs=*/60e6,
+                             /*maxPending=*/0,
+                             AdmissionPolicy::Shed});
+
+    // Nothing registered, nothing submitted: drain() must return
+    // immediately, and so must a second drain right behind it.
+    co.drain();
+    co.drain();
+    EXPECT_EQ(co.completedRequests(), 0u);
+    EXPECT_EQ(co.pendingRequests(), 0u);
+
+    // The coalescer is not a one-shot: registration and submission
+    // still work after draining, and a drain-with-work then a drain-
+    // with-nothing both settle.
+    const TpchFilterSpec spec{/*rows=*/32, /*bits=*/16};
+    const uint32_t cls = co.registerClass(tpchFilterClass(spec));
+    const auto col = randomData(spec.rows, 0xfff, 8);
+    ServeFuture f = co.submit(cls, tpchFilterRequest(spec, col, 99));
+    co.drain();
+    EXPECT_TRUE(f.done());
+    EXPECT_EQ(f.wait().output, tpchFilterHost(spec, col, 99));
+    co.drain();
+    ServeFuture f2 = co.submit(cls, tpchFilterRequest(spec, col, 7));
+    co.drain();
+    EXPECT_EQ(f2.wait().output, tpchFilterHost(spec, col, 7));
+    EXPECT_EQ(co.completedRequests(), 2u);
+}
+
+TEST(Serving, ShedMessageNamesTenantTag)
+{
+    DeviceGroup g(testCfg(), 2);
+    StreamExecutor ex(g);
+    CoalescerOptions opts{/*maxBatch=*/8, /*maxLingerUs=*/60e6,
+                          /*maxPending=*/1, AdmissionPolicy::Shed};
+    opts.tenantTag = "acme";
+    RequestCoalescer co(ex, opts);
+    const TpchFilterSpec spec{/*rows=*/32, /*bits=*/16};
+    const uint32_t cls = co.registerClass(tpchFilterClass(spec));
+    const auto col = randomData(spec.rows, 0xfff, 9);
+
+    ServeFuture f = co.submit(cls, tpchFilterRequest(spec, col, 1));
+    try {
+        co.submit(cls, tpchFilterRequest(spec, col, 2));
+        FAIL() << "expected shed";
+    } catch (const RequestShedError &e) {
+        EXPECT_NE(std::string(e.what()).find("[tenant acme]"),
+                  std::string::npos)
+            << e.what();
+    }
+    co.flush();
+    EXPECT_EQ(f.wait().output, tpchFilterHost(spec, col, 1));
+}
+
+// ---- the serving stack over a tenant view ---------------------------
+
+TEST(Serving, CoalescerRunsUnmodifiedOverTenantView)
+{
+    DeviceGroup g(testCfg(), 2);
+    StreamExecutor ex(g);
+    TenantExecutor te(ex);
+    const uint32_t tid = te.registerTenant({/*name=*/"serving"});
+    const TpchFilterSpec spec{/*rows=*/48, /*bits=*/16};
+
+    {
+        // The whole coalescer — batch objects, shared columns,
+        // dispatcher — runs against the tenant's namespace.
+        RequestCoalescer co(
+            te.view(tid),
+            CoalescerOptions{/*maxBatch=*/3, /*maxLingerUs=*/0.0,
+                             /*maxPending=*/0,
+                             AdmissionPolicy::Shed});
+        const uint32_t cls = co.registerClass(tpchFilterClass(spec));
+        std::vector<ServeFuture> fs;
+        std::vector<std::vector<uint64_t>> cols;
+        for (size_t r = 0; r < 6; ++r) {
+            cols.push_back(randomData(spec.rows, 0xfff, 70 + r));
+            fs.push_back(co.submit(
+                cls, tpchFilterRequest(spec, cols.back(),
+                                       /*threshold=*/0x400 + r)));
+        }
+        for (size_t r = 0; r < 6; ++r)
+            EXPECT_EQ(fs[r].wait().output,
+                      tpchFilterHost(spec, cols[r], 0x400 + r))
+                << r;
+        co.drain();
+    }
+
+    // Everything it did is attributed to the tenant.
+    const TenantStats s = te.stats(tid);
+    EXPECT_GT(s.executed, 0u);
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_GT(s.liveObjects, 0u);
+    EXPECT_GT(s.instructions, 0u);
+    const TenantStats fleet = te.fleetStats();
+    EXPECT_EQ(fleet.executed, s.executed);
 }
 
 } // namespace

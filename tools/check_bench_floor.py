@@ -2,17 +2,20 @@
 """Fail CI when a benchmark speedup or latency regresses past its gate.
 
 Usage:
-    check_bench_floor.py BENCH_artifact.json tools/bench_floors.json
-                         [--allow-smoke]
+    check_bench_floor.py BENCH_a.json [BENCH_b.json ...]
+                         tools/bench_floors.json [--allow-smoke]
 
-The first argument is an artifact written by a harness-based bench
-driver (bench/harness.h): BENCH_kernels.json, BENCH_runtime.json, or
-BENCH_serving.json. The second maps gate names to thresholds, either
-flat ({name: floor}) or sectioned by the artifact's "schema" field
-({schema: {name: floor}}) so one floors file can gate several bench
-drivers. Thresholds are deliberately far from locally observed
-numbers so only genuine regressions -- not shared-runner noise --
-trip them.
+The last positional argument is the floors file; every one before it
+is an artifact written by a harness-based bench driver
+(bench/harness.h): BENCH_kernels.json, BENCH_runtime.json,
+BENCH_serving.json, BENCH_tenant.json. All artifacts are checked in
+one run and every violation across all of them is reported before
+the non-zero exit, so one CI step gates the whole bench fleet. The
+floors file maps gate names to thresholds, either flat
+({name: floor}) or sectioned by each artifact's "schema" field
+({schema: {name: floor}}). Thresholds are deliberately far from
+locally observed numbers so only genuine regressions -- not
+shared-runner noise -- trip them.
 
 A gate entry is either a bare number or a dict:
 
@@ -21,9 +24,10 @@ A gate entry is either a bare number or a dict:
         speedup must be >= floor
     {"floor": 3.0, "ceil": 4.5}          -- two-sided gate, for
         speedups computed from *deterministic* modeled statistics
-        (e.g. the stream-cache trsp ratios in BENCH_runtime.json):
-        a value above the ceiling means the accounting broke, not
-        that the code got faster
+        (e.g. the stream-cache trsp ratios in BENCH_runtime.json or
+        the tenant fairness share in BENCH_tenant.json): a value
+        outside the band means the accounting broke, not that the
+        code got faster
     {"max_ns": 5e7}                      -- gates the artifact's
         "results" entry of that name instead: its ns_per_op must be
         <= max_ns. Used for latency SLOs (serving p99 under load)
@@ -41,33 +45,8 @@ import json
 import sys
 
 
-def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
-    flags = {a for a in argv[1:] if a.startswith("--")}
-    unknown = flags - {"--allow-smoke"}
-    if len(args) != 2 or unknown:
-        sys.stderr.write(__doc__)
-        return 2
-
-    bench_path, floors_path = args
-    try:
-        with open(bench_path) as f:
-            bench = json.load(f)
-        with open(floors_path) as f:
-            floors = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"error: {e}", file=sys.stderr)
-        return 2
-
-    if bench.get("mode") == "smoke" and "--allow-smoke" not in flags:
-        print(
-            "error: artifact was produced with --smoke; its timings "
-            "are meaningless for floor checks (pass --allow-smoke "
-            "to override)",
-            file=sys.stderr,
-        )
-        return 2
-
+def check_artifact(bench_path, bench, floors, floors_path):
+    """Check one artifact against its floors; return failure count."""
     if floors and all(
         isinstance(v, dict) and "floor" not in v and "max_ns" not in v
         for v in floors.values()
@@ -83,12 +62,13 @@ def main(argv):
                 f"{floors_path} (sections: {sorted(floors)})",
                 file=sys.stderr,
             )
-            return 2
+            return 1
         floors = floors[schema]
 
     measured = {s["name"]: s["speedup"] for s in bench.get("speedups", [])}
     results = {r["name"]: r["ns_per_op"] for r in bench.get("results", [])}
     failures = 0
+    print(f"== {bench_path}")
     print(f"{'gate':<50} {'bound':>12} {'actual':>12}")
     for name, entry in sorted(floors.items()):
         if isinstance(entry, dict) and "max_ns" in entry:
@@ -126,6 +106,44 @@ def main(argv):
         print(f"{name:<50} {floor:>12.2f} {actual:>12.2f}  {status}")
         if status != "ok":
             failures += 1
+    return failures
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    flags = {a for a in argv[1:] if a.startswith("--")}
+    unknown = flags - {"--allow-smoke"}
+    if len(args) < 2 or unknown:
+        sys.stderr.write(__doc__)
+        return 2
+
+    bench_paths, floors_path = args[:-1], args[-1]
+    try:
+        with open(floors_path) as f:
+            floors = json.load(f)
+        benches = []
+        for p in bench_paths:
+            with open(p) as f:
+                benches.append(json.load(f))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    for path, bench in zip(bench_paths, benches):
+        if bench.get("mode") == "smoke" and "--allow-smoke" not in flags:
+            print(
+                f"error: {path} was produced with --smoke; its "
+                "timings are meaningless for floor checks (pass "
+                "--allow-smoke to override)",
+                file=sys.stderr,
+            )
+            return 2
+
+    failures = 0
+    for i, (path, bench) in enumerate(zip(bench_paths, benches)):
+        if i:
+            print()
+        failures += check_artifact(path, bench, floors, floors_path)
 
     if failures:
         print(f"\n{failures} floor violation(s)", file=sys.stderr)
