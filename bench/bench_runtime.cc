@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness.h"
@@ -50,16 +51,19 @@ constexpr size_t kElements = 16 * 4096; // 16 segments
 constexpr size_t kOpsPerStream = 4;
 
 /**
- * The wide-row workload is deliberately kOpsPerStream identical
- * chained adds — dead-write elimination would collapse it to one and
- * optimize the benchmark away. This fixture measures raw stream
- * dispatch + execution, so the scalar passes stay off.
+ * This fixture measures raw stream dispatch + execution of
+ * kOpsPerStream chained adds, so the scalar passes stay off (they
+ * would only add submit-side host work here — the ping-pong chain
+ * below has nothing for them to remove). The submit-time lint runs
+ * in Warn mode; the fixture asserts at teardown that every stream
+ * analyzed clean.
  */
 StreamExecutorOptions
 rawStreamOpts(StreamExecutorOptions opts)
 {
     opts.enableDeadWriteElim = false;
     opts.enableTrspHoist = false;
+    opts.lintMode = LintMode::Warn;
     return opts;
 }
 
@@ -90,12 +94,30 @@ struct RuntimeFixture
         sb.trsp(a).trsp(b).trsp(y).submit().wait();
     }
 
+    ~RuntimeFixture()
+    {
+        if (ex.lintDiagnosticCount() != 0)
+            bench::fail("runtime fixture streams did not analyze "
+                        "clean");
+    }
+
     StreamHandle
     submitAdds()
     {
+        // Chained adds ping-pong between y and a so every
+        // intermediate result is read by the next op — a live chain
+        // (the ISA forbids in-place ops, and identical repeated adds
+        // would be dead writes). Only three vectors total: the device
+        // config co-locates exactly three 32-bit vectors per
+        // subarray, so a fourth scratch object would land elsewhere
+        // and trip the Processor's co-location check.
+        // y = a+b, a = y+b, y = a+b, ...
         StreamBuilder sb(ex);
-        for (size_t i = 0; i < kOpsPerStream; ++i)
-            sb.binary(OpKind::Add, y, a, b);
+        uint16_t dst = y, src = a;
+        for (size_t i = 0; i < kOpsPerStream; ++i) {
+            sb.binary(OpKind::Add, dst, src, b);
+            std::swap(dst, src);
+        }
         return sb.submit();
     }
 };
@@ -150,7 +172,9 @@ benchBrightnessStream(bench::Harness &h, size_t devices)
     // The brightness kernel's 3-op stream (add, compare, select) on
     // 16-bit pixels: a mixed-width stream with a predicated op.
     DeviceGroup group(deviceCfg(), devices);
-    StreamExecutor ex(group);
+    StreamExecutorOptions exOpts;
+    exOpts.lintMode = LintMode::Warn;
+    StreamExecutor ex(group, exOpts);
     const uint16_t img = ex.defineObject(kElements, 16);
     const uint16_t delta = ex.defineObject(kElements, 16);
     const uint16_t cap = ex.defineObject(kElements, 16);
@@ -185,6 +209,8 @@ benchBrightnessStream(bench::Harness &h, size_t devices)
     h.record("runtime/brightness/modeled/d" +
                  std::to_string(devices),
              kElements * kKernelOps, r.compute.latencyNs);
+    if (ex.lintDiagnosticCount() != 0)
+        bench::fail("brightness streams did not analyze clean");
 }
 
 void
@@ -206,6 +232,7 @@ benchStreamCache(bench::Harness &h, size_t devices)
         DeviceGroup group(deviceCfg(), devices);
         StreamExecutorOptions opts;
         opts.enableStreamCache = cached != 0;
+        opts.lintMode = LintMode::Warn;
         StreamExecutor ex(group, opts);
 
         Rng rng(0xca4e);
@@ -259,6 +286,8 @@ benchStreamCache(bench::Harness &h, size_t devices)
         h.record("stream/knn-wall/" + std::string(mode) + "/" + tag,
                  kE * kDims * kQ, wall_ns);
         std::printf("   %s: %zu stream-cache hits\n", mode, hits);
+        if (ex.lintDiagnosticCount() != 0)
+            bench::fail("knn-trsp streams did not analyze clean");
     }
 }
 
@@ -288,7 +317,9 @@ benchFusedKnn(bench::Harness &h, size_t devices)
 
     for (int fused = 0; fused <= 1; ++fused) {
         DeviceGroup group(deviceCfg(), devices);
-        StreamExecutor ex(group); // cache and all passes on
+        StreamExecutorOptions exOpts; // cache and all passes on
+        exOpts.lintMode = LintMode::Warn;
+        StreamExecutor ex(group, exOpts);
 
         Rng rng(0xfa5e);
         std::vector<uint16_t> oref(kDims);
@@ -346,6 +377,9 @@ benchFusedKnn(bench::Harness &h, size_t devices)
                  kE * kDims * kQ, trsp_ns);
         std::printf("   %s: %zu instructions optimized away\n", mode,
                     optimized);
+        if (ex.lintDiagnosticCount() != 0)
+            bench::fail("knn-pipeline streams did not analyze "
+                        "clean");
     }
 }
 

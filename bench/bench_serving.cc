@@ -94,6 +94,15 @@ makeRequestPool(const KnnServeSpec &spec, size_t n)
     return pool;
 }
 
+/** Executor options: submit-time lint on for every served batch. */
+StreamExecutorOptions
+servingExOpts()
+{
+    StreamExecutorOptions opts;
+    opts.lintMode = LintMode::Warn;
+    return opts;
+}
+
 /** A device group + executor + coalescer serving the knn class. */
 struct ServeRig
 {
@@ -106,10 +115,18 @@ struct ServeRig
              const std::vector<std::vector<uint64_t>> &refs,
              CoalescerOptions opts)
         : group(servingCfg(), kDevices),
-          ex(group),
+          ex(group, servingExOpts()),
           co(ex, opts),
           cls(co.registerClass(knnQueryClass(spec, refs)))
     {}
+
+    ~ServeRig()
+    {
+        // Every coalescer-fused batch program must analyze clean.
+        if (ex.lintDiagnosticCount() != 0)
+            bench::fail("served batch programs did not analyze "
+                        "clean");
+    }
 };
 
 /**

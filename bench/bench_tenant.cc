@@ -46,6 +46,24 @@ tenantCfg()
 constexpr size_t kDevices = 2;
 constexpr size_t kLanes = 256;
 
+/** Executor options: submit-time lint on for every tenant stream. */
+StreamExecutorOptions
+lintedExOpts()
+{
+    StreamExecutorOptions opts;
+    opts.lintMode = LintMode::Warn;
+    return opts;
+}
+
+/** Asserts every stream the executor saw analyzed clean. */
+void
+checkLintClean(const StreamExecutor &ex, const char *what)
+{
+    if (ex.lintDiagnosticCount() != 0)
+        bench::fail(std::string(what) +
+                    " streams did not analyze clean");
+}
+
 /** The repeatable unit stream: a trsp round trip on one object. */
 std::vector<BbopInstr>
 bounce(uint16_t obj)
@@ -58,7 +76,7 @@ void
 fairnessPair(simdram::bench::Harness &h, bool smoke)
 {
     DeviceGroup g(tenantCfg(), kDevices);
-    StreamExecutor ex(g);
+    StreamExecutor ex(g, lintedExOpts());
     TenantExecutorOptions opts;
     opts.manualDispatch = true; // DRR order decided by weights alone
     opts.recordDispatchOrder = true;
@@ -108,6 +126,7 @@ fairnessPair(simdram::bench::Harness &h, bool smoke)
     h.record("tenant/fair/w1/p99", 1, te.latency(t1).p99());
     std::printf("  [fair] window %zu: w3 %zu instr, w1 %zu instr\n",
                 window, instr3, instr1);
+    checkLintClean(ex, "fairness");
 }
 
 /** @return Host ns per stream, submit+drain closed loop (raw). */
@@ -116,17 +135,19 @@ rawWall(size_t streams)
 {
     using clock = std::chrono::steady_clock;
     DeviceGroup g(tenantCfg(), kDevices);
-    StreamExecutor ex(g);
+    StreamExecutor ex(g, lintedExOpts());
     const uint16_t o = ex.defineObject(kLanes, 8);
     ex.submit(bounce(o)).wait(); // warm the worker + layout path
     const auto t0 = clock::now();
     for (size_t i = 0; i < streams; ++i)
         ex.submit(bounce(o));
     ex.sync();
-    return std::chrono::duration<double, std::nano>(clock::now() -
-                                                    t0)
-               .count() /
-           static_cast<double>(streams);
+    const double ns =
+        std::chrono::duration<double, std::nano>(clock::now() - t0)
+            .count() /
+        static_cast<double>(streams);
+    checkLintClean(ex, "raw bounce");
+    return ns;
 }
 
 /** @return Host ns per stream through a single-tenant executor. */
@@ -135,7 +156,7 @@ tenantWall(size_t streams)
 {
     using clock = std::chrono::steady_clock;
     DeviceGroup g(tenantCfg(), kDevices);
-    StreamExecutor ex(g);
+    StreamExecutor ex(g, lintedExOpts());
     TenantExecutor te(ex); // auto dispatch: the served configuration
     const uint32_t t = te.registerTenant({/*name=*/"solo"});
     const uint16_t o = te.defineObject(t, kLanes, 8);
@@ -144,10 +165,12 @@ tenantWall(size_t streams)
     for (size_t i = 0; i < streams; ++i)
         te.submit(t, bounce(o));
     te.drain();
-    return std::chrono::duration<double, std::nano>(clock::now() -
-                                                    t0)
-               .count() /
-           static_cast<double>(streams);
+    const double ns =
+        std::chrono::duration<double, std::nano>(clock::now() - t0)
+            .count() /
+        static_cast<double>(streams);
+    checkLintClean(ex, "tenant bounce");
+    return ns;
 }
 
 /** Flood-shed context: a quota-bounded flooder vs a victim. */
@@ -155,7 +178,7 @@ void
 floodContext(simdram::bench::Harness &h, bool smoke)
 {
     DeviceGroup g(tenantCfg(), kDevices);
-    StreamExecutor ex(g);
+    StreamExecutor ex(g, lintedExOpts());
     TenantExecutorOptions opts;
     opts.manualDispatch = true;
     TenantExecutor te(ex, opts);
@@ -183,6 +206,7 @@ floodContext(simdram::bench::Harness &h, bool smoke)
              100.0 * static_cast<double>(sf.shed) /
                  static_cast<double>(offered));
     h.record("tenant/flood/victim-p99", 1, te.latency(tv).p99());
+    checkLintClean(ex, "flood");
 }
 
 } // namespace

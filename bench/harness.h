@@ -42,6 +42,14 @@ namespace simdram
 namespace bench
 {
 
+/** Aborts the bench run with a message (sanity check failed). */
+[[noreturn]] inline void
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "BENCH FAILURE: %s\n", msg.c_str());
+    std::exit(1);
+}
+
 /** Compiler barrier: keeps result objects from being optimized out. */
 inline void
 doNotOptimize(const void *p)

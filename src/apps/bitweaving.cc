@@ -76,9 +76,10 @@ bitweavingVerify(DeviceGroup &group, uint64_t seed)
 {
     const std::vector<uint64_t> col = randomColumn(seed);
 
-    StreamExecutor ex(group,
-                      {/*maxQueuedStreams=*/2,
-                       BackpressurePolicy::Block});
+    StreamExecutorOptions exOpts{/*maxQueuedStreams=*/2,
+                                 BackpressurePolicy::Block};
+    exOpts.lintMode = LintMode::Warn;
+    StreamExecutor ex(group, exOpts);
     const uint16_t ocol = ex.defineObject(kScanRows, kScanBits);
     const uint16_t oconst = ex.defineObject(kScanRows, kScanBits);
     const uint16_t om1 = ex.defineObject(kScanRows, 1);
@@ -104,7 +105,9 @@ bitweavingVerify(DeviceGroup &group, uint64_t seed)
         r.compute.latencyNs <= 0.0)
         return false;
 
-    return bitmapMatchesHost(col, ex.readObject(omout));
+    // The scan must analyze clean under the submit-time lint.
+    return bitmapMatchesHost(col, ex.readObject(omout)) &&
+           ex.lintDiagnosticCount() == 0;
 }
 
 } // namespace simdram

@@ -131,6 +131,7 @@ knnVerify(DeviceGroup &group, uint64_t seed, bool stream_cache,
     StreamExecutorOptions opts{/*maxQueuedStreams=*/2,
                                BackpressurePolicy::Block};
     opts.enableStreamCache = stream_cache;
+    opts.lintMode = LintMode::Warn;
     StreamExecutor ex(group, opts);
 
     // One sharded object per reference dimension, so every distance
@@ -205,7 +206,8 @@ knnVerify(DeviceGroup &group, uint64_t seed, bool stream_cache,
     for (size_t q = 0; q < kQueries; ++q)
         if (!distancesMatchHost(in, q, dist[q]))
             return false;
-    return true;
+    // Every stream must analyze clean under the submit-time lint.
+    return ex.lintDiagnosticCount() == 0;
 }
 
 } // namespace simdram

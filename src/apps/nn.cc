@@ -244,6 +244,7 @@ nnVerifyConvTile(DeviceGroup &group, uint64_t seed,
     StreamExecutorOptions opts{/*maxQueuedStreams=*/2,
                                BackpressurePolicy::Block};
     opts.enableStreamCache = stream_cache;
+    opts.lintMode = LintMode::Warn;
     StreamExecutor ex(group, opts);
     const uint16_t ox = ex.defineObject(kLanes, kConvBits);
     const uint16_t ow = ex.defineObject(kLanes, kConvBits);
@@ -306,7 +307,8 @@ nnVerifyConvTile(DeviceGroup &group, uint64_t seed,
         return false;
     if (report != nullptr)
         *report = rep;
-    return true;
+    // Every stream must analyze clean under the submit-time lint.
+    return ex.lintDiagnosticCount() == 0;
 }
 
 } // namespace simdram

@@ -131,7 +131,9 @@ tpchVerify(DeviceGroup &group, uint64_t seed)
     const LineitemTable t = makeLineitem(rows, seed);
     const Q6Params q;
 
-    StreamExecutor ex(group);
+    StreamExecutorOptions exOpts;
+    exOpts.lintMode = LintMode::Warn;
+    StreamExecutor ex(group, exOpts);
     const uint16_t oship = ex.defineObject(rows, kW);
     const uint16_t odisc = ex.defineObject(rows, kW);
     const uint16_t oqty = ex.defineObject(rows, kW);
@@ -187,7 +189,9 @@ tpchVerify(DeviceGroup &group, uint64_t seed)
     for (uint64_t v : ex.readObject(osel))
         sum_sim += v;
 
-    return sum_sim == q6HostRevenue(t, q);
+    // The query must analyze clean under the submit-time lint.
+    return sum_sim == q6HostRevenue(t, q) &&
+           ex.lintDiagnosticCount() == 0;
 }
 
 } // namespace simdram

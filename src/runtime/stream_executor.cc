@@ -161,6 +161,21 @@ StreamExecutor::optimizedInstructionCount() const
     return optimized_count_.load(std::memory_order_relaxed);
 }
 
+uint64_t
+StreamExecutor::lintDiagnosticCount() const
+{
+    return lint_count_.load(std::memory_order_relaxed);
+}
+
+std::vector<StreamDiagnostic>
+StreamExecutor::drainDiagnostics()
+{
+    MutexLock lock(submit_mu_);
+    std::vector<StreamDiagnostic> out = std::move(lint_diags_);
+    lint_diags_.clear();
+    return out;
+}
+
 StreamExecutor::Object &
 StreamExecutor::object(uint16_t id)
 {
@@ -189,7 +204,7 @@ StreamExecutor::shape(uint16_t id) const
 BbopObjectShape
 StreamExecutor::objectShape(uint16_t id) const
 {
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(submit_mu_);
     if (id >= objects_.size())
         bbopError("StreamExecutor: unknown object id d" +
                   std::to_string(id));
@@ -212,7 +227,7 @@ StreamExecutor::defineObject(size_t elements, size_t bits)
     // alloc happens before submit_mu_ so defineObject never nests
     // the device mutexes inside the submit lock.
     obj->vec = group_->alloc(elements, bits);
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(submit_mu_);
     if (objects_.size() >= kNoObject)
         fatal("StreamExecutor: object table full");
     objects_.push_back(std::move(obj));
@@ -225,7 +240,7 @@ StreamExecutor::releaseObject(uint16_t id)
     // Same ordering as writeObject: exclude submitters first, then
     // drain, so no stream referencing the object can be in flight or
     // sneak in while we free the storage.
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(submit_mu_);
     sync();
     Object &obj = object(id); // BbopError on unknown/double release
     group_->release(obj.vec);
@@ -244,7 +259,7 @@ StreamExecutor::writeObject(uint16_t id,
     // between sync() and the host-image write would put workers back
     // in flight while we mutate hostImage. Workers never take
     // submit_mu_, so they can still drain while we hold it.
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(submit_mu_);
     sync();
     Object &obj = object(id);
     if (data.size() != obj.elements)
@@ -268,7 +283,7 @@ std::vector<uint64_t>
 StreamExecutor::readObject(uint16_t id)
 {
     // Same ordering as writeObject: exclude submitters, then drain.
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(submit_mu_);
     sync();
     return object(id).hostImage;
 }
@@ -444,7 +459,7 @@ StreamExecutor::submit(const std::vector<BbopInstr> &stream)
     // caller's request spends in the service, and wallNs promises
     // submit-to-last-device-completion.
     const auto entry = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(submit_mu_);
     // A raw stream is a one-segment program: lift, optimize,
     // dispatch. Fusion has nothing to merge, so exactly one handle
     // comes back.
@@ -455,7 +470,7 @@ std::vector<StreamHandle>
 StreamExecutor::submit(const StreamIR &ir)
 {
     const auto entry = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(submit_mu_);
     return submitLocked(ir, entry);
 }
 
@@ -478,14 +493,50 @@ StreamExecutor::submitLocked(const StreamIR &ir,
     for (const auto &n : ir.nodes)
         validator.check(n.instr);
 
-    // Run the enabled optimizer passes on a copy.
+    // Run the enabled optimizer passes on a copy — under
+    // validatePasses, one pass at a time with the analyzer checking
+    // fact preservation in between (same resulting program).
     StreamIR opt = ir;
-    const PassStats pstats =
-        runPasses(opt, PassOptions{
-                           .trspHoist = opts_.enableTrspHoist,
-                           .deadWriteElim = opts_.enableDeadWriteElim,
-                           .fusion = opts_.enableFusion,
-                       });
+    const PassOptions popts{
+        .trspHoist = opts_.enableTrspHoist,
+        .deadWriteElim = opts_.enableDeadWriteElim,
+        .fusion = opts_.enableFusion,
+    };
+    PassStats pstats;
+    if (opts_.validatePasses) {
+        const TranslationValidation tv = runPassesValidated(
+            opt, popts, *this,
+            AnalyzerOptions{EntryAssumption::FromView});
+        if (!tv.ok())
+            throw PassValidationError(
+                "StreamExecutor: translation validation failed: " +
+                tv.failures.front().message);
+        pstats = tv.stats;
+    } else {
+        pstats = runPasses(opt, popts);
+    }
+
+    // Submit-time lint over the optimized program (dead nodes are
+    // transparent, so node indices in diagnostics still index the
+    // SUBMITTED program). Strict rejects Error findings here — before
+    // queue reservation and any commit, as side-effect-free as a
+    // validator rejection. Diagnostics are buffered locally and
+    // published only if the submission is accepted, so a rejected
+    // stream (lint or backpressure) leaves the diagnostic channel
+    // untouched too.
+    std::vector<StreamDiagnostic> lint;
+    if (opts_.lintMode != LintMode::Off) {
+        AnalysisResult ar = analyzeStream(
+            opt, *this, AnalyzerOptions{EntryAssumption::FromView});
+        if (opts_.lintMode == LintMode::Strict) {
+            for (const StreamDiagnostic &d : ar.diagnostics)
+                if (d.severity == LintSeverity::Error)
+                    throw StreamLintError(
+                        "StreamExecutor: stream rejected by lint: " +
+                        d.message);
+        }
+        lint = std::move(ar.diagnostics);
+    }
 
     // Lower and re-validate the optimized concatenation: passes must
     // preserve validity and the final layout state (see passes.h), so
@@ -543,6 +594,14 @@ StreamExecutor::submitLocked(const StreamIR &ir,
     }
     optimized_count_.fetch_add(pstats.removed(),
                                std::memory_order_relaxed);
+    // Publish the lint findings only now that the submission is
+    // committed: the counter is the wait-free lifetime total, the
+    // buffer feeds drainDiagnostics() (both under submit_mu_).
+    if (!lint.empty()) {
+        lint_count_.fetch_add(lint.size(), std::memory_order_relaxed);
+        for (StreamDiagnostic &d : lint)
+            lint_diags_.push_back(std::move(d));
+    }
 
     // One job per final segment, pushed in submission order. Under
     // Block, wait for room before each push — workers drain their
@@ -612,7 +671,7 @@ StreamExecutor::submit(const std::vector<uint64_t> &encoded)
     stream.reserve(encoded.size());
     for (uint64_t w : encoded)
         stream.push_back(decodeBbop(w)); // throws BbopError
-    std::lock_guard<std::mutex> lock(submit_mu_);
+    MutexLock lock(submit_mu_);
     return submitLocked(StreamIR::lift(stream), entry).front();
 }
 

@@ -65,6 +65,15 @@
  *    The ORIGINAL program is what submit() validates (atomic reject),
  *    and passes preserve both memory state and final layout state,
  *    so optimization is invisible except in statistics.
+ *  - Static analysis (src/analysis, StreamExecutorOptions::lintMode):
+ *    Warn runs the dataflow lint at submit time and accumulates
+ *    typed diagnostics (wait-free lintDiagnosticCount(), drained via
+ *    drainDiagnostics()); Strict additionally rejects Error-level
+ *    findings with the typed, synchronous, side-effect-free
+ *    StreamLintError. validatePasses machine-checks every optimizer
+ *    pass against the analyzer's facts (translation validation) and
+ *    rejects the submission with PassValidationError if a pass broke
+ *    them.
  */
 
 #ifndef SIMDRAM_RUNTIME_STREAM_EXECUTOR_H
@@ -79,7 +88,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/stream_analyzer.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "isa/bbop.h"
 #include "isa/validate.h"
 #include "runtime/device_group.h"
@@ -111,6 +122,46 @@ enum class BackpressurePolicy
 {
     Block,  ///< Block the submitter until space frees up.
     Reject, ///< Throw StreamRejectedError (no side effects).
+};
+
+/**
+ * Raised by submit() under LintMode::Strict when the static analyzer
+ * (src/analysis) finds an Error-level defect — a read of unwritten
+ * data, a layout mismatch, a self-aliasing operand, a shift that
+ * zeroes its destination. A subtype of BbopError so the rejection is
+ * typed, synchronous, and side-effect-free exactly like a malformed
+ * stream: nothing is enqueued, no shadow state moves.
+ */
+class StreamLintError : public BbopError
+{
+  public:
+    explicit StreamLintError(const std::string &what)
+        : BbopError(what)
+    {}
+};
+
+/**
+ * Raised by submit() when StreamExecutorOptions::validatePasses is on
+ * and an optimizer pass failed translation validation — it changed
+ * the definedness/layout/const state some surviving read observes.
+ * This is an optimizer bug, not a caller bug, hence a FatalError
+ * rather than a BbopError; the message names the offending pass.
+ */
+class PassValidationError : public FatalError
+{
+  public:
+    explicit PassValidationError(const std::string &what)
+        : FatalError(what)
+    {}
+};
+
+/** How much the submit-time static analyzer is allowed to do. */
+enum class LintMode
+{
+    Off,    ///< No analysis.
+    Warn,   ///< Analyze; accumulate diagnostics, accept the stream.
+    Strict, ///< Reject on any Error-level diagnostic (typed,
+            ///< synchronous, side-effect-free, like BbopError).
 };
 
 /** Tuning knobs of a StreamExecutor. */
@@ -148,6 +199,30 @@ struct StreamExecutorOptions
     bool enableFusion = true;
     bool enableDeadWriteElim = true;
     bool enableTrspHoist = true;
+    /**
+     * Submit-time static analysis (src/analysis): the dataflow lint
+     * runs over the optimized program (node indices still match the
+     * submitted program — passes only mark nodes dead) with the
+     * object table as the entry state. Off: skip. Warn: accept and
+     * accumulate diagnostics (lintDiagnosticCount() /
+     * drainDiagnostics()). Strict: reject Error-level findings with
+     * the typed StreamLintError before anything is enqueued or
+     * committed. Warnings that the enabled passes already acted on
+     * (redundant trsps the hoister removed, dead writes DWE
+     * eliminated) do not re-fire: the lint sees the program the
+     * devices will actually run.
+     */
+    LintMode lintMode = LintMode::Off;
+    /**
+     * Translation validation: run the optimizer passes one at a time,
+     * re-analyzing in between, and reject the submission with
+     * PassValidationError if any pass changed the facts a surviving
+     * read observes (see runPassesValidated). The resulting program
+     * is identical to the normal pipeline's; this only adds the
+     * machine check. Off by default — it triples the submit-time
+     * analysis cost; tests and benches turn it on.
+     */
+    bool validatePasses = false;
 };
 
 /** Completion data for one executed stream. */
@@ -409,6 +484,22 @@ class StreamExecutor : public StreamService, private BbopObjectView
      */
     uint64_t optimizedInstructionCount() const;
 
+    /**
+     * @return Lifetime count of lint diagnostics produced by
+     *         Warn/Strict-mode submissions (0 with lintMode Off).
+     *         Wait-free like the counters above: a monitor polling
+     *         "is the fleet still lint-clean?" never blocks behind a
+     *         submitter. Draining does not reset it.
+     */
+    uint64_t lintDiagnosticCount() const;
+
+    /**
+     * @return Every accumulated diagnostic, in submission order,
+     *         emptying the buffer. Takes the submit lock (briefly —
+     *         the buffer is moved out).
+     */
+    std::vector<StreamDiagnostic> drainDiagnostics();
+
   private:
     struct Object;
     struct PreparedInstr;
@@ -445,11 +536,19 @@ class StreamExecutor : public StreamService, private BbopObjectView
         size_t cachedInit = 0;
     };
 
-    Object &object(uint16_t id);
+    Object &object(uint16_t id) SIMDRAM_REQUIRES(submit_mu_);
 
-    // BbopObjectView over the object table (for the validator).
-    size_t objectCount() const override { return objects_.size(); }
-    BbopObjectShape shape(uint16_t id) const override;
+    // BbopObjectView over the object table (for the validator and
+    // the analyzer; both only run under submit_mu_). The REQUIRES
+    // contract is enforced at our direct call sites — calls through
+    // the BbopObjectView base are outside the analysis, which is why
+    // every such call happens inside submitLocked()/objectShape().
+    size_t objectCount() const override SIMDRAM_REQUIRES(submit_mu_)
+    {
+        return objects_.size();
+    }
+    BbopObjectShape shape(uint16_t id) const override
+        SIMDRAM_REQUIRES(submit_mu_);
 
     /**
      * Resolves one already-validated segment into per-instruction
@@ -461,7 +560,8 @@ class StreamExecutor : public StreamService, private BbopObjectView
     PreparedSegment resolveSegment(
         const std::vector<BbopInstr> &seg,
         std::vector<CacheState> &cache,
-        std::map<const Object *, PreparedInstrViews> &views);
+        std::map<const Object *, PreparedInstrViews> &views)
+        SIMDRAM_REQUIRES(submit_mu_);
 
     /**
      * Whole submit path for one program; submit_mu_ held. @p entry
@@ -472,7 +572,8 @@ class StreamExecutor : public StreamService, private BbopObjectView
      */
     std::vector<StreamHandle> submitLocked(
         const StreamIR &ir,
-        std::chrono::steady_clock::time_point entry);
+        std::chrono::steady_clock::time_point entry)
+        SIMDRAM_REQUIRES(submit_mu_);
 
     /**
      * Applies the Reject backpressure policy for a @p segments-job
@@ -482,17 +583,24 @@ class StreamExecutor : public StreamService, private BbopObjectView
      * Under Block this is a no-op; the per-segment push waits
      * instead. Called with submit_mu_ held, before any commit.
      */
-    void reserveQueueSpace(size_t segments);
+    void reserveQueueSpace(size_t segments)
+        SIMDRAM_REQUIRES(submit_mu_);
 
     void workerMain(size_t d);
     void execOn(size_t d, const PreparedInstr &pi);
 
     DeviceGroup *group_;
     StreamExecutorOptions opts_;
-    std::vector<std::unique_ptr<Object>> objects_;
     std::vector<std::unique_ptr<Worker>> workers_;
     /** Serializes submit()/defineObject() and the object table. */
-    mutable std::mutex submit_mu_;
+    mutable Mutex submit_mu_;
+    /** The object table, including per-object shadow state. */
+    std::vector<std::unique_ptr<Object>> objects_
+        SIMDRAM_GUARDED_BY(submit_mu_);
+    /** Lint findings accumulated by Warn/Strict submissions, in
+     *  submission order, until drainDiagnostics() collects them. */
+    std::vector<StreamDiagnostic> lint_diags_
+        SIMDRAM_GUARDED_BY(submit_mu_);
     /**
      * Lifetime counters. Writers are serialized by submit_mu_ (so
      * plain read-modify-write under the lock is single-writer), but
@@ -505,6 +613,7 @@ class StreamExecutor : public StreamService, private BbopObjectView
     std::atomic<uint64_t> cache_trsp_hits_{0};
     std::atomic<uint64_t> cache_init_hits_{0};
     std::atomic<uint64_t> optimized_count_{0};
+    std::atomic<uint64_t> lint_count_{0};
 };
 
 } // namespace simdram

@@ -72,7 +72,7 @@ RequestCoalescer::RequestCoalescer(StreamService &ex,
 RequestCoalescer::~RequestCoalescer()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stop_ = true;
     }
     // The dispatcher flushes and completes everything admitted
@@ -105,7 +105,7 @@ RequestCoalescer::registerClass(RequestClassSpec spec)
                   "' shared data has wrong lane count");
     auto cs = std::make_unique<ClassState>();
     cs->spec = std::move(spec);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     classes_.push_back(std::move(cs));
     return static_cast<uint32_t>(classes_.size() - 1);
 }
@@ -122,7 +122,7 @@ RequestCoalescer::submit(uint32_t cls,
     // concurrent registerClass); the pointee itself is stable.
     ClassState *csp = nullptr;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (cls >= classes_.size())
             fatal("RequestCoalescer: unknown class id " +
                   std::to_string(cls));
@@ -142,7 +142,7 @@ RequestCoalescer::submit(uint32_t cls,
     st->arrival = arrival;
 
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        UniqueLock lock(mu_);
         if (stop_)
             fatal("RequestCoalescer: submit after shutdown began");
         if (opts_.maxPending > 0 && pending_ >= opts_.maxPending) {
@@ -159,9 +159,11 @@ RequestCoalescer::submit(uint32_t cls,
                     std::to_string(opts_.maxPending) +
                     " requests in flight)");
             }
-            admit_cv_.wait(lock, [&] {
-                return pending_ < opts_.maxPending || stop_;
-            });
+            // Explicit wait loop (not the predicate overload): the
+            // guarded members are read in this scope, where the
+            // thread-safety analysis can see the lock is held.
+            while (pending_ >= opts_.maxPending && !stop_)
+                admit_cv_.wait(lock);
             if (stop_)
                 fatal("RequestCoalescer: shut down while blocked "
                       "on admission");
@@ -188,7 +190,7 @@ RequestCoalescer::submit(uint32_t cls,
 void
 RequestCoalescer::flush()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closeDueLocked(/*force=*/true);
     dispatch_cv_.notify_all();
 }
@@ -197,20 +199,22 @@ void
 RequestCoalescer::drain()
 {
     flush();
-    std::unique_lock<std::mutex> lock(mu_);
-    drain_cv_.wait(lock, [&] {
+    UniqueLock lock(mu_);
+    for (;;) {
         bool openEmpty = true;
         for (const auto &cs : classes_)
             if (!cs->open.empty())
                 openEmpty = false;
-        return pending_ == 0 && ready_.empty() && openEmpty;
-    });
+        if (pending_ == 0 && ready_.empty() && openEmpty)
+            return;
+        drain_cv_.wait(lock);
+    }
 }
 
 size_t
 RequestCoalescer::pendingRequests() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return pending_;
 }
 
@@ -235,7 +239,7 @@ RequestCoalescer::closeDueLocked(bool force)
 void
 RequestCoalescer::dispatcherMain()
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    UniqueLock lock(mu_);
     for (;;) {
         // Stop means "finish everything admitted, then exit": close
         // all open batches so nothing lingers past shutdown.
@@ -317,7 +321,7 @@ RequestCoalescer::executeBatch(Batch batch)
     // are dispatcher-only so no lock is needed past this point.
     ClassState *csp = nullptr;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         csp = classes_[batch.cls].get();
     }
     ClassState &cs = *csp;
@@ -414,7 +418,7 @@ RequestCoalescer::executeBatch(Batch batch)
     }
 
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         pending_ -= batch.reqs.size();
     }
     admit_cv_.notify_all();

@@ -62,6 +62,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "runtime/stream_executor.h"
 #include "serve/latency_histogram.h"
 #include "stream/stream_builder.h"
@@ -350,27 +351,31 @@ class RequestCoalescer
 
     void dispatcherMain();
     /** Runs one batch through the executor; no coalescer lock held. */
-    void executeBatch(Batch batch);
+    void executeBatch(Batch batch) SIMDRAM_EXCLUDES(mu_);
     /** Defines + seeds the class's batched objects (dispatcher only). */
     void ensureObjects(ClassState &cs);
     /** Moves due/flushed open batches to ready_; mu_ held. */
-    void closeDueLocked(bool force);
+    void closeDueLocked(bool force) SIMDRAM_REQUIRES(mu_);
 
     StreamService *ex_;
     CoalescerOptions opts_;
     LatencyHistogram latency_;
 
-    mutable std::mutex mu_;
-    std::condition_variable dispatch_cv_; ///< Work for the dispatcher.
-    std::condition_variable admit_cv_;    ///< Budget space freed.
-    std::condition_variable drain_cv_;    ///< A batch completed.
+    mutable Mutex mu_;
+    /** condition_variable_any: waits take the annotated Mutex via
+     *  UniqueLock (plain condition_variable only accepts
+     *  std::unique_lock<std::mutex>, bypassing the annotations). */
+    std::condition_variable_any dispatch_cv_; ///< Dispatcher work.
+    std::condition_variable_any admit_cv_;    ///< Budget space freed.
+    std::condition_variable_any drain_cv_;    ///< A batch completed.
     /** Registered classes; pointers stable while the vector grows. */
-    std::vector<std::unique_ptr<ClassState>> classes_;
+    std::vector<std::unique_ptr<ClassState>> classes_
+        SIMDRAM_GUARDED_BY(mu_);
     /** Closed batches awaiting execution, in close order. */
-    std::deque<Batch> ready_;
-    /** Admitted-but-not-completed requests; guarded by mu_. */
-    size_t pending_ = 0;
-    bool stop_ = false;
+    std::deque<Batch> ready_ SIMDRAM_GUARDED_BY(mu_);
+    /** Admitted-but-not-completed requests. */
+    size_t pending_ SIMDRAM_GUARDED_BY(mu_) = 0;
+    bool stop_ SIMDRAM_GUARDED_BY(mu_) = false;
 
     /** Lifetime stats: written under mu_ or by the dispatcher,
      *  read lock-free by the getters. */

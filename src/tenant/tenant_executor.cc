@@ -67,7 +67,9 @@ struct TenantExecutor::TenantState
     std::deque<PendingStream> pending;
     /** DRR deficit, in instructions. */
     size_t deficit = 0;
-    std::condition_variable admit_cv; ///< inflight dropped / died.
+    /** inflight dropped / tenant died. condition_variable_any: the
+     *  waits hold the executor's annotated Mutex via UniqueLock. */
+    std::condition_variable_any admit_cv;
 
     TenantStats stats;
     LatencyHistogram lat;
@@ -138,7 +140,7 @@ TenantExecutor::~TenantExecutor()
 {
     drain();
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stop_ = true;
         sched_cv_.notify_all();
         reap_cv_.notify_all();
@@ -166,7 +168,7 @@ TenantExecutor::registerTenant(TenantConfig cfg)
 {
     if (cfg.weight == 0)
         fatal("TenantExecutor: tenant weight must be >= 1");
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto t = std::make_unique<TenantState>();
     t->cfg = std::move(cfg);
     tenants_.push_back(std::move(t));
@@ -182,7 +184,7 @@ TenantExecutor::unregisterTenant(uint32_t tid)
     drainTenant(tid);
     std::vector<uint16_t> toRelease;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         TenantState &t = tenantLocked(tid);
         for (auto &o : t.objs)
             if (!o.released) {
@@ -208,7 +210,7 @@ TenantExecutor::unregisterTenant(uint32_t tid)
 size_t
 TenantExecutor::tenantCount() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     size_t live = 0;
     for (const auto &t : tenants_)
         if (!t->dead)
@@ -222,7 +224,7 @@ TenantExecutor::defineObject(uint32_t tid, size_t elements,
 {
     const size_t cost = elements * bits;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         TenantState &t = tenantLocked(tid);
         // Quota check BEFORE any effect: a rejected define leaves
         // both namespaces and budgets exactly as they were. Object
@@ -252,7 +254,7 @@ TenantExecutor::defineObject(uint32_t tid, size_t elements,
     try {
         phys = ex_->defineObject(elements, bits);
     } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         TenantState &t = *tenants_[tid];
         t.stats.liveObjects -= 1;
         t.stats.liveObjectBits -= cost;
@@ -261,7 +263,7 @@ TenantExecutor::defineObject(uint32_t tid, size_t elements,
         throw;
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     TenantState &t = *tenants_[tid];
     t.objs.push_back(TenantState::Obj{phys, elements, bits, false});
     return static_cast<uint16_t>(t.objs.size() - 1);
@@ -275,7 +277,7 @@ TenantExecutor::releaseObject(uint32_t tid, uint16_t vid)
     drainTenant(tid);
     uint16_t phys = kNoObject;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         TenantState &t = tenantLocked(tid);
         if (vid >= t.objs.size() || t.objs[vid].released)
             bbopError("TenantExecutor: tenant '" + t.cfg.name +
@@ -303,7 +305,7 @@ TenantExecutor::writeObject(uint32_t tid, uint16_t vid,
     drainTenant(tid);
     uint16_t phys = kNoObject;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         TenantState &t = tenantLocked(tid);
         if (vid >= t.objs.size() || t.objs[vid].released)
             bbopError("TenantExecutor: tenant '" + t.cfg.name +
@@ -320,7 +322,7 @@ TenantExecutor::readObject(uint32_t tid, uint16_t vid)
     drainTenant(tid);
     uint16_t phys = kNoObject;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         TenantState &t = tenantLocked(tid);
         if (vid >= t.objs.size() || t.objs[vid].released)
             bbopError("TenantExecutor: tenant '" + t.cfg.name +
@@ -336,7 +338,7 @@ TenantExecutor::objectShape(uint32_t tid, uint16_t vid) const
 {
     uint16_t phys = kNoObject;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         const TenantState &t = tenantLocked(tid);
         if (vid >= t.objs.size() || t.objs[vid].released)
             bbopError("TenantExecutor: tenant '" + t.cfg.name +
@@ -419,7 +421,7 @@ TenantExecutor::submitTranslated(uint32_t tid, const StreamIR &ir)
     auto st = std::make_shared<detail::TenantStreamState>();
     st->t0 = entry;
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        UniqueLock lock(mu_);
         TenantState &t = tenantLocked(tid);
         // Translation first: an unknown/foreign/released id throws
         // the typed BbopError HERE, synchronously, before the stream
@@ -440,10 +442,12 @@ TenantExecutor::submitTranslated(uint32_t tid, const StreamIR &ir)
             }
             // Block: wait for this tenant's own streams to complete.
             // Only mu_ is held, so dispatch and reaping continue.
-            t.admit_cv.wait(lock, [&] {
-                return t.dead ||
-                       t.inflight < t.cfg.maxPendingStreams;
-            });
+            // Explicit loop (not the predicate overload) so the
+            // thread-safety analysis sees the guarded reads in a
+            // scope that holds mu_.
+            while (!t.dead &&
+                   t.inflight >= t.cfg.maxPendingStreams)
+                t.admit_cv.wait(lock);
             if (t.dead)
                 fatal("TenantExecutor: tenant '" + t.cfg.name +
                       "' unregistered while blocked on quota");
@@ -554,7 +558,7 @@ TenantExecutor::dispatchNext()
     uint32_t tid = 0;
     PendingStream job;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (!pickLocked(tid, job))
             return false;
     }
@@ -582,7 +586,7 @@ TenantExecutor::dispatchNext()
         job.st->cv.notify_all();
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (err) {
         // Rejected at validation: the executor enqueued nothing, so
         // the stream completes here — failed, isolated to its
@@ -605,7 +609,7 @@ TenantExecutor::pump()
 {
     // One dispatcher at a time, so executor submission order is
     // exactly the DRR pick order. Never hold mu_ around this.
-    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    MutexLock lock(dispatch_mu_);
     while (dispatchNext()) {
     }
 }
@@ -615,15 +619,14 @@ TenantExecutor::drain()
 {
     for (;;) {
         pump();
-        std::unique_lock<std::mutex> lock(mu_);
+        UniqueLock lock(mu_);
         if (reap_.empty() && totalInflightLocked() == 0)
             return;
         if (anyPendingLocked())
             continue; // raced with a submitter: dispatch again
-        drain_cv_.wait(lock, [&] {
-            return (reap_.empty() && totalInflightLocked() == 0) ||
-                   anyPendingLocked();
-        });
+        while (!(reap_.empty() && totalInflightLocked() == 0) &&
+               !anyPendingLocked())
+            drain_cv_.wait(lock);
         if (reap_.empty() && totalInflightLocked() == 0)
             return;
     }
@@ -634,15 +637,14 @@ TenantExecutor::drainTenant(uint32_t tid)
 {
     for (;;) {
         pump();
-        std::unique_lock<std::mutex> lock(mu_);
+        UniqueLock lock(mu_);
         TenantState &t = tenantLocked(tid);
         if (t.inflight == 0)
             return;
         if (!t.pending.empty())
             continue;
-        drain_cv_.wait(lock, [&] {
-            return t.inflight == 0 || !t.pending.empty();
-        });
+        while (t.inflight != 0 && t.pending.empty())
+            drain_cv_.wait(lock);
         if (t.inflight == 0)
             return;
     }
@@ -651,14 +653,14 @@ TenantExecutor::drainTenant(uint32_t tid)
 StreamService &
 TenantExecutor::view(uint32_t tid)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return *tenantLocked(tid).viewSvc;
 }
 
 TenantStats
 TenantExecutor::stats(uint32_t tid) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (tid >= tenants_.size())
         fatal("TenantExecutor: unknown tenant id " +
               std::to_string(tid));
@@ -668,14 +670,14 @@ TenantExecutor::stats(uint32_t tid) const
 TenantStats
 TenantExecutor::fleetStats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return fleet_;
 }
 
 const LatencyHistogram &
 TenantExecutor::latency(uint32_t tid) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (tid >= tenants_.size())
         fatal("TenantExecutor: unknown tenant id " +
               std::to_string(tid));
@@ -685,7 +687,7 @@ TenantExecutor::latency(uint32_t tid) const
 LatencyHistogram
 TenantExecutor::fleetLatency() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LatencyHistogram out;
     for (const auto &t : tenants_)
         out.merge(t->lat);
@@ -695,7 +697,7 @@ TenantExecutor::fleetLatency() const
 std::vector<uint32_t>
 TenantExecutor::dispatchOrder() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return dispatch_order_;
 }
 
@@ -704,10 +706,9 @@ TenantExecutor::schedulerMain()
 {
     for (;;) {
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            sched_cv_.wait(lock, [&] {
-                return stop_ || anyPendingLocked();
-            });
+            UniqueLock lock(mu_);
+            while (!stop_ && !anyPendingLocked())
+                sched_cv_.wait(lock);
             if (stop_ && !anyPendingLocked())
                 return;
         }
@@ -721,9 +722,9 @@ TenantExecutor::reaperMain()
     for (;;) {
         ReapJob job;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            reap_cv_.wait(lock,
-                          [&] { return stop_ || !reap_.empty(); });
+            UniqueLock lock(mu_);
+            while (!stop_ && reap_.empty())
+                reap_cv_.wait(lock);
             if (reap_.empty())
                 return; // stop requested and everything reaped
             job = std::move(reap_.front());
@@ -765,7 +766,7 @@ TenantExecutor::reaperMain()
             st.cv.notify_all();
         }
 
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         TenantState &t = *tenants_[job.tid];
         const TenantStreamResult &done = job.st->result;
         if (err) {

@@ -74,6 +74,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "runtime/stream_executor.h"
 #include "serve/latency_histogram.h"
 
@@ -357,10 +358,12 @@ class TenantExecutor
     struct PendingStream;
     struct ReapJob;
 
-    TenantState &tenantLocked(uint32_t tid) const;
+    TenantState &tenantLocked(uint32_t tid) const
+        SIMDRAM_REQUIRES(mu_);
     /** Translates @p ir's virtual ids to physical ids (mu_ held). */
     StreamIR translateLocked(const TenantState &t,
-                             const StreamIR &ir) const;
+                             const StreamIR &ir) const
+        SIMDRAM_REQUIRES(mu_);
     /** Translates one instruction's operand fields in place. */
     void translateInstr(const TenantState &t, BbopInstr &in) const;
 
@@ -372,15 +375,17 @@ class TenantExecutor
                                                const StreamIR &ir);
 
     /** DRR pick of the next stream to dispatch (mu_ held). */
-    bool pickLocked(uint32_t &tid, PendingStream &job);
+    bool pickLocked(uint32_t &tid, PendingStream &job)
+        SIMDRAM_REQUIRES(mu_);
     /** Dispatches one picked stream; true if one was dispatched.
      *  Caller holds dispatch_mu_ (NOT mu_). */
-    bool dispatchNext();
+    bool dispatchNext()
+        SIMDRAM_REQUIRES(dispatch_mu_) SIMDRAM_EXCLUDES(mu_);
     /** Dispatches until every pending queue is empty. */
-    void pump();
+    void pump() SIMDRAM_EXCLUDES(dispatch_mu_, mu_);
 
-    bool anyPendingLocked() const;
-    size_t totalInflightLocked() const;
+    bool anyPendingLocked() const SIMDRAM_REQUIRES(mu_);
+    size_t totalInflightLocked() const SIMDRAM_REQUIRES(mu_);
 
     void schedulerMain();
     void reaperMain();
@@ -390,25 +395,28 @@ class TenantExecutor
 
     /** Serializes dispatchers so executor submission order == DRR
      *  order. Taken before (never inside) mu_. */
-    std::mutex dispatch_mu_;
+    Mutex dispatch_mu_;
 
-    mutable std::mutex mu_;
-    std::condition_variable sched_cv_; ///< Pending work (auto mode).
-    std::condition_variable reap_cv_;  ///< Dispatched work to reap.
-    std::condition_variable drain_cv_; ///< A stream completed.
+    mutable Mutex mu_;
+    /** condition_variable_any: waits take the annotated Mutex via
+     *  UniqueLock. */
+    std::condition_variable_any sched_cv_; ///< Pending (auto mode).
+    std::condition_variable_any reap_cv_;  ///< Work to reap.
+    std::condition_variable_any drain_cv_; ///< A stream completed.
 
     /** Tenant table; entries stable behind unique_ptr, never reused. */
-    std::vector<std::unique_ptr<TenantState>> tenants_;
+    std::vector<std::unique_ptr<TenantState>> tenants_
+        SIMDRAM_GUARDED_BY(mu_);
     /** Dispatched streams awaiting completion, FIFO (streams
      *  complete in executor submission order). */
-    std::deque<ReapJob> reap_;
+    std::deque<ReapJob> reap_ SIMDRAM_GUARDED_BY(mu_);
     /** DRR cursor and whether the cursor tenant holds its grant. */
-    size_t cursor_ = 0;
-    bool granted_ = false;
+    size_t cursor_ SIMDRAM_GUARDED_BY(mu_) = 0;
+    bool granted_ SIMDRAM_GUARDED_BY(mu_) = false;
     /** Fleet roll-up, accumulated alongside the per-tenant stats. */
-    TenantStats fleet_;
-    std::vector<uint32_t> dispatch_order_;
-    bool stop_ = false;
+    TenantStats fleet_ SIMDRAM_GUARDED_BY(mu_);
+    std::vector<uint32_t> dispatch_order_ SIMDRAM_GUARDED_BY(mu_);
+    bool stop_ SIMDRAM_GUARDED_BY(mu_) = false;
 
     std::thread scheduler_; ///< Not started under manualDispatch.
     std::thread reaper_;

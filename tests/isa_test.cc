@@ -9,6 +9,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "isa/dispatcher.h"
+#include "malformed_corpus.h"
 #include "runtime/stream_executor.h"
 
 namespace simdram
@@ -237,19 +238,13 @@ TEST(BbopDecode, MalformedEncodingsRejectedTyped)
 std::pair<std::string, std::string>
 rejectionOnBothPaths(const std::vector<BbopInstr> &stream)
 {
-    const size_t n = 16;
     const DramConfig cfg = DramConfig::forTesting(256, 512);
 
     Processor proc(cfg);
     BbopDispatcher disp(proc);
     DeviceGroup group(cfg, 2);
     StreamExecutor ex(group);
-    for (auto [elements, bits] :
-         {std::pair<size_t, size_t>{n, 8},
-          {n, 8},
-          {n, 16},
-          {n, 1},
-          {n / 2, 8}}) {
+    for (auto [elements, bits] : testcorpus::corpusShapes()) {
         disp.defineObject(elements, bits);
         ex.defineObject(elements, bits);
     }
@@ -271,62 +266,10 @@ rejectionOnBothPaths(const std::vector<BbopInstr> &stream)
 
 TEST(ValidatorUnification, MalformedStreamsRejectIdenticallyTyped)
 {
-    // Objects: d0/d1 8-bit, d2 16-bit, d3 1-bit (n elements),
-    // d4 8-bit (n/2 elements). One malformed stream per rule family;
-    // both paths must throw a BbopError with the same message.
-    const std::vector<std::vector<BbopInstr>> bad = {
-        // Width range (width 0 / width > 64).
-        {[] { auto i = BbopInstr::trsp(0, 8); i.width = 0; return i; }()},
-        {[] { auto i = BbopInstr::trsp(0, 8); i.width = 65; return i; }()},
-        // Unknown ids in every operand position.
-        {BbopInstr::trsp(99, 8)},
-        {BbopInstr::trsp(0, 8), BbopInstr::unary(OpKind::Relu, 8, 0, 99)},
-        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
-         BbopInstr::binary(OpKind::Add, 8, 0, 1, 99)},
-        // Trsp / trsp_inv width and layout.
-        {BbopInstr::trsp(0, 16)},
-        {BbopInstr::trspInv(0, 8)},
-        {BbopInstr::trsp(0, 8), BbopInstr::trspInv(0, 16)},
-        // Init width (the unification fix) and immediate. (A bare
-        // init needs no preceding trsp: full vertical writes
-        // establish the layout — see FullVerticalWritesEstablishLayout.)
-        {BbopInstr::trsp(0, 8), BbopInstr::init(0, 8, 0x100)},
-        // Shift shape / in-place / width.
-        {BbopInstr::trsp(0, 8), BbopInstr::trsp(2, 16),
-         BbopInstr::shift(true, 8, 2, 0, 1)},
-        {BbopInstr::trsp(0, 8), BbopInstr::shift(true, 8, 0, 0, 1)},
-        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
-         BbopInstr::shift(false, 16, 0, 1, 1)},
-        {BbopInstr::trsp(0, 8), BbopInstr::trsp(4, 8),
-         BbopInstr::shift(true, 8, 0, 4, 1)},
-        // Op signature: layout, widths, in-place, element counts,
-        // predicate width, unknown operation / opcode.
-        {BbopInstr::trsp(0, 8), BbopInstr::unary(OpKind::Relu, 8, 0, 1)},
-        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
-         BbopInstr::unary(OpKind::Relu, 16, 0, 1)},
-        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
-         BbopInstr::binary(OpKind::Gt, 8, 0, 1, 1)},
-        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
-         BbopInstr::binary(OpKind::Add, 8, 0, 0, 1)},
-        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
-         BbopInstr::trsp(2, 16),
-         BbopInstr::binary(OpKind::Add, 8, 0, 1, 2)},
-        {BbopInstr::trsp(0, 8), BbopInstr::trsp(4, 8),
-         BbopInstr::unary(OpKind::Relu, 8, 0, 4)},
-        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
-         BbopInstr::trsp(2, 16),
-         BbopInstr::predicated(OpKind::IfElse, 8, 0, 1, 1, 2)},
-        {[] {
-            auto i = BbopInstr::unary(OpKind::Relu, 8, 0, 1);
-            i.op = static_cast<OpKind>(31);
-            return i;
-        }()},
-        {[] {
-            auto i = BbopInstr::trsp(0, 8);
-            i.opcode = static_cast<BbopOpcode>(9);
-            return i;
-        }()},
-    };
+    // The corpus lives in malformed_corpus.h (one stream per rule
+    // family, same shared object table) so analysis_test can run the
+    // analyzer-vs-validator differential over the identical streams.
+    const auto &bad = testcorpus::malformedStreams();
 
     for (size_t s = 0; s < bad.size(); ++s) {
         const auto [disp_err, ex_err] = rejectionOnBothPaths(bad[s]);
@@ -358,18 +301,11 @@ TEST(ValidatorUnification, InitWidthMismatchRejectedByBothPaths)
 
 TEST(ValidatorUnification, ValidStreamsAcceptedByBothPaths)
 {
-    const std::vector<BbopInstr> ok = {
-        BbopInstr::trsp(0, 8),    BbopInstr::trsp(1, 8),
-        BbopInstr::trsp(3, 1),    BbopInstr::init(0, 8, 0x2d),
-        BbopInstr::binary(OpKind::Add, 8, 1, 0, 0),
-        BbopInstr::binary(OpKind::Gt, 8, 3, 0, 1),
-        BbopInstr::shift(true, 8, 1, 0, 2),
-        BbopInstr::predicated(OpKind::IfElse, 8, 1, 0, 0, 3),
-        BbopInstr::trspInv(1, 8),
-    };
-    const auto [disp_err, ex_err] = rejectionOnBothPaths(ok);
-    EXPECT_EQ(disp_err, "");
-    EXPECT_EQ(ex_err, "");
+    for (const auto &ok : testcorpus::wellFormedStreams()) {
+        const auto [disp_err, ex_err] = rejectionOnBothPaths(ok);
+        EXPECT_EQ(disp_err, "");
+        EXPECT_EQ(ex_err, "");
+    }
 }
 
 TEST(ValidatorUnification, FullVerticalWritesEstablishLayout)

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The shared malformed/well-formed bbop stream corpus.
+ *
+ * One malformed stream per validator rule family, plus the two
+ * canonical well-formed streams, all shaped against the same
+ * five-object table (two 8-bit, one 16-bit, one 1-bit object of
+ * kCorpusElements elements, plus one 8-bit object of half that).
+ * isa_test runs the corpus through the dispatcher and the stream
+ * executor (identical typed rejection on both paths); analysis_test
+ * runs it through the static analyzer (the analyzer may only ever be
+ * stricter than the validator, never looser).
+ */
+
+#ifndef SIMDRAM_TESTS_MALFORMED_CORPUS_H
+#define SIMDRAM_TESTS_MALFORMED_CORPUS_H
+
+#include <utility>
+#include <vector>
+
+#include "isa/bbop.h"
+
+namespace simdram
+{
+namespace testcorpus
+{
+
+inline constexpr size_t kCorpusElements = 16;
+
+/** The shared object-table shapes: {elements, bits} per object id. */
+inline std::vector<std::pair<size_t, size_t>>
+corpusShapes()
+{
+    const size_t n = kCorpusElements;
+    return {{n, 8}, {n, 8}, {n, 16}, {n, 1}, {n / 2, 8}};
+}
+
+/**
+ * Malformed streams, one per validator rule family. Objects: d0/d1
+ * 8-bit, d2 16-bit, d3 1-bit (n elements), d4 8-bit (n/2 elements).
+ */
+inline const std::vector<std::vector<BbopInstr>> &
+malformedStreams()
+{
+    static const std::vector<std::vector<BbopInstr>> bad = {
+        // Width range (width 0 / width > 64).
+        {[] { auto i = BbopInstr::trsp(0, 8); i.width = 0; return i; }()},
+        {[] { auto i = BbopInstr::trsp(0, 8); i.width = 65; return i; }()},
+        // Unknown ids in every operand position.
+        {BbopInstr::trsp(99, 8)},
+        {BbopInstr::trsp(0, 8), BbopInstr::unary(OpKind::Relu, 8, 0, 99)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::binary(OpKind::Add, 8, 0, 1, 99)},
+        // Trsp / trsp_inv width and layout.
+        {BbopInstr::trsp(0, 16)},
+        {BbopInstr::trspInv(0, 8)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trspInv(0, 16)},
+        // Init width (the unification fix) and immediate. (A bare
+        // init needs no preceding trsp: full vertical writes
+        // establish the layout — see FullVerticalWritesEstablishLayout.)
+        {BbopInstr::trsp(0, 8), BbopInstr::init(0, 8, 0x100)},
+        // Shift shape / in-place / width.
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(2, 16),
+         BbopInstr::shift(true, 8, 2, 0, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::shift(true, 8, 0, 0, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::shift(false, 16, 0, 1, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(4, 8),
+         BbopInstr::shift(true, 8, 0, 4, 1)},
+        // Op signature: layout, widths, in-place, element counts,
+        // predicate width, unknown operation / opcode.
+        {BbopInstr::trsp(0, 8), BbopInstr::unary(OpKind::Relu, 8, 0, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::unary(OpKind::Relu, 16, 0, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::binary(OpKind::Gt, 8, 0, 1, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::binary(OpKind::Add, 8, 0, 0, 1)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::trsp(2, 16),
+         BbopInstr::binary(OpKind::Add, 8, 0, 1, 2)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(4, 8),
+         BbopInstr::unary(OpKind::Relu, 8, 0, 4)},
+        {BbopInstr::trsp(0, 8), BbopInstr::trsp(1, 8),
+         BbopInstr::trsp(2, 16),
+         BbopInstr::predicated(OpKind::IfElse, 8, 0, 1, 1, 2)},
+        {[] {
+            auto i = BbopInstr::unary(OpKind::Relu, 8, 0, 1);
+            i.op = static_cast<OpKind>(31);
+            return i;
+        }()},
+        {[] {
+            auto i = BbopInstr::trsp(0, 8);
+            i.opcode = static_cast<BbopOpcode>(9);
+            return i;
+        }()},
+    };
+    return bad;
+}
+
+/**
+ * Well-formed streams against the same table: both validator entry
+ * points must accept them, and the analyzer must report zero Error
+ * findings (Warnings — e.g. a dead write — are allowed).
+ */
+inline const std::vector<std::vector<BbopInstr>> &
+wellFormedStreams()
+{
+    static const std::vector<std::vector<BbopInstr>> ok = {
+        {BbopInstr::trsp(0, 8),    BbopInstr::trsp(1, 8),
+         BbopInstr::trsp(3, 1),    BbopInstr::init(0, 8, 0x2d),
+         BbopInstr::binary(OpKind::Add, 8, 1, 0, 0),
+         BbopInstr::binary(OpKind::Gt, 8, 3, 0, 1),
+         BbopInstr::shift(true, 8, 1, 0, 2),
+         BbopInstr::predicated(OpKind::IfElse, 8, 1, 0, 0, 3),
+         BbopInstr::trspInv(1, 8)},
+        // Every destination established by a full vertical write
+        // (shift, op, init), no trsp required first.
+        {BbopInstr::trsp(1, 8),
+         BbopInstr::shift(true, 8, 0, 1, 2),
+         BbopInstr::binary(OpKind::Gt, 8, 3, 0, 1),
+         BbopInstr::init(2, 16, 7),
+         BbopInstr::trspInv(3, 1)},
+    };
+    return ok;
+}
+
+} // namespace testcorpus
+} // namespace simdram
+
+#endif // SIMDRAM_TESTS_MALFORMED_CORPUS_H
