@@ -383,6 +383,41 @@ benchFusedKnn(bench::Harness &h, size_t devices)
     }
 }
 
+void
+benchIntegrity(bench::Harness &h, size_t devices)
+{
+    // Recovery-overhead sweep: the same wide-row add stream under
+    // each integrity mode. Off must be indistinguishable from the
+    // baseline wall numbers (the detection machinery is fully
+    // bypassed); Checksum pays host-side shadow simulation and
+    // verification readback (wall only — modeled device work is
+    // untouched); DualModular re-executes every bbop op, so its
+    // modeled compute latency is exactly 2x Off's.
+    const std::string tag = "d" + std::to_string(devices);
+    const struct
+    {
+        IntegrityMode mode;
+        const char *name;
+    } sweep[] = {
+        {IntegrityMode::Off, "off"},
+        {IntegrityMode::Checksum, "checksum"},
+        {IntegrityMode::DualModular, "dual"},
+    };
+    for (const auto &s : sweep) {
+        StreamExecutorOptions opts;
+        opts.integrityMode = s.mode;
+        RuntimeFixture f(devices, opts);
+        const size_t items = kElements * kOpsPerStream;
+        const StreamResult r = f.submitAdds().wait();
+        h.record("runtime/integrity/" + std::string(s.name) +
+                     "/modeled/" + tag,
+                 items, r.compute.latencyNs);
+        h.run("runtime/integrity/" + std::string(s.name) + "/wall/" +
+                  tag,
+              items, [&] { f.submitAdds().wait(); });
+    }
+}
+
 } // namespace
 
 int
@@ -405,6 +440,8 @@ main(int argc, char **argv)
             benchStreamCache(h, devices);
             benchFusedKnn(h, devices);
         }
+        if (devices == 4)
+            benchIntegrity(h, devices);
     }
 
     h.speedup("runtime wide-row throughput 2 devices vs 1",
@@ -434,5 +471,21 @@ main(int argc, char **argv)
     h.speedup("stream/knn-cached wall 4 devices",
               "stream/knn-wall/uncached/d4",
               "stream/knn-wall/cached/d4");
+    // Two-sided gate: IntegrityMode::Off must not perturb the hot
+    // path (same config as the baseline wall runs above, measured
+    // through the integrity sweep's fixture).
+    h.speedup("runtime integrity off wall overhead",
+              "runtime/add32-wide/wall/d4",
+              "runtime/integrity/off/wall/d4");
+    // Deterministic: DualModular re-executes every bbop op, so its
+    // modeled compute latency is exactly 2x Off's (recorded as the
+    // "slow" side so the factor reads as the cost multiplier).
+    h.speedup("runtime integrity dual modeled cost",
+              "runtime/integrity/dual/modeled/d4",
+              "runtime/integrity/off/modeled/d4");
+    // Informational (wall): the host-side price of detection.
+    h.speedup("runtime integrity checksum wall cost",
+              "runtime/integrity/checksum/wall/d4",
+              "runtime/integrity/off/wall/d4");
     return h.finish();
 }

@@ -16,6 +16,7 @@ DramStats::operator+=(const DramStats &other)
     aps += other.aps;
     reads += other.reads;
     writes += other.writes;
+    traFaults += other.traFaults;
     latencyNs += other.latencyNs;
     energyPj += other.energyPj;
     return *this;
@@ -31,6 +32,7 @@ DramStats::mergeParallel(const DramStats &other)
     aps += other.aps;
     reads += other.reads;
     writes += other.writes;
+    traFaults += other.traFaults;
     latencyNs = std::max(latencyNs, other.latencyNs);
     energyPj += other.energyPj;
 }
@@ -67,6 +69,7 @@ diff(const DramStats &after, const DramStats &before)
     d.aps = after.aps - before.aps;
     d.reads = after.reads - before.reads;
     d.writes = after.writes - before.writes;
+    d.traFaults = after.traFaults - before.traFaults;
     d.latencyNs = after.latencyNs - before.latencyNs;
     d.energyPj = after.energyPj - before.energyPj;
     return d;
@@ -77,8 +80,10 @@ DramStats::summary() const
 {
     std::ostringstream os;
     os << "AAP=" << aaps << " AP=" << aps << " ACT=" << activates
-       << " TRA=" << multiActivates << " lat=" << latencyNs
-       << "ns energy=" << energyPj << "pJ";
+       << " TRA=" << multiActivates;
+    if (traFaults != 0)
+        os << " faults=" << traFaults;
+    os << " lat=" << latencyNs << "ns energy=" << energyPj << "pJ";
     return os.str();
 }
 

@@ -31,6 +31,8 @@ struct DramStats
     uint64_t aps = 0;         ///< ACTIVATE-PRECHARGE macro-ops.
     uint64_t reads = 0;       ///< Column READ bursts (64B).
     uint64_t writes = 0;      ///< Column WRITE bursts (64B).
+    uint64_t traFaults = 0;   ///< TRAs whose charge-sharing result was
+                              ///< corrupted (injected or statistical).
 
     double latencyNs = 0.0;   ///< Serialized latency contribution.
     double energyPj = 0.0;    ///< Total energy.

@@ -15,8 +15,10 @@ Bank::subarray(size_t idx)
 {
     if (idx >= slots_.size())
         panic("Bank::subarray: index out of range");
-    if (!slots_[idx])
+    if (!slots_[idx]) {
         slots_[idx] = std::make_unique<Subarray>(cfg_);
+        slots_[idx]->setFaultInjector(injector_);
+    }
     return *slots_[idx];
 }
 
@@ -42,6 +44,15 @@ Bank::resetStats()
     for (const auto &s : slots_)
         if (s)
             s->resetStats();
+}
+
+void
+Bank::setFaultInjector(FaultInjector *injector)
+{
+    injector_ = injector;
+    for (const auto &s : slots_)
+        if (s)
+            s->setFaultInjector(injector);
 }
 
 } // namespace simdram

@@ -47,9 +47,16 @@ class Bank
     /** Clears statistics in all materialized subarrays. */
     void resetStats();
 
+    /**
+     * Installs @p injector (not owned; nullptr clears) into every
+     * materialized subarray and every subarray created later.
+     */
+    void setFaultInjector(FaultInjector *injector);
+
   private:
     DramConfig cfg_;
     std::vector<std::unique_ptr<Subarray>> slots_;
+    FaultInjector *injector_ = nullptr;
 };
 
 } // namespace simdram

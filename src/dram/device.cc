@@ -62,4 +62,11 @@ DramDevice::resetStats()
         b.resetStats();
 }
 
+void
+DramDevice::setFaultInjector(FaultInjector *injector)
+{
+    for (auto &b : banks_)
+        b.setFaultInjector(injector);
+}
+
 } // namespace simdram

@@ -69,6 +69,12 @@ class DramDevice
     /** Clears statistics in every bank. */
     void resetStats();
 
+    /**
+     * Installs @p injector (not owned; nullptr clears) into every
+     * bank, covering both already-materialized and future subarrays.
+     */
+    void setFaultInjector(FaultInjector *injector);
+
   private:
     DramConfig cfg_;
     std::vector<Bank> banks_;

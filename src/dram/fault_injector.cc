@@ -1,0 +1,49 @@
+#include "dram/fault_injector.h"
+
+namespace simdram
+{
+
+std::shared_ptr<FaultInjector>
+FaultInjector::deterministic(FaultPlan plan)
+{
+    auto inj = std::shared_ptr<FaultInjector>(new FaultInjector());
+    inj->plan_.insert(plan.injectAtTra.begin(),
+                      plan.injectAtTra.end());
+    return inj;
+}
+
+std::shared_ptr<FaultInjector>
+FaultInjector::statistical(double traFailureRate, uint64_t seed)
+{
+    auto inj = std::shared_ptr<FaultInjector>(new FaultInjector());
+    inj->statistical_ = true;
+    inj->rate_ = traFailureRate;
+    inj->seed_ = seed;
+    inj->rng_ = Rng(seed);
+    return inj;
+}
+
+bool
+FaultInjector::sampleTra()
+{
+    const uint64_t ordinal = observed_++;
+    bool fail = false;
+    if (statistical_)
+        fail = rng_.uniform() < rate_;
+    else
+        fail = plan_.count(ordinal) != 0;
+    if (fail)
+        ++failed_;
+    return fail;
+}
+
+void
+FaultInjector::reset()
+{
+    observed_ = 0;
+    failed_ = 0;
+    if (statistical_)
+        rng_ = Rng(seed_);
+}
+
+} // namespace simdram

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fault-injection seam for the TRA (triple-row activation) path.
+ *
+ * The reliability model (src/reliability) predicts that charge-sharing
+ * majority fails at scaled technology nodes; this class is how the
+ * runtime actually experiences those failures. One injector is
+ * installed per device (DeviceGroup::setFaultInjector installs it into
+ * every bank/subarray of that device) and is consulted exactly once
+ * per TRA, under the device lock, so fault ordinals are a
+ * deterministic function of the TRA sequence the device executes.
+ *
+ * Two driving modes:
+ *  - deterministic(FaultPlan): corrupt exactly the TRAs whose
+ *    device-global 0-based ordinal appears in the plan — reproducible
+ *    end-to-end recovery tests.
+ *  - statistical(rate, seed): per-TRA Bernoulli at the node's measured
+ *    `traFailureRate()` (src/reliability/montecarlo.h) — the runtime
+ *    sees faults at the same rate the model predicts.
+ *
+ * A sampled failure flips one bitline of the resolved majority before
+ * the sense amplifiers restore it, so the wrong value lands in all
+ * three activated rows — the paper's charge-sharing failure mode.
+ * Every corrupted TRA is also counted in DramStats::traFaults.
+ */
+
+#ifndef SIMDRAM_DRAM_FAULT_INJECTOR_H
+#define SIMDRAM_DRAM_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace simdram
+{
+
+/**
+ * Deterministic fault schedule: corrupt the TRAs whose device-global
+ * 0-based ordinal (counted across every subarray of the device the
+ * injector is installed on, in execution order) appears in
+ * @ref injectAtTra.
+ */
+struct FaultPlan
+{
+    std::vector<uint64_t> injectAtTra;
+};
+
+/**
+ * Per-device TRA fault source. Not thread-safe by itself: callers
+ * (Subarray::activateState) run under the owning device's lock, which
+ * also gives readers that synchronize with the worker (stream waits,
+ * stats snapshots) a happens-before edge to the counters.
+ */
+class FaultInjector
+{
+  public:
+    /** Injector that corrupts exactly the TRAs named by @p plan. */
+    static std::shared_ptr<FaultInjector> deterministic(FaultPlan plan);
+
+    /**
+     * Injector that corrupts each TRA independently with probability
+     * @p traFailureRate (e.g. the Monte-Carlo rate for a node), using
+     * a private RNG seeded with @p seed.
+     */
+    static std::shared_ptr<FaultInjector>
+    statistical(double traFailureRate, uint64_t seed);
+
+    /**
+     * Consulted once per TRA; @return true iff this TRA's result must
+     * be corrupted. Advances the ordinal / RNG either way.
+     */
+    bool sampleTra();
+
+    /** @return TRAs observed (== ordinals consumed) so far. */
+    uint64_t trasObserved() const { return observed_; }
+
+    /** @return TRAs this injector decided to corrupt. */
+    uint64_t trasFailed() const { return failed_; }
+
+    /** @return failed/observed, or 0 when nothing was observed. */
+    double empiricalFailureRate() const
+    {
+        return observed_ == 0
+                   ? 0.0
+                   : static_cast<double>(failed_) /
+                         static_cast<double>(observed_);
+    }
+
+    /** Rewinds counters (and the RNG for statistical injectors). */
+    void reset();
+
+  private:
+    FaultInjector() = default;
+
+    bool statistical_ = false;
+    double rate_ = 0.0;
+    uint64_t seed_ = 0;
+    Rng rng_;
+    std::unordered_set<uint64_t> plan_;
+    uint64_t observed_ = 0;
+    uint64_t failed_ = 0;
+};
+
+} // namespace simdram
+
+#endif // SIMDRAM_DRAM_FAULT_INJECTOR_H

@@ -85,7 +85,7 @@ Subarray::activateState(const RowAddr &addr)
             // fresh unshared row even under CoW storage.
             buffer_.detach();
         } else if (addr.kind == RowAddr::Kind::Triple &&
-                   tra_flip_p_ == 0.0) {
+                   tra_flip_p_ == 0.0 && injector_ == nullptr) {
             // Fault-free TRA, fully fused: majority straight into the
             // first activated cell (aliasing is element-wise safe),
             // RowClone it into the other two, and leave the buffer as
@@ -113,12 +113,27 @@ Subarray::activateState(const RowAddr &addr)
         if (addr.kind == RowAddr::Kind::Triple) {
             // Both paths materialize the majority into buffer_.
             if (tra_flip_p_ > 0.0) {
+                uint64_t flipped = 0;
                 for (size_t i = 0; i < buffer_.width(); ++i) {
                     if (fault_rng_.uniform() < tra_flip_p_) {
                         buffer_.set(i, !buffer_.get(i));
                         ++injected_faults_;
+                        ++flipped;
                     }
                 }
+                if (flipped != 0)
+                    ++stats_.traFaults;
+            }
+            if (injector_ != nullptr && injector_->sampleTra()) {
+                // Charge sharing failed: one bitline resolved to the
+                // wrong value and the sense amplifiers restore that
+                // wrong value into all three rows. Rotate the failing
+                // bitline so repeated faults don't alias.
+                const size_t lane = static_cast<size_t>(
+                    injector_->trasFailed() % buffer_.width());
+                buffer_.set(lane, !buffer_.get(lane));
+                ++injected_faults_;
+                ++stats_.traFaults;
             }
             if (reference_path_)
                 writeValue(addr, buffer_);
@@ -393,7 +408,8 @@ Subarray::cloneRowFunctional(const RowAddr &src, const RowAddr &dst)
 void
 Subarray::traFunctional(TripleAddr t)
 {
-    if (reference_path_ || tra_flip_p_ > 0.0) {
+    if (reference_path_ || tra_flip_p_ > 0.0 ||
+        injector_ != nullptr) {
         // Fault injection (and the seed baseline) keep the generic
         // path so RNG consumption and eager-copy costs stay exact.
         apFunctional(RowAddr::row(t));
@@ -414,7 +430,8 @@ Subarray::traFunctional(TripleAddr t)
 void
 Subarray::traCloneFunctional(TripleAddr t, const RowAddr &dst)
 {
-    if (reference_path_ || tra_flip_p_ > 0.0) {
+    if (reference_path_ || tra_flip_p_ > 0.0 ||
+        injector_ != nullptr) {
         aapFunctional(RowAddr::row(t), dst);
         return;
     }

@@ -46,6 +46,7 @@
 #include "common/stats.h"
 #include "dram/address.h"
 #include "dram/config.h"
+#include "dram/fault_injector.h"
 
 namespace simdram
 {
@@ -201,6 +202,21 @@ class Subarray
     /** @return Number of bits flipped by fault injection so far. */
     uint64_t injectedFaults() const { return injected_faults_; }
 
+    /**
+     * Installs (or, with nullptr, removes) a fault injector consulted
+     * once per TRA. Not owned: the installer (DeviceGroup keeps
+     * shared ownership) must outlive the subarray's use of it. A
+     * sampled failure flips one bitline of the resolved majority
+     * before restore and counts into DramStats::traFaults.
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /** @return The installed fault injector, or nullptr. */
+    FaultInjector *faultInjector() const { return injector_; }
+
     // ---- Reference vs. fast activate path -------------------------------
 
     /**
@@ -311,6 +327,7 @@ class Subarray
     double tra_flip_p_ = 0.0;   ///< Per-bit TRA flip probability.
     Rng fault_rng_;             ///< Fault-injection randomness.
     uint64_t injected_faults_ = 0;
+    FaultInjector *injector_ = nullptr; ///< Per-TRA fault seam.
 };
 
 } // namespace simdram

@@ -208,6 +208,15 @@ class Processor
     /** @return The underlying device (tests, advanced use). */
     DramDevice &device() { return device_; }
 
+    /**
+     * Installs @p injector (not owned; nullptr clears) into every
+     * subarray of the underlying device; consulted once per TRA.
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        device_.setFaultInjector(injector);
+    }
+
     /** @return The operation library (circuit access). */
     OperationLibrary &library() { return lib_; }
 

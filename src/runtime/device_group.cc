@@ -18,6 +18,27 @@ DeviceGroup::DeviceGroup(DramConfig cfg, size_t devices,
     for (size_t d = 0; d < devices; ++d)
         procs_.push_back(std::make_unique<Processor>(cfg, backend));
     dev_mu_ = std::make_unique<std::mutex[]>(devices);
+    injectors_.resize(devices);
+}
+
+void
+DeviceGroup::setFaultInjector(size_t d,
+                              std::shared_ptr<FaultInjector> injector)
+{
+    if (d >= procs_.size())
+        fatal("DeviceGroup: bad device index");
+    auto lock = lockDevice(d);
+    injectors_[d] = std::move(injector);
+    procs_[d]->setFaultInjector(injectors_[d].get());
+}
+
+std::shared_ptr<FaultInjector>
+DeviceGroup::faultInjector(size_t d) const
+{
+    if (d >= procs_.size())
+        fatal("DeviceGroup: bad device index");
+    auto lock = lockDevice(d);
+    return injectors_[d];
 }
 
 Processor &
@@ -321,6 +342,12 @@ uint64_t
 DeviceGroup::mutationGen(const ShardedVec &v) const
 {
     return state(v).gen.load(std::memory_order_relaxed);
+}
+
+void
+DeviceGroup::noteExternalMutation(const ShardedVec &v) const
+{
+    state(v).gen.fetch_add(1, std::memory_order_relaxed);
 }
 
 void

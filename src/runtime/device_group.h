@@ -181,6 +181,19 @@ class DeviceGroup
     std::unique_lock<std::mutex> lockDevice(size_t d) const;
 
     /**
+     * Installs @p injector into device @p d (nullptr clears). The
+     * group keeps shared ownership so the injector outlives every
+     * subarray pointer handed out; installation takes the device
+     * lock, so it is safe while a StreamExecutor is attached (the
+     * injector takes effect for the next stream on that device).
+     */
+    void setFaultInjector(size_t d,
+                          std::shared_ptr<FaultInjector> injector);
+
+    /** @return Device @p d's installed injector, or nullptr. */
+    std::shared_ptr<FaultInjector> faultInjector(size_t d) const;
+
+    /**
      * @return The mutation generation of @p v: a counter bumped by
      *         every DeviceGroup API call that writes the vector
      *         (store/fillConstant/shift/run and their per-shard
@@ -193,6 +206,17 @@ class DeviceGroup
      *         deliberately: their effects are tracked stream-side).
      */
     uint64_t mutationGen(const ShardedVec &v) const;
+
+    /**
+     * Declares that @p v's device rows were rewritten OUTSIDE the
+     * DeviceGroup API (direct Processor stores), bumping its mutation
+     * generation so every generation-tagged cache of derived state
+     * re-validates. The StreamExecutor's fault-recovery restore path
+     * uses this: rolling a device back to its pre-stream snapshot
+     * must invalidate stream-cache entries the rolled-back stream
+     * committed, or a later elided transpose would read stale lanes.
+     */
+    void noteExternalMutation(const ShardedVec &v) const;
 
     /** @return Device @p d's compute statistics (unmerged). */
     DramStats deviceComputeStats(size_t d) const;
@@ -253,6 +277,9 @@ class DeviceGroup
     std::vector<std::unique_ptr<Processor>> procs_;
     /** One mutex per device; see the threading model above. */
     std::unique_ptr<std::mutex[]> dev_mu_;
+    /** Per-device fault injectors (shared ownership; may be null).
+     *  Guarded by the respective device mutex. */
+    std::vector<std::shared_ptr<FaultInjector>> injectors_;
 
     /**
      * Vector table. Entries are behind unique_ptr so VecState

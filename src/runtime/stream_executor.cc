@@ -1,13 +1,16 @@
 #include "runtime/stream_executor.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <map>
 #include <string>
 #include <thread>
+#include <utility>
 
+#include "baseline/host_kernels.h"
 #include "common/error.h"
 #include "stream/passes.h"
 
@@ -30,6 +33,8 @@ struct StreamState
     /** Submit-ENTRY time: origin of the end-to-end wall clock
      *  (set before the submit lock and any backpressure wait). */
     std::chrono::steady_clock::time_point t0;
+    /** Submission sequence number (error attribution). */
+    uint64_t seq = 0;
 };
 
 } // namespace detail
@@ -93,11 +98,81 @@ struct StreamExecutor::Worker
     bool stop = false;
 };
 
+/**
+ * Per-device verification context of one in-flight stream: the
+ * pre-stream snapshot of every operand shard this device touches
+ * (restore source for retry / side-effect-free failure) and the
+ * host-computed shadow of what a fault-free execution must produce.
+ * Built once per job under the device lock; attempts re-verify
+ * against it.
+ */
+struct StreamExecutor::ShadowCtx
+{
+    struct ObjCtx
+    {
+        Object *obj = nullptr;
+        /** This device's shard of the object. */
+        DeviceGroup::ShardView view;
+        /** Pre-stream vertical lanes (restore + shadow seed). */
+        std::vector<uint64_t> initLanes;
+        /** Pre-stream host-image slice (restore + shadow seed). */
+        std::vector<uint64_t> initHost;
+        /** Expected post-stream vertical lanes. */
+        std::vector<uint64_t> shadow;
+        /** Expected post-stream host-image slice. */
+        std::vector<uint64_t> shadowHost;
+        /** True if any executed instruction writes the object. */
+        bool written = false;
+        /** Program index of the last instruction writing it. */
+        size_t lastWriter = 0;
+    };
+
+    std::map<const Object *, size_t> index;
+    std::vector<ObjCtx> objs;
+};
+
+namespace
+{
+
+constexpr size_t kCleanRun = static_cast<size_t>(-1);
+
+uint64_t
+laneMask(size_t bits)
+{
+    return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+/**
+ * The Checksum-mode signature of a lane vector: an XOR fold plus the
+ * total popcount. Any corruption confined to one lane flips both the
+ * fold and (except for compensating flips) the count; corruptions
+ * that preserve both folds alias — DualModular exists for those.
+ */
+std::pair<uint64_t, uint64_t>
+foldSignature(const std::vector<uint64_t> &lanes)
+{
+    uint64_t fold = 0;
+    uint64_t pops = 0;
+    for (uint64_t w : lanes) {
+        fold ^= w;
+        pops += static_cast<uint64_t>(std::popcount(w));
+    }
+    return {fold, pops};
+}
+
+} // namespace
+
 StreamExecutor::StreamExecutor(DeviceGroup &group,
                                StreamExecutorOptions opts)
     : group_(&group), opts_(opts)
 {
     const size_t devices = group.deviceCount();
+    fault_counts_ = std::make_unique<std::atomic<uint64_t>[]>(devices);
+    healthy_ = std::make_unique<std::atomic<bool>[]>(devices);
+    for (size_t d = 0; d < devices; ++d) {
+        fault_counts_[d].store(0, std::memory_order_relaxed);
+        healthy_[d].store(true, std::memory_order_relaxed);
+    }
     workers_.reserve(devices);
     for (size_t d = 0; d < devices; ++d)
         workers_.push_back(std::make_unique<Worker>());
@@ -165,6 +240,32 @@ uint64_t
 StreamExecutor::lintDiagnosticCount() const
 {
     return lint_count_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+StreamExecutor::deviceFaultCount(size_t d) const
+{
+    if (d >= workers_.size())
+        fatal("StreamExecutor: bad device index");
+    return fault_counts_[d].load(std::memory_order_relaxed);
+}
+
+bool
+StreamExecutor::deviceHealthy(size_t d) const
+{
+    if (d >= workers_.size())
+        fatal("StreamExecutor: bad device index");
+    return healthy_[d].load(std::memory_order_relaxed);
+}
+
+size_t
+StreamExecutor::quarantinedDeviceCount() const
+{
+    size_t n = 0;
+    for (size_t d = 0; d < workers_.size(); ++d)
+        if (!healthy_[d].load(std::memory_order_relaxed))
+            ++n;
+    return n;
 }
 
 std::vector<StreamDiagnostic>
@@ -634,6 +735,7 @@ StreamExecutor::submitLocked(const StreamIR &ir,
         st->result.cachedInstructions =
             prepared[s].cachedTrsp + prepared[s].cachedInit;
         st->result.backpressureWaitNs = blockedNs;
+        st->seq = stream_seq_.fetch_add(1, std::memory_order_relaxed);
         // Every segment's stream clock is anchored at the SUBMIT
         // ENTRY instant, not "now": by this point the submission may
         // already have waited for the lock and (Block mode) for
@@ -705,16 +807,15 @@ StreamExecutor::workerMain(size_t d)
 
         std::exception_ptr err;
         DramStats dcompute, dtransfer;
+        size_t attempts = 1;
+        size_t faults = 0;
+        int recoveredOn = -1;
         {
             auto devlock = group_->lockDevice(d);
             const DramStats c0 = group_->deviceComputeStats(d);
             const DramStats t0 = group_->deviceTransferStats(d);
-            try {
-                for (const PreparedInstr &pi : *job.prog)
-                    execOn(d, pi);
-            } catch (...) {
-                err = std::current_exception();
-            }
+            err = runJob(d, devlock, *job.state, *job.prog, attempts,
+                         faults, recoveredOn);
             dcompute = diff(group_->deviceComputeStats(d), c0);
             dtransfer = diff(group_->deviceTransferStats(d), t0);
         }
@@ -725,6 +826,12 @@ StreamExecutor::workerMain(size_t d)
             st.result.compute = merge(st.result.compute, dcompute);
             st.result.transfer =
                 merge(st.result.transfer, dtransfer);
+            st.result.attempts = std::max(st.result.attempts,
+                                          attempts);
+            st.result.faultsDetected += faults;
+            if (recoveredOn != -1 &&
+                st.result.recoveredOnDevice == -1)
+                st.result.recoveredOnDevice = recoveredOn;
             if (err && !st.error)
                 st.error = err;
             if (--st.remaining == 0) {
@@ -742,6 +849,433 @@ StreamExecutor::workerMain(size_t d)
             if (w.q.empty())
                 w.idle_cv.notify_all();
         }
+    }
+}
+
+std::exception_ptr
+StreamExecutor::runJob(size_t d,
+                       std::unique_lock<std::mutex> &devlock,
+                       const detail::StreamState &st,
+                       const std::vector<PreparedInstr> &prog,
+                       size_t &attempts, size_t &faults,
+                       int &recoveredOn)
+{
+    attempts = 1;
+    faults = 0;
+    recoveredOn = -1;
+
+    // Per-stream deadline over the end-to-end clock (submit entry →
+    // here). A stream that spent its budget queued behind a pinned
+    // or slow device fails typed instead of executing late.
+    auto deadlineError = [&]() -> std::exception_ptr {
+        if (opts_.deadlineUs <= 0.0)
+            return nullptr;
+        const double elapsedUs =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - st.t0)
+                .count();
+        if (elapsedUs <= opts_.deadlineUs)
+            return nullptr;
+        return std::make_exception_ptr(StreamDeadlineError(
+            "StreamExecutor: stream s" + std::to_string(st.seq) +
+            " exceeded its " + std::to_string(opts_.deadlineUs) +
+            "us deadline on device d" + std::to_string(d)));
+    };
+    if (auto e = deadlineError())
+        return e;
+
+    // A quarantined device goes straight to the fallback path: its
+    // TRA-free instructions are trustworthy, its bbop ops are not.
+    if (!healthy_[d].load(std::memory_order_relaxed)) {
+        try {
+            fallbackJob(d, prog, recoveredOn);
+        } catch (...) {
+            return std::current_exception();
+        }
+        return nullptr;
+    }
+
+    // IntegrityMode::Off is the pre-existing hot path: no snapshot,
+    // no verification loads, no overhead.
+    if (opts_.integrityMode == IntegrityMode::Off) {
+        try {
+            for (const PreparedInstr &pi : prog)
+                execOn(d, pi);
+        } catch (...) {
+            return std::current_exception();
+        }
+        return nullptr;
+    }
+
+    ShadowCtx ctx;
+    try {
+        prepareShadow(d, prog, ctx);
+    } catch (...) {
+        return std::current_exception();
+    }
+
+    const size_t maxAttempts =
+        std::max<size_t>(opts_.retryPolicy.maxAttempts, 1);
+    for (size_t attempt = 1;; ++attempt) {
+        attempts = attempt;
+        if (attempt > 1) {
+            if (auto e = deadlineError())
+                return e; // state already restored below
+        }
+
+        size_t badOp = kCleanRun;
+        try {
+            badOp = executeChecked(d, prog, ctx);
+        } catch (...) {
+            // Execution errors (FatalError et al.) are not faults:
+            // no retry, propagate as before.
+            return std::current_exception();
+        }
+        if (badOp == kCleanRun)
+            return nullptr;
+
+        // Detected corruption: count it, undo it, then recover.
+        ++faults;
+        const uint64_t total =
+            fault_counts_[d].fetch_add(1,
+                                       std::memory_order_relaxed) +
+            1;
+        try {
+            restoreJob(d, ctx);
+        } catch (...) {
+            return std::current_exception();
+        }
+        if (opts_.quarantineFaultThreshold > 0 &&
+            total >= opts_.quarantineFaultThreshold)
+            healthy_[d].store(false, std::memory_order_relaxed);
+
+        if (!healthy_[d].load(std::memory_order_relaxed)) {
+            // Quarantined: drain this stream through the fallback
+            // path (one more attempt) instead of burning the retry
+            // budget against a device we no longer trust.
+            try {
+                fallbackJob(d, prog, recoveredOn);
+            } catch (...) {
+                return std::current_exception();
+            }
+            attempts = attempt + 1;
+            return nullptr;
+        }
+
+        if (attempt >= maxAttempts)
+            return std::make_exception_ptr(StreamFaultError(
+                "StreamExecutor: stream s" + std::to_string(st.seq) +
+                    " failed integrity verification on device d" +
+                    std::to_string(d) + " at op #" +
+                    std::to_string(badOp) + " (" +
+                    std::to_string(attempt) +
+                    " attempts; device state restored)",
+                d, st.seq, badOp));
+
+        // Capped exponential backoff, slept OUTSIDE the device lock
+        // so synchronous group users and the quarantine fallback of
+        // other workers are not blocked behind our wait.
+        const RetryPolicy &rp = opts_.retryPolicy;
+        if (rp.baseBackoffUs > 0.0) {
+            const unsigned shift = static_cast<unsigned>(
+                std::min<size_t>(attempt - 1, 30));
+            const double backoffUs =
+                std::min(rp.baseBackoffUs *
+                             static_cast<double>(1ULL << shift),
+                         rp.maxBackoffUs);
+            devlock.unlock();
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::micro>(
+                    backoffUs));
+            devlock.lock();
+        }
+    }
+}
+
+void
+StreamExecutor::prepareShadow(size_t d,
+                              const std::vector<PreparedInstr> &prog,
+                              ShadowCtx &ctx)
+{
+    // Find-or-create the per-object context: the first touch loads
+    // the device lanes (snapshot doubling as the shadow seed) and
+    // copies this device's host-image slice. Returns an INDEX, not a
+    // reference: a first touch grows ctx.objs and would invalidate
+    // every outstanding ObjCtx reference, so each use below
+    // re-derives its reference after all operand touches are done.
+    auto touch = [&](Object *o,
+                     const DeviceGroup::ShardView &v) -> size_t {
+        auto it = ctx.index.find(o);
+        if (it == ctx.index.end()) {
+            ShadowCtx::ObjCtx oc;
+            oc.obj = o;
+            oc.view = v;
+            oc.initLanes.resize(v.count);
+            if (v.count != 0)
+                v.proc->loadInto(v.handle, oc.initLanes.data());
+            oc.initHost.assign(
+                o->hostImage.begin() +
+                    static_cast<std::ptrdiff_t>(v.offset),
+                o->hostImage.begin() +
+                    static_cast<std::ptrdiff_t>(v.offset + v.count));
+            oc.shadow = oc.initLanes;
+            oc.shadowHost = oc.initHost;
+            it = ctx.index.emplace(o, ctx.objs.size()).first;
+            ctx.objs.push_back(std::move(oc));
+        }
+        return it->second;
+    };
+
+    // Simulate the program in order against the shadow: simulation
+    // order equals this device's execution order, and every device
+    // owns a disjoint slice, so host-image updates compose exactly.
+    for (size_t i = 0; i < prog.size(); ++i) {
+        const PreparedInstr &pi = prog[i];
+        if (pi.skip)
+            continue;
+        const DeviceGroup::ShardView &dv = (*pi.dstV)[d];
+        if (dv.count == 0)
+            continue; // execOn skips the whole instruction too
+        const BbopInstr &in = pi.instr;
+        const size_t dstIdx = touch(pi.dst, dv);
+        const uint64_t mask = laneMask(pi.dst->bits);
+        switch (in.opcode) {
+          case BbopOpcode::Trsp: {
+            ShadowCtx::ObjCtx &dst = ctx.objs[dstIdx];
+            for (size_t k = 0; k < dv.count; ++k)
+                dst.shadow[k] = dst.shadowHost[k] & mask;
+            break;
+          }
+          case BbopOpcode::TrspInv: {
+            ShadowCtx::ObjCtx &dst = ctx.objs[dstIdx];
+            dst.shadowHost = dst.shadow;
+            break;
+          }
+          case BbopOpcode::Init: {
+            ShadowCtx::ObjCtx &dst = ctx.objs[dstIdx];
+            const uint64_t imm = in.initImmediate();
+            std::fill(dst.shadow.begin(), dst.shadow.end(),
+                      imm & mask);
+            // execOn writes the raw immediate into the host image.
+            std::fill(dst.shadowHost.begin(), dst.shadowHost.end(),
+                      imm);
+            break;
+          }
+          case BbopOpcode::ShiftL:
+          case BbopOpcode::ShiftR: {
+            const size_t srcIdx = touch(pi.src1, (*pi.src1V)[d]);
+            ShadowCtx::ObjCtx &dst = ctx.objs[dstIdx];
+            const ShadowCtx::ObjCtx &src = ctx.objs[srcIdx];
+            const size_t k = static_cast<size_t>(in.sel);
+            for (size_t e = 0; e < dv.count; ++e) {
+                const uint64_t v = src.shadow[e];
+                dst.shadow[e] = in.opcode == BbopOpcode::ShiftL
+                                    ? (k >= 64 ? 0 : (v << k)) & mask
+                                    : (k >= 64 ? 0 : v >> k);
+            }
+            break;
+          }
+          case BbopOpcode::Op: {
+            const auto sig = signatureOf(in.op, in.width);
+            const size_t aIdx = touch(pi.src1, (*pi.src1V)[d]);
+            std::vector<uint64_t> b, sel;
+            if (sig.numInputs == 2)
+                b = ctx.objs[touch(pi.src2, (*pi.src2V)[d])].shadow;
+            if (sig.hasSel)
+                sel = ctx.objs[touch(pi.sel, (*pi.selV)[d])].shadow;
+            std::vector<uint64_t> res = hostBulkOp(
+                in.op, in.width, ctx.objs[aIdx].shadow, b, sel);
+            for (uint64_t &v : res)
+                v &= mask;
+            ctx.objs[dstIdx].shadow = std::move(res);
+            break;
+          }
+        }
+        ctx.objs[dstIdx].written = true;
+        ctx.objs[dstIdx].lastWriter = i;
+    }
+}
+
+void
+StreamExecutor::restoreJob(size_t d, const ShadowCtx &ctx)
+{
+    (void)d;
+    for (const ShadowCtx::ObjCtx &oc : ctx.objs) {
+        if (!oc.written || oc.view.count == 0)
+            continue;
+        oc.view.proc->store(oc.view.handle, oc.initLanes.data(),
+                            oc.view.count);
+        std::copy(oc.initHost.begin(), oc.initHost.end(),
+                  oc.obj->hostImage.begin() +
+                      static_cast<std::ptrdiff_t>(oc.view.offset));
+        // The rollback rewrote device rows behind the stream cache's
+        // back: bump the vector's mutation generation so elisions the
+        // rolled-back stream committed (e.g. "vertical image is
+        // clean" after its trsp) re-validate instead of reading the
+        // restored pre-stream lanes.
+        group_->noteExternalMutation(oc.obj->vec);
+    }
+}
+
+size_t
+StreamExecutor::executeChecked(size_t d,
+                               const std::vector<PreparedInstr> &prog,
+                               const ShadowCtx &ctx)
+{
+    const bool dual =
+        opts_.integrityMode == IntegrityMode::DualModular;
+    for (size_t i = 0; i < prog.size(); ++i) {
+        const PreparedInstr &pi = prog[i];
+        execOn(d, pi);
+        if (!dual || pi.skip ||
+            pi.instr.opcode != BbopOpcode::Op)
+            continue;
+        const DeviceGroup::ShardView &dv = (*pi.dstV)[d];
+        if (dv.count == 0)
+            continue;
+        // Temporal redundancy: run the op a second time (in-place
+        // execution is forbidden, so the destination is never an
+        // input and a re-run is safe) and require lane-for-lane
+        // agreement — exact per-op attribution.
+        std::vector<uint64_t> r1(dv.count);
+        dv.proc->loadInto(dv.handle, r1.data());
+        execOn(d, pi);
+        std::vector<uint64_t> r2(dv.count);
+        dv.proc->loadInto(dv.handle, r2.data());
+        if (r1 != r2)
+            return i;
+    }
+
+    // End-of-stream comparison against the host-computed shadow:
+    // signatures under Checksum, lane-exact under DualModular (the
+    // arbiter for correlated double faults both runs agreed on).
+    for (const ShadowCtx::ObjCtx &oc : ctx.objs) {
+        if (!oc.written || oc.view.count == 0)
+            continue;
+        std::vector<uint64_t> cur(oc.view.count);
+        oc.view.proc->loadInto(oc.view.handle, cur.data());
+        std::vector<uint64_t> host(
+            oc.obj->hostImage.begin() +
+                static_cast<std::ptrdiff_t>(oc.view.offset),
+            oc.obj->hostImage.begin() +
+                static_cast<std::ptrdiff_t>(oc.view.offset +
+                                            oc.view.count));
+        bool ok;
+        if (dual)
+            ok = cur == oc.shadow && host == oc.shadowHost;
+        else
+            ok = foldSignature(cur) == foldSignature(oc.shadow) &&
+                 foldSignature(host) == foldSignature(oc.shadowHost);
+        if (!ok)
+            return oc.lastWriter;
+    }
+    return kCleanRun;
+}
+
+void
+StreamExecutor::fallbackJob(size_t d,
+                            const std::vector<PreparedInstr> &prog,
+                            int &recoveredOn)
+{
+    for (const PreparedInstr &pi : prog) {
+        if (pi.skip)
+            continue;
+        const DeviceGroup::ShardView &dv = (*pi.dstV)[d];
+        if (dv.count == 0)
+            continue;
+        if (pi.instr.opcode != BbopOpcode::Op) {
+            // Transposition, init, and shifts are TRA-free (row
+            // copies and column I/O): trustworthy even on the
+            // quarantined device.
+            execOn(d, pi);
+            continue;
+        }
+
+        // Re-execute the bbop op off-device: load the operand lanes,
+        // compute on the first healthy device (falling back to the
+        // host reference kernels when none remains or scratch rows
+        // cannot be co-located), and store the result back.
+        const BbopInstr &in = pi.instr;
+        const auto sig = signatureOf(in.op, in.width);
+        std::vector<uint64_t> a(dv.count), b, sel;
+        {
+            const DeviceGroup::ShardView &sv = (*pi.src1V)[d];
+            sv.proc->loadInto(sv.handle, a.data());
+        }
+        if (sig.numInputs == 2) {
+            const DeviceGroup::ShardView &sv = (*pi.src2V)[d];
+            b.resize(dv.count);
+            sv.proc->loadInto(sv.handle, b.data());
+        }
+        if (sig.hasSel) {
+            const DeviceGroup::ShardView &sv = (*pi.selV)[d];
+            sel.resize(dv.count);
+            sv.proc->loadInto(sv.handle, sel.data());
+        }
+
+        int target = -2;
+        for (size_t h = 0; h < workers_.size(); ++h) {
+            if (h == d || !healthy_[h].load(std::memory_order_relaxed))
+                continue;
+            target = static_cast<int>(h);
+            break;
+        }
+
+        std::vector<uint64_t> res;
+        bool done = false;
+        if (target >= 0) {
+            // Lock order is safe: quarantined workers only ever take
+            // a HEALTHY device's lock on top of their own, and
+            // healthy workers never take a second device lock.
+            auto hlock =
+                group_->lockDevice(static_cast<size_t>(target));
+            Processor &hp =
+                group_->device(static_cast<size_t>(target));
+            std::vector<Processor::VecHandle> tmp;
+            try {
+                const auto va = hp.alloc(dv.count, pi.src1->bits);
+                tmp.push_back(va);
+                hp.store(va, a.data(), dv.count);
+                Processor::VecHandle vb{}, vsel{};
+                if (sig.numInputs == 2) {
+                    vb = hp.alloc(dv.count, pi.src2->bits);
+                    tmp.push_back(vb);
+                    hp.store(vb, b.data(), dv.count);
+                }
+                if (sig.hasSel) {
+                    vsel = hp.alloc(dv.count, pi.sel->bits);
+                    tmp.push_back(vsel);
+                    hp.store(vsel, sel.data(), dv.count);
+                }
+                const auto vy = hp.alloc(dv.count, pi.dst->bits);
+                tmp.push_back(vy);
+                if (sig.numInputs == 1)
+                    hp.run(in.op, vy, va);
+                else if (!sig.hasSel)
+                    hp.run(in.op, vy, va, vb);
+                else
+                    hp.run(in.op, vy, va, vb, vsel);
+                res.resize(dv.count);
+                hp.loadInto(vy, res.data());
+                done = true;
+            } catch (const FatalError &) {
+                // Scratch rows straddled a subarray boundary (the
+                // bump allocator cannot co-locate them): fall back
+                // to the host path for this op.
+            }
+            for (auto it = tmp.rbegin(); it != tmp.rend(); ++it)
+                hp.free(*it);
+        }
+        if (!done) {
+            res = hostBulkOp(in.op, in.width, a, b, sel);
+            const uint64_t mask = laneMask(pi.dst->bits);
+            for (uint64_t &v : res)
+                v &= mask;
+            target = -2;
+        }
+        dv.proc->store(dv.handle, res.data(), dv.count);
+        if (recoveredOn == -1)
+            recoveredOn = target;
     }
 }
 
@@ -807,6 +1341,31 @@ StreamHandle::wait()
     if (state_->error)
         std::rethrow_exception(state_->error);
     return state_->result;
+}
+
+StreamResult
+StreamHandle::waitResult()
+{
+    if (!state_)
+        fatal("StreamHandle::waitResult: empty handle");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->remaining == 0; });
+    return state_->result;
+}
+
+bool
+StreamHandle::waitFor(double timeoutUs)
+{
+    if (!state_)
+        fatal("StreamHandle::waitFor: empty handle");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    // Non-consuming: report readiness only. Errors stay parked until
+    // wait() collects them, so polling cannot lose a failure.
+    return state_->cv.wait_for(
+        lock,
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::micro>(timeoutUs)),
+        [&] { return state_->remaining == 0; });
 }
 
 bool

@@ -155,6 +155,92 @@ class PassValidationError : public FatalError
     {}
 };
 
+/**
+ * Raised (through StreamHandle::wait) when per-stream integrity
+ * checking detected corrupted device results and the retry policy was
+ * exhausted before a clean execution. Carries full attribution: which
+ * device, which submitted stream (its submission sequence number),
+ * and which instruction's output failed verification. The device's
+ * pre-stream state is restored before the error surfaces, so a faulted
+ * stream is side-effect-free — exactly like a rejected one.
+ */
+class StreamFaultError : public FatalError
+{
+  public:
+    StreamFaultError(const std::string &what, size_t device,
+                     uint64_t streamSeq, size_t opIndex)
+        : FatalError(what), device_(device), streamSeq_(streamSeq),
+          opIndex_(opIndex)
+    {}
+
+    /** @return The device whose execution failed verification. */
+    size_t device() const { return device_; }
+
+    /** @return The submission sequence number of the stream. */
+    uint64_t streamSeq() const { return streamSeq_; }
+
+    /** @return Index (in the dispatched program) of the instruction
+     *          whose output failed verification. */
+    size_t opIndex() const { return opIndex_; }
+
+  private:
+    size_t device_ = 0;
+    uint64_t streamSeq_ = 0;
+    size_t opIndex_ = 0;
+};
+
+/**
+ * Raised (through StreamHandle::wait) when a stream's queue+execute
+ * time exceeded StreamExecutorOptions::deadlineUs before a device
+ * could start (or retry) it. The clock is the same end-to-end clock
+ * as StreamResult::wallNs: it starts at submit() entry.
+ */
+class StreamDeadlineError : public FatalError
+{
+  public:
+    explicit StreamDeadlineError(const std::string &what)
+        : FatalError(what)
+    {}
+};
+
+/**
+ * Per-stream integrity checking performed by the device workers
+ * (detection layer of the fault-tolerance pipeline; see README
+ * "Fault tolerance").
+ */
+enum class IntegrityMode
+{
+    /** No checking; the pre-existing zero-overhead hot path. */
+    Off,
+    /**
+     * Fold every written object's post-execution device lanes into an
+     * XOR + popcount signature and compare it against a host-side
+     * shadow computed from the instruction semantics. Cheap, catches
+     * any single-TRA corruption; multi-bit corruptions that preserve
+     * both folds can alias (the dual-modular mode cannot).
+     */
+    Checksum,
+    /**
+     * Temporal dual-modular redundancy: every bbop op executes twice
+     * and the two results must agree lane-for-lane (exact per-op
+     * attribution), with a final lane-exact host-shadow comparison as
+     * the arbiter for correlated double faults. Roughly doubles the
+     * stream's compute cost.
+     */
+    DualModular,
+};
+
+/** Retry budget for streams whose integrity check failed. */
+struct RetryPolicy
+{
+    /** Total execution attempts per device (1 = no retry). */
+    size_t maxAttempts = 1;
+    /** Backoff before retry k is baseBackoffUs * 2^(k-1) host us. */
+    double baseBackoffUs = 0.0;
+    /** Cap on any single backoff sleep. */
+    double maxBackoffUs = 10000.0;
+};
+
 /** How much the submit-time static analyzer is allowed to do. */
 enum class LintMode
 {
@@ -223,6 +309,37 @@ struct StreamExecutorOptions
      * analysis cost; tests and benches turn it on.
      */
     bool validatePasses = false;
+    /**
+     * Per-stream integrity checking (detection layer of the
+     * fault-tolerance pipeline). Off is the pre-existing hot path —
+     * no snapshots, no verification loads, no overhead. Checksum and
+     * DualModular make each device worker snapshot the stream's
+     * operands, verify its own execution against a host-side shadow,
+     * and — on a detected fault — restore the pre-stream state and
+     * apply retryPolicy / quarantine recovery.
+     */
+    IntegrityMode integrityMode = IntegrityMode::Off;
+    /** Retry budget applied when an integrity check fails. */
+    RetryPolicy retryPolicy = {};
+    /**
+     * Per-stream deadline in host microseconds over the end-to-end
+     * clock (submit entry → device start/retry); 0 disables. A worker
+     * that picks up (or would retry) a stream past its deadline fails
+     * it with StreamDeadlineError instead of executing.
+     */
+    double deadlineUs = 0.0;
+    /**
+     * Quarantine: when > 0, a device whose lifetime detected-fault
+     * count reaches this threshold is marked unhealthy. Its queued
+     * and future streams still execute their TRA-free instructions
+     * (row copies, transposition, shifts) locally but every bbop op
+     * is re-executed on the first healthy device (or on the host
+     * reference path when none remains) and the result is stored
+     * back — bounding the blast radius of a noisy device to itself.
+     * NOTE: re-executed ops run under the healthy device's lock, so
+     * their work leaves that device's FIFO order. 0 disables.
+     */
+    size_t quarantineFaultThreshold = 0;
 };
 
 /** Completion data for one executed stream. */
@@ -269,6 +386,21 @@ struct StreamResult
     size_t queueDepthAtSubmit = 0;
     /** Host ns submit() spent blocked on backpressure (Block only). */
     double backpressureWaitNs = 0.0;
+    /**
+     * Execution attempts the stream needed, maximized over devices
+     * (1 = clean first run; includes the quarantine fallback pass).
+     * Always 1 with IntegrityMode::Off.
+     */
+    size_t attempts = 1;
+    /** Integrity-check failures detected, summed over devices. */
+    size_t faultsDetected = 0;
+    /**
+     * Where quarantine recovery re-executed this stream's ops:
+     * -1 = no quarantine recovery (the common case), >= 0 = the
+     * healthy device that ran them, -2 = the host reference path
+     * (no healthy device remained).
+     */
+    int recoveredOnDevice = -1;
 
     /**
      * @return The true end-to-end latency of the stream: submit entry
@@ -306,6 +438,27 @@ class StreamHandle
      * its result. Rethrows any error raised during execution.
      */
     StreamResult wait();
+
+    /**
+     * Blocks until the stream completes or @p timeoutUs host
+     * microseconds elapse, whichever is first. @return True iff the
+     * stream is complete (wait() will not block). Non-consuming and
+     * side-effect-free: it never rethrows a stream error — callers
+     * still collect the result (or the error) through wait() — so it
+     * can be polled to implement caller-side deadlines without
+     * blocking forever behind a stalled device.
+     */
+    bool waitFor(double timeoutUs);
+
+    /**
+     * Blocks until the stream completes and returns its result
+     * WITHOUT rethrowing an execution error: a failed stream's
+     * attempts / faultsDetected / recoveredOnDevice counters are
+     * still populated, and accounting layers (tenant chargeback,
+     * fault attribution) need them even when wait() would throw.
+     * Non-consuming: wait() still reports the error afterwards.
+     */
+    StreamResult waitResult();
 
     /** @return True once the stream has completed (non-blocking). */
     bool done() const;
@@ -500,6 +653,23 @@ class StreamExecutor : public StreamService, private BbopObjectView
      */
     std::vector<StreamDiagnostic> drainDiagnostics();
 
+    /**
+     * @return Lifetime integrity-check failures detected on device
+     *         @p d (0 with IntegrityMode::Off). Wait-free, like the
+     *         counters above.
+     */
+    uint64_t deviceFaultCount(size_t d) const;
+
+    /**
+     * @return False once device @p d has been quarantined (its
+     *         detected-fault count reached quarantineFaultThreshold).
+     *         Wait-free.
+     */
+    bool deviceHealthy(size_t d) const;
+
+    /** @return Number of currently quarantined devices. Wait-free. */
+    size_t quarantinedDeviceCount() const;
+
   private:
     struct Object;
     struct PreparedInstr;
@@ -589,6 +759,53 @@ class StreamExecutor : public StreamService, private BbopObjectView
     void workerMain(size_t d);
     void execOn(size_t d, const PreparedInstr &pi);
 
+    /** Per-device shadow/snapshot state of one in-flight job (one
+     *  execution attempt's worth of verification context). */
+    struct ShadowCtx;
+
+    /**
+     * Runs one dequeued stream on device @p d with the configured
+     * detection/recovery pipeline (deadline → attempts → integrity
+     * verify → backoff/retry → quarantine fallback). Device lock
+     * held via @p devlock (released only around backoff sleeps).
+     * @return The error to record, or nullptr on success; fills the
+     * per-device attempt/fault/recovery attribution out-params.
+     */
+    std::exception_ptr
+    runJob(size_t d, std::unique_lock<std::mutex> &devlock,
+           const detail::StreamState &st,
+           const std::vector<PreparedInstr> &prog, size_t &attempts,
+           size_t &faults, int &recoveredOn);
+
+    /** Snapshots operands + simulates the host-side shadow. */
+    void prepareShadow(size_t d,
+                       const std::vector<PreparedInstr> &prog,
+                       ShadowCtx &ctx);
+
+    /** Restores device @p d's pre-stream state from the snapshot. */
+    void restoreJob(size_t d, const ShadowCtx &ctx);
+
+    /**
+     * Executes the program on device @p d, applying the per-op
+     * temporal redundancy check under IntegrityMode::DualModular and
+     * the end-of-stream shadow comparison for both modes. @return
+     * npos on clean verification, else the index of the instruction
+     * the detected corruption is attributed to.
+     */
+    size_t executeChecked(size_t d,
+                          const std::vector<PreparedInstr> &prog,
+                          const ShadowCtx &ctx);
+
+    /**
+     * Quarantine fallback: executes the program for device @p d with
+     * every bbop op re-executed on the first healthy device (or the
+     * host reference kernels when none remains); TRA-free
+     * instructions run on @p d directly. Sets @p recoveredOn.
+     */
+    void fallbackJob(size_t d,
+                     const std::vector<PreparedInstr> &prog,
+                     int &recoveredOn);
+
     DeviceGroup *group_;
     StreamExecutorOptions opts_;
     std::vector<std::unique_ptr<Worker>> workers_;
@@ -614,6 +831,16 @@ class StreamExecutor : public StreamService, private BbopObjectView
     std::atomic<uint64_t> cache_init_hits_{0};
     std::atomic<uint64_t> optimized_count_{0};
     std::atomic<uint64_t> lint_count_{0};
+    /** Monotonic stream submission sequence (attribution). */
+    std::atomic<uint64_t> stream_seq_{0};
+    /**
+     * Per-device health state. Written by the owning device's worker
+     * (under its device lock), read wait-free by the getters and by
+     * quarantined workers scanning for a healthy peer; atomics keep
+     * those cross-thread reads race-free.
+     */
+    std::unique_ptr<std::atomic<uint64_t>[]> fault_counts_;
+    std::unique_ptr<std::atomic<bool>[]> healthy_;
 };
 
 } // namespace simdram

@@ -249,8 +249,22 @@ RequestCoalescer::dispatcherMain()
         if (!ready_.empty()) {
             Batch b = std::move(ready_.front());
             ready_.pop_front();
+            // Snapshot the slots' completion states before handing
+            // the Batch over: executeBatch owns it after the move, so
+            // if an exception ever escapes (allocation failure while
+            // classifying or slicing) this snapshot is the only route
+            // left to the futures. A throwing batch must propagate
+            // into every slot's future, never strand a waiter.
+            std::vector<std::shared_ptr<detail::RequestState>> slots;
+            slots.reserve(b.reqs.size());
+            for (const auto &p : b.reqs)
+                slots.push_back(p.st);
             lock.unlock();
-            executeBatch(std::move(b));
+            try {
+                executeBatch(std::move(b));
+            } catch (...) {
+                failSlots(slots, std::current_exception());
+            }
             lock.lock();
             continue;
         }
@@ -284,6 +298,37 @@ RequestCoalescer::dispatcherMain()
 }
 
 void
+RequestCoalescer::failSlots(
+    const std::vector<std::shared_ptr<detail::RequestState>> &slots,
+    std::exception_ptr err)
+{
+    // Every throw point in executeBatch precedes its pending_
+    // release, so the whole batch's admission budget is still held
+    // when this runs; slots executeBatch already fulfilled (an escape
+    // mid-slicing) keep their results — only the stranded ones get
+    // the error. Counters are best-effort on this path.
+    size_t newlyDone = 0;
+    for (const auto &sp : slots) {
+        detail::RequestState &st = *sp;
+        std::lock_guard<std::mutex> lock(st.mu);
+        if (st.done)
+            continue;
+        st.error = err;
+        st.done = true;
+        ++newlyDone;
+        st.cv.notify_all();
+    }
+    completed_.fetch_add(newlyDone, std::memory_order_relaxed);
+    failed_.fetch_add(newlyDone, std::memory_order_relaxed);
+    {
+        MutexLock lock(mu_);
+        pending_ -= slots.size();
+    }
+    admit_cv_.notify_all();
+    drain_cv_.notify_all();
+}
+
+void
 RequestCoalescer::ensureObjects(ClassState &cs)
 {
     if (cs.objectsReady)
@@ -291,25 +336,45 @@ RequestCoalescer::ensureObjects(ClassState &cs)
     const RequestClassSpec &spec = cs.spec;
     const size_t lanes = opts_.maxBatch * spec.elements;
 
-    cs.requestObjs.resize(spec.requestInputs);
-    for (auto &o : cs.requestObjs)
-        o = ex_->defineObject(lanes, spec.bits);
-    cs.sharedObjs.resize(spec.shared.size());
-    for (size_t s = 0; s < spec.shared.size(); ++s) {
-        cs.sharedObjs[s] = ex_->defineObject(lanes, spec.bits);
-        // Replicate the class-level data across every request slot
-        // ONCE; the executor's stream cache keeps the transposed
-        // image resident, so later batches elide these re-trsp's.
-        std::vector<uint64_t> rep(lanes);
-        for (size_t r = 0; r < opts_.maxBatch; ++r)
-            std::copy(spec.shared[s].begin(), spec.shared[s].end(),
-                      rep.begin() +
-                          static_cast<std::ptrdiff_t>(
-                              r * spec.elements));
-        ex_->writeObject(cs.sharedObjs[s], rep);
+    // Build the group into locals and publish only at the end: a
+    // mid-definition failure (tenant quota, subarray capacity)
+    // releases whatever was defined and leaves the class untouched,
+    // so a later batch retries from scratch instead of emitting
+    // against a half-defined object group.
+    std::vector<uint16_t> reqObjs;
+    std::vector<uint16_t> shObjs;
+    uint16_t outObj = kNoObject;
+    try {
+        reqObjs.reserve(spec.requestInputs);
+        for (size_t i = 0; i < spec.requestInputs; ++i)
+            reqObjs.push_back(ex_->defineObject(lanes, spec.bits));
+        shObjs.reserve(spec.shared.size());
+        for (size_t s = 0; s < spec.shared.size(); ++s) {
+            shObjs.push_back(ex_->defineObject(lanes, spec.bits));
+            // Replicate the class-level data across every request slot
+            // ONCE; the executor's stream cache keeps the transposed
+            // image resident, so later batches elide these re-trsp's.
+            std::vector<uint64_t> rep(lanes);
+            for (size_t r = 0; r < opts_.maxBatch; ++r)
+                std::copy(spec.shared[s].begin(),
+                          spec.shared[s].end(),
+                          rep.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  r * spec.elements));
+            ex_->writeObject(shObjs[s], rep);
+        }
+        outObj = ex_->defineObject(
+            lanes, spec.outputBits ? spec.outputBits : spec.bits);
+    } catch (...) {
+        for (uint16_t o : reqObjs)
+            ex_->releaseObject(o);
+        for (uint16_t o : shObjs)
+            ex_->releaseObject(o);
+        throw;
     }
-    cs.outputObj = ex_->defineObject(
-        lanes, spec.outputBits ? spec.outputBits : spec.bits);
+    cs.requestObjs = std::move(reqObjs);
+    cs.sharedObjs = std::move(shObjs);
+    cs.outputObj = outObj;
     cs.objectsReady = true;
 }
 
@@ -387,6 +452,32 @@ RequestCoalescer::executeBatch(Batch batch)
     }
     const auto doneT = std::chrono::steady_clock::now();
 
+    // Classify the batch's error ONCE, then map it per request: an
+    // unrecoverable in-DRAM fault becomes one device-attributed
+    // RequestFaultError per slot rather than a batch-wide opaque
+    // collapse, so each caller's wait() sees a typed error naming
+    // its own request class and the faulting device.
+    std::exception_ptr slotErr = err;
+    if (err) {
+        try {
+            std::rethrow_exception(err);
+        } catch (const StreamFaultError &e) {
+            faulted_.fetch_add(batch.reqs.size(),
+                               std::memory_order_relaxed);
+            slotErr = std::make_exception_ptr(RequestFaultError(
+                "RequestCoalescer: class '" + spec.name +
+                    "' batch hit an unrecoverable in-DRAM fault: " +
+                    e.what(),
+                e.device()));
+        } catch (const StreamDeadlineError &) {
+            deadlined_.fetch_add(batch.reqs.size(),
+                                 std::memory_order_relaxed);
+        } catch (...) {
+        }
+        failed_.fetch_add(batch.reqs.size(),
+                          std::memory_order_relaxed);
+    }
+
     // Bump the lifetime counters BEFORE fulfilling any future, so a
     // caller returning from wait() observes them already updated.
     completed_.fetch_add(batch.reqs.size(),
@@ -400,7 +491,7 @@ RequestCoalescer::executeBatch(Batch batch)
         detail::RequestState &st = *batch.reqs[r].st;
         std::lock_guard<std::mutex> lock(st.mu);
         if (err) {
-            st.error = err;
+            st.error = slotErr;
         } else {
             st.result.output.assign(
                 out.begin() + static_cast<std::ptrdiff_t>(r * n),

@@ -86,6 +86,30 @@ class RequestShedError : public FatalError
     {}
 };
 
+/**
+ * Raised out of ServeFuture::wait() when the request's batch hit an
+ * unrecoverable in-DRAM fault (the executor's StreamFaultError, after
+ * its own retry/quarantine budget was exhausted). Every request of
+ * the batch receives its OWN RequestFaultError — the fault is mapped
+ * per request rather than collapsing the whole batch into one opaque
+ * failure — carrying the faulting device for attribution. The
+ * coalescer's objects remain defined; subsequent batches of the class
+ * run normally.
+ */
+class RequestFaultError : public FatalError
+{
+  public:
+    RequestFaultError(const std::string &what, int device)
+        : FatalError(what), device_(device)
+    {}
+
+    /** @return Device the underlying fault was detected on. */
+    int device() const { return device_; }
+
+  private:
+    int device_ = -1;
+};
+
 /** What submit() does when the pending-request budget is full. */
 enum class AdmissionPolicy
 {
@@ -315,6 +339,26 @@ class RequestCoalescer
         return batches_.load(std::memory_order_relaxed);
     }
 
+    /** @return Requests completed with an error (any kind). */
+    uint64_t failedRequests() const
+    {
+        return failed_.load(std::memory_order_relaxed);
+    }
+
+    /** @return Requests failed by an in-DRAM fault (their futures
+     *  rethrow RequestFaultError). Subset of failedRequests(). */
+    uint64_t faultedRequests() const
+    {
+        return faulted_.load(std::memory_order_relaxed);
+    }
+
+    /** @return Requests failed by a stream deadline expiry. Subset
+     *  of failedRequests(). */
+    uint64_t deadlineExpiredRequests() const
+    {
+        return deadlined_.load(std::memory_order_relaxed);
+    }
+
     /** @return Requests admitted but not yet completed. */
     size_t pendingRequests() const;
 
@@ -350,8 +394,17 @@ class RequestCoalescer
     };
 
     void dispatcherMain();
-    /** Runs one batch through the executor; no coalescer lock held. */
+    /** Runs one batch through the executor; no coalescer lock held.
+     *  Never lets a batch error escape without first fulfilling every
+     *  slot's future (faults map to per-request RequestFaultError). */
     void executeBatch(Batch batch) SIMDRAM_EXCLUDES(mu_);
+    /** Dispatcher safety net: fulfils any not-yet-done slot of
+     *  @p slots with @p err and releases their admission budget, so
+     *  an exception escaping executeBatch (e.g. allocation failure
+     *  while slicing results) can never strand a ServeFuture. */
+    void failSlots(
+        const std::vector<std::shared_ptr<detail::RequestState>> &slots,
+        std::exception_ptr err) SIMDRAM_EXCLUDES(mu_);
     /** Defines + seeds the class's batched objects (dispatcher only). */
     void ensureObjects(ClassState &cs);
     /** Moves due/flushed open batches to ready_; mu_ held. */
@@ -382,6 +435,9 @@ class RequestCoalescer
     std::atomic<uint64_t> completed_{0};
     std::atomic<uint64_t> shed_{0};
     std::atomic<uint64_t> batches_{0};
+    std::atomic<uint64_t> failed_{0};
+    std::atomic<uint64_t> faulted_{0};
+    std::atomic<uint64_t> deadlined_{0};
 
     std::thread dispatcher_;
 };

@@ -743,6 +743,11 @@ TenantExecutor::reaperMain()
             } catch (...) {
                 if (!err)
                     err = std::current_exception();
+                // A failed segment still carries its recovery
+                // accounting (attempts, faultsDetected): collect the
+                // result non-throwingly so chargeback and the
+                // per-tenant fault counters see the whole story.
+                res.segments.push_back(h.waitResult());
             }
         }
         for (const StreamResult &r : res.segments) {
@@ -766,17 +771,62 @@ TenantExecutor::reaperMain()
             st.cv.notify_all();
         }
 
+        // Classify the failure by type so a noisy device is visible
+        // per tenant: integrity faults and missed deadlines get their
+        // own counters next to the generic failed/shed split.
+        bool faulted = false;
+        bool deadlined = false;
+        if (err) {
+            try {
+                std::rethrow_exception(err);
+            } catch (const StreamFaultError &) {
+                faulted = true;
+            } catch (const StreamDeadlineError &) {
+                deadlined = true;
+            } catch (...) {
+            }
+        }
+        size_t faultsDetected = 0;
+        bool retried = false;
+        bool recovered = false;
+        // The per-segment results were moved into the shared state
+        // above; the reaper is their only writer, so this re-read is
+        // race-free (waiters only copy under st.mu).
+        for (const StreamResult &r : job.st->result.segments) {
+            faultsDetected += r.faultsDetected;
+            retried = retried || r.attempts > 1;
+            recovered = recovered || r.recoveredOnDevice != -1;
+        }
+
         MutexLock lock(mu_);
         TenantState &t = *tenants_[job.tid];
         const TenantStreamResult &done = job.st->result;
         if (err) {
             ++t.stats.failed;
             ++fleet_.failed;
+            if (faulted) {
+                ++t.stats.faultedStreams;
+                ++fleet_.faultedStreams;
+            }
+            if (deadlined) {
+                ++t.stats.deadlineExpiredStreams;
+                ++fleet_.deadlineExpiredStreams;
+            }
         } else {
             ++t.stats.executed;
             ++fleet_.executed;
+            if (retried) {
+                ++t.stats.retriedStreams;
+                ++fleet_.retriedStreams;
+            }
+            if (recovered) {
+                ++t.stats.recoveredStreams;
+                ++fleet_.recoveredStreams;
+            }
             t.lat.record(e2e);
         }
+        t.stats.faultsDetected += faultsDetected;
+        fleet_.faultsDetected += faultsDetected;
         // Chargeback accrues even on a failed stream: whatever
         // segments ran consumed real device work.
         t.stats.compute = merge(t.stats.compute, done.compute);

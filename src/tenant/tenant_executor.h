@@ -165,6 +165,19 @@ struct TenantStats
     uint64_t failed = 0;
     /** Streams shed by the pending-stream quota. */
     uint64_t shed = 0;
+    /** Of failed: streams whose integrity verification failed after
+     *  the retry budget (StreamFaultError). */
+    uint64_t faultedStreams = 0;
+    /** Of failed: streams that missed the executor deadline
+     *  (StreamDeadlineError). */
+    uint64_t deadlineExpiredStreams = 0;
+    /** Integrity-check failures detected in this tenant's streams
+     *  (summed over devices; recovered faults included). */
+    uint64_t faultsDetected = 0;
+    /** Completed streams that needed more than one attempt. */
+    uint64_t retriedStreams = 0;
+    /** Completed streams recovered via quarantine re-execution. */
+    uint64_t recoveredStreams = 0;
     /** As-submitted instructions of completed streams. */
     uint64_t instructions = 0;
     /** Of those, elided by the executor's stream cache. */

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "dram/fault_injector.h"
 #include "reliability/montecarlo.h"
 
 namespace simdram
@@ -92,6 +95,39 @@ TEST(MonteCarlo, Deterministic)
     const auto a = traFailureRate(node, var, 10000, 9);
     const auto b = traFailureRate(node, var, 10000, 9);
     EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(MonteCarlo, InjectorReproducesModelRate)
+{
+    // The runtime experiences the model's predictions through the
+    // TRA fault injector: a statistical injector driven at the
+    // Monte-Carlo rate must show the same empirical failure rate,
+    // within the binomial sampling tolerance of both estimates.
+    const auto &node = techNodes()[3];
+    const auto var = VariationParams::uniform(0.30);
+    const auto mc = traFailureRate(node, var, 60000, 11);
+    const double p = mc.traFailureRate;
+    ASSERT_GT(p, 0.0) << "model must predict failures at 30%";
+    ASSERT_LT(p, 1.0);
+
+    const size_t trials = 200000;
+    auto inj = FaultInjector::statistical(p, 17);
+    for (size_t i = 0; i < trials; ++i)
+        inj->sampleTra();
+    EXPECT_EQ(inj->trasObserved(), trials);
+
+    // 5-sigma band of the injector's binomial draw plus the model
+    // estimate's own standard error.
+    const double tol =
+        5.0 * (std::sqrt(p * (1.0 - p) / double(trials)) +
+               std::sqrt(p * (1.0 - p) / 60000.0));
+    EXPECT_NEAR(inj->empiricalFailureRate(), p, tol);
+
+    // Determinism: same rate and seed, same fault schedule.
+    auto rerun = FaultInjector::statistical(p, 17);
+    for (size_t i = 0; i < trials; ++i)
+        rerun->sampleTra();
+    EXPECT_EQ(rerun->trasFailed(), inj->trasFailed());
 }
 
 TEST(OpSuccess, Math)
